@@ -1,0 +1,454 @@
+package youtiao
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (run with `go test -bench=. -benchmem`). Each
+// Benchmark* runs the corresponding experiment and reports its headline
+// numbers as custom metrics, so the bench output doubles as the
+// reproduction record:
+//
+//	BenchmarkTable1  —  fault-tolerant chip wiring (cost reduction, depth overhead)
+//	BenchmarkTable2  —  5-topology wiring evaluation (coax/cost/area reductions)
+//	BenchmarkFig12   —  crosstalk-model generality (JS divergence, transfer loss)
+//	BenchmarkFig13   —  FDM grouping fidelity (per-gate error ratios)
+//	BenchmarkFig14   —  2q-gate depth under TDM (overhead factors)
+//	BenchmarkFig15   —  circuit fidelity under TDM routing
+//	BenchmarkFig16   —  cryo-DEMUX mix vs θ
+//	BenchmarkFig17   —  large-scale wiring estimation
+//
+// Ablation benches quantify the design choices DESIGN.md calls out, and
+// the micro-benches cover the hot primitives.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/circuit"
+	"repro/internal/crosstalk"
+	"repro/internal/experiments"
+	"repro/internal/fdm"
+	"repro/internal/geom"
+	"repro/internal/mlfit"
+	"repro/internal/quantum"
+	"repro/internal/route"
+	"repro/internal/schedule"
+	"repro/internal/surface"
+	"repro/internal/tdm"
+	"repro/internal/xmon"
+	"repro/internal/yield"
+)
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(experiments.Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Headline metrics at distance 11.
+		var g, y experiments.Table1Row
+		for _, r := range rows {
+			if r.Distance == 11 {
+				if r.Architecture == "google" {
+					g = r
+				} else {
+					y = r
+				}
+			}
+		}
+		b.ReportMetric(g.WiringCostUSD/y.WiringCostUSD, "cost-reduction-d11")
+		b.ReportMetric(float64(y.TwoQGateDepth)/float64(g.TwoQGateDepth), "depth-overhead-d11")
+		b.ReportMetric(float64(y.ZLines), "youtiao-Z-d11")
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(experiments.Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var coax, cost, area, n float64
+		for j := 0; j < len(rows); j += 2 {
+			g, y := rows[j], rows[j+1]
+			gc := float64(g.XYLines + g.ZLines)
+			yc := float64(y.XYLines + y.ZLines)
+			coax += gc / yc
+			cost += g.WiringCostUSD / y.WiringCostUSD
+			area += g.RoutingAreaMM2 / y.RoutingAreaMM2
+			n++
+		}
+		b.ReportMetric(coax/n, "mean-line-reduction")
+		b.ReportMetric(cost/n, "mean-cost-reduction")
+		b.ReportMetric(area/n, "mean-area-reduction")
+	}
+}
+
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig12(experiments.Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.JSDivergence, "js-divergence")
+		last := res.Scales[len(res.Scales)-1]
+		b.ReportMetric(1e4*(1-last.TransferredFidelity), "transfer-err-1e-4")
+		b.ReportMetric(1e4*(1-last.NativeFidelity), "native-err-1e-4")
+	}
+}
+
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig13(experiments.Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		errOf := map[string]float64{}
+		for _, r := range res.A {
+			errOf[r.Strategy] = r.PerGateError
+		}
+		b.ReportMetric(errOf[experiments.StrategyBaseline]/errOf[experiments.StrategyYoutiao], "err-ratio-vs-baseline")
+		b.ReportMetric(errOf[experiments.StrategyGeorge]/errOf[experiments.StrategyYoutiao], "err-ratio-vs-george")
+		b.ReportMetric(100*res.B[len(res.B)-1].Youtiao, "youtiao-fid-100layers-%")
+	}
+}
+
+func benchFig1415(b *testing.B, metric func(r experiments.BenchRow) (string, float64)) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figs14And15(experiments.Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			name, v := metric(r)
+			b.ReportMetric(v, string(r.Benchmark)+"-"+name)
+		}
+	}
+}
+
+func BenchmarkFig14(b *testing.B) {
+	benchFig1415(b, func(r experiments.BenchRow) (string, float64) {
+		return "depth-overhead", float64(r.YoutiaoDepth) / float64(r.GoogleDepth)
+	})
+}
+
+func BenchmarkFig15(b *testing.B) {
+	benchFig1415(b, func(r experiments.BenchRow) (string, float64) {
+		if r.YoutiaoFidelity == 0 {
+			return "fid-ratio-vs-acharya", 0
+		}
+		return "fid-ratio-vs-acharya", r.YoutiaoFidelity / r.AcharyaFidelity
+	})
+}
+
+func BenchmarkFig16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig16(experiments.Options{Seed: 1}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Theta == 4 && (r.Topology == "square" || r.Topology == "low-density") {
+				b.ReportMetric(100*r.Frac12, r.Topology+"-frac12-%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig17(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig17(experiments.Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ZFanoutSquare, "z-fanout-square")
+		b.ReportMetric(float64(res.System150.GoogleCoax), "coax-150q-google")
+		b.ReportMetric(float64(res.System150.YoutiaoCoax), "coax-150q-youtiao")
+		last := res.LargeSweep[len(res.LargeSweep)-1]
+		b.ReportMetric(last.Reduction(), "reduction-100k")
+		b.ReportMetric(res.SavingsUSD100k/1e9, "savings-100k-B$")
+	}
+}
+
+// --- Ablation benches -------------------------------------------------
+
+// BenchmarkAblationMultiPathMetric compares the cross-validated fit
+// error of the paper's multi-path topological distance (d_top = n·l)
+// against plain shortest-path distance. The multi-path metric should
+// fit the synthetic crosstalk at least as well.
+func BenchmarkAblationMultiPathMetric(b *testing.B) {
+	c := chip.Square(6, 6)
+	rng := rand.New(rand.NewSource(1))
+	dev := xmon.NewDevice(c, xmon.DefaultParams(), rng)
+	samples := dev.Measure(xmon.XY, 0.05, rng)
+	multi := c.Graph().AllMultiPathDistances()
+
+	buildXY := func(topDist func(i, j int) float64) ([][]float64, []float64) {
+		X := make([][]float64, len(samples))
+		y := make([]float64, len(samples))
+		for i, s := range samples {
+			X[i] = []float64{0.5*c.PhysicalDistance(s.I, s.J) + 0.5*topDist(s.I, s.J)}
+			y[i] = s.Value
+		}
+		return X, y
+	}
+	cfg := mlfit.ForestConfig{NumTrees: 12, Tree: mlfit.TreeConfig{MaxDepth: 10, MinLeafSize: 4}, Seed: 1}
+
+	for i := 0; i < b.N; i++ {
+		Xm, y := buildXY(func(i, j int) float64 { return multi[i][j] })
+		mseMulti, err := mlfit.KFoldMSE(Xm, y, 5, cfg, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		Xs, _ := buildXY(func(i, j int) float64 {
+			return float64(c.Graph().BFSDistances(i)[j])
+		})
+		mseSingle, err := mlfit.KFoldMSE(Xs, y, 5, cfg, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(mseSingle/mseMulti, "single/multi-mse-ratio")
+	}
+}
+
+// BenchmarkAblationPartitioning compares whole-chip TDM grouping
+// against partitioned (per-region) grouping on a 100-qubit chip — the
+// divide-and-conquer claim of Observation 3.
+func BenchmarkAblationPartitioning(b *testing.B) {
+	c := chip.Square(10, 10)
+	gi := tdm.AnalyzeGates(c)
+	xt := func(i, j int) float64 {
+		if i == j {
+			return 0
+		}
+		return 0.6 * math.Exp(-c.PhysicalDistance(i, j))
+	}
+
+	b.Run("whole-chip", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := tdm.GroupChip(gi, tdm.DefaultConfig(xt)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("partitioned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p, err := experiments.BuildPipeline(chip.Square(10, 10), experiments.Options{Seed: 1, PartitionTargetSize: 25})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(p.TDM.NumZLines()), "z-lines")
+		}
+	})
+}
+
+// BenchmarkAblationLossyLimit sweeps the TDM lossy budget: more lossy
+// members merge more lines but serialize more gates.
+func BenchmarkAblationLossyLimit(b *testing.B) {
+	c := chip.Square(6, 6)
+	gi := tdm.AnalyzeGates(c)
+	xt := func(i, j int) float64 {
+		if i == j {
+			return 0
+		}
+		return 0.6 * math.Exp(-c.PhysicalDistance(i, j))
+	}
+	logical, err := circuit.Benchmark(circuit.BenchVQC, 16, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	compiled, err := circuit.Compile(logical, c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, limit := range []int{1, 2, 4} {
+			cfg := tdm.DefaultConfig(xt)
+			cfg.LossyLimit = limit
+			g, err := tdm.GroupChip(gi, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sched, err := schedule.New(c, g, schedule.DefaultDurations()).Run(compiled.Circuit)
+			if err != nil {
+				b.Fatal(err)
+			}
+			suffix := []string{"", "lossy1", "lossy2", "", "lossy4"}[limit]
+			b.ReportMetric(float64(g.NumZLines()), suffix+"-zlines")
+			b.ReportMetric(float64(sched.TwoQubitDepth), suffix+"-2qdepth")
+		}
+	}
+}
+
+// BenchmarkAblationAnnealedAllocation compares the greedy two-level
+// frequency allocation against the same plan refined by simulated
+// annealing, scored by the leakage-weighted crosstalk objective.
+func BenchmarkAblationAnnealedAllocation(b *testing.B) {
+	c := chip.Square(6, 6)
+	rng := rand.New(rand.NewSource(1))
+	dev := xmon.NewDevice(c, xmon.DefaultParams(), rng)
+	xt := func(i, j int) float64 { return dev.Coupling(xmon.XY, i, j) }
+	members := make([]int, c.NumQubits())
+	for i := range members {
+		members[i] = i
+	}
+	dist := func(i, j int) float64 { return c.PhysicalDistance(i, j) }
+	for i := 0; i < b.N; i++ {
+		g, err := fdmGroup(members, 4, dist)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, err := fdmAllocate(g, xt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		greedyCost := plan.TotalCrosstalkCost(xt)
+		refined, _, annealedCost, err := fdmAnneal(plan, g, xt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = refined
+		b.ReportMetric(greedyCost/math.Max(annealedCost, 1e-30), "greedy/annealed-cost")
+	}
+}
+
+// Thin aliases keep the bench body readable without dot-imports.
+var (
+	fdmGroup    = fdm.Group
+	fdmAllocate = func(g *fdm.Grouping, xt fdm.CrosstalkFunc) (*fdm.FrequencyPlan, error) {
+		return fdm.Allocate(g, xt, fdm.DefaultAllocOptions())
+	}
+	fdmAnneal = func(p *fdm.FrequencyPlan, g *fdm.Grouping, xt fdm.CrosstalkFunc) (*fdm.FrequencyPlan, float64, float64, error) {
+		return fdm.Anneal(p, g, xt, fdm.DefaultAnnealOptions())
+	}
+)
+
+// --- Micro-benches of the hot primitives ------------------------------
+
+func BenchmarkForestFit(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 600
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		x := rng.Float64() * 10
+		X[i] = []float64{x}
+		y[i] = math.Exp(-x) + rng.NormFloat64()*0.01
+	}
+	cfg := mlfit.DefaultForestConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mlfit.FitForest(X, y, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMultiPathDistances(b *testing.B) {
+	g := chip.Square(10, 10).Graph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.AllMultiPathDistances()
+	}
+}
+
+func BenchmarkTDMGrouping(b *testing.B) {
+	c := chip.Square(8, 8)
+	gi := tdm.AnalyzeGates(c)
+	xt := func(i, j int) float64 {
+		if i == j {
+			return 0
+		}
+		return 0.6 * math.Exp(-c.PhysicalDistance(i, j))
+	}
+	cfg := tdm.DefaultConfig(xt)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tdm.GroupChip(gi, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAStarRouting(b *testing.B) {
+	c := chip.Square(4, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := route.NewRouter(c)
+		var nets []route.Net
+		for _, q := range c.Qubits {
+			nets = append(nets, route.Net{Kind: route.NetZ, Label: "z", Targets: []geom.Point{q.Pos}})
+		}
+		if _, err := r.RouteAll(nets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStateVector16Q(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	circ := circuit.Decompose(circuit.VQC(16, 2, rng))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := quantum.Simulate(circ); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDesignPipeline36Q(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Design(NewSquareChip(6, 6), Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScheduleSurfaceCycle(b *testing.B) {
+	code, err := surface.New(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	circ := circuit.Decompose(code.CycleCircuit(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := schedule.New(code.Chip, nil, schedule.DefaultDurations()).Run(circ); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCrosstalkFit(b *testing.B) {
+	c := chip.Square(6, 6)
+	rng := rand.New(rand.NewSource(1))
+	dev := xmon.NewDevice(c, xmon.DefaultParams(), rng)
+	samples := dev.Measure(xmon.XY, 0.05, rng)
+	cfg := crosstalk.FitConfig{
+		WeightGrid: []float64{0, 0.5, 1},
+		Folds:      5,
+		Forest:     mlfit.ForestConfig{NumTrees: 8, Tree: mlfit.TreeConfig{MaxDepth: 8, MinLeafSize: 4}, Seed: 1},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := crosstalk.Fit(c, samples, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkYield runs the fabrication-disorder yield study on the
+// 16-qubit chip and reports the passing fraction — the design-margin
+// extension of the Figure 13 fidelity target.
+func BenchmarkYield(b *testing.B) {
+	c := chip.Square(4, 4)
+	cfg := yield.DefaultConfig()
+	cfg.Dice = 20
+	for i := 0; i < b.N; i++ {
+		res, err := yield.Run(c, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Yield, "yield")
+		b.ReportMetric(res.MedianError*1e4, "median-err-1e-4")
+	}
+}

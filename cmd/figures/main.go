@@ -1,0 +1,170 @@
+// Command figures regenerates the data series behind Figures 12-17 of
+// the paper as aligned text.
+//
+// Usage:
+//
+//	figures [-fig 12|13|14|15|16|17|all] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	fig := flag.String("fig", "all", "which figure to regenerate: 12..17 or all")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	flag.Parse()
+
+	opts := experiments.Options{Seed: *seed}
+	printers := map[string]func(experiments.Options){
+		"12": printFig12,
+		"13": printFig13,
+		"14": printFig14and15,
+		"15": printFig14and15,
+		"16": printFig16,
+		"17": printFig17,
+	}
+	if *fig == "all" {
+		for _, k := range []string{"12", "13", "14", "16", "17"} {
+			printers[k](opts)
+			fmt.Println()
+		}
+		return
+	}
+	p, ok := printers[*fig]
+	if !ok {
+		log.Fatalf("unknown -fig %q (want 12..17 or all)", *fig)
+	}
+	p(opts)
+}
+
+func newTab() *tabwriter.Writer { return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0) }
+
+func printFig12(opts experiments.Options) {
+	res, err := experiments.Fig12(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Figure 12: Crosstalk model generality on similar chips")
+	fmt.Printf("(a) JS divergence between 6x6- and 8x8-trained noise distributions: %.3f\n", res.JSDivergence)
+	fmt.Println("(b) FDM fidelity on the 8x8 chip (10 layers of random 1q gates):")
+	w := newTab()
+	fmt.Fprintln(w, "#qubits\ttransferred model\tnative model")
+	for _, s := range res.Scales {
+		fmt.Fprintf(w, "%d\t%.4f%%\t%.4f%%\n", s.Qubits, 100*s.TransferredFidelity, 100*s.NativeFidelity)
+	}
+	w.Flush()
+}
+
+func printFig13(opts experiments.Options) {
+	res, err := experiments.Fig13(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Figure 13: Evaluation of FDM grouping with random gates (36-qubit chip)")
+	fmt.Println("(a) per-gate fidelity on 4-qubit FDM lines:")
+	w := newTab()
+	fmt.Fprintln(w, "strategy\tper-gate fidelity\tper-gate error")
+	for _, r := range res.A {
+		fmt.Fprintf(w, "%s\t%.4f%%\t%.2e\n", r.Strategy, 100*r.PerGateFidelity, r.PerGateError)
+	}
+	w.Flush()
+	fmt.Println("(b) whole-chip fidelity vs gate layers (9 FDM lines):")
+	w = newTab()
+	fmt.Fprintln(w, "layers\tYOUTIAO\tGeorge\tbaseline")
+	for _, p := range res.B {
+		fmt.Fprintf(w, "%d\t%.1f%%\t%.1f%%\t%.1f%%\n", p.Layers, 100*p.Youtiao, 100*p.George, 100*p.Baseline)
+	}
+	w.Flush()
+}
+
+func printFig14and15(opts experiments.Options) {
+	rows, err := experiments.Figs14And15(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Figure 14: Two-qubit gate depth with TDM grouping (36-qubit chip)")
+	w := newTab()
+	fmt.Fprintln(w, "benchmark\tGoogle\tYOUTIAO\tAcharya\tYOUTIAO/Google\tAcharya/YOUTIAO")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.2fx\t%.2fx\n",
+			r.Benchmark, r.GoogleDepth, r.YoutiaoDepth, r.AcharyaDepth,
+			ratio(r.YoutiaoDepth, r.GoogleDepth), ratio(r.AcharyaDepth, r.YoutiaoDepth))
+	}
+	w.Flush()
+	fmt.Println()
+	fmt.Println("Figure 15: Circuit fidelity with TDM-based routing")
+	w = newTab()
+	fmt.Fprintln(w, "benchmark\tGoogle\tYOUTIAO\tAcharya\tlatency G/Y/A (us)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f / %.1f / %.1f\n",
+			r.Benchmark, 100*r.GoogleFidelity, 100*r.YoutiaoFidelity, 100*r.AcharyaFidelity,
+			r.GoogleLatencyNs/1000, r.YoutiaoLatencyNs/1000, r.AcharyaLatencyNs/1000)
+	}
+	w.Flush()
+}
+
+func ratio(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func printFig16(opts experiments.Options) {
+	rows, err := experiments.Fig16(opts, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Figure 16: Cryo-DEMUX proportion for various topologies")
+	w := newTab()
+	fmt.Fprintln(w, "topology\ttheta\tdirect\t1:2\t1:4\tfrac 1:2\tfrac 1:4")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.0f\t%d\t%d\t%d\t%.0f%%\t%.0f%%\n",
+			r.Topology, r.Theta, r.Direct, r.OneToTwo, r.OneToFour, 100*r.Frac12, 100*r.Frac14)
+	}
+	w.Flush()
+}
+
+func printFig17(opts experiments.Options) {
+	res, err := experiments.Fig17(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Figure 17: Wiring estimation for the large-scale quantum system")
+	fmt.Printf("calibrated Z fan-out: square %.2f, heavy-hex %.2f\n", res.ZFanoutSquare, res.ZFanoutHeavyHex)
+	fmt.Println("(a) 10-1k qubits (square topology):")
+	w := newTab()
+	fmt.Fprintln(w, "#qubits\tGoogle coax\tYOUTIAO coax\treduction")
+	for _, p := range res.SmallSweep {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%.1fx\n", p.Qubits, p.GoogleCoax, p.YoutiaoCoax, p.Reduction())
+	}
+	w.Flush()
+	fmt.Printf("(b) 150-qubit system: coax %d -> %d, all-qubit XY fidelity %.1f%%\n",
+		res.System150.GoogleCoax, res.System150.YoutiaoCoax, 100*res.System150.XYFidelity)
+	fmt.Println("(c) IBM chiplet scale-out comparison:")
+	w = newTab()
+	fmt.Fprintln(w, "chips\t#qubits\tIBM cables\tYOUTIAO cables\treduction")
+	for _, p := range res.Chiplets {
+		if p.Chips == 1 || p.Chips%5 == 0 {
+			fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%.1fx\n", p.Chips, p.Qubits, p.IBMCables, p.YoutiaoCables, p.Reduction())
+		}
+	}
+	w.Flush()
+	fmt.Println("(d) 1k-100k qubits:")
+	w = newTab()
+	fmt.Fprintln(w, "#qubits\tGoogle coax\tYOUTIAO coax\treduction")
+	for _, p := range res.LargeSweep {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%.1fx\n", p.Qubits, p.GoogleCoax, p.YoutiaoCoax, p.Reduction())
+	}
+	w.Flush()
+	fmt.Printf("coax savings at 100k qubits: $%.2fM\n", res.SavingsUSD100k/1e6)
+}

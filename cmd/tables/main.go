@@ -1,0 +1,70 @@
+// Command tables regenerates Table 1 and Table 2 of the paper as
+// formatted text.
+//
+// Usage:
+//
+//	tables [-table 1|2|all] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tables: ")
+	table := flag.String("table", "all", "which table to regenerate: 1, 2 or all")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	flag.Parse()
+
+	opts := experiments.Options{Seed: *seed}
+	switch *table {
+	case "1":
+		printTable1(opts)
+	case "2":
+		printTable2(opts)
+	case "all":
+		printTable1(opts)
+		fmt.Println()
+		printTable2(opts)
+	default:
+		log.Fatalf("unknown -table %q (want 1, 2 or all)", *table)
+	}
+}
+
+func printTable1(opts experiments.Options) {
+	rows, err := experiments.Table1(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Table 1: Wiring results of fault-tolerant quantum chip (25 EC cycles)")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "arch\tdistance\t#XY line\t#Z line\twiring cost\t2q gate depth")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t$%.0fK\t%d\n",
+			r.Architecture, r.Distance, r.XYLines, r.ZLines, r.WiringCostUSD/1000, r.TwoQGateDepth)
+	}
+	w.Flush()
+}
+
+func printTable2(opts experiments.Options) {
+	rows, err := experiments.Table2(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Table 2: Evaluation of quantum wiring system")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "topology\tarch\t#qubit\t#XY\t#Z\tDEMUX ctl\t#DAC\twiring cost\t#interface\trouting area (mm^2)\tcrossovers\tDRC")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t$%.0fK\t%d\t%.2f\t%d\t%d\n",
+			r.Topology, r.Architecture, r.NumQubits, r.XYLines, r.ZLines, r.DemuxControl,
+			r.DACs, r.WiringCostUSD/1000, r.Interfaces, r.RoutingAreaMM2, r.RouteCrossings, r.DRCViolations)
+	}
+	w.Flush()
+}

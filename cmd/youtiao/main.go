@@ -1,0 +1,67 @@
+// Command youtiao designs a hybrid-multiplexed control wiring system
+// for a chosen chip topology and prints the resulting plan.
+//
+// Usage:
+//
+//	youtiao [-topology square] [-qubits 36] [-seed 1] [-theta 4] [-fdm 5] [-verbose]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("youtiao: ")
+	topology := flag.String("topology", "square", "chip topology: square, hexagon, heavy-square, heavy-hexagon, low-density")
+	qubits := flag.Int("qubits", 36, "approximate qubit count")
+	seed := flag.Int64("seed", 1, "device fabrication / design seed")
+	theta := flag.Float64("theta", 4, "TDM parallelism threshold")
+	fdmCap := flag.Int("fdm", 5, "FDM line capacity (qubits per XY line)")
+	verbose := flag.Bool("verbose", false, "print the full line-by-line plan")
+	asJSON := flag.Bool("json", false, "emit the design as JSON")
+	flag.Parse()
+
+	ch, err := youtiao.NewChip(*topology, *qubits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	design, err := youtiao.Design(ch, youtiao.Options{
+		Seed:        *seed,
+		Theta:       *theta,
+		FDMCapacity: *fdmCap,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *asJSON {
+		data, err := design.ExportJSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(data))
+		return
+	}
+	if *verbose {
+		fmt.Print(design.Report())
+		return
+	}
+	fmt.Printf("chip: %s (%d qubits, %d couplers)\n", ch.Name, ch.NumQubits(), ch.NumCouplers())
+	fmt.Printf("crosstalk model: w_phy=%.2f w_top=%.2f\n",
+		design.CrosstalkWeights.WPhy, design.CrosstalkWeights.WTop)
+	fmt.Printf("XY lines: %d -> %d   Z lines: %d -> %d\n",
+		design.Baseline.XYLines, design.Youtiao.XYLines,
+		design.Baseline.ZLines, design.Youtiao.ZLines)
+	d2, d4 := design.DemuxMix()
+	fmt.Printf("DEMUX mix: %d x 1:2, %d x 1:4 (+%d twisted-pair controls)\n",
+		d2, d4, design.Youtiao.ControlLines)
+	fmt.Printf("coax: %d -> %d (%.1fx)\n",
+		design.Baseline.CoaxLines, design.Youtiao.CoaxLines, design.CoaxReduction())
+	fmt.Printf("wiring cost: $%.0fK -> $%.0fK (%.1fx)\n",
+		design.Baseline.CostUSD/1000, design.Youtiao.CostUSD/1000, design.CostReduction())
+}

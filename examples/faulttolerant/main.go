@@ -1,0 +1,78 @@
+// Fault-tolerant chip design (the paper's §5.2 case study): build
+// rotated surface-code chips at growing code distance, wire them with
+// YOUTIAO in the surface-code operation mode, and compare wiring cost
+// and error-correction-cycle depth against the Google-style baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/circuit"
+	"repro/internal/cost"
+	"repro/internal/experiments"
+	"repro/internal/schedule"
+	"repro/internal/surface"
+	"repro/internal/wiring"
+)
+
+func main() {
+	log.SetFlags(0)
+	model := cost.DefaultModel()
+
+	fmt.Println("Fault-tolerant quantum chip design with YOUTIAO")
+	fmt.Println("(25 error-correction cycles per schedule)")
+	fmt.Println()
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "distance\tqubits\tcouplers\tGoogle coax\tYOUTIAO coax\tGoogle cost\tYOUTIAO cost\tdepth G\tdepth Y")
+
+	for _, d := range []int{3, 5, 7} {
+		code, err := surface.New(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		circ := circuit.Decompose(code.CycleCircuit(25))
+
+		// Google baseline: dedicated lines, no serialization.
+		gPlan := wiring.Google(code.Chip)
+		gSched, err := schedule.New(code.Chip, nil, schedule.DefaultDurations()).Run(circ)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// YOUTIAO in surface-code operation mode: parity XY drives are
+		// FDM'd, qubit Z activity is sparse, CZ pulses ride couplers.
+		p, err := experiments.BuildPipeline(code.Chip, experiments.Options{
+			Seed:                1,
+			SparseQubitZ:        true,
+			TDMMinLossyFraction: 0.8,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		yPlan, err := wiring.Youtiao(code.Chip, p.FDM, p.TDM)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ySch := schedule.New(code.Chip, p.TDM, schedule.DefaultDurations())
+		ySch.CZMode = schedule.CZCouplerOnly
+		ySched, err := ySch.Run(circ)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t$%.0fK\t$%.0fK\t%d\t%d\n",
+			d, code.Chip.NumQubits(), code.Chip.NumCouplers(),
+			gPlan.CoaxLines(), yPlan.CoaxLines(),
+			model.WiringCost(gPlan)/1000, model.WiringCost(yPlan)/1000,
+			gSched.TwoQubitDepth, ySched.TwoQubitDepth)
+	}
+	w.Flush()
+
+	fmt.Println()
+	fmt.Println("The wiring bill scales with the full d² lattice while the depth")
+	fmt.Println("stays bounded: grouped devices are chosen for natural non-parallelism,")
+	fmt.Println("so EC cycles keep (nearly) their 4-layer CZ cadence.")
+}

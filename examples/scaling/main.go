@@ -1,0 +1,53 @@
+// Scaling: estimate the cryostat wiring of large quantum systems
+// (Figure 17). The YOUTIAO Z-line fan-out is calibrated by running the
+// real design pipeline on a 10×10 chip, then extrapolated from 10 to
+// 100,000 qubits, including the IBM-chiplet scale-out comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	res, err := experiments.Fig17(experiments.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("calibrated Z DEMUX fan-out: square %.2f, heavy-hex %.2f\n\n",
+		res.ZFanoutSquare, res.ZFanoutHeavyHex)
+
+	fmt.Println("Square-topology systems, 10 to 100k qubits:")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "#qubits\tGoogle coax\tYOUTIAO coax\treduction")
+	for _, p := range append(res.SmallSweep, res.LargeSweep[1:]...) {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%.1fx\n", p.Qubits, p.GoogleCoax, p.YoutiaoCoax, p.Reduction())
+	}
+	w.Flush()
+
+	fmt.Printf("\n150-qubit system: %d -> %d coax; all-qubit parallel-XY fidelity %.1f%%\n",
+		res.System150.GoogleCoax, res.System150.YoutiaoCoax, 100*res.System150.XYFidelity)
+
+	fmt.Println("\nIBM chiplet scale-out (133-qubit heavy-hex chiplets):")
+	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "chips\t#qubits\tIBM cables\tYOUTIAO cables\treduction")
+	for _, p := range res.Chiplets {
+		if p.Chips == 1 || p.Chips%5 == 0 {
+			fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%.1fx\n",
+				p.Chips, p.Qubits, p.IBMCables, p.YoutiaoCables, p.Reduction())
+		}
+	}
+	w.Flush()
+
+	fmt.Printf("\ncoax savings at 100k qubits: $%.1fB... of coax alone\n", res.SavingsUSD100k/1e9)
+	fmt.Println("The cryostat cable limit (~4,000 coax in a Bluefors KIDE) moves from")
+	last := res.LargeSweep[0]
+	fmt.Printf("~%d qubits to ~%d qubits per cryostat at this fan-out.\n",
+		970, int(float64(970)*float64(last.GoogleCoax)/float64(last.YoutiaoCoax)))
+}

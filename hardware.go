@@ -1,0 +1,183 @@
+package youtiao
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/cryo"
+	"repro/internal/demux"
+	"repro/internal/readout"
+	"repro/internal/schedule"
+	"repro/internal/waveform"
+)
+
+// This file exposes the hardware-level analyses of a design: composite
+// FDM waveforms, cryo-DEMUX control plans, readout feedline fidelity
+// and the refrigerator thermal budget.
+
+// LineSignal summarizes the composite microwave signal of one FDM XY
+// line.
+type LineSignal struct {
+	Line        int
+	NumTones    int
+	CrestFactor float64
+	// Clipped reports whether the equal-share composite exceeds DAC
+	// full scale.
+	Clipped bool
+	// WorstToneRecoveryError is the relative error of recovering each
+	// tone from the composite by demodulation.
+	WorstToneRecoveryError float64
+	// MinSpacingGHz is the smallest tone spacing on the line.
+	MinSpacingGHz float64
+}
+
+// AnalyzeFDMSignals synthesizes and analyzes the composite waveform of
+// every FDM line in the design (100 ns window, 50 GS/s).
+func (r *DesignResult) AnalyzeFDMSignals() ([]LineSignal, error) {
+	var out []LineSignal
+	for li, line := range r.FDMLines {
+		a, err := waveform.AnalyzeLine(line.FreqGHz, 100, 50)
+		if err != nil {
+			return nil, fmt.Errorf("youtiao: line %d: %w", li, err)
+		}
+		out = append(out, LineSignal{
+			Line:                   li,
+			NumTones:               a.NumTones,
+			CrestFactor:            a.CrestFactor,
+			Clipped:                a.Clipped,
+			WorstToneRecoveryError: a.WorstRecoveryError,
+			MinSpacingGHz:          waveform.MinToneSpacing(line.FreqGHz),
+		})
+	}
+	return out, nil
+}
+
+// ControlPlan summarizes the cryo-DEMUX digital control activity of a
+// scheduled benchmark under this design.
+type ControlPlan struct {
+	Benchmark     string
+	Qubits        int
+	Slots         int
+	TotalSwitches int
+	// SwitchEnergyNanojoule is the cold-stage actuation energy at 1 pJ
+	// per switch transition.
+	SwitchEnergyNanojoule float64
+}
+
+// DemuxControlPlan compiles a benchmark, schedules it under the
+// design's TDM grouping, and derives every DEMUX's selection timeline,
+// verifying the one-device-per-window hardware invariant.
+func (r *DesignResult) DemuxControlPlan(benchmark string, qubits int) (*ControlPlan, error) {
+	logical, err := circuit.Benchmark(circuit.BenchmarkName(benchmark), qubits, r.pipeline.Opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("youtiao: %w", err)
+	}
+	compiled, err := circuit.Compile(logical, r.pipeline.Chip)
+	if err != nil {
+		return nil, fmt.Errorf("youtiao: %w", err)
+	}
+	sched, err := schedule.New(r.pipeline.Chip, r.pipeline.TDM, schedule.DefaultDurations()).Run(compiled.Circuit)
+	if err != nil {
+		return nil, fmt.Errorf("youtiao: %w", err)
+	}
+	plan, err := demux.BuildPlan(r.pipeline.Chip, r.pipeline.TDM, sched, schedule.CZAllDevices)
+	if err != nil {
+		return nil, fmt.Errorf("youtiao: %w", err)
+	}
+	return &ControlPlan{
+		Benchmark:             benchmark,
+		Qubits:                qubits,
+		Slots:                 len(sched.Slots),
+		TotalSwitches:         plan.TotalSwitches,
+		SwitchEnergyNanojoule: plan.SwitchEnergyJ(1e-12) * 1e9,
+	}, nil
+}
+
+// ThermalSummary compares the refrigerator heat budget of the design
+// against the Google-style baseline.
+type ThermalSummary struct {
+	// WorstStage names the binding temperature stage.
+	WorstStage string
+	// YoutiaoFraction and BaselineFraction are the worst-stage budget
+	// fractions (>1 would overheat).
+	YoutiaoFraction  float64
+	BaselineFraction float64
+	// MaxQubitsPerCryostat estimates how many chips of this design's
+	// cable density one refrigerator supports, for both architectures.
+	YoutiaoQubitCapacity  int
+	BaselineQubitCapacity int
+}
+
+// ThermalBudget evaluates both wiring plans against a standard large
+// dilution refrigerator.
+func (r *DesignResult) ThermalBudget() (*ThermalSummary, error) {
+	stages := cryo.StandardStages()
+	yl, err := cryo.HeatLoads(stages, r.Youtiao.CoaxLines, r.Youtiao.ControlLines)
+	if err != nil {
+		return nil, fmt.Errorf("youtiao: %w", err)
+	}
+	bl, err := cryo.HeatLoads(stages, r.Baseline.CoaxLines, r.Baseline.ControlLines)
+	if err != nil {
+		return nil, fmt.Errorf("youtiao: %w", err)
+	}
+	yw, err := cryo.WorstStage(yl)
+	if err != nil {
+		return nil, err
+	}
+	bw, err := cryo.WorstStage(bl)
+	if err != nil {
+		return nil, err
+	}
+	nq := float64(r.Chip.NumQubits())
+	yCap, err := cryo.QubitCapacity(stages, float64(r.Youtiao.CoaxLines)/nq, float64(r.Youtiao.ControlLines)/nq)
+	if err != nil {
+		return nil, err
+	}
+	bCap, err := cryo.QubitCapacity(stages, float64(r.Baseline.CoaxLines)/nq, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &ThermalSummary{
+		WorstStage:            yw.Stage.Name,
+		YoutiaoFraction:       yw.Fraction,
+		BaselineFraction:      bw.Fraction,
+		YoutiaoQubitCapacity:  yCap,
+		BaselineQubitCapacity: bCap,
+	}, nil
+}
+
+// ReadoutSummary reports the multiplexed-readout feedline design.
+type ReadoutSummary struct {
+	Feedlines      int
+	QubitsPerLine  int
+	WorstFidelity  float64
+	TargetFidelity float64
+}
+
+// ReadoutDesign sizes the design's readout feedlines (capacity 8, the
+// paper's FDM readout anchor) and evaluates their worst-case
+// single-shot fidelity in the 7-8 GHz readout band.
+func (r *DesignResult) ReadoutDesign() (*ReadoutSummary, error) {
+	perLine := wiringReadoutCapacity
+	if r.Chip.NumQubits() < perLine {
+		perLine = r.Chip.NumQubits()
+	}
+	f, err := readout.DesignFeedline(perLine, 7.0, 8.0)
+	if err != nil {
+		return nil, fmt.Errorf("youtiao: %w", err)
+	}
+	worst, err := f.WorstFidelity(readout.DefaultProbe())
+	if err != nil {
+		return nil, fmt.Errorf("youtiao: %w", err)
+	}
+	return &ReadoutSummary{
+		Feedlines:      r.Youtiao.ReadoutLines,
+		QubitsPerLine:  perLine,
+		WorstFidelity:  worst,
+		TargetFidelity: 0.99,
+	}, nil
+}
+
+// wiringReadoutCapacity mirrors wiring.YoutiaoReadoutCapacity without
+// re-exporting the internal package.
+const wiringReadoutCapacity = 8

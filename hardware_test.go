@@ -1,0 +1,84 @@
+package youtiao
+
+import "testing"
+
+func TestAnalyzeFDMSignals(t *testing.T) {
+	d := designSquare(t, 4, 4)
+	sigs, err := d.AnalyzeFDMSignals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigs) != len(d.FDMLines) {
+		t.Fatalf("got %d signals for %d lines", len(sigs), len(d.FDMLines))
+	}
+	for _, s := range sigs {
+		if s.Clipped {
+			t.Errorf("line %d clips the DAC", s.Line)
+		}
+		if s.NumTones != len(d.FDMLines[s.Line].Qubits) {
+			t.Errorf("line %d: %d tones for %d qubits", s.Line, s.NumTones, len(d.FDMLines[s.Line].Qubits))
+		}
+		if s.WorstToneRecoveryError > 0.1 {
+			t.Errorf("line %d: tone recovery error %v", s.Line, s.WorstToneRecoveryError)
+		}
+		if s.NumTones > 1 && s.MinSpacingGHz < 0.01 {
+			t.Errorf("line %d: tones only %v GHz apart", s.Line, s.MinSpacingGHz)
+		}
+	}
+}
+
+func TestDemuxControlPlan(t *testing.T) {
+	d := designSquare(t, 4, 4)
+	plan, err := d.DemuxControlPlan("DJ", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Slots == 0 {
+		t.Error("no slots in the control plan")
+	}
+	if plan.SwitchEnergyNanojoule < 0 {
+		t.Error("negative switch energy")
+	}
+	if _, err := d.DemuxControlPlan("bogus", 5); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestThermalBudget(t *testing.T) {
+	d := designSquare(t, 6, 6)
+	th, err := d.ThermalBudget()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.YoutiaoFraction >= th.BaselineFraction {
+		t.Errorf("YOUTIAO thermal fraction %.3g not below baseline %.3g",
+			th.YoutiaoFraction, th.BaselineFraction)
+	}
+	if th.YoutiaoQubitCapacity <= th.BaselineQubitCapacity {
+		t.Errorf("YOUTIAO capacity %d not above baseline %d",
+			th.YoutiaoQubitCapacity, th.BaselineQubitCapacity)
+	}
+	if th.YoutiaoFraction > 1 {
+		t.Error("a 36-qubit design should not overheat the fridge")
+	}
+	if th.WorstStage == "" {
+		t.Error("missing worst stage")
+	}
+}
+
+func TestReadoutDesign(t *testing.T) {
+	d := designSquare(t, 6, 6)
+	ro, err := d.ReadoutDesign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.QubitsPerLine != 8 {
+		t.Errorf("qubits per line %d, want 8", ro.QubitsPerLine)
+	}
+	if ro.WorstFidelity < ro.TargetFidelity {
+		t.Errorf("readout fidelity %.4f below target %.2f", ro.WorstFidelity, ro.TargetFidelity)
+	}
+	if ro.Feedlines != d.Youtiao.ReadoutLines {
+		t.Error("feedline count mismatch")
+	}
+}

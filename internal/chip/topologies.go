@@ -1,0 +1,256 @@
+package chip
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// The lattice builders below construct the five topology families the
+// paper evaluates (Table 2) plus the square grids used for the Xmon
+// chips (6×6 and 8×8). Every builder places qubits on a DefaultPitch
+// grid and sets T1 to DefaultT1; base frequencies are left at zero and
+// assigned later by the xmon device generator.
+
+func newQubit(id int, x, y float64) Qubit {
+	return Qubit{ID: id, Pos: geom.Pt(x, y), T1: DefaultT1}
+}
+
+// Square returns a w×h square lattice (nearest-neighbour couplers).
+// Square(3, 3) is the 9-qubit square instance of Table 2; Square(6, 6)
+// and Square(8, 8) are the Xmon evaluation chips.
+func Square(w, h int) *Chip {
+	if w < 1 || h < 1 {
+		panic(fmt.Sprintf("chip: invalid square size %dx%d", w, h))
+	}
+	var qs []Qubit
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			qs = append(qs, newQubit(id(x, y), float64(x)*DefaultPitch, float64(y)*DefaultPitch))
+		}
+	}
+	var pairs [][2]int
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				pairs = append(pairs, [2]int{id(x, y), id(x+1, y)})
+			}
+			if y+1 < h {
+				pairs = append(pairs, [2]int{id(x, y), id(x, y+1)})
+			}
+		}
+	}
+	c, err := New(fmt.Sprintf("square-%dx%d", w, h), "square", qs, pairs)
+	if err != nil {
+		panic(err) // builder invariant: construction cannot fail
+	}
+	return c
+}
+
+// Hexagon returns a rows×cols brick-wall (hexagonal) lattice: full
+// horizontal chains with vertical rungs on alternating columns, giving
+// maximum degree 3. Hexagon(4, 4) is the 16-qubit instance of Table 2.
+func Hexagon(rows, cols int) *Chip {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("chip: invalid hexagon size %dx%d", rows, cols))
+	}
+	var qs []Qubit
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			qs = append(qs, newQubit(id(r, c), float64(c)*DefaultPitch, float64(r)*DefaultPitch))
+		}
+	}
+	var pairs [][2]int
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				pairs = append(pairs, [2]int{id(r, c), id(r, c+1)})
+			}
+			// Vertical rungs on alternating columns per row parity:
+			// even rows connect down at even columns, odd rows at odd
+			// columns, producing the brick-wall hexagonal tiling.
+			if r+1 < rows && c%2 == r%2 {
+				pairs = append(pairs, [2]int{id(r, c), id(r+1, c)})
+			}
+		}
+	}
+	c, err := New(fmt.Sprintf("hexagon-%dx%d", rows, cols), "hexagon", qs, pairs)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// HeavySquare returns a heavy-square lattice built from a w×h square
+// lattice of node qubits with one extra bridge qubit on every edge.
+// HeavySquare(3, 2) has 3*2 + 7 = 13 qubits; HeavySquare(3, 3) has
+// 9 + 12 = 21 qubits, the Table 2 instance.
+func HeavySquare(w, h int) *Chip {
+	if w < 1 || h < 1 {
+		panic(fmt.Sprintf("chip: invalid heavy-square size %dx%d", w, h))
+	}
+	var qs []Qubit
+	node := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			qs = append(qs, newQubit(node(x, y), float64(x)*DefaultPitch, float64(y)*DefaultPitch))
+		}
+	}
+	var pairs [][2]int
+	addBridge := func(a, b int) {
+		id := len(qs)
+		mid := qs[a].Pos.Add(qs[b].Pos).Scale(0.5)
+		qs = append(qs, newQubit(id, mid.X, mid.Y))
+		pairs = append(pairs, [2]int{a, id}, [2]int{id, b})
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				addBridge(node(x, y), node(x+1, y))
+			}
+			if y+1 < h {
+				addBridge(node(x, y), node(x, y+1))
+			}
+		}
+	}
+	c, err := New(fmt.Sprintf("heavy-square-%dx%d", w, h), "heavy-square", qs, pairs)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// HeavyHexagon returns a heavy-hexagon lattice: a brick-wall hexagon
+// lattice of node qubits with a bridge qubit on every edge, the IBM
+// heavy-hex family. HeavyHexagon(2, 5) has 10 + 11 = 21 qubits, the
+// Table 2 instance.
+func HeavyHexagon(rows, cols int) *Chip {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("chip: invalid heavy-hexagon size %dx%d", rows, cols))
+	}
+	var qs []Qubit
+	node := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			qs = append(qs, newQubit(node(r, c), float64(c)*DefaultPitch, float64(r)*DefaultPitch))
+		}
+	}
+	var pairs [][2]int
+	addBridge := func(a, b int) {
+		id := len(qs)
+		mid := qs[a].Pos.Add(qs[b].Pos).Scale(0.5)
+		qs = append(qs, newQubit(id, mid.X, mid.Y))
+		pairs = append(pairs, [2]int{a, id}, [2]int{id, b})
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				addBridge(node(r, c), node(r, c+1))
+			}
+			if r+1 < rows && c%2 == r%2 {
+				addBridge(node(r, c), node(r+1, c))
+			}
+		}
+	}
+	c, err := New(fmt.Sprintf("heavy-hexagon-%dx%d", rows, cols), "heavy-hexagon", qs, pairs)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// LowDensity returns a low-density arrangement: a cycle of w*h qubits
+// laid out as a serpentine over a w×h grid (row 0 left-to-right, row 1
+// right-to-left, ...), every qubit having degree 2. When h is odd the
+// cycle cannot close on adjacent qubits, so the chain is left open.
+// LowDensity(9, 2) has 18 qubits and 18 couplers, the Table 2 instance.
+func LowDensity(w, h int) *Chip {
+	if w < 1 || h < 1 {
+		panic(fmt.Sprintf("chip: invalid low-density size %dx%d", w, h))
+	}
+	n := w * h
+	var qs []Qubit
+	// order[i] is the grid position of the i-th qubit along the snake.
+	for i := 0; i < n; i++ {
+		y := i / w
+		x := i % w
+		if y%2 == 1 {
+			x = w - 1 - x
+		}
+		qs = append(qs, newQubit(i, float64(x)*DefaultPitch, float64(y)*DefaultPitch))
+	}
+	var pairs [][2]int
+	for i := 0; i+1 < n; i++ {
+		pairs = append(pairs, [2]int{i, i + 1})
+	}
+	if h%2 == 0 && n > 2 {
+		// The snake ends in column 0 of the last row, directly above the
+		// start: close the ring.
+		pairs = append(pairs, [2]int{n - 1, 0})
+	}
+	c, err := New(fmt.Sprintf("low-density-%dx%d", w, h), "low-density", qs, pairs)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Table2Chips returns the five Table 2 evaluation chips in paper order:
+// square (9q), hexagon (16q), heavy-square (21q), heavy-hexagon (21q)
+// and low-density (18q).
+func Table2Chips() []*Chip {
+	return []*Chip{
+		Square(3, 3),
+		Hexagon(4, 4),
+		HeavySquare(3, 3),
+		HeavyHexagon(2, 5),
+		LowDensity(9, 2),
+	}
+}
+
+// ByTopology builds a chip of the named topology with approximately n
+// qubits, used by the scalability experiments. Supported names are
+// "square", "hexagon", "heavy-square", "heavy-hexagon" and
+// "low-density".
+func ByTopology(name string, n int) (*Chip, error) {
+	side := func(n int) int {
+		s := 1
+		for s*s < n {
+			s++
+		}
+		return s
+	}
+	switch name {
+	case "square":
+		s := side(n)
+		return Square(s, s), nil
+	case "hexagon":
+		s := side(n)
+		return Hexagon(s, s), nil
+	case "heavy-square":
+		// Heavy square over a k×k node grid has k² + 2k(k-1) qubits.
+		k := 1
+		for k*k+2*k*(k-1) < n {
+			k++
+		}
+		return HeavySquare(k, k), nil
+	case "heavy-hexagon":
+		// Node grid k×k plus bridges on every horizontal edge and
+		// alternating vertical edges.
+		k := 1
+		for 3*k*k-k-2 < n && k < 64 {
+			k++
+		}
+		return HeavyHexagon(k, k), nil
+	case "low-density":
+		w := (n + 1) / 2
+		if w < 1 {
+			w = 1
+		}
+		return LowDensity(w, 2), nil
+	default:
+		return nil, fmt.Errorf("chip: unknown topology %q", name)
+	}
+}

@@ -1,0 +1,194 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/chip"
+)
+
+// The five benchmark algorithms of the paper's evaluation (§5.1).
+// Every generator is deterministic given its arguments; parameterized
+// circuits (VQC, ISING, QKNN) draw angles from the provided rng.
+
+// VQC builds a hardware-efficient variational quantum classifier
+// ansatz: alternating RY/RZ rotation layers and linear CZ entangling
+// ladders. It is the most parallelizable benchmark.
+func VQC(n, layers int, rng *rand.Rand) *Circuit {
+	c := New(n)
+	for l := 0; l < layers; l++ {
+		for q := 0; q < n; q++ {
+			c.mustAppend(RY, angle(rng), q)
+			c.mustAppend(RZ, angle(rng), q)
+		}
+		// Even then odd CZ rungs — two fully parallel entangling
+		// sublayers per ansatz layer.
+		for q := 0; q+1 < n; q += 2 {
+			c.mustAppend(CZ, 0, q, q+1)
+		}
+		for q := 1; q+1 < n; q += 2 {
+			c.mustAppend(CZ, 0, q, q+1)
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.mustAppend(Measure, 0, q)
+	}
+	return c
+}
+
+// Ising builds a first-order Trotterization of the linear
+// transverse-field Ising model: per step, RZZ(2Jdt) on every chain
+// bond followed by RX(2hdt) on every site.
+func Ising(n, steps int, rng *rand.Rand) *Circuit {
+	c := New(n)
+	for s := 0; s < steps; s++ {
+		zz := angle(rng)
+		for q := 0; q+1 < n; q += 2 {
+			appendRZZ(c, q, q+1, zz)
+		}
+		for q := 1; q+1 < n; q += 2 {
+			appendRZZ(c, q, q+1, zz)
+		}
+		hx := angle(rng)
+		for q := 0; q < n; q++ {
+			c.mustAppend(RX, hx, q)
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.mustAppend(Measure, 0, q)
+	}
+	return c
+}
+
+// appendRZZ emits RZZ(θ) = CX(a,b) RZ(θ,b) CX(a,b).
+func appendRZZ(c *Circuit, a, b int, theta float64) {
+	c.mustAppend(CX, 0, a, b)
+	c.mustAppend(RZ, theta, b)
+	c.mustAppend(CX, 0, a, b)
+}
+
+// DJ builds the Deutsch–Jozsa circuit on n input qubits plus one
+// ancilla (n+1 total) with a balanced oracle (CX from every input to
+// the ancilla).
+func DJ(n int) *Circuit {
+	c := New(n + 1)
+	anc := n
+	c.mustAppend(X, 0, anc)
+	for q := 0; q <= n; q++ {
+		c.mustAppend(H, 0, q)
+	}
+	for q := 0; q < n; q++ {
+		c.mustAppend(CX, 0, q, anc)
+	}
+	for q := 0; q < n; q++ {
+		c.mustAppend(H, 0, q)
+	}
+	for q := 0; q < n; q++ {
+		c.mustAppend(Measure, 0, q)
+	}
+	return c
+}
+
+// QFT builds the standard quantum Fourier transform with
+// controlled-phase gates and the final qubit-reversal SWAP network.
+func QFT(n int) *Circuit {
+	c := New(n)
+	for q := 0; q < n; q++ {
+		c.mustAppend(H, 0, q)
+		for k := q + 1; k < n; k++ {
+			theta := math.Pi / math.Pow(2, float64(k-q))
+			c.mustAppend(CP, theta, k, q)
+		}
+	}
+	for q := 0; q < n/2; q++ {
+		c.mustAppend(SWAP, 0, q, n-1-q)
+	}
+	for q := 0; q < n; q++ {
+		c.mustAppend(Measure, 0, q)
+	}
+	return c
+}
+
+// QKNN builds a swap-test-based quantum k-nearest-neighbours distance
+// kernel: an ancilla Hadamard, state-preparation rotations on the two
+// registers, controlled-SWAPs between the registers, and a closing
+// ancilla Hadamard. n is the register size, so the circuit uses 2n+1
+// qubits.
+func QKNN(n int, rng *rand.Rand) *Circuit {
+	c := New(2*n + 1)
+	anc := 2 * n
+	for q := 0; q < n; q++ {
+		c.mustAppend(RY, angle(rng), q)
+		c.mustAppend(RY, angle(rng), n+q)
+	}
+	c.mustAppend(H, 0, anc)
+	for q := 0; q < n; q++ {
+		c.mustAppend(CSWAP, 0, anc, q, n+q)
+	}
+	c.mustAppend(H, 0, anc)
+	c.mustAppend(Measure, 0, anc)
+	return c
+}
+
+func angle(rng *rand.Rand) float64 {
+	if rng == nil {
+		return math.Pi / 4
+	}
+	return (rng.Float64()*2 - 1) * math.Pi
+}
+
+// BenchmarkName enumerates the five evaluation workloads.
+type BenchmarkName string
+
+// Benchmark identifiers in paper order.
+const (
+	BenchVQC   BenchmarkName = "VQC"
+	BenchIsing BenchmarkName = "ISING"
+	BenchDJ    BenchmarkName = "DJ"
+	BenchQFT   BenchmarkName = "QFT"
+	BenchQKNN  BenchmarkName = "QKNN"
+)
+
+// AllBenchmarks lists the five workloads in paper order.
+var AllBenchmarks = []BenchmarkName{BenchVQC, BenchIsing, BenchDJ, BenchQFT, BenchQKNN}
+
+// Benchmark builds the named benchmark sized for a chip with nq
+// qubits. Sizes follow the evaluation: VQC and ISING use every qubit,
+// DJ uses nq-1 inputs plus the ancilla, QFT uses every qubit, and QKNN
+// uses two (nq-1)/2 registers plus the ancilla.
+func Benchmark(name BenchmarkName, nq int, seed int64) (*Circuit, error) {
+	rng := rand.New(rand.NewSource(seed))
+	switch name {
+	case BenchVQC:
+		return VQC(nq, 4, rng), nil
+	case BenchIsing:
+		return Ising(nq, 3, rng), nil
+	case BenchDJ:
+		if nq < 2 {
+			return nil, fmt.Errorf("circuit: DJ needs >= 2 qubits, got %d", nq)
+		}
+		return DJ(nq - 1), nil
+	case BenchQFT:
+		return QFT(nq), nil
+	case BenchQKNN:
+		if nq < 3 {
+			return nil, fmt.Errorf("circuit: QKNN needs >= 3 qubits, got %d", nq)
+		}
+		return QKNN((nq-1)/2, rng), nil
+	default:
+		return nil, fmt.Errorf("circuit: unknown benchmark %q", name)
+	}
+}
+
+// Compile lowers a logical circuit all the way to hardware: basis
+// decomposition, SWAP routing onto the chip, and re-decomposition of
+// the inserted SWAPs.
+func Compile(c *Circuit, ch *chip.Chip) (*Transpiled, error) {
+	t, err := Transpile(Decompose(c), ch)
+	if err != nil {
+		return nil, err
+	}
+	lowered := Decompose(t.Circuit)
+	return &Transpiled{Circuit: lowered, Layout: t.Layout, SwapCount: t.SwapCount}, nil
+}

@@ -1,0 +1,201 @@
+// Package circuit provides the quantum-circuit intermediate
+// representation the scheduling and fidelity experiments run on: a flat
+// gate list over logical qubits, ASAP layering, basis-gate
+// decomposition (RX/RY/RZ/CZ — the evaluation chip's basis), greedy
+// SWAP routing onto a chip topology, and generators for the paper's
+// five benchmark algorithms (VQC, ISING, DJ, QFT, QKNN).
+package circuit
+
+import (
+	"fmt"
+	"math"
+)
+
+// GateName enumerates the supported operations.
+type GateName string
+
+// Gate names. RX/RY/RZ/CZ are the hardware basis; the rest are
+// decomposed before scheduling.
+const (
+	RX      GateName = "rx"
+	RY      GateName = "ry"
+	RZ      GateName = "rz"
+	CZ      GateName = "cz"
+	H       GateName = "h"
+	X       GateName = "x"
+	CX      GateName = "cx"
+	SWAP    GateName = "swap"
+	CP      GateName = "cp" // controlled-phase
+	CCX     GateName = "ccx"
+	CSWAP   GateName = "cswap"
+	Measure GateName = "measure"
+	// Barrier is a full-width scheduling fence: no gate may move across
+	// it. It takes no operands, has zero duration and no hardware
+	// resources.
+	Barrier GateName = "barrier"
+)
+
+// Gate is one operation on one or more qubits.
+type Gate struct {
+	Name   GateName
+	Qubits []int
+	// Param is the rotation angle (radians) for parameterized gates.
+	Param float64
+}
+
+// NumOperands returns the operand count the gate name requires.
+func (n GateName) NumOperands() int {
+	switch n {
+	case RX, RY, RZ, H, X, Measure:
+		return 1
+	case CZ, CX, SWAP, CP:
+		return 2
+	case CCX, CSWAP:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// IsTwoQubit reports whether the gate touches exactly two qubits.
+func (g Gate) IsTwoQubit() bool { return len(g.Qubits) == 2 && g.Name != Measure }
+
+// Circuit is an ordered gate list over logical qubits 0..NumQubits-1.
+type Circuit struct {
+	NumQubits int
+	Gates     []Gate
+}
+
+// New returns an empty circuit on n qubits.
+func New(n int) *Circuit {
+	if n < 1 {
+		panic(fmt.Sprintf("circuit: invalid qubit count %d", n))
+	}
+	return &Circuit{NumQubits: n}
+}
+
+// Append adds a gate after validating its operands.
+func (c *Circuit) Append(name GateName, param float64, qubits ...int) error {
+	if want := name.NumOperands(); want != 0 && len(qubits) != want {
+		return fmt.Errorf("circuit: %s takes %d operands, got %d", name, want, len(qubits))
+	}
+	seen := make(map[int]bool, len(qubits))
+	for _, q := range qubits {
+		if q < 0 || q >= c.NumQubits {
+			return fmt.Errorf("circuit: qubit %d out of range [0,%d)", q, c.NumQubits)
+		}
+		if seen[q] {
+			return fmt.Errorf("circuit: duplicate operand %d on %s", q, name)
+		}
+		seen[q] = true
+	}
+	c.Gates = append(c.Gates, Gate{Name: name, Qubits: append([]int(nil), qubits...), Param: param})
+	return nil
+}
+
+// mustAppend is the builder-internal variant: operands come from the
+// generators, so failures are programming errors.
+func (c *Circuit) mustAppend(name GateName, param float64, qubits ...int) {
+	if err := c.Append(name, param, qubits...); err != nil {
+		panic(err)
+	}
+}
+
+// CountTwoQubit returns the number of 2q gates.
+func (c *Circuit) CountTwoQubit() int {
+	n := 0
+	for _, g := range c.Gates {
+		if g.IsTwoQubit() {
+			n++
+		}
+	}
+	return n
+}
+
+// Layers packs the gates into ASAP layers: each qubit is used at most
+// once per layer, gate order per qubit is preserved, and Barrier gates
+// fence all qubits (nothing crosses a barrier in either direction).
+func (c *Circuit) Layers() [][]Gate {
+	busyUntil := make([]int, c.NumQubits)
+	fence := 0
+	var layers [][]Gate
+	for _, g := range c.Gates {
+		if g.Name == Barrier {
+			for _, l := range busyUntil {
+				if l > fence {
+					fence = l
+				}
+			}
+			continue
+		}
+		layer := fence
+		for _, q := range g.Qubits {
+			if busyUntil[q] > layer {
+				layer = busyUntil[q]
+			}
+		}
+		for len(layers) <= layer {
+			layers = append(layers, nil)
+		}
+		layers[layer] = append(layers[layer], g)
+		for _, q := range g.Qubits {
+			busyUntil[q] = layer + 1
+		}
+	}
+	return layers
+}
+
+// Depth returns the ASAP layer count.
+func (c *Circuit) Depth() int { return len(c.Layers()) }
+
+// TwoQubitDepth returns the number of ASAP layers containing at least
+// one 2q gate, the paper's Figure 14 metric under ideal (unmultiplexed)
+// control.
+func (c *Circuit) TwoQubitDepth() int {
+	n := 0
+	for _, layer := range c.Layers() {
+		for _, g := range layer {
+			if g.IsTwoQubit() {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy of the circuit.
+func (c *Circuit) Clone() *Circuit {
+	out := &Circuit{NumQubits: c.NumQubits, Gates: make([]Gate, len(c.Gates))}
+	for i, g := range c.Gates {
+		out.Gates[i] = Gate{Name: g.Name, Qubits: append([]int(nil), g.Qubits...), Param: g.Param}
+	}
+	return out
+}
+
+// Validate checks all gates for operand-range errors, useful after
+// external construction.
+func (c *Circuit) Validate() error {
+	for i, g := range c.Gates {
+		if want := g.Name.NumOperands(); want != 0 && len(g.Qubits) != want {
+			return fmt.Errorf("circuit: gate %d (%s) has %d operands, want %d", i, g.Name, len(g.Qubits), want)
+		}
+		for _, q := range g.Qubits {
+			if q < 0 || q >= c.NumQubits {
+				return fmt.Errorf("circuit: gate %d (%s) qubit %d out of range", i, g.Name, q)
+			}
+		}
+	}
+	return nil
+}
+
+// normalizeAngle maps an angle into (-π, π].
+func normalizeAngle(a float64) float64 {
+	for a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	for a <= -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}

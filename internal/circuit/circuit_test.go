@@ -1,0 +1,160 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAppendValidation(t *testing.T) {
+	c := New(3)
+	if err := c.Append(CZ, 0, 0); err == nil {
+		t.Error("wrong operand count accepted")
+	}
+	if err := c.Append(RX, 0, 5); err == nil {
+		t.Error("out-of-range qubit accepted")
+	}
+	if err := c.Append(CZ, 0, 1, 1); err == nil {
+		t.Error("duplicate operand accepted")
+	}
+	if err := c.Append(CZ, 0, 0, 1); err != nil {
+		t.Errorf("valid gate rejected: %v", err)
+	}
+}
+
+func TestNewPanicsOnZeroQubits(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) should panic")
+		}
+	}()
+	New(0)
+}
+
+func TestLayersRespectDependencies(t *testing.T) {
+	c := New(3)
+	mustApp(t, c, RX, 0.1, 0)
+	mustApp(t, c, CZ, 0, 0, 1)
+	mustApp(t, c, RX, 0.2, 2)
+	layers := c.Layers()
+	if len(layers) != 2 {
+		t.Fatalf("got %d layers, want 2", len(layers))
+	}
+	// RX(0) and RX(2) in layer 0, CZ in layer 1.
+	if len(layers[0]) != 2 || len(layers[1]) != 1 {
+		t.Errorf("layer sizes %d/%d, want 2/1", len(layers[0]), len(layers[1]))
+	}
+	if layers[1][0].Name != CZ {
+		t.Errorf("layer 1 holds %s, want CZ", layers[1][0].Name)
+	}
+}
+
+func mustApp(t *testing.T, c *Circuit, name GateName, param float64, qs ...int) {
+	t.Helper()
+	if err := c.Append(name, param, qs...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayersPreservePerQubitOrder(t *testing.T) {
+	c := New(2)
+	mustApp(t, c, RX, 1, 0)
+	mustApp(t, c, RY, 2, 0)
+	mustApp(t, c, RZ, 3, 0)
+	layers := c.Layers()
+	if len(layers) != 3 {
+		t.Fatalf("got %d layers, want 3", len(layers))
+	}
+	wantOrder := []GateName{RX, RY, RZ}
+	for i, l := range layers {
+		if l[0].Name != wantOrder[i] {
+			t.Errorf("layer %d: %s, want %s", i, l[0].Name, wantOrder[i])
+		}
+	}
+}
+
+func TestBarrierFencesLayers(t *testing.T) {
+	c := New(2)
+	mustApp(t, c, RX, 1, 0)
+	mustApp(t, c, Barrier, 0)
+	mustApp(t, c, RX, 1, 1) // would be layer 0 without the barrier
+	layers := c.Layers()
+	if len(layers) != 2 {
+		t.Fatalf("got %d layers, want 2", len(layers))
+	}
+	if layers[1][0].Qubits[0] != 1 {
+		t.Error("gate after barrier should land in a later layer")
+	}
+}
+
+func TestDepthAndTwoQubitDepth(t *testing.T) {
+	c := New(4)
+	mustApp(t, c, RX, 1, 0)
+	mustApp(t, c, CZ, 0, 0, 1)
+	mustApp(t, c, CZ, 0, 2, 3)
+	mustApp(t, c, CZ, 0, 1, 2)
+	if d := c.Depth(); d != 3 {
+		t.Errorf("depth %d, want 3", d)
+	}
+	// ASAP pulls CZ(2,3) into layer 0 beside the RX, so all three
+	// layers contain a CZ.
+	if d := c.TwoQubitDepth(); d != 3 {
+		t.Errorf("2q depth %d, want 3", d)
+	}
+	if n := c.CountTwoQubit(); n != 3 {
+		t.Errorf("CountTwoQubit %d, want 3", n)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := New(2)
+	mustApp(t, c, RX, 1, 0)
+	d := c.Clone()
+	d.Gates[0].Qubits[0] = 1
+	if c.Gates[0].Qubits[0] != 0 {
+		t.Error("clone shares operand storage")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	c := New(2)
+	mustApp(t, c, CZ, 0, 0, 1)
+	if err := c.Validate(); err != nil {
+		t.Errorf("valid circuit rejected: %v", err)
+	}
+	c.Gates[0].Qubits = []int{0, 7}
+	if c.Validate() == nil {
+		t.Error("corrupted circuit accepted")
+	}
+	c.Gates[0].Qubits = []int{0}
+	if c.Validate() == nil {
+		t.Error("wrong arity accepted")
+	}
+}
+
+func TestNormalizeAngle(t *testing.T) {
+	for _, tc := range []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+	} {
+		if got := normalizeAngle(tc.in); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("normalizeAngle(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestGateOperandCounts(t *testing.T) {
+	want := map[GateName]int{
+		RX: 1, RY: 1, RZ: 1, H: 1, X: 1, Measure: 1,
+		CZ: 2, CX: 2, SWAP: 2, CP: 2,
+		CCX: 3, CSWAP: 3,
+		Barrier: 0,
+	}
+	for name, n := range want {
+		if got := name.NumOperands(); got != n {
+			t.Errorf("%s: %d operands, want %d", name, got, n)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package circuit
+
+import "math"
+
+// Decompose lowers the circuit to the hardware basis {RX, RY, RZ, CZ}
+// (plus Measure). Identities used, all exact up to global phase:
+//
+//	H          = RY(π/2) · RZ(π)              (RZ applied first)
+//	X          = RX(π)
+//	CX(c,t)    = H(t) · CZ(c,t) · H(t)
+//	SWAP(a,b)  = CX(a,b) · CX(b,a) · CX(a,b)
+//	CP(θ;a,b)  = RZ(θ/2,a) · RZ(θ/2,b) · CX(a,b) · RZ(-θ/2,b) · CX(a,b)
+//	CCX        = standard 6-CNOT Toffoli with T = RZ(π/4)
+//	CSWAP(c;a,b) = CX(b,a) · CCX(c,a,b) · CX(b,a)
+func Decompose(c *Circuit) *Circuit {
+	out := New(c.NumQubits)
+	for _, g := range c.Gates {
+		lowerGate(out, g)
+	}
+	return out
+}
+
+func lowerGate(out *Circuit, g Gate) {
+	switch g.Name {
+	case RX, RY, RZ, CZ, Measure:
+		out.mustAppend(g.Name, g.Param, g.Qubits...)
+	case H:
+		q := g.Qubits[0]
+		out.mustAppend(RZ, math.Pi, q)
+		out.mustAppend(RY, math.Pi/2, q)
+	case X:
+		out.mustAppend(RX, math.Pi, g.Qubits[0])
+	case CX:
+		ctrl, tgt := g.Qubits[0], g.Qubits[1]
+		lowerGate(out, Gate{Name: H, Qubits: []int{tgt}})
+		out.mustAppend(CZ, 0, ctrl, tgt)
+		lowerGate(out, Gate{Name: H, Qubits: []int{tgt}})
+	case SWAP:
+		a, b := g.Qubits[0], g.Qubits[1]
+		lowerGate(out, Gate{Name: CX, Qubits: []int{a, b}})
+		lowerGate(out, Gate{Name: CX, Qubits: []int{b, a}})
+		lowerGate(out, Gate{Name: CX, Qubits: []int{a, b}})
+	case CP:
+		a, b := g.Qubits[0], g.Qubits[1]
+		th := g.Param
+		out.mustAppend(RZ, th/2, a)
+		out.mustAppend(RZ, th/2, b)
+		lowerGate(out, Gate{Name: CX, Qubits: []int{a, b}})
+		out.mustAppend(RZ, normalizeAngle(-th/2), b)
+		lowerGate(out, Gate{Name: CX, Qubits: []int{a, b}})
+	case CCX:
+		lowerToffoli(out, g.Qubits[0], g.Qubits[1], g.Qubits[2])
+	case CSWAP:
+		ctrl, a, b := g.Qubits[0], g.Qubits[1], g.Qubits[2]
+		lowerGate(out, Gate{Name: CX, Qubits: []int{b, a}})
+		lowerToffoli(out, ctrl, a, b)
+		lowerGate(out, Gate{Name: CX, Qubits: []int{b, a}})
+	default:
+		// Unknown names are preserved verbatim; the scheduler rejects
+		// them later with a clear error.
+		out.mustAppend(g.Name, g.Param, g.Qubits...)
+	}
+}
+
+// lowerToffoli emits the standard 6-CNOT Toffoli decomposition with
+// T = RZ(π/4) and T† = RZ(-π/4).
+func lowerToffoli(out *Circuit, c1, c2, t int) {
+	tGate := func(q int) { out.mustAppend(RZ, math.Pi/4, q) }
+	tDag := func(q int) { out.mustAppend(RZ, -math.Pi/4, q) }
+	cx := func(a, b int) { lowerGate(out, Gate{Name: CX, Qubits: []int{a, b}}) }
+	h := func(q int) { lowerGate(out, Gate{Name: H, Qubits: []int{q}}) }
+
+	h(t)
+	cx(c2, t)
+	tDag(t)
+	cx(c1, t)
+	tGate(t)
+	cx(c2, t)
+	tDag(t)
+	cx(c1, t)
+	tGate(c2)
+	tGate(t)
+	h(t)
+	cx(c1, c2)
+	tGate(c1)
+	tDag(c2)
+	cx(c1, c2)
+}

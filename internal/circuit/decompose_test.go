@@ -1,0 +1,259 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/chip"
+)
+
+func isBasis(name GateName) bool {
+	switch name {
+	case RX, RY, RZ, CZ, Measure, Barrier:
+		return true
+	}
+	return false
+}
+
+func TestDecomposeProducesBasisOnly(t *testing.T) {
+	c := New(4)
+	mustApp(t, c, H, 0, 0)
+	mustApp(t, c, X, 0, 1)
+	mustApp(t, c, CX, 0, 0, 1)
+	mustApp(t, c, SWAP, 0, 1, 2)
+	mustApp(t, c, CP, 0.7, 2, 3)
+	mustApp(t, c, CCX, 0, 0, 1, 2)
+	mustApp(t, c, CSWAP, 0, 0, 2, 3)
+	mustApp(t, c, Measure, 0, 0)
+	d := Decompose(c)
+	for i, g := range d.Gates {
+		if !isBasis(g.Name) {
+			t.Errorf("gate %d (%s) is not in the hardware basis", i, g.Name)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecomposeGateCounts(t *testing.T) {
+	// CX = 2 H-pairs + 1 CZ = 5 basis gates; SWAP = 3 CX = 15; the
+	// 6-CNOT Toffoli = 6 CX + 2 H + 7 T-ish RZ.
+	count := func(build func(c *Circuit)) (cz, total int) {
+		c := New(3)
+		build(c)
+		d := Decompose(c)
+		for _, g := range d.Gates {
+			if g.Name == CZ {
+				cz++
+			}
+		}
+		return cz, len(d.Gates)
+	}
+	if cz, _ := count(func(c *Circuit) { mustApp(t, c, CX, 0, 0, 1) }); cz != 1 {
+		t.Errorf("CX should lower to 1 CZ, got %d", cz)
+	}
+	if cz, _ := count(func(c *Circuit) { mustApp(t, c, SWAP, 0, 0, 1) }); cz != 3 {
+		t.Errorf("SWAP should lower to 3 CZ, got %d", cz)
+	}
+	if cz, _ := count(func(c *Circuit) { mustApp(t, c, CP, 1, 0, 1) }); cz != 2 {
+		t.Errorf("CP should lower to 2 CZ, got %d", cz)
+	}
+	if cz, _ := count(func(c *Circuit) { mustApp(t, c, CCX, 0, 0, 1, 2) }); cz != 6 {
+		t.Errorf("Toffoli should lower to 6 CZ, got %d", cz)
+	}
+	if cz, _ := count(func(c *Circuit) { mustApp(t, c, CSWAP, 0, 0, 1, 2) }); cz != 8 {
+		t.Errorf("CSWAP should lower to 8 CZ, got %d", cz)
+	}
+}
+
+func TestDecomposeIdempotentOnBasis(t *testing.T) {
+	c := New(2)
+	mustApp(t, c, RX, 0.3, 0)
+	mustApp(t, c, CZ, 0, 0, 1)
+	mustApp(t, c, RZ, -0.5, 1)
+	d := Decompose(c)
+	if len(d.Gates) != len(c.Gates) {
+		t.Fatalf("basis circuit changed size: %d -> %d", len(c.Gates), len(d.Gates))
+	}
+	for i := range d.Gates {
+		if d.Gates[i].Name != c.Gates[i].Name || d.Gates[i].Param != c.Gates[i].Param {
+			t.Errorf("gate %d changed", i)
+		}
+	}
+}
+
+func TestTranspileAdjacency(t *testing.T) {
+	ch := chip.Square(3, 3)
+	c := New(9)
+	mustApp(t, c, CZ, 0, 0, 8) // far corners: needs SWAPs
+	tr, err := Transpile(Decompose(c), ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.SwapCount == 0 {
+		t.Error("corner-to-corner CZ should need SWAPs")
+	}
+	// Every 2q gate in the output must touch adjacent physical qubits.
+	for i, g := range tr.Gates {
+		if len(g.Qubits) == 2 && g.Name != Measure {
+			if !ch.Graph().HasEdge(g.Qubits[0], g.Qubits[1]) {
+				t.Errorf("gate %d (%s %v) spans non-adjacent qubits", i, g.Name, g.Qubits)
+			}
+		}
+	}
+}
+
+func TestTranspileNoSwapsWhenAdjacent(t *testing.T) {
+	ch := chip.Square(3, 3)
+	c := New(9)
+	mustApp(t, c, CZ, 0, 0, 1)
+	mustApp(t, c, CZ, 0, 3, 4)
+	tr, err := Transpile(c, ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.SwapCount != 0 {
+		t.Errorf("adjacent gates needed %d SWAPs", tr.SwapCount)
+	}
+}
+
+func TestTranspileRejectsTooManyQubits(t *testing.T) {
+	ch := chip.Square(2, 2)
+	c := New(9)
+	if _, err := Transpile(c, ch); err == nil {
+		t.Error("oversized circuit accepted")
+	}
+}
+
+func TestTranspileRejectsThreeQubitGates(t *testing.T) {
+	ch := chip.Square(3, 3)
+	c := New(3)
+	mustApp(t, c, CCX, 0, 0, 1, 2)
+	if _, err := Transpile(c, ch); err == nil {
+		t.Error("3q gate accepted without decomposition")
+	}
+}
+
+func TestCompilePipeline(t *testing.T) {
+	ch := chip.Square(4, 4)
+	c := QFT(6)
+	compiled, err := Compile(c, ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compiled.Validate(); err != nil {
+		t.Error(err)
+	}
+	for i, g := range compiled.Gates {
+		if !isBasis(g.Name) {
+			t.Errorf("compiled gate %d (%s) not basis", i, g.Name)
+		}
+		if len(g.Qubits) == 2 && g.Name == CZ {
+			if !ch.Graph().HasEdge(g.Qubits[0], g.Qubits[1]) {
+				t.Errorf("compiled CZ %v non-adjacent", g.Qubits)
+			}
+		}
+	}
+}
+
+func TestBenchmarkGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		name    string
+		c       *Circuit
+		qubits  int
+		hasTwoQ bool
+	}{
+		{"VQC", VQC(6, 3, rng), 6, true},
+		{"Ising", Ising(6, 2, rng), 6, true},
+		{"DJ", DJ(5), 6, true},
+		{"QFT", QFT(5), 5, true},
+		{"QKNN", QKNN(3, rng), 7, true},
+	}
+	for _, tc := range cases {
+		if tc.c.NumQubits != tc.qubits {
+			t.Errorf("%s: %d qubits, want %d", tc.name, tc.c.NumQubits, tc.qubits)
+		}
+		if err := tc.c.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+		if tc.hasTwoQ && Decompose(tc.c).CountTwoQubit() == 0 {
+			t.Errorf("%s: no 2q gates", tc.name)
+		}
+	}
+}
+
+func TestQFTGateCount(t *testing.T) {
+	// QFT(n): n H + n(n-1)/2 CP + floor(n/2) SWAP + n measures.
+	n := 6
+	c := QFT(n)
+	var h, cp, swap, meas int
+	for _, g := range c.Gates {
+		switch g.Name {
+		case H:
+			h++
+		case CP:
+			cp++
+		case SWAP:
+			swap++
+		case Measure:
+			meas++
+		}
+	}
+	if h != n || cp != n*(n-1)/2 || swap != n/2 || meas != n {
+		t.Errorf("QFT(%d) counts: H=%d CP=%d SWAP=%d M=%d", n, h, cp, swap, meas)
+	}
+}
+
+func TestBenchmarkDispatcher(t *testing.T) {
+	for _, name := range AllBenchmarks {
+		c, err := Benchmark(name, 9, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.NumQubits > 9 {
+			t.Errorf("%s: %d qubits exceeds request", name, c.NumQubits)
+		}
+	}
+	if _, err := Benchmark("nope", 9, 1); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := Benchmark(BenchDJ, 1, 1); err == nil {
+		t.Error("DJ with 1 qubit accepted")
+	}
+	if _, err := Benchmark(BenchQKNN, 2, 1); err == nil {
+		t.Error("QKNN with 2 qubits accepted")
+	}
+}
+
+func TestBenchmarksDeterministicInSeed(t *testing.T) {
+	a, err := Benchmark(BenchVQC, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Benchmark(BenchVQC, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Gates) != len(b.Gates) {
+		t.Fatal("gate counts differ")
+	}
+	for i := range a.Gates {
+		if a.Gates[i].Param != b.Gates[i].Param {
+			t.Fatal("parameters differ across identical seeds")
+		}
+	}
+}
+
+func TestVQCParallelism(t *testing.T) {
+	// VQC's entangling rungs split into exactly two sublayers per
+	// ansatz layer, so 2q depth = 2 * layers.
+	rng := rand.New(rand.NewSource(2))
+	c := Decompose(VQC(8, 3, rng))
+	// Each CZ rung layer stays parallel: depth bounded well below gate
+	// count.
+	if d, n := c.TwoQubitDepth(), c.CountTwoQubit(); d*3 > n*2 {
+		t.Errorf("VQC 2q depth %d vs %d gates: insufficient parallelism", d, n)
+	}
+}

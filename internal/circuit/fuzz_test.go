@@ -1,0 +1,130 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDecompose feeds arbitrary gate streams through the decomposer and
+// checks the structural invariants: output is hardware-basis only,
+// operand-valid, and CZ counts match the per-gate expansion table.
+func FuzzDecompose(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, 5)
+	f.Add([]byte{9, 9, 9}, 3)
+	f.Add([]byte{4, 5, 6, 7, 8}, 4)
+	names := []GateName{RX, RY, RZ, CZ, H, X, CX, SWAP, CP, CCX, CSWAP, Barrier}
+	czCost := map[GateName]int{CZ: 1, CX: 1, SWAP: 3, CP: 2, CCX: 6, CSWAP: 8}
+
+	f.Fuzz(func(t *testing.T, ops []byte, n int) {
+		if n < 3 || n > 8 {
+			return
+		}
+		c := New(n)
+		wantCZ := 0
+		for i, b := range ops {
+			if i > 64 {
+				break
+			}
+			name := names[int(b)%len(names)]
+			k := name.NumOperands()
+			qs := make([]int, k)
+			for j := range qs {
+				qs[j] = (i + j*(1+int(b)%3)) % n
+			}
+			// Skip would-be duplicate operands.
+			dup := false
+			for a := 0; a < k; a++ {
+				for bb := a + 1; bb < k; bb++ {
+					if qs[a] == qs[bb] {
+						dup = true
+					}
+				}
+			}
+			if dup {
+				continue
+			}
+			if err := c.Append(name, float64(int(b)%7)-3, qs...); err != nil {
+				t.Fatalf("append %s %v: %v", name, qs, err)
+			}
+			wantCZ += czCost[name]
+		}
+		d := Decompose(c)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("decomposed circuit invalid: %v", err)
+		}
+		gotCZ := 0
+		for _, g := range d.Gates {
+			switch g.Name {
+			case RX, RY, RZ, CZ, Measure, Barrier:
+			default:
+				t.Fatalf("non-basis gate %s survived decomposition", g.Name)
+			}
+			if g.Name == CZ {
+				gotCZ++
+			}
+		}
+		if gotCZ != wantCZ {
+			t.Fatalf("CZ count %d, want %d", gotCZ, wantCZ)
+		}
+		// Angles must be finite.
+		for _, g := range d.Gates {
+			if math.IsNaN(g.Param) || math.IsInf(g.Param, 0) {
+				t.Fatalf("non-finite angle on %s", g.Name)
+			}
+		}
+	})
+}
+
+// FuzzLayers checks that layering never drops or duplicates gates and
+// respects per-qubit exclusivity.
+func FuzzLayers(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5}, 4)
+	f.Fuzz(func(t *testing.T, ops []byte, n int) {
+		if n < 2 || n > 6 {
+			return
+		}
+		c := New(n)
+		for i, b := range ops {
+			if i > 48 {
+				break
+			}
+			if int(b)%5 == 0 {
+				_ = c.Append(Barrier, 0)
+				continue
+			}
+			a := int(b) % n
+			bb := (a + 1 + int(b)%(n-1)) % n
+			if a == bb {
+				continue
+			}
+			if int(b)%2 == 0 {
+				_ = c.Append(RX, 1, a)
+			} else {
+				_ = c.Append(CZ, 0, a, bb)
+			}
+		}
+		layers := c.Layers()
+		total := 0
+		for _, layer := range layers {
+			seen := map[int]bool{}
+			for _, g := range layer {
+				total++
+				for _, q := range g.Qubits {
+					if seen[q] {
+						t.Fatalf("qubit %d used twice in one layer", q)
+					}
+					seen[q] = true
+				}
+			}
+		}
+		want := 0
+		for _, g := range c.Gates {
+			if g.Name != Barrier {
+				want++
+			}
+		}
+		if total != want {
+			t.Fatalf("layers hold %d gates, circuit has %d", total, want)
+		}
+	})
+}

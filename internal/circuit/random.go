@@ -1,0 +1,68 @@
+package circuit
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/chip"
+)
+
+// RandomLayered builds an XEB-style random circuit directly on a chip's
+// connectivity: `layers` rounds, each a layer of random single-qubit
+// rotations on every qubit followed by a random maximal set of
+// non-overlapping CZs on hardware couplers. Because every 2q gate is
+// hardware-adjacent by construction, the circuit needs no SWAP routing
+// and stresses the TDM scheduler with maximally parallel entangling
+// layers — the adversarial workload for Z-line multiplexing.
+func RandomLayered(c *chip.Chip, layers int, rng *rand.Rand) (*Circuit, error) {
+	if layers < 1 {
+		return nil, fmt.Errorf("circuit: need at least 1 layer, got %d", layers)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("circuit: RandomLayered needs an rng")
+	}
+	out := New(c.NumQubits())
+	gates := c.TwoQubitGates()
+	for l := 0; l < layers; l++ {
+		for q := 0; q < c.NumQubits(); q++ {
+			switch rng.Intn(3) {
+			case 0:
+				out.mustAppend(RX, angle(rng), q)
+			case 1:
+				out.mustAppend(RY, angle(rng), q)
+			default:
+				out.mustAppend(RZ, angle(rng), q)
+			}
+		}
+		// Random maximal matching over the coupler set.
+		order := rng.Perm(len(gates))
+		busy := make([]bool, c.NumQubits())
+		for _, gi := range order {
+			g := gates[gi]
+			if busy[g.Q1] || busy[g.Q2] {
+				continue
+			}
+			busy[g.Q1], busy[g.Q2] = true, true
+			out.mustAppend(CZ, 0, g.Q1, g.Q2)
+		}
+		out.mustAppend(Barrier, 0)
+	}
+	for q := 0; q < c.NumQubits(); q++ {
+		out.mustAppend(Measure, 0, q)
+	}
+	return out, nil
+}
+
+// GHZ builds the n-qubit GHZ preparation circuit (H then a CX chain),
+// a standard entanglement benchmark.
+func GHZ(n int) *Circuit {
+	c := New(n)
+	c.mustAppend(H, 0, 0)
+	for q := 0; q+1 < n; q++ {
+		c.mustAppend(CX, 0, q, q+1)
+	}
+	for q := 0; q < n; q++ {
+		c.mustAppend(Measure, 0, q)
+	}
+	return c
+}

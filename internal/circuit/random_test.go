@@ -1,0 +1,114 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/chip"
+)
+
+func TestRandomLayeredValidation(t *testing.T) {
+	c := chip.Square(2, 2)
+	if _, err := RandomLayered(c, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("0 layers accepted")
+	}
+	if _, err := RandomLayered(c, 3, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestRandomLayeredHardwareAdjacency(t *testing.T) {
+	ch := chip.Square(4, 4)
+	c, err := RandomLayered(ch, 6, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range c.Gates {
+		if g.Name == CZ && !ch.Graph().HasEdge(g.Qubits[0], g.Qubits[1]) {
+			t.Errorf("gate %d: CZ on non-adjacent qubits %v", i, g.Qubits)
+		}
+	}
+}
+
+func TestRandomLayeredMatchingIsDisjoint(t *testing.T) {
+	ch := chip.Square(4, 4)
+	c, err := RandomLayered(ch, 5, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Between barriers, no qubit may appear in two CZs.
+	used := map[int]bool{}
+	for _, g := range c.Gates {
+		switch g.Name {
+		case Barrier:
+			used = map[int]bool{}
+		case CZ:
+			for _, q := range g.Qubits {
+				if used[q] {
+					t.Fatalf("qubit %d in two CZs of one layer", q)
+				}
+				used[q] = true
+			}
+		}
+	}
+}
+
+func TestRandomLayeredParallelism(t *testing.T) {
+	// The matching is maximal, so large chips should entangle many
+	// pairs per layer.
+	ch := chip.Square(6, 6)
+	c, err := RandomLayered(ch, 1, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	czs := c.CountTwoQubit()
+	// A maximal matching on a 6x6 grid has at least 12 edges
+	// (matching number is 18; randomized maximal is >= half of it).
+	if czs < 9 {
+		t.Errorf("only %d CZs in a maximal-matching layer", czs)
+	}
+}
+
+func TestRandomLayeredDeterministicInSeed(t *testing.T) {
+	ch := chip.Square(3, 3)
+	a, err := RandomLayered(ch, 4, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomLayered(ch, 4, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Gates) != len(b.Gates) {
+		t.Fatal("gate counts differ")
+	}
+	for i := range a.Gates {
+		if a.Gates[i].Name != b.Gates[i].Name || a.Gates[i].Param != b.Gates[i].Param {
+			t.Fatal("circuits differ across identical seeds")
+		}
+	}
+}
+
+func TestGHZStructure(t *testing.T) {
+	c := GHZ(5)
+	if c.NumQubits != 5 {
+		t.Fatalf("qubits %d", c.NumQubits)
+	}
+	var h, cx, m int
+	for _, g := range c.Gates {
+		switch g.Name {
+		case H:
+			h++
+		case CX:
+			cx++
+		case Measure:
+			m++
+		}
+	}
+	if h != 1 || cx != 4 || m != 5 {
+		t.Errorf("GHZ(5) counts: H=%d CX=%d M=%d", h, cx, m)
+	}
+}

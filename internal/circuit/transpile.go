@@ -1,0 +1,124 @@
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/chip"
+)
+
+// Transpiled is a circuit mapped onto physical chip qubits.
+type Transpiled struct {
+	*Circuit
+	// Layout maps logical qubit -> physical qubit at circuit start.
+	Layout []int
+	// SwapCount is the number of routing SWAPs inserted.
+	SwapCount int
+}
+
+// Transpile maps a logical circuit onto the chip with the trivial
+// initial layout (logical i -> physical i) and greedy SWAP routing:
+// whenever a 2q gate spans non-adjacent physical qubits, SWAPs walk one
+// operand along a shortest topological path until the pair is adjacent.
+// The output circuit acts on physical qubit indices and still contains
+// high-level gates; run Decompose afterwards for the hardware basis.
+func Transpile(c *Circuit, ch *chip.Chip) (*Transpiled, error) {
+	if c.NumQubits > ch.NumQubits() {
+		return nil, fmt.Errorf("circuit: %d logical qubits exceed chip's %d", c.NumQubits, ch.NumQubits())
+	}
+	// phys[l] is the current physical home of logical qubit l;
+	// logical[p] the inverse (or -1).
+	phys := make([]int, c.NumQubits)
+	logical := make([]int, ch.NumQubits())
+	for p := range logical {
+		logical[p] = -1
+	}
+	for l := range phys {
+		phys[l] = l
+		logical[l] = l
+	}
+	layout := append([]int(nil), phys...)
+
+	out := New(ch.NumQubits())
+	t := &Transpiled{Circuit: out, Layout: layout}
+	g := ch.Graph()
+
+	swapPhys := func(a, b int) {
+		out.mustAppend(SWAP, 0, a, b)
+		t.SwapCount++
+		la, lb := logical[a], logical[b]
+		logical[a], logical[b] = lb, la
+		if la >= 0 {
+			phys[la] = b
+		}
+		if lb >= 0 {
+			phys[lb] = a
+		}
+	}
+
+	for _, gate := range c.Gates {
+		switch len(gate.Qubits) {
+		case 1:
+			out.mustAppend(gate.Name, gate.Param, phys[gate.Qubits[0]])
+		case 2:
+			a, b := phys[gate.Qubits[0]], phys[gate.Qubits[1]]
+			if !g.HasEdge(a, b) {
+				path := shortestPath(ch, a, b)
+				if path == nil {
+					return nil, fmt.Errorf("circuit: qubits %d and %d are disconnected on chip %s", a, b, ch.Name)
+				}
+				// Walk operand a along the path until adjacent to b.
+				for i := 0; i+2 < len(path); i++ {
+					swapPhys(path[i], path[i+1])
+				}
+				a, b = phys[gate.Qubits[0]], phys[gate.Qubits[1]]
+			}
+			out.mustAppend(gate.Name, gate.Param, a, b)
+		case 3:
+			// 3q gates must be decomposed before transpilation.
+			return nil, fmt.Errorf("circuit: decompose %s before transpiling", gate.Name)
+		default:
+			out.mustAppend(gate.Name, gate.Param, gate.Qubits...)
+		}
+	}
+	return t, nil
+}
+
+// shortestPath returns one BFS shortest path between physical qubits a
+// and b, or nil when disconnected.
+func shortestPath(ch *chip.Chip, a, b int) []int {
+	g := ch.Graph()
+	prev := make([]int, g.N())
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[a] = a
+	queue := []int{a}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u == b {
+			break
+		}
+		for _, v := range g.Neighbors(u) {
+			if prev[v] < 0 {
+				prev[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	if prev[b] < 0 {
+		return nil
+	}
+	var rev []int
+	for cur := b; ; cur = prev[cur] {
+		rev = append(rev, cur)
+		if cur == a {
+			break
+		}
+	}
+	path := make([]int, len(rev))
+	for i, v := range rev {
+		path[len(rev)-1-i] = v
+	}
+	return path
+}

@@ -1,0 +1,55 @@
+// Package cost prices a cryostat-level wiring plan in dollars. The
+// constants are calibrated to the paper's published anchors: wiring is
+// ~80% of superconducting-system hardware cost, a Google-style
+// 150-qubit system spends ≈$4M on wiring, and the Table 2 totals (a
+// 21-qubit heavy-square Google system ≈ $470K). Only relative costs
+// matter for the experiments.
+package cost
+
+import (
+	"repro/internal/tdm"
+	"repro/internal/wiring"
+)
+
+// Model holds per-unit prices in USD.
+type Model struct {
+	// CoaxPerLine prices one high-density cryogenic coaxial line,
+	// including attenuators, filters and installation.
+	CoaxPerLine float64
+	// TwistedPerLine prices one twisted-pair digital control line.
+	TwistedPerLine float64
+	// DACPerChannel prices one room-temperature DAC/ADC channel.
+	DACPerChannel float64
+	// DemuxPrice prices one cryo-DEMUX unit by level.
+	DemuxPrice map[tdm.DemuxLevel]float64
+}
+
+// DefaultModel is the calibrated price book.
+func DefaultModel() Model {
+	return Model{
+		CoaxPerLine:    6300,
+		TwistedPerLine: 150,
+		DACPerChannel:  400,
+		DemuxPrice: map[tdm.DemuxLevel]float64{
+			tdm.Demux1to2: 300,
+			tdm.Demux1to4: 500,
+		},
+	}
+}
+
+// WiringCost returns the total wiring-system cost of a plan in USD.
+func (m Model) WiringCost(p *wiring.Plan) float64 {
+	total := float64(p.CoaxLines())*m.CoaxPerLine +
+		float64(p.ControlLines)*m.TwistedPerLine +
+		float64(p.DACs)*m.DACPerChannel
+	for level, n := range p.DemuxCount {
+		total += float64(n) * m.DemuxPrice[level]
+	}
+	return total
+}
+
+// CoaxCost returns only the coaxial-cable portion, used by the
+// large-scale savings accounting of Figure 17.
+func (m Model) CoaxCost(coaxLines int) float64 {
+	return float64(coaxLines) * m.CoaxPerLine
+}

@@ -1,0 +1,91 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/tdm"
+	"repro/internal/wiring"
+)
+
+func TestGoogleTable2CostAnchors(t *testing.T) {
+	// The calibrated price book must land within 2% of Table 2's
+	// Google wiring costs.
+	want := map[string]float64{
+		"square":        216e3,
+		"hexagon":       359e3,
+		"heavy-square":  470e3,
+		"heavy-hexagon": 457e3,
+		"low-density":   385e3,
+	}
+	m := DefaultModel()
+	for _, c := range chip.Table2Chips() {
+		got := m.WiringCost(wiring.Google(c))
+		target := want[c.Topology]
+		if math.Abs(got-target)/target > 0.02 {
+			t.Errorf("%s: cost $%.0fK, want $%.0fK ± 2%%", c.Topology, got/1000, target/1000)
+		}
+	}
+}
+
+func Test150QubitSystemAnchor(t *testing.T) {
+	// The paper's intro: a 150-qubit system spends ≈$4M on wiring.
+	c := chip.Square(15, 10)
+	got := DefaultModel().WiringCost(wiring.Google(c))
+	if got < 3.3e6 || got > 4.7e6 {
+		t.Errorf("150-qubit Google wiring cost $%.2fM, want ≈$4M", got/1e6)
+	}
+}
+
+func TestWiringCostComponents(t *testing.T) {
+	m := DefaultModel()
+	p := &wiring.Plan{
+		XYLines:      2,
+		ZLines:       3,
+		ReadoutLines: 1,
+		ControlLines: 4,
+		DACs:         10,
+		DemuxCount: map[tdm.DemuxLevel]int{
+			tdm.Demux1to2: 2,
+			tdm.Demux1to4: 1,
+		},
+	}
+	want := 6*m.CoaxPerLine + 4*m.TwistedPerLine + 10*m.DACPerChannel +
+		2*m.DemuxPrice[tdm.Demux1to2] + m.DemuxPrice[tdm.Demux1to4]
+	if got := m.WiringCost(p); math.Abs(got-want) > 1e-9 {
+		t.Errorf("cost %v, want %v", got, want)
+	}
+}
+
+func TestCoaxDominatesCost(t *testing.T) {
+	// The paper: wiring (coax) takes ~80% of hardware investment. In
+	// our model, coax must dominate the per-plan cost for a Google
+	// system.
+	m := DefaultModel()
+	c := chip.Square(6, 6)
+	p := wiring.Google(c)
+	coax := m.CoaxCost(p.CoaxLines())
+	total := m.WiringCost(p)
+	if frac := coax / total; frac < 0.7 {
+		t.Errorf("coax fraction %.2f, want > 0.7", frac)
+	}
+}
+
+func TestCoaxCost(t *testing.T) {
+	m := DefaultModel()
+	if got := m.CoaxCost(10); got != 10*m.CoaxPerLine {
+		t.Errorf("CoaxCost(10) = %v", got)
+	}
+	if m.CoaxCost(0) != 0 {
+		t.Error("zero lines should cost zero")
+	}
+}
+
+func TestTwistedPairsMuchCheaperThanCoax(t *testing.T) {
+	m := DefaultModel()
+	if m.TwistedPerLine*10 > m.CoaxPerLine {
+		t.Errorf("twisted pair ($%v) should be far cheaper than coax ($%v)",
+			m.TwistedPerLine, m.CoaxPerLine)
+	}
+}

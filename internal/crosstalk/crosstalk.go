@@ -1,0 +1,187 @@
+// Package crosstalk implements the paper's crosstalk characterization
+// model (§4.1): it fits the relationship between the equivalent distance
+//
+//	d_equiv(i,j) = w_phy · d_phy(i,j) + w_top · d_top(i,j)
+//
+// and measured crosstalk with a random-forest regressor, selecting the
+// weight pair (w_phy, w_top) that minimizes 5-fold cross-validated MSE.
+// The fitted model then predicts crosstalk for any qubit pair of the
+// training chip — or of a different chip with the same qubit type,
+// topology family and process (Figure 12's generality study).
+package crosstalk
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/chip"
+	"repro/internal/mlfit"
+	"repro/internal/xmon"
+)
+
+// FitConfig controls the characterization fit.
+type FitConfig struct {
+	// WeightGrid is the set of candidate values for each of w_phy and
+	// w_top; the search evaluates the full cross product (excluding the
+	// all-zero pair).
+	WeightGrid []float64
+	// Folds is the cross-validation fold count (the paper uses 5).
+	Folds  int
+	Forest mlfit.ForestConfig
+}
+
+// DefaultFitConfig mirrors the paper's setup: 5-fold CV and a coarse
+// weight grid over [0, 1].
+func DefaultFitConfig() FitConfig {
+	return FitConfig{
+		WeightGrid: []float64{0, 0.1, 0.25, 0.5, 0.75, 1.0},
+		Folds:      5,
+		Forest:     mlfit.DefaultForestConfig(),
+	}
+}
+
+// Model is a fitted crosstalk characterization model.
+type Model struct {
+	Kind    xmon.CrosstalkKind
+	Weights chip.EquivWeights
+	CVError float64 // cross-validated MSE at the selected weights
+	forest  *mlfit.Forest
+}
+
+// Fit trains the characterization model from calibration samples taken
+// on the given chip. It returns the model with the best (w_phy, w_top)
+// under k-fold CV, matching the paper's procedure.
+func Fit(c *chip.Chip, samples []xmon.Sample, cfg FitConfig) (*Model, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("crosstalk: no samples")
+	}
+	if cfg.Folds < 2 {
+		return nil, fmt.Errorf("crosstalk: need at least 2 folds, got %d", cfg.Folds)
+	}
+	kind := samples[0].Kind
+	for _, s := range samples {
+		if s.Kind != kind {
+			return nil, fmt.Errorf("crosstalk: mixed sample kinds %v and %v", kind, s.Kind)
+		}
+	}
+
+	top := c.Graph().AllMultiPathDistances()
+	y := make([]float64, len(samples))
+	phys := make([]float64, len(samples))
+	topo := make([]float64, len(samples))
+	for i, s := range samples {
+		if s.I < 0 || s.J < 0 || s.I >= c.NumQubits() || s.J >= c.NumQubits() {
+			return nil, fmt.Errorf("crosstalk: sample %d pair (%d,%d) out of range", i, s.I, s.J)
+		}
+		y[i] = s.Value
+		phys[i] = c.PhysicalDistance(s.I, s.J)
+		t := top[s.I][s.J]
+		if math.IsInf(t, 1) {
+			t = float64(c.NumQubits())
+		}
+		topo[i] = t
+	}
+
+	best := &Model{Kind: kind, CVError: math.Inf(1)}
+	X := make([][]float64, len(samples))
+	for i := range X {
+		X[i] = make([]float64, 1)
+	}
+	for _, wp := range cfg.WeightGrid {
+		for _, wt := range cfg.WeightGrid {
+			if wp == 0 && wt == 0 {
+				continue
+			}
+			for i := range X {
+				X[i][0] = wp*phys[i] + wt*topo[i]
+			}
+			mse, err := mlfit.KFoldMSE(X, y, cfg.Folds, cfg.Forest, cfg.Forest.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("crosstalk: CV at (%.2f,%.2f): %w", wp, wt, err)
+			}
+			if mse < best.CVError {
+				best.CVError = mse
+				best.Weights = chip.EquivWeights{WPhy: wp, WTop: wt}
+			}
+		}
+	}
+
+	// Refit on the full dataset at the winning weights.
+	for i := range X {
+		X[i][0] = best.Weights.WPhy*phys[i] + best.Weights.WTop*topo[i]
+	}
+	forest, err := mlfit.FitForest(X, y, cfg.Forest)
+	if err != nil {
+		return nil, fmt.Errorf("crosstalk: final fit: %w", err)
+	}
+	best.forest = forest
+	return best, nil
+}
+
+// PredictDistance returns the model's crosstalk prediction at a raw
+// equivalent distance.
+func (m *Model) PredictDistance(dEquiv float64) float64 {
+	return m.forest.Predict([]float64{dEquiv})
+}
+
+// Predictor binds a model to a chip, caching the chip's distance
+// structure so pairwise predictions are cheap. Binding a model to a
+// different chip than it was trained on is exactly the Figure 12
+// transfer experiment.
+type Predictor struct {
+	Model *Model
+	chip  *chip.Chip
+	top   [][]float64
+}
+
+// On binds the model to a chip.
+func (m *Model) On(c *chip.Chip) *Predictor {
+	return &Predictor{Model: m, chip: c, top: c.Graph().AllMultiPathDistances()}
+}
+
+// EquivDistance returns d_equiv(i,j) under the model's fitted weights.
+func (p *Predictor) EquivDistance(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	t := p.top[i][j]
+	if math.IsInf(t, 1) {
+		t = float64(p.chip.NumQubits())
+	}
+	return p.Model.Weights.WPhy*p.chip.PhysicalDistance(i, j) + p.Model.Weights.WTop*t
+}
+
+// Predict returns the predicted crosstalk between qubits i and j.
+func (p *Predictor) Predict(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	return p.Model.PredictDistance(p.EquivDistance(i, j))
+}
+
+// Matrix returns the full predicted pairwise crosstalk matrix.
+func (p *Predictor) Matrix() [][]float64 {
+	n := p.chip.NumQubits()
+	m := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		m[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			m[i][j] = p.Predict(i, j)
+		}
+	}
+	return m
+}
+
+// PredictedValues returns the model's prediction for every unordered
+// qubit pair of the bound chip, the raw material for the Figure 12
+// noise-distribution comparison.
+func (p *Predictor) PredictedValues() []float64 {
+	n := p.chip.NumQubits()
+	vals := make([]float64, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			vals = append(vals, p.Predict(i, j))
+		}
+	}
+	return vals
+}

@@ -1,0 +1,136 @@
+// Package cryo models the dilution-refrigerator thermal budget that
+// ultimately caps wiring density: every cable conducts heat from stage
+// to stage, each stage has a finite cooling power, and the paper's
+// "4,000 coax maximum" (Bluefors KIDE) emerges from the mixing-chamber
+// budget. The model prices a wiring plan in watts the way package cost
+// prices it in dollars, and shows the thermal headroom YOUTIAO's cable
+// reduction buys.
+package cryo
+
+import (
+	"fmt"
+
+	"repro/internal/wiring"
+)
+
+// Stage is one temperature stage of the refrigerator.
+type Stage struct {
+	Name string
+	// TemperatureK is the nominal stage temperature.
+	TemperatureK float64
+	// CoolingPowerW is the available cooling power at temperature.
+	CoolingPowerW float64
+	// CoaxLoadW is the conducted heat per coaxial line into the stage.
+	CoaxLoadW float64
+	// TwistedLoadW is the conducted heat per twisted-pair line.
+	TwistedLoadW float64
+}
+
+// StandardStages returns a typical large dilution refrigerator: stage
+// powers from published cryostat specifications, per-cable conduction
+// calibrated so the mixing-chamber budget saturates at ≈4,000 coax
+// lines — the paper's KIDE anchor.
+func StandardStages() []Stage {
+	return []Stage{
+		{Name: "50K", TemperatureK: 50, CoolingPowerW: 30, CoaxLoadW: 1e-3, TwistedLoadW: 1e-4},
+		{Name: "4K", TemperatureK: 4, CoolingPowerW: 1.5, CoaxLoadW: 1e-4, TwistedLoadW: 1e-5},
+		{Name: "still", TemperatureK: 0.7, CoolingPowerW: 30e-3, CoaxLoadW: 3e-6, TwistedLoadW: 3e-7},
+		{Name: "cold-plate", TemperatureK: 0.1, CoolingPowerW: 300e-6, CoaxLoadW: 5e-8, TwistedLoadW: 5e-9},
+		{Name: "mixing-chamber", TemperatureK: 0.02, CoolingPowerW: 20e-6, CoaxLoadW: 5e-9, TwistedLoadW: 5e-10},
+	}
+}
+
+// Load is the thermal accounting of one stage for a cable count.
+type Load struct {
+	Stage Stage
+	// LoadW is the total conducted heat into the stage.
+	LoadW float64
+	// Fraction is LoadW / CoolingPowerW; above 1 the stage overheats.
+	Fraction float64
+}
+
+// OverBudget reports whether the stage exceeds its cooling power.
+func (l Load) OverBudget() bool { return l.Fraction > 1 }
+
+// HeatLoads computes every stage's load for a cable census.
+func HeatLoads(stages []Stage, coax, twisted int) ([]Load, error) {
+	if coax < 0 || twisted < 0 {
+		return nil, fmt.Errorf("cryo: negative cable counts %d/%d", coax, twisted)
+	}
+	out := make([]Load, len(stages))
+	for i, s := range stages {
+		w := float64(coax)*s.CoaxLoadW + float64(twisted)*s.TwistedLoadW
+		out[i] = Load{Stage: s, LoadW: w, Fraction: w / s.CoolingPowerW}
+	}
+	return out, nil
+}
+
+// PlanLoads computes the stage loads of a wiring plan (coax lines plus
+// twisted-pair DEMUX controls).
+func PlanLoads(stages []Stage, p *wiring.Plan) ([]Load, error) {
+	return HeatLoads(stages, p.CoaxLines(), p.ControlLines)
+}
+
+// WorstStage returns the stage with the highest budget fraction.
+func WorstStage(loads []Load) (Load, error) {
+	if len(loads) == 0 {
+		return Load{}, fmt.Errorf("cryo: no stages")
+	}
+	worst := loads[0]
+	for _, l := range loads[1:] {
+		if l.Fraction > worst.Fraction {
+			worst = l
+		}
+	}
+	return worst, nil
+}
+
+// MaxCoax returns the largest coax count every stage can absorb
+// (with the given twisted-pair count already installed).
+func MaxCoax(stages []Stage, twisted int) int {
+	max := int(^uint(0) >> 1)
+	for _, s := range stages {
+		remaining := s.CoolingPowerW - float64(twisted)*s.TwistedLoadW
+		if remaining < 0 {
+			return 0
+		}
+		if s.CoaxLoadW <= 0 {
+			continue
+		}
+		if n := int(remaining / s.CoaxLoadW); n < max {
+			max = n
+		}
+	}
+	return max
+}
+
+// QubitCapacity estimates how many qubits a single refrigerator
+// supports under an architecture needing coaxPerQubit coax lines and
+// twistedPerQubit control lines per qubit.
+func QubitCapacity(stages []Stage, coaxPerQubit, twistedPerQubit float64) (int, error) {
+	if coaxPerQubit <= 0 {
+		return 0, fmt.Errorf("cryo: coax per qubit must be positive")
+	}
+	lo, hi := 0, 1<<22
+	fits := func(n int) bool {
+		loads, err := HeatLoads(stages, int(coaxPerQubit*float64(n)), int(twistedPerQubit*float64(n)))
+		if err != nil {
+			return false
+		}
+		for _, l := range loads {
+			if l.OverBudget() {
+				return false
+			}
+		}
+		return true
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if fits(mid) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, nil
+}

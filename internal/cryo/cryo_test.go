@@ -1,0 +1,137 @@
+package cryo
+
+import (
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/wiring"
+)
+
+func TestStandardStagesOrdering(t *testing.T) {
+	stages := StandardStages()
+	if len(stages) != 5 {
+		t.Fatalf("got %d stages", len(stages))
+	}
+	for i := 1; i < len(stages); i++ {
+		if stages[i].TemperatureK >= stages[i-1].TemperatureK {
+			t.Errorf("stage %d temperature not decreasing", i)
+		}
+		if stages[i].CoolingPowerW >= stages[i-1].CoolingPowerW {
+			t.Errorf("stage %d cooling power not decreasing", i)
+		}
+		if stages[i].CoaxLoadW >= stages[i-1].CoaxLoadW {
+			t.Errorf("stage %d per-cable load not decreasing", i)
+		}
+	}
+	for _, s := range stages {
+		if s.TwistedLoadW >= s.CoaxLoadW {
+			t.Errorf("%s: twisted pair should load less than coax", s.Name)
+		}
+	}
+}
+
+func TestKIDEAnchor(t *testing.T) {
+	// The calibration anchor: ≈4,000 coax lines saturate the fridge.
+	max := MaxCoax(StandardStages(), 0)
+	if max < 3500 || max > 4500 {
+		t.Errorf("thermal coax limit %d, want ≈4000 (KIDE)", max)
+	}
+}
+
+func TestHeatLoadsArithmetic(t *testing.T) {
+	stages := StandardStages()
+	loads, err := HeatLoads(stages, 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range loads {
+		want := 100*stages[i].CoaxLoadW + 50*stages[i].TwistedLoadW
+		if l.LoadW != want {
+			t.Errorf("%s: load %v, want %v", l.Stage.Name, l.LoadW, want)
+		}
+		if l.OverBudget() {
+			t.Errorf("%s over budget with only 100 coax", l.Stage.Name)
+		}
+	}
+	if _, err := HeatLoads(stages, -1, 0); err == nil {
+		t.Error("negative cable count accepted")
+	}
+}
+
+func TestWorstStage(t *testing.T) {
+	stages := StandardStages()
+	loads, err := HeatLoads(stages, 3000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := WorstStage(loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the KIDE calibration, the mixing chamber binds first.
+	if worst.Stage.Name != "mixing-chamber" {
+		t.Errorf("worst stage %s, want mixing-chamber", worst.Stage.Name)
+	}
+	if _, err := WorstStage(nil); err == nil {
+		t.Error("empty loads accepted")
+	}
+}
+
+func TestPlanLoadsYoutiaoHeadroom(t *testing.T) {
+	// On the same chip, the YOUTIAO plan must run thermally cooler
+	// than the Google plan despite its extra twisted pairs.
+	c := chip.Square(6, 6)
+	g := wiring.Google(c)
+	stages := StandardStages()
+	gl, err := PlanLoads(stages, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A minimal YOUTIAO-like plan: third of the coax, some twisted.
+	y := &wiring.Plan{XYLines: 8, ZLines: 40, ReadoutLines: 5, ControlLines: 60}
+	yl, err := PlanLoads(stages, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gWorst, _ := WorstStage(gl)
+	yWorst, _ := WorstStage(yl)
+	if yWorst.Fraction >= gWorst.Fraction {
+		t.Errorf("YOUTIAO thermal fraction %.3g not below Google %.3g",
+			yWorst.Fraction, gWorst.Fraction)
+	}
+}
+
+func TestQubitCapacity(t *testing.T) {
+	stages := StandardStages()
+	// Google-style square lattice: ~4 coax/qubit.
+	google, err := QubitCapacity(stages, 4.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// YOUTIAO-style: ~1.7 coax/qubit plus ~1.2 twisted.
+	youtiao, err := QubitCapacity(stages, 1.7, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if google < 900 || google > 1100 {
+		t.Errorf("Google capacity %d, want ≈1000 (KIDE: 4000 coax / ~1300 qubits)", google)
+	}
+	if youtiao < 2*google {
+		t.Errorf("YOUTIAO capacity %d should at least double Google's %d", youtiao, google)
+	}
+	if _, err := QubitCapacity(stages, 0, 0); err == nil {
+		t.Error("zero coax per qubit accepted")
+	}
+}
+
+func TestMaxCoaxWithTwistedInstalled(t *testing.T) {
+	stages := StandardStages()
+	base := MaxCoax(stages, 0)
+	withTwisted := MaxCoax(stages, 5000)
+	if withTwisted >= base {
+		t.Errorf("installed twisted pairs should cost headroom: %d vs %d", withTwisted, base)
+	}
+	if withTwisted < base/2 {
+		t.Errorf("twisted pairs too expensive thermally: %d vs %d", withTwisted, base)
+	}
+}

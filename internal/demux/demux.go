@@ -1,0 +1,214 @@
+// Package demux models the cryogenic DEMUX hardware that implements
+// TDM on the Z lines: multi-level switch trees built from 1:2 cells,
+// the digital selection signals (D0/D1) that room-temperature
+// electronics drive over twisted pairs, and the per-schedule selection
+// timeline — which device each DEMUX serves in each time window.
+//
+// The timeline generator is the bridge between the abstract scheduler
+// (package schedule) and the hardware: it proves, window by window,
+// that every TDM group serves at most one device at a time, and it
+// produces the bit patterns the paper's Figure 2(b) time-axis shows.
+package demux
+
+import (
+	"fmt"
+
+	"repro/internal/chip"
+	"repro/internal/circuit"
+	"repro/internal/schedule"
+	"repro/internal/tdm"
+)
+
+// SwitchTime is the cryo-DEMUX channel-switch time in ns (Acharya et
+// al. report 2.6 ns).
+const SwitchTime = 2.6
+
+// Tree is a multi-level switch tree: a 1:N DEMUX built from 1:2 cells.
+type Tree struct {
+	// Fanout is the leaf count (1, 2 or 4 here).
+	Fanout int
+	// Levels is log2(Fanout): the number of cascaded 1:2 stages, which
+	// equals the number of digital select bits.
+	Levels int
+}
+
+// NewTree builds the switch tree for a DEMUX level.
+func NewTree(level tdm.DemuxLevel) Tree {
+	switch level {
+	case tdm.DemuxNone:
+		return Tree{Fanout: 1, Levels: 0}
+	case tdm.Demux1to2:
+		return Tree{Fanout: 2, Levels: 1}
+	case tdm.Demux1to4:
+		return Tree{Fanout: 4, Levels: 2}
+	default:
+		panic(fmt.Sprintf("demux: invalid level %d", int(level)))
+	}
+}
+
+// NumCells returns the number of 1:2 switch cells in the tree
+// (Fanout-1 for a complete binary tree).
+func (t Tree) NumCells() int { return t.Fanout - 1 }
+
+// SelectBits returns the digital word that routes the input to leaf
+// port `port` (bit i selects the stage-i branch).
+func (t Tree) SelectBits(port int) ([]int, error) {
+	if port < 0 || port >= t.Fanout {
+		return nil, fmt.Errorf("demux: port %d out of range [0,%d)", port, t.Fanout)
+	}
+	bits := make([]int, t.Levels)
+	for i := 0; i < t.Levels; i++ {
+		bits[i] = (port >> uint(t.Levels-1-i)) & 1
+	}
+	return bits, nil
+}
+
+// InsertionLossDB returns the signal loss through the tree, assuming
+// lossPerCellDB per 1:2 stage.
+func (t Tree) InsertionLossDB(lossPerCellDB float64) float64 {
+	return float64(t.Levels) * lossPerCellDB
+}
+
+// Window is one time window of a DEMUX's selection timeline.
+type Window struct {
+	// Slot is the schedule slot index.
+	Slot int
+	// Port is the selected leaf port, or -1 when the group is idle.
+	Port int
+	// Device is the device served (valid when Port >= 0).
+	Device int
+	// StartNs and DurationNs locate the window on the wall clock.
+	StartNs    float64
+	DurationNs float64
+}
+
+// Timeline is the selection history of one TDM group's DEMUX.
+type Timeline struct {
+	Group   int
+	Tree    Tree
+	Windows []Window
+	// Switches counts port changes (each costs SwitchTime and
+	// dissipates actuation energy at the cold stage).
+	Switches int
+}
+
+// Plan is the full digital control plan of a schedule.
+type Plan struct {
+	Timelines []Timeline
+	// TotalSwitches across all DEMUXes.
+	TotalSwitches int
+	// ControlBitsPerWindow is the number of digital lines driven
+	// (sum of tree levels over groups with at least 2 devices).
+	ControlBitsPerWindow int
+}
+
+// BuildPlan derives every DEMUX's selection timeline from a schedule.
+// For each slot, each group serves the device its gates demand; a slot
+// demanding two devices of one group is a scheduling bug and returns an
+// error (this is the hardware-level recheck of the scheduler's
+// invariant).
+func BuildPlan(c *chip.Chip, grouping *tdm.Grouping, sched *schedule.Schedule, czMode schedule.CZPulseMode) (*Plan, error) {
+	dev := tdm.NewDevices(c)
+	portOf := make(map[int]int) // device -> port within its group
+	for _, g := range grouping.Groups {
+		for pi, d := range g.Devices {
+			portOf[d] = pi
+		}
+	}
+
+	plan := &Plan{Timelines: make([]Timeline, len(grouping.Groups))}
+	for gi, g := range grouping.Groups {
+		plan.Timelines[gi] = Timeline{Group: gi, Tree: NewTree(g.Level)}
+		if len(g.Devices) > 1 {
+			plan.ControlBitsPerWindow += plan.Timelines[gi].Tree.Levels
+		}
+	}
+
+	clock := 0.0
+	lastPort := make([]int, len(grouping.Groups))
+	for i := range lastPort {
+		lastPort[i] = -1
+	}
+	for si, slot := range sched.Slots {
+		demand := make(map[int]int) // group -> device demanded this slot
+		for _, gate := range slot.Gates {
+			devs, err := zDevicesOf(c, dev, gate, czMode)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range devs {
+				grp := grouping.GroupOf(d)
+				if grp < 0 {
+					return nil, fmt.Errorf("demux: device %s not in any group", dev.Name(d))
+				}
+				if prev, busy := demand[grp]; busy && prev != d {
+					return nil, fmt.Errorf("demux: slot %d demands devices %s and %s of group %d simultaneously",
+						si, dev.Name(prev), dev.Name(d), grp)
+				}
+				demand[grp] = d
+			}
+		}
+		for grp, d := range demand {
+			port := portOf[d]
+			tl := &plan.Timelines[grp]
+			tl.Windows = append(tl.Windows, Window{
+				Slot:       si,
+				Port:       port,
+				Device:     d,
+				StartNs:    clock,
+				DurationNs: slot.Duration,
+			})
+			if lastPort[grp] != port {
+				if lastPort[grp] >= 0 {
+					tl.Switches++
+					plan.TotalSwitches++
+				}
+				lastPort[grp] = port
+			}
+		}
+		clock += slot.Duration
+	}
+	return plan, nil
+}
+
+// zDevicesOf mirrors the scheduler's resource model.
+func zDevicesOf(c *chip.Chip, dev tdm.Devices, g circuit.Gate, mode schedule.CZPulseMode) ([]int, error) {
+	if g.Name != circuit.CZ {
+		return nil, nil
+	}
+	a, b := g.Qubits[0], g.Qubits[1]
+	cp, ok := c.CouplerBetween(a, b)
+	if !ok {
+		return nil, fmt.Errorf("demux: CZ(%d,%d) has no coupler", a, b)
+	}
+	if mode == schedule.CZCouplerOnly {
+		return []int{dev.CouplerDevice(cp.ID)}, nil
+	}
+	return []int{a, b, dev.CouplerDevice(cp.ID)}, nil
+}
+
+// SwitchEnergyJ estimates the cold-stage actuation energy of the plan
+// given the per-switch energy (J). Cryo-CMOS switches dissipate ~pJ
+// per transition; this bounds the added heat load at the mixing
+// chamber.
+func (p *Plan) SwitchEnergyJ(perSwitchJ float64) float64 {
+	return float64(p.TotalSwitches) * perSwitchJ
+}
+
+// BitPattern renders a timeline's digital control words, one per
+// window, for debugging and for the waveform generator.
+func (tl *Timeline) BitPattern() ([][]int, error) {
+	out := make([][]int, len(tl.Windows))
+	for i, w := range tl.Windows {
+		if w.Port < 0 {
+			out[i] = nil
+			continue
+		}
+		bits, err := tl.Tree.SelectBits(w.Port)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = bits
+	}
+	return out, nil
+}

@@ -1,0 +1,258 @@
+package demux
+
+import (
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/circuit"
+	"repro/internal/schedule"
+	"repro/internal/tdm"
+)
+
+func TestTreeConstruction(t *testing.T) {
+	cases := []struct {
+		level  tdm.DemuxLevel
+		fanout int
+		levels int
+		cells  int
+	}{
+		{tdm.DemuxNone, 1, 0, 0},
+		{tdm.Demux1to2, 2, 1, 1},
+		{tdm.Demux1to4, 4, 2, 3},
+	}
+	for _, tc := range cases {
+		tree := NewTree(tc.level)
+		if tree.Fanout != tc.fanout || tree.Levels != tc.levels {
+			t.Errorf("%v: tree %+v", tc.level, tree)
+		}
+		if tree.NumCells() != tc.cells {
+			t.Errorf("%v: %d cells, want %d", tc.level, tree.NumCells(), tc.cells)
+		}
+	}
+}
+
+func TestSelectBits(t *testing.T) {
+	tree := NewTree(tdm.Demux1to4)
+	want := map[int][]int{
+		0: {0, 0},
+		1: {0, 1},
+		2: {1, 0},
+		3: {1, 1},
+	}
+	for port, bits := range want {
+		got, err := tree.SelectBits(port)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range bits {
+			if got[i] != bits[i] {
+				t.Errorf("port %d: bits %v, want %v", port, got, bits)
+			}
+		}
+	}
+	if _, err := tree.SelectBits(4); err == nil {
+		t.Error("out-of-range port accepted")
+	}
+	if _, err := tree.SelectBits(-1); err == nil {
+		t.Error("negative port accepted")
+	}
+}
+
+func TestInsertionLoss(t *testing.T) {
+	if l := NewTree(tdm.Demux1to4).InsertionLossDB(0.5); l != 1.0 {
+		t.Errorf("1:4 loss %v, want 1.0 dB", l)
+	}
+	if l := NewTree(tdm.DemuxNone).InsertionLossDB(0.5); l != 0 {
+		t.Errorf("direct line loss %v", l)
+	}
+}
+
+// buildScheduleAndGrouping makes a 2x2 chip with a known grouping and
+// schedules a two-CZ circuit under it.
+func buildPlanFixture(t *testing.T, groupDevices []int) (*chip.Chip, *tdm.Grouping, *schedule.Schedule) {
+	t.Helper()
+	ch := chip.Square(2, 2)
+	gi := tdm.AnalyzeGates(ch)
+	g := &tdm.Grouping{}
+	inGroup := map[int]bool{}
+	if len(groupDevices) > 0 {
+		g.Groups = append(g.Groups, tdm.Group{Devices: groupDevices, Level: tdm.Demux1to2})
+		for _, d := range groupDevices {
+			inGroup[d] = true
+		}
+	}
+	for d := 0; d < gi.Dev.Count(); d++ {
+		if !inGroup[d] {
+			g.Groups = append(g.Groups, tdm.Group{Devices: []int{d}, Level: tdm.DemuxNone})
+		}
+	}
+	c := circuit.New(4)
+	if err := c.Append(circuit.CZ, 0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append(circuit.CZ, 0, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	sched, err := schedule.New(ch, g, schedule.DefaultDurations()).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch, g, sched
+}
+
+func TestBuildPlanSerializedGroup(t *testing.T) {
+	// Qubits 0 and 3 share a DEMUX: the two CZs serialize, and the
+	// timeline must show the group switching between ports 0 and 1.
+	ch, g, sched := buildPlanFixture(t, []int{0, 3})
+	plan, err := BuildPlan(ch, g, sched, schedule.CZAllDevices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := plan.Timelines[0]
+	if len(tl.Windows) != 2 {
+		t.Fatalf("group 0 has %d windows, want 2", len(tl.Windows))
+	}
+	if tl.Windows[0].Device == tl.Windows[1].Device {
+		t.Error("both windows serve the same device")
+	}
+	if tl.Switches != 1 {
+		t.Errorf("switch count %d, want 1", tl.Switches)
+	}
+	if plan.TotalSwitches != 1 {
+		t.Errorf("total switches %d", plan.TotalSwitches)
+	}
+	// Windows must be time-ordered and non-overlapping.
+	if tl.Windows[1].StartNs < tl.Windows[0].StartNs+tl.Windows[0].DurationNs {
+		t.Error("windows overlap")
+	}
+	// One 1:2 group contributes 1 control bit.
+	if plan.ControlBitsPerWindow != 1 {
+		t.Errorf("control bits %d, want 1", plan.ControlBitsPerWindow)
+	}
+}
+
+func TestBuildPlanParallelDedicated(t *testing.T) {
+	// All devices dedicated: the CZs run in one slot and no DEMUX
+	// switches.
+	ch, g, sched := buildPlanFixture(t, nil)
+	plan, err := BuildPlan(ch, g, sched, schedule.CZAllDevices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalSwitches != 0 {
+		t.Errorf("dedicated lines switched %d times", plan.TotalSwitches)
+	}
+	if plan.ControlBitsPerWindow != 0 {
+		t.Errorf("dedicated lines need %d control bits", plan.ControlBitsPerWindow)
+	}
+	if len(sched.Slots) != 1 {
+		t.Fatalf("expected single slot, got %d", len(sched.Slots))
+	}
+}
+
+func TestBuildPlanDetectsIllegalSchedule(t *testing.T) {
+	// Hand-build a schedule that violates the one-device-per-window
+	// rule: both CZs in one slot while qubits 0 and 3 share a group.
+	ch := chip.Square(2, 2)
+	gi := tdm.AnalyzeGates(ch)
+	g := &tdm.Grouping{}
+	g.Groups = append(g.Groups, tdm.Group{Devices: []int{0, 3}, Level: tdm.Demux1to2})
+	for d := 0; d < gi.Dev.Count(); d++ {
+		if d != 0 && d != 3 {
+			g.Groups = append(g.Groups, tdm.Group{Devices: []int{d}, Level: tdm.DemuxNone})
+		}
+	}
+	cz01 := circuit.Gate{Name: circuit.CZ, Qubits: []int{0, 1}}
+	cz23 := circuit.Gate{Name: circuit.CZ, Qubits: []int{2, 3}}
+	bad := &schedule.Schedule{Slots: []schedule.Slot{{
+		Gates: []circuit.Gate{cz01, cz23}, Duration: 60, HasTwoQ: true,
+	}}}
+	if _, err := BuildPlan(ch, g, bad, schedule.CZAllDevices); err == nil {
+		t.Error("conflicting slot accepted")
+	}
+}
+
+func TestBuildPlanCouplerOnlyMode(t *testing.T) {
+	// In coupler-only mode, the qubit-sharing group never conflicts.
+	ch, g, sched := buildPlanFixture(t, []int{0, 3})
+	// Re-schedule in coupler-only mode: both CZs fit one slot.
+	c := circuit.New(4)
+	_ = c.Append(circuit.CZ, 0, 0, 1)
+	_ = c.Append(circuit.CZ, 0, 2, 3)
+	s := schedule.New(ch, g, schedule.DefaultDurations())
+	s.CZMode = schedule.CZCouplerOnly
+	sched, err := s.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := BuildPlan(ch, g, sched, schedule.CZCouplerOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalSwitches != 0 {
+		t.Errorf("coupler-only plan switched %d times", plan.TotalSwitches)
+	}
+}
+
+func TestBitPattern(t *testing.T) {
+	ch, g, sched := buildPlanFixture(t, []int{0, 3})
+	plan, err := BuildPlan(ch, g, sched, schedule.CZAllDevices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits, err := plan.Timelines[0].BitPattern()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bits) != 2 {
+		t.Fatalf("got %d patterns", len(bits))
+	}
+	if len(bits[0]) != 1 || len(bits[1]) != 1 {
+		t.Fatalf("1:2 DEMUX should have 1-bit patterns: %v", bits)
+	}
+	if bits[0][0] == bits[1][0] {
+		t.Error("patterns should differ between ports")
+	}
+}
+
+func TestSwitchEnergy(t *testing.T) {
+	p := &Plan{TotalSwitches: 1000}
+	if got := p.SwitchEnergyJ(1e-12); got != 1e-9 {
+		t.Errorf("energy %v, want 1 nJ", got)
+	}
+}
+
+func TestBuildPlanWithRealGrouping(t *testing.T) {
+	// End to end: real TDM grouping + compiled benchmark + plan.
+	ch := chip.Square(3, 3)
+	gi := tdm.AnalyzeGates(ch)
+	grouping, err := tdm.GroupChip(gi, tdm.DefaultConfig(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	logical, err := circuit.Benchmark(circuit.BenchQFT, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := circuit.Compile(logical, ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := schedule.New(ch, grouping, schedule.DefaultDurations()).Run(compiled.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := BuildPlan(ch, grouping, sched, schedule.CZAllDevices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every multiplexed group's windows must be one-device-at-a-time
+	// (BuildPlan would have errored otherwise) and time-ordered.
+	for _, tl := range plan.Timelines {
+		for i := 1; i < len(tl.Windows); i++ {
+			if tl.Windows[i].StartNs < tl.Windows[i-1].StartNs {
+				t.Fatalf("group %d windows out of order", tl.Group)
+			}
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/chip"
+)
+
+// The experiment regressions assert the *shape* of the paper's results:
+// who wins, by roughly what factor, and where the crossovers fall.
+
+func TestTable1Shape(t *testing.T) {
+	rows, err := Table1(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("got %d rows, want 10", len(rows))
+	}
+	byArch := map[string]map[int]Table1Row{"google": {}, "youtiao": {}}
+	for _, r := range rows {
+		byArch[r.Architecture][r.Distance] = r
+	}
+	for _, d := range Table1Distances {
+		g, y := byArch["google"][d], byArch["youtiao"][d]
+		// Wiring anchors: XY = 2d²-1 for Google; Z = qubits+couplers.
+		if g.XYLines != 2*d*d-1 {
+			t.Errorf("d=%d: Google XY %d, want %d", d, g.XYLines, 2*d*d-1)
+		}
+		if g.ZLines != (2*d*d-1)+4*d*(d-1) {
+			t.Errorf("d=%d: Google Z %d", d, g.ZLines)
+		}
+		// YOUTIAO reduces both line families substantially.
+		if float64(g.XYLines)/float64(y.XYLines) < 3.5 {
+			t.Errorf("d=%d: XY reduction only %.1fx", d, float64(g.XYLines)/float64(y.XYLines))
+		}
+		if float64(g.ZLines)/float64(y.ZLines) < 1.8 {
+			t.Errorf("d=%d: Z reduction only %.1fx", d, float64(g.ZLines)/float64(y.ZLines))
+		}
+		// Cost reduction approaching the paper's 2.35x at d=11.
+		if ratio := g.WiringCostUSD / y.WiringCostUSD; ratio < 1.8 {
+			t.Errorf("d=%d: cost reduction %.2fx", d, ratio)
+		}
+		// Google runs 4 CZ layers per cycle.
+		if g.TwoQGateDepth != 4*Table1Cycles {
+			t.Errorf("d=%d: Google depth %d, want %d", d, g.TwoQGateDepth, 4*Table1Cycles)
+		}
+		// YOUTIAO pays a bounded depth overhead.
+		if y.TwoQGateDepth < g.TwoQGateDepth {
+			t.Errorf("d=%d: YOUTIAO depth below Google", d)
+		}
+		if y.TwoQGateDepth > 2*g.TwoQGateDepth {
+			t.Errorf("d=%d: YOUTIAO depth %d more than doubles Google's %d",
+				d, y.TwoQGateDepth, g.TwoQGateDepth)
+		}
+	}
+	// Paper anchor: d=3 lands at ~16 Z lines for YOUTIAO.
+	if z := byArch["youtiao"][3].ZLines; z < 12 || z > 22 {
+		t.Errorf("d=3 YOUTIAO Z lines %d, paper reports 16", z)
+	}
+}
+
+func TestTable2CryostatShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chip-level routing is slow")
+	}
+	rows, err := Table2(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("got %d rows, want 10", len(rows))
+	}
+	for i := 0; i < len(rows); i += 2 {
+		g, y := rows[i], rows[i+1]
+		if g.Topology != y.Topology {
+			t.Fatalf("row pairing broken at %d", i)
+		}
+		// XY reduction ~4.2x, Z ~3.7x, cost ~3.2x, interfaces ~1.6x,
+		// area ~1.3x on average; assert generous per-topology bands.
+		if r := float64(g.XYLines) / float64(y.XYLines); r < 3.5 || r > 5.0 {
+			t.Errorf("%s: XY reduction %.2fx outside [3.5,5]", g.Topology, r)
+		}
+		if r := float64(g.ZLines) / float64(y.ZLines); r < 2.5 || r > 4.5 {
+			t.Errorf("%s: Z reduction %.2fx outside [2.5,4.5]", g.Topology, r)
+		}
+		if r := g.WiringCostUSD / y.WiringCostUSD; r < 2.3 || r > 3.8 {
+			t.Errorf("%s: cost reduction %.2fx outside [2.3,3.8]", g.Topology, r)
+		}
+		if r := float64(g.Interfaces) / float64(y.Interfaces); r < 1.3 || r > 2.0 {
+			t.Errorf("%s: interface reduction %.2fx outside [1.3,2]", g.Topology, r)
+		}
+		if y.RoutingAreaMM2 >= g.RoutingAreaMM2*1.05 {
+			t.Errorf("%s: YOUTIAO routing area %.2f not below Google %.2f",
+				g.Topology, y.RoutingAreaMM2, g.RoutingAreaMM2)
+		}
+	}
+}
+
+func TestRoutingAreaDirectSquare(t *testing.T) {
+	// A fast single-topology routing check that runs even in -short
+	// mode.
+	c := chip.Square(3, 3)
+	p, err := BuildPipeline(c, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := routeGoogle(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yr, err := routeYoutiao(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.Area <= 0 || yr.Area <= 0 {
+		t.Fatal("zero routing area")
+	}
+	if yr.Area > gr.Area*1.1 {
+		t.Errorf("YOUTIAO area %.2f well above Google %.2f", yr.Area, gr.Area)
+	}
+	if len(gr.Nets) <= len(yr.Nets) {
+		t.Errorf("YOUTIAO should route fewer nets: %d vs %d", len(yr.Nets), len(gr.Nets))
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	res, err := Fig12(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JSDivergence < 0 || res.JSDivergence > 0.5 {
+		t.Errorf("JS divergence %.3f outside the similarity band (paper: 0.06)", res.JSDivergence)
+	}
+	if len(res.Scales) == 0 {
+		t.Fatal("no scale points")
+	}
+	for _, s := range res.Scales {
+		if s.TransferredFidelity < 0.995 || s.TransferredFidelity > 1 {
+			t.Errorf("scale %d: transferred per-gate fidelity %.5f implausible", s.Qubits, s.TransferredFidelity)
+		}
+		if s.NativeFidelity < s.TransferredFidelity-0.002 {
+			t.Errorf("scale %d: native fidelity %.5f far below transferred %.5f",
+				s.Qubits, s.NativeFidelity, s.TransferredFidelity)
+		}
+	}
+	// Fidelity degrades (weakly) with scale for the transferred model.
+	first, last := res.Scales[0], res.Scales[len(res.Scales)-1]
+	if last.TransferredFidelity > first.TransferredFidelity+1e-4 {
+		t.Errorf("transferred fidelity should not improve with scale: %.5f -> %.5f",
+			first.TransferredFidelity, last.TransferredFidelity)
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	res, err := Fig13(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.A) != 3 {
+		t.Fatalf("panel (a): %d rows", len(res.A))
+	}
+	fid := map[string]float64{}
+	for _, r := range res.A {
+		fid[r.Strategy] = r.PerGateFidelity
+	}
+	// Headline: YOUTIAO reaches ~99.98% and beats both baselines.
+	if fid[StrategyYoutiao] < 0.9995 {
+		t.Errorf("YOUTIAO per-gate fidelity %.5f below 99.95%%", fid[StrategyYoutiao])
+	}
+	if fid[StrategyYoutiao] <= fid[StrategyGeorge] {
+		t.Errorf("YOUTIAO (%.5f) should beat George (%.5f)", fid[StrategyYoutiao], fid[StrategyGeorge])
+	}
+	if fid[StrategyGeorge] <= fid[StrategyBaseline] {
+		t.Errorf("George (%.5f) should beat the unoptimized baseline (%.5f)",
+			fid[StrategyGeorge], fid[StrategyBaseline])
+	}
+	// Panel (b): monotone decay, YOUTIAO most robust at depth 100.
+	if len(res.B) != 10 {
+		t.Fatalf("panel (b): %d points", len(res.B))
+	}
+	for i := 1; i < len(res.B); i++ {
+		if res.B[i].Youtiao > res.B[i-1].Youtiao+1e-9 {
+			t.Error("YOUTIAO curve not monotone")
+		}
+	}
+	last := res.B[len(res.B)-1]
+	if last.Youtiao <= last.Baseline {
+		t.Error("YOUTIAO should outlast the baseline at 100 layers")
+	}
+	if last.Youtiao < 0.2 {
+		t.Errorf("YOUTIAO at 100 layers %.3f; paper reports 55%%", last.Youtiao)
+	}
+	if last.Baseline > 0.3 {
+		t.Errorf("baseline at 100 layers %.3f; paper reports 23%% (collapse)", last.Baseline)
+	}
+}
+
+func TestFigs14And15Shape(t *testing.T) {
+	rows, err := Figs14And15(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d benchmarks", len(rows))
+	}
+	for _, r := range rows {
+		// Depth ordering: Google <= YOUTIAO <= Acharya (paper: 1.05x
+		// and 1.23x factors).
+		if r.YoutiaoDepth < r.GoogleDepth {
+			t.Errorf("%s: YOUTIAO depth %d below Google %d", r.Benchmark, r.YoutiaoDepth, r.GoogleDepth)
+		}
+		if r.AcharyaDepth < r.YoutiaoDepth {
+			t.Errorf("%s: Acharya depth %d below YOUTIAO %d", r.Benchmark, r.AcharyaDepth, r.YoutiaoDepth)
+		}
+		if ratio := float64(r.YoutiaoDepth) / float64(r.GoogleDepth); ratio > 1.6 {
+			t.Errorf("%s: YOUTIAO depth overhead %.2fx too high", r.Benchmark, ratio)
+		}
+		// Fidelity ordering mirrors depth (Figure 15). A small positive
+		// margin is allowed: at equal depth YOUTIAO's allocated
+		// frequencies can beat Google's fabrication frequencies on
+		// crosstalk.
+		if r.YoutiaoFidelity > r.GoogleFidelity+0.01 {
+			t.Errorf("%s: YOUTIAO fidelity well above Google", r.Benchmark)
+		}
+		if r.AcharyaFidelity > r.YoutiaoFidelity+1e-9 {
+			t.Errorf("%s: Acharya fidelity above YOUTIAO", r.Benchmark)
+		}
+		if r.GoogleFidelity <= 0 || r.GoogleFidelity > 1 {
+			t.Errorf("%s: Google fidelity %v out of range", r.Benchmark, r.GoogleFidelity)
+		}
+		// Latency ordering.
+		if r.YoutiaoLatencyNs < r.GoogleLatencyNs {
+			t.Errorf("%s: YOUTIAO latency below Google", r.Benchmark)
+		}
+	}
+}
+
+func TestFig16Shape(t *testing.T) {
+	rows, err := Fig16(Options{Seed: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5*len(DefaultThetas) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	frac14 := map[string]map[float64]float64{}
+	for _, r := range rows {
+		if r.Frac12 < 0 || r.Frac12 > 1 || r.Frac14 < 0 || r.Frac14 > 1 {
+			t.Errorf("%s θ=%g: fractions out of range", r.Topology, r.Theta)
+		}
+		if r.OneToTwo+r.OneToFour > 0 && absf(r.Frac12+r.Frac14-1) > 1e-9 {
+			t.Errorf("%s θ=%g: fractions do not sum to 1", r.Topology, r.Theta)
+		}
+		if frac14[r.Topology] == nil {
+			frac14[r.Topology] = map[float64]float64{}
+		}
+		frac14[r.Topology][r.Theta] = r.Frac14
+	}
+	// Raising θ shifts the mix toward 1:4 DEMUXes for every topology.
+	for topo, f := range frac14 {
+		if f[8] < f[1] {
+			t.Errorf("%s: 1:4 fraction decreases with θ (%v -> %v)", topo, f[1], f[8])
+		}
+	}
+	// At the paper's θ=4, the square topology (highest parallelism)
+	// must use a larger 1:2 share than the low-density topology.
+	if frac14["square"][4] > frac14["low-density"][4] {
+		t.Errorf("square 1:4 share %.2f exceeds low-density %.2f at θ=4",
+			frac14["square"][4], frac14["low-density"][4])
+	}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestFig17Shape(t *testing.T) {
+	res, err := Fig17(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ZFanoutSquare < 1.5 || res.ZFanoutSquare > 4 {
+		t.Errorf("square Z fan-out %.2f implausible", res.ZFanoutSquare)
+	}
+	if res.ZFanoutHeavyHex <= res.ZFanoutSquare {
+		t.Errorf("heavy-hex fan-out %.2f should exceed square %.2f (lower parallelism)",
+			res.ZFanoutHeavyHex, res.ZFanoutSquare)
+	}
+	// Panel (a)/(d): reduction over 2.3x at every scale.
+	for _, p := range append(res.SmallSweep, res.LargeSweep...) {
+		if p.Reduction() < 2.0 {
+			t.Errorf("n=%d: reduction %.2fx below 2", p.Qubits, p.Reduction())
+		}
+	}
+	// Panel (b): the paper reports 613 -> 267 cables and 94.3% fidelity.
+	if res.System150.GoogleCoax < 550 || res.System150.GoogleCoax > 680 {
+		t.Errorf("150q Google coax %d, want ≈613", res.System150.GoogleCoax)
+	}
+	if res.System150.YoutiaoCoax > 320 {
+		t.Errorf("150q YOUTIAO coax %d, want ≈267", res.System150.YoutiaoCoax)
+	}
+	if res.System150.XYFidelity < 0.90 || res.System150.XYFidelity > 0.995 {
+		t.Errorf("150q XY fidelity %.3f, want ≈0.943", res.System150.XYFidelity)
+	}
+	// Panel (c): ~3.4x cable reduction vs IBM chiplets.
+	last := res.Chiplets[len(res.Chiplets)-1]
+	if r := last.Reduction(); r < 2.5 || r > 4.2 {
+		t.Errorf("chiplet reduction %.2fx, want ≈3.4", r)
+	}
+	// Savings in the billions at 100k qubits.
+	if res.SavingsUSD100k < 1e9 {
+		t.Errorf("100k-qubit savings $%.2fB below $1B", res.SavingsUSD100k/1e9)
+	}
+}

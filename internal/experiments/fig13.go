@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/chip"
+	"repro/internal/fdm"
+	"repro/internal/xmon"
+)
+
+// FDM strategy names used across Figure 13.
+const (
+	StrategyYoutiao  = "youtiao"
+	StrategyGeorge   = "george"
+	StrategyBaseline = "baseline"
+)
+
+// Fig13aRow reports the per-gate fidelity of random single-qubit gate
+// layers on 4-qubit FDM lines of the 36-qubit chip for one grouping /
+// allocation strategy.
+type Fig13aRow struct {
+	Strategy        string
+	PerGateFidelity float64
+	PerGateError    float64
+}
+
+// Fig13bPoint is one depth of the Figure 13(b) fidelity-decay curves
+// (whole 36-qubit chip, 9 FDM lines, all driven in parallel).
+type Fig13bPoint struct {
+	Layers   int
+	Youtiao  float64
+	George   float64
+	Baseline float64
+}
+
+// Fig13Result bundles both panels.
+type Fig13Result struct {
+	A []Fig13aRow
+	B []Fig13bPoint
+}
+
+// Fig13 reproduces Figure 13 on the 36-qubit (6×6) chip:
+//
+//	(a) per-gate fidelity of 10 random gate layers on 4-qubit FDM lines
+//	    under YOUTIAO (noise-aware grouping + two-level allocation),
+//	    George et al. (local clustering + in-line-only allocation) and
+//	    the unoptimized baseline (local clustering, fabrication
+//	    frequencies);
+//	(b) whole-chip fidelity decay over up to 100 layers.
+func Fig13(opts Options) (*Fig13Result, error) {
+	opts = opts.normalized()
+	opts.FDMCapacity = 4 // the paper uses 4-qubit FDM lines here
+	rng := rand.New(rand.NewSource(opts.Seed))
+	dev := xmon.NewDevice(chip.Square(6, 6), xmon.DefaultParams(), rng)
+
+	plans, err := fig13Plans(dev, opts, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	all := firstN(dev.Chip.NumQubits())
+	res := &Fig13Result{}
+	for _, s := range []string{StrategyYoutiao, StrategyGeorge, StrategyBaseline} {
+		total := planLayerFidelity(dev, plans[s], all, Fig12Layers)
+		pg := perGate(total, Fig12Layers*len(all))
+		res.A = append(res.A, Fig13aRow{Strategy: s, PerGateFidelity: pg, PerGateError: 1 - pg})
+	}
+	for layers := 10; layers <= 100; layers += 10 {
+		res.B = append(res.B, Fig13bPoint{
+			Layers:   layers,
+			Youtiao:  planLayerFidelity(dev, plans[StrategyYoutiao], all, layers),
+			George:   planLayerFidelity(dev, plans[StrategyGeorge], all, layers),
+			Baseline: planLayerFidelity(dev, plans[StrategyBaseline], all, layers),
+		})
+	}
+	return res, nil
+}
+
+// fig13Plans builds the frequency plan of each strategy.
+func fig13Plans(dev *xmon.Device, opts Options, rng *rand.Rand) (map[string]map[int]float64, error) {
+	c := dev.Chip
+	model, err := fitModel(c, dev, xmon.XY, opts, rng)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig13 fit: %w", err)
+	}
+	pred := model.On(c)
+	all := firstN(c.NumQubits())
+
+	// YOUTIAO: noise-aware grouping + two-level allocation.
+	yg, err := fdm.Group(all, opts.FDMCapacity, pred.EquivDistance)
+	if err != nil {
+		return nil, err
+	}
+	yPlan, err := fdm.Allocate(yg, pred.Predict, fdm.DefaultAllocOptions())
+	if err != nil {
+		return nil, err
+	}
+
+	// George et al.: local clustering, in-line-only even spreading.
+	lg := fdm.LocalClusterGroup(all, opts.FDMCapacity)
+	gPlan := fdm.InLineAllocate(lg)
+
+	// Baseline: local clustering, fabrication frequencies untouched.
+	base := make(map[int]float64, c.NumQubits())
+	for _, q := range c.Qubits {
+		base[q.ID] = q.BaseFreq
+	}
+
+	return map[string]map[int]float64{
+		StrategyYoutiao:  yPlan.Freq,
+		StrategyGeorge:   gPlan.Freq,
+		StrategyBaseline: base,
+	}, nil
+}

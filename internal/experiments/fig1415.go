@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/chip"
+	"repro/internal/circuit"
+	"repro/internal/quantum"
+	"repro/internal/schedule"
+	"repro/internal/tdm"
+	"repro/internal/xmon"
+)
+
+// BenchRow reports, for one benchmark circuit on the 36-qubit chip, the
+// two-qubit gate depth (Figure 14) and the estimated circuit fidelity
+// (Figure 15) under the three architectures.
+type BenchRow struct {
+	Benchmark circuit.BenchmarkName
+
+	GoogleDepth  int
+	YoutiaoDepth int
+	AcharyaDepth int
+
+	GoogleLatencyNs  float64
+	YoutiaoLatencyNs float64
+	AcharyaLatencyNs float64
+
+	GoogleFidelity  float64
+	YoutiaoFidelity float64
+	AcharyaFidelity float64
+}
+
+// benchmarkQubits sizes each workload on the 36-qubit chip: the full
+// register for the shallow variational/Ising ansätze, and the moderate
+// algorithm sizes of the paper's motivation (e.g. the 8-qubit DJ) for
+// the deep circuits, whose 36-qubit variants would be decoherence-dead
+// on any architecture.
+var benchmarkQubits = map[circuit.BenchmarkName]int{
+	circuit.BenchVQC:   16,
+	circuit.BenchIsing: 16,
+	circuit.BenchDJ:    9,
+	circuit.BenchQFT:   8,
+	circuit.BenchQKNN:  9,
+}
+
+// Figs14And15 reproduces Figures 14 and 15: the five benchmarks are
+// compiled to the 6×6 chip and scheduled under Google's dedicated
+// wiring, YOUTIAO's TDM grouping, and the Acharya-style local-cluster
+// TDM baseline; each schedule is scored for 2q-gate depth, latency and
+// fidelity (true device crosstalk + T1 decay).
+func Figs14And15(opts Options) ([]BenchRow, error) {
+	opts = opts.normalized()
+	c := chip.Square(6, 6)
+	p, err := BuildPipeline(c, opts)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig14/15 pipeline: %w", err)
+	}
+	acharya, err := tdm.LocalClusterGroup(p.Gates, 4)
+	if err != nil {
+		return nil, err
+	}
+
+	baseFreq := make(map[int]float64, c.NumQubits())
+	for _, q := range c.Qubits {
+		baseFreq[q.ID] = q.BaseFreq
+	}
+	trueXT := func(i, j int) float64 { return p.Device.Coupling(xmon.XY, i, j) }
+	trueZZ := func(i, j int) float64 { return p.Device.Coupling(xmon.ZZ, i, j) }
+
+	var rows []BenchRow
+	for _, name := range circuit.AllBenchmarks {
+		logical, err := circuit.Benchmark(name, benchmarkQubits[name], opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		compiled, err := circuit.CompileSabre(logical, c)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: compile %s: %w", name, err)
+		}
+
+		row := BenchRow{Benchmark: name}
+		runs := []struct {
+			grouping *tdm.Grouping
+			freq     map[int]float64
+			depth    *int
+			latency  *float64
+			fid      *float64
+		}{
+			{nil, baseFreq, &row.GoogleDepth, &row.GoogleLatencyNs, &row.GoogleFidelity},
+			{p.TDM, p.FreqPlan.Freq, &row.YoutiaoDepth, &row.YoutiaoLatencyNs, &row.YoutiaoFidelity},
+			{acharya, baseFreq, &row.AcharyaDepth, &row.AcharyaLatencyNs, &row.AcharyaFidelity},
+		}
+		for _, r := range runs {
+			sched, err := schedule.New(c, r.grouping, schedule.DefaultDurations()).Run(compiled.Circuit)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: schedule %s: %w", name, err)
+			}
+			*r.depth = sched.TwoQubitDepth
+			*r.latency = sched.LatencyNs
+			nm := quantum.NewNoiseModel(trueXT, r.freq)
+			nm.ZZ = trueZZ
+			fid, err := nm.EstimateSchedule(sched, logical.NumQubits)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fidelity %s: %w", name, err)
+			}
+			*r.fid = fid
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

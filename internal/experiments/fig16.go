@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/chip"
+	"repro/internal/tdm"
+	"repro/internal/xmon"
+)
+
+// Fig16Row reports the cryo-DEMUX mix of one topology at one
+// parallelism threshold θ.
+type Fig16Row struct {
+	Topology string
+	Theta    float64
+
+	Direct    int // dedicated Z lines (group size 1)
+	OneToTwo  int // 1:2 DEMUX units
+	OneToFour int // 1:4 DEMUX units
+
+	// Frac12 and Frac14 are the proportions among DEMUX units.
+	Frac12, Frac14 float64
+}
+
+// DefaultThetas is the threshold sweep of Figure 16.
+var DefaultThetas = []float64{1, 2, 4, 6, 8}
+
+// Fig16 reproduces Figure 16: for each evaluation topology and each
+// parallelism threshold, run the TDM grouping and report the usage
+// proportion of 1:2 versus 1:4 cryo-DEMUXes.
+func Fig16(opts Options, thetas []float64) ([]Fig16Row, error) {
+	opts = opts.normalized()
+	if len(thetas) == 0 {
+		thetas = DefaultThetas
+	}
+	var rows []Fig16Row
+	for _, c := range chip.Table2Chips() {
+		rng := rand.New(rand.NewSource(opts.Seed))
+		dev := xmon.NewDevice(c, xmon.DefaultParams(), rng)
+		model, err := fitModel(c, dev, xmon.ZZ, opts, rng)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig16 %s fit: %w", c.Topology, err)
+		}
+		pred := model.On(c)
+		gi := tdm.AnalyzeGates(c)
+		for _, theta := range thetas {
+			cfg := tdm.DefaultConfig(pred.Predict)
+			cfg.Theta = theta
+			g, err := tdm.GroupChip(gi, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig16 %s θ=%g: %w", c.Topology, theta, err)
+			}
+			counts := g.LevelCounts()
+			row := Fig16Row{
+				Topology:  c.Topology,
+				Theta:     theta,
+				Direct:    counts[tdm.DemuxNone],
+				OneToTwo:  counts[tdm.Demux1to2],
+				OneToFour: counts[tdm.Demux1to4],
+			}
+			if total := row.OneToTwo + row.OneToFour; total > 0 {
+				row.Frac12 = float64(row.OneToTwo) / float64(total)
+				row.Frac14 = float64(row.OneToFour) / float64(total)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/chip"
+	"repro/internal/cost"
+	"repro/internal/scalesim"
+	"repro/internal/tdm"
+	"repro/internal/wiring"
+)
+
+// Fig17System150 is the 150-qubit panel (Figure 17b): cable budgets and
+// the fidelity of simultaneous XY gates on every qubit under the
+// YOUTIAO FDM plan.
+type Fig17System150 struct {
+	GoogleCoax  int
+	YoutiaoCoax int
+	XYFidelity  float64
+}
+
+// Fig17Result bundles the large-scale estimation panels.
+type Fig17Result struct {
+	// ZFanoutSquare and ZFanoutHeavyHex are the calibrated average Z
+	// DEMUX fan-outs measured by running the real pipeline.
+	ZFanoutSquare   float64
+	ZFanoutHeavyHex float64
+
+	SmallSweep []scalesim.Point        // (a): 10–1k qubits
+	System150  Fig17System150          // (b)
+	Chiplets   []scalesim.ChipletPoint // (c): IBM chiplet comparison
+	LargeSweep []scalesim.Point        // (d): 1k–100k qubits
+
+	// SavingsUSD100k is the coax saving at 100k qubits.
+	SavingsUSD100k float64
+}
+
+// Fig17 reproduces Figure 17. The Z-line fan-outs are calibrated by
+// running the full YOUTIAO pipeline on a 10×10 square chip and a
+// heavy-hexagon chip, then extrapolated analytically.
+func Fig17(opts Options) (*Fig17Result, error) {
+	opts = opts.normalized()
+	res := &Fig17Result{}
+
+	// Calibrate the square-lattice fan-out.
+	sq, err := BuildPipeline(chip.Square(10, 10), opts)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig17 square calibration: %w", err)
+	}
+	res.ZFanoutSquare = zFanout(sq)
+
+	hh, err := BuildPipeline(chip.HeavyHexagon(5, 5), opts)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig17 heavy-hex calibration: %w", err)
+	}
+	res.ZFanoutHeavyHex = zFanout(hh)
+
+	res.SmallSweep = scalesim.Sweep([]int{10, 25, 50, 100, 150, 300, 500, 1000}, res.ZFanoutSquare)
+	res.LargeSweep = scalesim.Sweep([]int{1000, 5000, 10000, 50000, 100000}, res.ZFanoutSquare)
+
+	res.Chiplets, err = scalesim.IBMChipletSweep(25, res.ZFanoutHeavyHex)
+	if err != nil {
+		return nil, err
+	}
+
+	// 150-qubit system: real pipeline on a 15×10 grid.
+	p150, err := BuildPipeline(chip.Square(15, 10), opts)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig17 150q pipeline: %w", err)
+	}
+	gPlan := wiring.Google(p150.Chip)
+	yPlan, err := wiring.Youtiao(p150.Chip, p150.FDM, p150.TDM)
+	if err != nil {
+		return nil, err
+	}
+	all := firstN(p150.Chip.NumQubits())
+	res.System150 = Fig17System150{
+		GoogleCoax:  gPlan.CoaxLines(),
+		YoutiaoCoax: yPlan.CoaxLines(),
+		XYFidelity:  planLayerFidelity(p150.Device, p150.FreqPlan.Freq, all, 1),
+	}
+
+	last := res.LargeSweep[len(res.LargeSweep)-1]
+	res.SavingsUSD100k = scalesim.Savings(last, cost.DefaultModel())
+	return res, nil
+}
+
+// zFanout returns devices-per-Z-line of a designed pipeline.
+func zFanout(p *Pipeline) float64 {
+	devices := tdm.NewDevices(p.Chip).Count()
+	if p.TDM.NumZLines() == 0 {
+		return 1
+	}
+	return float64(devices) / float64(p.TDM.NumZLines())
+}

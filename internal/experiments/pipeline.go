@@ -1,0 +1,295 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. Each experiment is a plain function returning typed rows,
+// shared by cmd/tables, cmd/figures, the examples and the benchmark
+// harness in the repository root.
+//
+// The package also owns the end-to-end YOUTIAO pipeline used by most
+// experiments: fabricate a synthetic Xmon device on a chip, measure
+// crosstalk, fit the characterization model, partition the chip, run
+// FDM grouping + frequency allocation and TDM grouping.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/chip"
+	"repro/internal/circuit"
+	"repro/internal/crosstalk"
+	"repro/internal/fdm"
+	"repro/internal/mlfit"
+	"repro/internal/partition"
+	"repro/internal/schedule"
+	"repro/internal/tdm"
+	"repro/internal/xmon"
+)
+
+// Options tune the pipeline. The zero value is completed by defaults.
+type Options struct {
+	// Seed drives device fabrication, measurement noise and partition
+	// seeding. Defaults to 1.
+	Seed int64
+	// FDMCapacity is the qubits-per-XY-line limit (paper: 5).
+	FDMCapacity int
+	// Theta is the TDM parallelism threshold (paper example: 4).
+	Theta float64
+	// PartitionTargetSize is the qubits-per-region target; regions
+	// below 2 disable partitioning (small chips are grouped whole).
+	PartitionTargetSize int
+	// MaxFitSamples subsamples the calibration campaign before model
+	// fitting so large chips stay tractable. Defaults to 1500.
+	MaxFitSamples int
+	// SparseQubitZ enables the surface-code operation mode for TDM
+	// grouping (see tdm.Config.SparseQubitZ).
+	SparseQubitZ bool
+	// TDMMinLossyFraction overrides tdm.Config.MinLossyFraction when
+	// non-zero (higher = stricter grouping, less serialization).
+	TDMMinLossyFraction float64
+	// TDMLossyLimit overrides tdm.Config.LossyLimit when non-zero.
+	TDMLossyLimit int
+	// AnnealSteps, when positive, refines the greedy frequency
+	// allocation with that many simulated-annealing moves.
+	AnnealSteps int
+	// Fit configures the crosstalk model search. Zero value gets a
+	// fast default (coarser grid and smaller forest than
+	// crosstalk.DefaultFitConfig, adequate for grouping guidance).
+	Fit crosstalk.FitConfig
+}
+
+func (o Options) normalized() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.FDMCapacity <= 0 {
+		o.FDMCapacity = 5
+	}
+	if o.Theta == 0 {
+		o.Theta = 4
+	}
+	if o.PartitionTargetSize == 0 {
+		o.PartitionTargetSize = 36
+	}
+	if o.MaxFitSamples == 0 {
+		o.MaxFitSamples = 1500
+	}
+	if len(o.Fit.WeightGrid) == 0 {
+		o.Fit = crosstalk.FitConfig{
+			WeightGrid: []float64{0, 0.25, 0.5, 1.0},
+			Folds:      5,
+			Forest: mlfit.ForestConfig{
+				NumTrees: 12,
+				Tree:     mlfit.TreeConfig{MaxDepth: 10, MinLeafSize: 4},
+				Seed:     1,
+			},
+		}
+	}
+	return o
+}
+
+// Pipeline is the fully-designed YOUTIAO control system for one chip.
+type Pipeline struct {
+	Opts   Options
+	Chip   *chip.Chip
+	Device *xmon.Device
+
+	ModelXY *crosstalk.Model
+	ModelZZ *crosstalk.Model
+	PredXY  *crosstalk.Predictor
+	PredZZ  *crosstalk.Predictor
+
+	Partition *partition.Partition
+	FDM       *fdm.Grouping
+	FreqPlan  *fdm.FrequencyPlan
+	Gates     *tdm.GateInfo
+	TDM       *tdm.Grouping
+}
+
+// BuildPipeline designs the complete YOUTIAO control system for a chip.
+func BuildPipeline(c *chip.Chip, opts Options) (*Pipeline, error) {
+	opts = opts.normalized()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	dev := xmon.NewDevice(c, xmon.DefaultParams(), rng)
+	return buildOnDevice(dev, opts, rng)
+}
+
+// BuildPipelineOnDevice designs the system for an already-fabricated
+// device (used by the model-transfer experiments).
+func BuildPipelineOnDevice(dev *xmon.Device, opts Options) (*Pipeline, error) {
+	opts = opts.normalized()
+	rng := rand.New(rand.NewSource(opts.Seed + 7))
+	return buildOnDevice(dev, opts, rng)
+}
+
+func buildOnDevice(dev *xmon.Device, opts Options, rng *rand.Rand) (*Pipeline, error) {
+	c := dev.Chip
+	p := &Pipeline{Opts: opts, Chip: c, Device: dev}
+
+	// 1. Calibration campaign and crosstalk characterization.
+	var err error
+	p.ModelXY, err = fitModel(c, dev, xmon.XY, opts, rng)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: XY model: %w", err)
+	}
+	p.ModelZZ, err = fitModel(c, dev, xmon.ZZ, opts, rng)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ZZ model: %w", err)
+	}
+	p.PredXY = p.ModelXY.On(c)
+	p.PredZZ = p.ModelZZ.On(c)
+	return p, p.design(rng)
+}
+
+// AttachModels installs externally-trained crosstalk models (the
+// Figure 12 transfer scenario) and redesigns the groupings with them.
+func (p *Pipeline) AttachModels(xy, zz *crosstalk.Model) error {
+	p.ModelXY, p.ModelZZ = xy, zz
+	p.PredXY = xy.On(p.Chip)
+	p.PredZZ = zz.On(p.Chip)
+	rng := rand.New(rand.NewSource(p.Opts.Seed + 13))
+	return p.design(rng)
+}
+
+// design runs partition -> FDM -> allocation -> TDM with the current
+// predictors.
+func (p *Pipeline) design(rng *rand.Rand) error {
+	c := p.Chip
+	dist := p.PredXY.EquivDistance
+
+	// 2. Generative partition (skipped for chips at or below one
+	// region).
+	if c.NumQubits() > p.Opts.PartitionTargetSize {
+		part, err := partition.Generate(c, dist, partition.Config{TargetSize: p.Opts.PartitionTargetSize}, rng)
+		if err != nil {
+			return fmt.Errorf("experiments: partition: %w", err)
+		}
+		p.Partition = part
+	}
+
+	// 3. FDM grouping per region — regions are independent after the
+	// partition stabilizes, so they are grouped concurrently (the
+	// paper's stage-3 pipelining) and assembled in region order to
+	// stay deterministic. The two-level allocation then runs globally.
+	regions := p.regions()
+	p.FDM = &fdm.Grouping{Capacity: p.Opts.FDMCapacity}
+	fdmResults := make([]*fdm.Grouping, len(regions))
+	fdmErrs := make([]error, len(regions))
+	var wg sync.WaitGroup
+	for ri, region := range regions {
+		wg.Add(1)
+		go func(ri int, region []int) {
+			defer wg.Done()
+			fdmResults[ri], fdmErrs[ri] = fdm.Group(region, p.Opts.FDMCapacity, dist)
+		}(ri, region)
+	}
+	wg.Wait()
+	for ri := range regions {
+		if fdmErrs[ri] != nil {
+			return fmt.Errorf("experiments: FDM grouping region %d: %w", ri, fdmErrs[ri])
+		}
+		p.FDM.Groups = append(p.FDM.Groups, fdmResults[ri].Groups...)
+	}
+	plan, err := fdm.Allocate(p.FDM, p.PredXY.Predict, fdm.DefaultAllocOptions())
+	if err != nil {
+		return fmt.Errorf("experiments: frequency allocation: %w", err)
+	}
+	if p.Opts.AnnealSteps > 0 {
+		annealOpts := fdm.DefaultAnnealOptions()
+		annealOpts.Steps = p.Opts.AnnealSteps
+		annealOpts.Seed = p.Opts.Seed
+		refined, _, _, err := fdm.Anneal(plan, p.FDM, p.PredXY.Predict, annealOpts)
+		if err != nil {
+			return fmt.Errorf("experiments: anneal: %w", err)
+		}
+		plan = refined
+	}
+	p.FreqPlan = plan
+
+	// 4. TDM grouping per region over qubits and couplers.
+	p.Gates = tdm.AnalyzeGates(c)
+	cfg := tdm.DefaultConfig(p.PredZZ.Predict)
+	cfg.Theta = p.Opts.Theta
+	cfg.SparseQubitZ = p.Opts.SparseQubitZ
+	if p.Opts.TDMMinLossyFraction > 0 {
+		cfg.MinLossyFraction = p.Opts.TDMMinLossyFraction
+	}
+	if p.Opts.TDMLossyLimit > 0 {
+		cfg.LossyLimit = p.Opts.TDMLossyLimit
+	}
+	p.TDM = &tdm.Grouping{Theta: cfg.Theta}
+	couplerRegions := p.couplerRegions()
+	tdmResults := make([]*tdm.Grouping, len(regions))
+	tdmErrs := make([]error, len(regions))
+	for ri, region := range regions {
+		devs := append([]int(nil), region...)
+		for ci, cr := range couplerRegions {
+			if cr == ri {
+				devs = append(devs, p.Gates.Dev.CouplerDevice(ci))
+			}
+		}
+		wg.Add(1)
+		go func(ri int, devs []int) {
+			defer wg.Done()
+			tdmResults[ri], tdmErrs[ri] = tdm.GroupDevices(p.Gates, devs, cfg)
+		}(ri, devs)
+	}
+	wg.Wait()
+	for ri := range regions {
+		if tdmErrs[ri] != nil {
+			return fmt.Errorf("experiments: TDM grouping region %d: %w", ri, tdmErrs[ri])
+		}
+		p.TDM.Groups = append(p.TDM.Groups, tdmResults[ri].Groups...)
+	}
+	return nil
+}
+
+// regions returns the partition regions, or one whole-chip region.
+func (p *Pipeline) regions() [][]int {
+	if p.Partition != nil {
+		return p.Partition.Regions
+	}
+	all := make([]int, p.Chip.NumQubits())
+	for i := range all {
+		all[i] = i
+	}
+	return [][]int{all}
+}
+
+// couplerRegions returns the region index per coupler.
+func (p *Pipeline) couplerRegions() []int {
+	if p.Partition != nil {
+		return p.Partition.CouplerRegion(p.Chip)
+	}
+	out := make([]int, p.Chip.NumCouplers())
+	return out
+}
+
+// ScheduleBenchmark compiles the named benchmark circuit ("VQC",
+// "ISING", "DJ", "QFT", "QKNN") at the given logical width onto the
+// pipeline's chip and schedules it under the designed TDM grouping.
+func (p *Pipeline) ScheduleBenchmark(name string, qubits int) (*schedule.Schedule, error) {
+	logical, err := circuit.Benchmark(circuit.BenchmarkName(name), qubits, p.Opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	compiled, err := circuit.CompileSabre(logical, p.Chip)
+	if err != nil {
+		return nil, err
+	}
+	return schedule.New(p.Chip, p.TDM, schedule.DefaultDurations()).Run(compiled.Circuit)
+}
+
+// fitModel measures one crosstalk channel and fits the characterization
+// model, subsampling large campaigns.
+func fitModel(c *chip.Chip, dev *xmon.Device, kind xmon.CrosstalkKind, opts Options, rng *rand.Rand) (*crosstalk.Model, error) {
+	samples := dev.Measure(kind, 0.05, rng)
+	if len(samples) > opts.MaxFitSamples {
+		perm := rng.Perm(len(samples))[:opts.MaxFitSamples]
+		sub := make([]xmon.Sample, len(perm))
+		for i, pi := range perm {
+			sub[i] = samples[pi]
+		}
+		samples = sub
+	}
+	return crosstalk.Fit(c, samples, opts.Fit)
+}

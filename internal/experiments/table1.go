@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/cost"
+	"repro/internal/schedule"
+	"repro/internal/surface"
+	"repro/internal/wiring"
+)
+
+// Table1Row is one (distance, architecture) cell row of Table 1:
+// wiring results of fault-tolerant quantum chips over 25 EC cycles.
+type Table1Row struct {
+	Architecture  string
+	Distance      int
+	XYLines       int
+	ZLines        int
+	WiringCostUSD float64
+	TwoQGateDepth int
+}
+
+// Table1Distances are the code distances evaluated in the paper.
+var Table1Distances = []int{3, 5, 7, 9, 11}
+
+// Table1Cycles is the error-correction cycle count of the case study.
+const Table1Cycles = 25
+
+// Table1 reproduces Table 1: for each surface-code distance, the
+// Google-baseline and YOUTIAO wiring bills and the two-qubit gate depth
+// of a 25-cycle error-correction circuit under each architecture.
+func Table1(opts Options) ([]Table1Row, error) {
+	model := cost.DefaultModel()
+	// The fault-tolerant case study runs in the paper's surface-code
+	// operation mode: parity XY drives are FDM'd, qubit Z activity is
+	// sparse DC parking, and CZ pulses ride the couplers. Coupler
+	// grouping stays near-strict so EC cycles keep their 4-layer CZ
+	// cadence.
+	opts.SparseQubitZ = true
+	if opts.TDMMinLossyFraction == 0 {
+		opts.TDMMinLossyFraction = 0.8
+	}
+	var rows []Table1Row
+	for _, d := range Table1Distances {
+		code, err := surface.New(d)
+		if err != nil {
+			return nil, err
+		}
+		circ := circuit.Decompose(code.CycleCircuit(Table1Cycles))
+
+		// Google: dedicated lines, no TDM serialization.
+		gPlan := wiring.Google(code.Chip)
+		gSched, err := schedule.New(code.Chip, nil, schedule.DefaultDurations()).Run(circ)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table1 d=%d google: %w", d, err)
+		}
+		rows = append(rows, Table1Row{
+			Architecture:  "google",
+			Distance:      d,
+			XYLines:       gPlan.XYLines,
+			ZLines:        gPlan.ZLines,
+			WiringCostUSD: model.WiringCost(gPlan),
+			TwoQGateDepth: gSched.TwoQubitDepth,
+		})
+
+		// YOUTIAO: full pipeline on the surface chip.
+		p, err := BuildPipeline(code.Chip, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table1 d=%d pipeline: %w", d, err)
+		}
+		yPlan, err := wiring.Youtiao(code.Chip, p.FDM, p.TDM)
+		if err != nil {
+			return nil, err
+		}
+		ySch := schedule.New(code.Chip, p.TDM, schedule.DefaultDurations())
+		ySch.CZMode = schedule.CZCouplerOnly
+		ySched, err := ySch.Run(circ)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table1 d=%d youtiao: %w", d, err)
+		}
+		rows = append(rows, Table1Row{
+			Architecture:  "youtiao",
+			Distance:      d,
+			XYLines:       yPlan.XYLines,
+			ZLines:        yPlan.ZLines,
+			WiringCostUSD: model.WiringCost(yPlan),
+			TwoQGateDepth: ySched.TwoQubitDepth,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/chip"
+	"repro/internal/cost"
+	"repro/internal/geom"
+	"repro/internal/route"
+	"repro/internal/tdm"
+	"repro/internal/wiring"
+)
+
+// Table2Row is one (topology, architecture) column of Table 2.
+type Table2Row struct {
+	Topology     string
+	Architecture string
+	NumQubits    int
+
+	// Cryostat level.
+	XYLines       int
+	ZLines        int
+	DemuxControl  int
+	DACs          int
+	WiringCostUSD float64
+
+	// Chip level.
+	Interfaces     int
+	RoutingAreaMM2 float64
+	RouteCrossings int
+	// DRCViolations is the post-routing spacing-check count (0 for a
+	// clean, manufacturable layout; crossovers are airbridges and not
+	// counted).
+	DRCViolations int
+}
+
+// Table2 reproduces Table 2: cryostat-level and chip-level wiring for
+// the five evaluation topologies under Google's architecture and
+// YOUTIAO.
+func Table2(opts Options) ([]Table2Row, error) {
+	model := cost.DefaultModel()
+	var rows []Table2Row
+	for _, c := range chip.Table2Chips() {
+		p, err := BuildPipeline(c, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table2 %s: %w", c.Topology, err)
+		}
+
+		gPlan := wiring.Google(c)
+		gRoute, err := routeGoogle(c)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table2 %s google routing: %w", c.Topology, err)
+		}
+		rows = append(rows, Table2Row{
+			Topology:       c.Topology,
+			Architecture:   "google",
+			NumQubits:      c.NumQubits(),
+			XYLines:        gPlan.XYLines,
+			ZLines:         gPlan.ZLines,
+			DACs:           gPlan.DACs,
+			WiringCostUSD:  model.WiringCost(gPlan),
+			Interfaces:     gPlan.Interfaces,
+			RoutingAreaMM2: gRoute.Area,
+			RouteCrossings: gRoute.Crossings,
+			DRCViolations:  route.CheckDRC(gRoute).SpacingViolations,
+		})
+
+		yPlan, err := wiring.Youtiao(c, p.FDM, p.TDM)
+		if err != nil {
+			return nil, err
+		}
+		yRoute, err := routeYoutiao(p)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table2 %s youtiao routing: %w", c.Topology, err)
+		}
+		rows = append(rows, Table2Row{
+			Topology:       c.Topology,
+			Architecture:   "youtiao",
+			NumQubits:      c.NumQubits(),
+			XYLines:        yPlan.XYLines,
+			ZLines:         yPlan.ZLines,
+			DemuxControl:   yPlan.ControlLines,
+			DACs:           yPlan.DACs,
+			WiringCostUSD:  model.WiringCost(yPlan),
+			Interfaces:     yPlan.Interfaces,
+			RoutingAreaMM2: yRoute.Area,
+			RouteCrossings: yRoute.Crossings,
+			DRCViolations:  route.CheckDRC(yRoute).SpacingViolations,
+		})
+	}
+	return rows, nil
+}
+
+// Port offsets: each control family attaches to its own pad on the
+// qubit footprint (XY drive on the west side, Z flux on the east,
+// readout on the north), so distinct nets never share an endpoint.
+const portOffset = 0.08 // mm
+
+func xyPort(p geom.Point) geom.Point      { return p.Add(geom.Pt(-portOffset, 0)) }
+func zPort(p geom.Point) geom.Point       { return p.Add(geom.Pt(portOffset, 0)) }
+func readoutPort(p geom.Point) geom.Point { return p.Add(geom.Pt(0, portOffset)) }
+
+// routeGoogle routes the baseline architecture on-chip: one XY net per
+// qubit, one Z net per qubit and per coupler, and readout chains of up
+// to GoogleReadoutCapacity qubits in id order.
+func routeGoogle(c *chip.Chip) (*route.Result, error) {
+	var nets []route.Net
+	for _, q := range c.Qubits {
+		nets = append(nets,
+			route.Net{Kind: route.NetXY, Label: fmt.Sprintf("xy-q%d", q.ID), Targets: []geom.Point{xyPort(q.Pos)}},
+			route.Net{Kind: route.NetZ, Label: fmt.Sprintf("z-q%d", q.ID), Targets: []geom.Point{zPort(q.Pos)}},
+		)
+	}
+	for _, cp := range c.Couplers {
+		nets = append(nets, route.Net{Kind: route.NetZ, Label: fmt.Sprintf("z-c%d", cp.ID), Targets: []geom.Point{cp.Pos}})
+	}
+	nets = append(nets, readoutNets(c, wiring.GoogleReadoutCapacity)...)
+	return route.NewRouter(c).RouteAll(nets)
+}
+
+// routeYoutiao routes the hybrid architecture: FDM XY chains, TDM Z
+// stars through DEMUX hubs, twisted-pair control nets to the hubs, and
+// readout chains of up to YoutiaoReadoutCapacity qubits.
+func routeYoutiao(p *Pipeline) (*route.Result, error) {
+	c := p.Chip
+	var nets []route.Net
+	for li, group := range p.FDM.Groups {
+		targets := make([]geom.Point, len(group))
+		for i, q := range group {
+			targets[i] = xyPort(c.Qubits[q].Pos)
+		}
+		nets = append(nets, route.Net{Kind: route.NetXY, Label: fmt.Sprintf("fdm-xy-%d", li), Targets: targets})
+	}
+	dev := tdm.NewDevices(c)
+	for gi, group := range p.TDM.Groups {
+		pts := make([]geom.Point, 0, len(group.Devices))
+		for _, d := range group.Devices {
+			pos := devicePos(c, dev, d)
+			if !dev.IsCoupler(d) {
+				pos = zPort(pos)
+			}
+			pts = append(pts, pos)
+		}
+		// The cryo-DEMUX sits at the first device of the group; the Z
+		// line chains through the members in greedy nearest-neighbour
+		// order, which beats a hub-and-spoke star on wire length.
+		chain := nearestNeighbourChain(pts)
+		nets = append(nets, route.Net{Kind: route.NetZ, Label: fmt.Sprintf("tdm-z-%d", gi), Targets: chain})
+		for b := 0; b < group.Level.ControlBits(); b++ {
+			nets = append(nets, route.Net{
+				Kind:    route.NetControl,
+				Label:   fmt.Sprintf("ctl-%d-%d", gi, b),
+				Targets: []geom.Point{chain[0]},
+			})
+		}
+	}
+	nets = append(nets, readoutNets(c, wiring.YoutiaoReadoutCapacity)...)
+	return route.NewRouter(c).RouteAll(nets)
+}
+
+// nearestNeighbourChain reorders the points into a greedy short chain
+// starting from the first point.
+func nearestNeighbourChain(pts []geom.Point) []geom.Point {
+	if len(pts) <= 2 {
+		return pts
+	}
+	chain := []geom.Point{pts[0]}
+	remaining := append([]geom.Point(nil), pts[1:]...)
+	for len(remaining) > 0 {
+		last := chain[len(chain)-1]
+		best, bestD := 0, last.Dist(remaining[0])
+		for i := 1; i < len(remaining); i++ {
+			if d := last.Dist(remaining[i]); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		chain = append(chain, remaining[best])
+		remaining = append(remaining[:best], remaining[best+1:]...)
+	}
+	return chain
+}
+
+func devicePos(c *chip.Chip, dev tdm.Devices, d int) geom.Point {
+	if dev.IsCoupler(d) {
+		return c.Couplers[dev.CouplerID(d)].Pos
+	}
+	return c.Qubits[d].Pos
+}
+
+// readoutNets chains qubits in id order onto shared feedlines.
+func readoutNets(c *chip.Chip, capacity int) []route.Net {
+	var nets []route.Net
+	for start := 0; start < c.NumQubits(); start += capacity {
+		end := start + capacity
+		if end > c.NumQubits() {
+			end = c.NumQubits()
+		}
+		targets := make([]geom.Point, 0, end-start)
+		for q := start; q < end; q++ {
+			targets = append(targets, readoutPort(c.Qubits[q].Pos))
+		}
+		nets = append(nets, route.Net{
+			Kind:    route.NetReadout,
+			Label:   fmt.Sprintf("ro-%d", start/capacity),
+			Targets: targets,
+		})
+	}
+	return nets
+}

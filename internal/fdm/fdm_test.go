@@ -1,0 +1,162 @@
+package fdm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chip"
+)
+
+// euclid is a toy distance over qubit ids laid out on a line.
+func euclid(i, j int) float64 { return math.Abs(float64(i - j)) }
+
+func members(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestGroupValidation(t *testing.T) {
+	if _, err := Group(members(4), 0, euclid); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := Group([]int{1, 1}, 2, euclid); err == nil {
+		t.Error("duplicate members accepted")
+	}
+}
+
+func TestGroupPartitions(t *testing.T) {
+	for _, n := range []int{1, 4, 5, 9, 17} {
+		for _, cap := range []int{1, 2, 3, 5} {
+			g, err := Group(members(n), cap, euclid)
+			if err != nil {
+				t.Fatalf("n=%d cap=%d: %v", n, cap, err)
+			}
+			if err := g.Validate(n); err != nil {
+				t.Errorf("n=%d cap=%d: %v", n, cap, err)
+			}
+		}
+	}
+}
+
+func TestGroupKeepsNeighboursTogether(t *testing.T) {
+	// On a line with capacity 3, the frontier growth packs contiguous
+	// runs.
+	g, err := Group(members(9), 3, euclid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li, grp := range g.Groups {
+		min, max := grp[0], grp[0]
+		for _, q := range grp {
+			if q < min {
+				min = q
+			}
+			if q > max {
+				max = q
+			}
+		}
+		if max-min != len(grp)-1 {
+			t.Errorf("line %d not contiguous: %v", li, grp)
+		}
+	}
+}
+
+func TestGroupChipCoversChip(t *testing.T) {
+	c := chip.Square(4, 4)
+	dist := func(i, j int) float64 { return c.PhysicalDistance(i, j) }
+	g, err := GroupChip(c, 5, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(c.NumQubits()); err != nil {
+		t.Error(err)
+	}
+	if want := (c.NumQubits() + 4) / 5; g.NumLines() != want {
+		t.Errorf("got %d lines, want %d", g.NumLines(), want)
+	}
+}
+
+func TestLineOf(t *testing.T) {
+	g, err := Group(members(6), 3, euclid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li, grp := range g.Groups {
+		for _, q := range grp {
+			if g.LineOf(q) != li {
+				t.Errorf("LineOf(%d) = %d, want %d", q, g.LineOf(q), li)
+			}
+		}
+	}
+	if g.LineOf(99) != -1 {
+		t.Error("LineOf of unknown qubit should be -1")
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	g := &Grouping{Capacity: 2, Groups: [][]int{{0, 1, 2}}}
+	if g.Validate(3) == nil {
+		t.Error("over-capacity group accepted")
+	}
+	g = &Grouping{Capacity: 3, Groups: [][]int{{0, 1}, {1, 2}}}
+	if g.Validate(3) == nil {
+		t.Error("duplicate qubit accepted")
+	}
+	g = &Grouping{Capacity: 3, Groups: [][]int{{0, 1}}}
+	if g.Validate(3) == nil {
+		t.Error("missing qubit accepted")
+	}
+	g = &Grouping{Capacity: 3, Groups: [][]int{{0, 5}}}
+	if g.Validate(3) == nil {
+		t.Error("out-of-range qubit accepted")
+	}
+}
+
+func TestLocalClusterGroup(t *testing.T) {
+	g := LocalClusterGroup([]int{3, 1, 0, 2, 4}, 2)
+	if err := g.Validate(5); err != nil {
+		t.Fatal(err)
+	}
+	// Raster order: {0,1},{2,3},{4}.
+	want := [][]int{{0, 1}, {2, 3}, {4}}
+	for i, grp := range g.Groups {
+		for j := range grp {
+			if grp[j] != want[i][j] {
+				t.Fatalf("group %d = %v, want %v", i, grp, want[i])
+			}
+		}
+	}
+}
+
+func TestGroupQuickPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(30)
+		cap := 1 + r.Intn(6)
+		// Random symmetric distance.
+		d := make([][]float64, n)
+		for i := range d {
+			d[i] = make([]float64, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				v := r.Float64()
+				d[i][j], d[j][i] = v, v
+			}
+		}
+		g, err := Group(members(n), cap, func(i, j int) float64 { return d[i][j] })
+		if err != nil {
+			return false
+		}
+		return g.Validate(n) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,157 @@
+// Package geom provides the small set of 2-D geometry primitives used by
+// the chip layout and on-chip routing code: points, axis-aligned
+// rectangles, Manhattan/Euclidean metrics and segment intersection tests.
+//
+// All coordinates are in millimetres unless a caller states otherwise;
+// the router works on an integer grid derived from these coordinates.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a 2-D point.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.3f, %.3f)", p.X, p.Y) }
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// ManhattanDist returns the L1 distance between p and q.
+func (p Point) ManhattanDist(q Point) float64 {
+	return math.Abs(p.X-q.X) + math.Abs(p.Y-q.Y)
+}
+
+// Rect is an axis-aligned rectangle. Min is the lower-left corner and Max
+// the upper-right; a Rect with Min == Max is empty.
+type Rect struct {
+	Min, Max Point
+}
+
+// RectFromPoints returns the bounding box of pts. It returns the zero
+// Rect when pts is empty.
+func RectFromPoints(pts []Point) Rect {
+	if len(pts) == 0 {
+		return Rect{}
+	}
+	r := Rect{Min: pts[0], Max: pts[0]}
+	for _, p := range pts[1:] {
+		r.Min.X = math.Min(r.Min.X, p.X)
+		r.Min.Y = math.Min(r.Min.Y, p.Y)
+		r.Max.X = math.Max(r.Max.X, p.X)
+		r.Max.Y = math.Max(r.Max.Y, p.Y)
+	}
+	return r
+}
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Area returns the area of r.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Contains reports whether p lies inside r (inclusive of the border).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Expand returns r grown by m on every side.
+func (r Rect) Expand(m float64) Rect {
+	return Rect{
+		Min: Point{r.Min.X - m, r.Min.Y - m},
+		Max: Point{r.Max.X + m, r.Max.Y + m},
+	}
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		Min: Point{math.Min(r.Min.X, s.Min.X), math.Min(r.Min.Y, s.Min.Y)},
+		Max: Point{math.Max(r.Max.X, s.Max.X), math.Max(r.Max.Y, s.Max.Y)},
+	}
+}
+
+// Segment is a line segment between two points.
+type Segment struct {
+	A, B Point
+}
+
+// Length returns the Euclidean length of the segment.
+func (s Segment) Length() float64 { return s.A.Dist(s.B) }
+
+// orientation returns the turn direction of the triplet (p, q, r):
+// 0 collinear, 1 clockwise, 2 counter-clockwise.
+func orientation(p, q, r Point) int {
+	v := (q.Y-p.Y)*(r.X-q.X) - (q.X-p.X)*(r.Y-q.Y)
+	const eps = 1e-12
+	switch {
+	case math.Abs(v) < eps:
+		return 0
+	case v > 0:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// onSegment reports whether q lies on segment pr, assuming collinearity.
+func onSegment(p, q, r Point) bool {
+	return q.X <= math.Max(p.X, r.X) && q.X >= math.Min(p.X, r.X) &&
+		q.Y <= math.Max(p.Y, r.Y) && q.Y >= math.Min(p.Y, r.Y)
+}
+
+// Intersects reports whether segments s and t intersect, including
+// touching at endpoints and collinear overlap.
+func (s Segment) Intersects(t Segment) bool {
+	o1 := orientation(s.A, s.B, t.A)
+	o2 := orientation(s.A, s.B, t.B)
+	o3 := orientation(t.A, t.B, s.A)
+	o4 := orientation(t.A, t.B, s.B)
+
+	if o1 != o2 && o3 != o4 {
+		return true
+	}
+	switch {
+	case o1 == 0 && onSegment(s.A, t.A, s.B):
+		return true
+	case o2 == 0 && onSegment(s.A, t.B, s.B):
+		return true
+	case o3 == 0 && onSegment(t.A, s.A, t.B):
+		return true
+	case o4 == 0 && onSegment(t.A, s.B, t.B):
+		return true
+	}
+	return false
+}
+
+// PathLength returns the total length of the polyline through pts.
+func PathLength(pts []Point) float64 {
+	var l float64
+	for i := 1; i < len(pts); i++ {
+		l += pts[i-1].Dist(pts[i])
+	}
+	return l
+}

@@ -1,0 +1,158 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPointArithmetic(t *testing.T) {
+	p := Pt(1, 2)
+	q := Pt(3, -4)
+	if got := p.Add(q); got != Pt(4, -2) {
+		t.Errorf("Add: got %v", got)
+	}
+	if got := p.Sub(q); got != Pt(-2, 6) {
+		t.Errorf("Sub: got %v", got)
+	}
+	if got := p.Scale(2); got != Pt(2, 4) {
+		t.Errorf("Scale: got %v", got)
+	}
+}
+
+func TestDist(t *testing.T) {
+	if d := Pt(0, 0).Dist(Pt(3, 4)); !almostEqual(d, 5) {
+		t.Errorf("Dist: got %v, want 5", d)
+	}
+	if d := Pt(1, 1).Dist(Pt(1, 1)); d != 0 {
+		t.Errorf("Dist to self: got %v", d)
+	}
+}
+
+func TestManhattanDist(t *testing.T) {
+	if d := Pt(0, 0).ManhattanDist(Pt(3, -4)); !almostEqual(d, 7) {
+		t.Errorf("ManhattanDist: got %v, want 7", d)
+	}
+}
+
+func TestDistSymmetryAndTriangle(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	symmetric := func(ax, ay, bx, by float64) bool {
+		for _, v := range []float64{ax, ay, bx, by} {
+			if math.Abs(v) > 1e12 || math.IsNaN(v) {
+				return true
+			}
+		}
+		a, b := Pt(ax, ay), Pt(bx, by)
+		return almostEqual(a.Dist(b), b.Dist(a))
+	}
+	if err := quick.Check(symmetric, cfg); err != nil {
+		t.Errorf("distance not symmetric: %v", err)
+	}
+	triangle := func(ax, ay, bx, by, cx, cy float64) bool {
+		// Guard against overflow-scale values that lose precision.
+		for _, v := range []float64{ax, ay, bx, by, cx, cy} {
+			if math.Abs(v) > 1e12 || math.IsNaN(v) {
+				return true
+			}
+		}
+		a, b, c := Pt(ax, ay), Pt(bx, by), Pt(cx, cy)
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-6
+	}
+	if err := quick.Check(triangle, cfg); err != nil {
+		t.Errorf("triangle inequality violated: %v", err)
+	}
+	manhattanDominates := func(ax, ay, bx, by float64) bool {
+		for _, v := range []float64{ax, ay, bx, by} {
+			if math.Abs(v) > 1e12 || math.IsNaN(v) {
+				return true
+			}
+		}
+		a, b := Pt(ax, ay), Pt(bx, by)
+		return a.ManhattanDist(b) >= a.Dist(b)-1e-6
+	}
+	if err := quick.Check(manhattanDominates, cfg); err != nil {
+		t.Errorf("L1 should dominate L2: %v", err)
+	}
+}
+
+func TestRectFromPoints(t *testing.T) {
+	r := RectFromPoints([]Point{Pt(1, 5), Pt(-2, 3), Pt(4, -1)})
+	if r.Min != Pt(-2, -1) || r.Max != Pt(4, 5) {
+		t.Errorf("bounding box wrong: %+v", r)
+	}
+	if got := RectFromPoints(nil); got != (Rect{}) {
+		t.Errorf("empty input should give zero Rect, got %+v", got)
+	}
+}
+
+func TestRectGeometry(t *testing.T) {
+	r := Rect{Min: Pt(0, 0), Max: Pt(4, 3)}
+	if !almostEqual(r.Width(), 4) || !almostEqual(r.Height(), 3) {
+		t.Errorf("size wrong: %v x %v", r.Width(), r.Height())
+	}
+	if !almostEqual(r.Area(), 12) {
+		t.Errorf("area: got %v", r.Area())
+	}
+	if !r.Contains(Pt(2, 1)) || !r.Contains(Pt(0, 0)) || !r.Contains(Pt(4, 3)) {
+		t.Error("Contains should include interior and border")
+	}
+	if r.Contains(Pt(4.01, 1)) {
+		t.Error("Contains should exclude outside points")
+	}
+	e := r.Expand(1)
+	if e.Min != Pt(-1, -1) || e.Max != Pt(5, 4) {
+		t.Errorf("Expand wrong: %+v", e)
+	}
+	u := r.Union(Rect{Min: Pt(-1, 2), Max: Pt(2, 9)})
+	if u.Min != Pt(-1, 0) || u.Max != Pt(4, 9) {
+		t.Errorf("Union wrong: %+v", u)
+	}
+}
+
+func TestSegmentIntersects(t *testing.T) {
+	cases := []struct {
+		name string
+		s, t Segment
+		want bool
+	}{
+		{"crossing", Segment{Pt(0, 0), Pt(2, 2)}, Segment{Pt(0, 2), Pt(2, 0)}, true},
+		{"parallel apart", Segment{Pt(0, 0), Pt(2, 0)}, Segment{Pt(0, 1), Pt(2, 1)}, false},
+		{"collinear overlap", Segment{Pt(0, 0), Pt(2, 0)}, Segment{Pt(1, 0), Pt(3, 0)}, true},
+		{"collinear disjoint", Segment{Pt(0, 0), Pt(1, 0)}, Segment{Pt(2, 0), Pt(3, 0)}, false},
+		{"touch endpoint", Segment{Pt(0, 0), Pt(1, 1)}, Segment{Pt(1, 1), Pt(2, 0)}, true},
+		{"T junction", Segment{Pt(0, 0), Pt(2, 0)}, Segment{Pt(1, 0), Pt(1, 2)}, true},
+		{"near miss", Segment{Pt(0, 0), Pt(1, 0)}, Segment{Pt(1.1, -1), Pt(1.1, 1)}, false},
+	}
+	for _, c := range cases {
+		if got := c.s.Intersects(c.t); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+		// Intersection must be symmetric.
+		if got := c.t.Intersects(c.s); got != c.want {
+			t.Errorf("%s (swapped): got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSegmentLength(t *testing.T) {
+	if l := (Segment{Pt(0, 0), Pt(3, 4)}).Length(); !almostEqual(l, 5) {
+		t.Errorf("Length: got %v", l)
+	}
+}
+
+func TestPathLength(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(3, 0), Pt(3, 4)}
+	if l := PathLength(pts); !almostEqual(l, 7) {
+		t.Errorf("PathLength: got %v, want 7", l)
+	}
+	if l := PathLength(nil); l != 0 {
+		t.Errorf("empty path: got %v", l)
+	}
+	if l := PathLength(pts[:1]); l != 0 {
+		t.Errorf("single point: got %v", l)
+	}
+}

@@ -1,0 +1,316 @@
+// Package graphx implements the small-graph algorithms the grouping and
+// partitioning passes rely on: unweighted and weighted shortest paths,
+// shortest-path multiplicity counting (the multi-path topological
+// distance of the paper, d_top = n*l), connected components and greedy
+// coloring helpers.
+//
+// Graphs are represented as adjacency lists over dense integer vertex
+// ids [0, n). This keeps the algorithms allocation-light and trivially
+// testable.
+package graphx
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Graph is an undirected graph over vertices 0..N-1.
+type Graph struct {
+	n   int
+	adj [][]int
+}
+
+// New returns an empty graph with n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graphx: negative vertex count %d", n))
+	}
+	return &Graph{n: n, adj: make([][]int, n)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge adds an undirected edge {u, v}. Self-loops and duplicate edges
+// are rejected with an error because the chip model never produces them
+// and their presence would silently distort path multiplicity counts.
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("graphx: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("graphx: self-loop at %d", u)
+	}
+	for _, w := range g.adj[u] {
+		if w == v {
+			return fmt.Errorf("graphx: duplicate edge (%d,%d)", u, v)
+		}
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	return nil
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false
+	}
+	for _, w := range g.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors returns the adjacency list of u. The returned slice is owned
+// by the graph and must not be modified.
+func (g *Graph) Neighbors(u int) []int { return g.adj[u] }
+
+// Degree returns the number of edges incident to u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// Edges returns every undirected edge once, as ordered pairs (u < v).
+func (g *Graph) Edges() [][2]int {
+	var es [][2]int
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if u < v {
+				es = append(es, [2]int{u, v})
+			}
+		}
+	}
+	return es
+}
+
+// BFSDistances returns the unweighted shortest-path distance from src to
+// every vertex. Unreachable vertices get -1.
+func (g *Graph) BFSDistances(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// ShortestPathCounts returns, for a source vertex, both the shortest-path
+// distance dist[v] and the number of distinct shortest paths count[v]
+// from src to each v. Unreachable vertices have dist -1 and count 0.
+//
+// This implements the paper's multi-path topological metric: when n
+// shortest paths of length l connect two qubits, d_top = n*l.
+func (g *Graph) ShortestPathCounts(src int) (dist []int, count []int64) {
+	dist = make([]int, g.n)
+	count = make([]int64, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	count[src] = 1
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			switch {
+			case dist[v] < 0:
+				dist[v] = dist[u] + 1
+				count[v] = count[u]
+				queue = append(queue, v)
+			case dist[v] == dist[u]+1:
+				count[v] += count[u]
+			}
+		}
+	}
+	return dist, count
+}
+
+// MultiPathDistance returns the paper's multi-path topological distance
+// between u and v: n*l where l is the shortest-path length and n the
+// number of distinct shortest paths. It returns +Inf when v is
+// unreachable from u, and 0 when u == v.
+func (g *Graph) MultiPathDistance(u, v int) float64 {
+	if u == v {
+		return 0
+	}
+	dist, count := g.ShortestPathCounts(u)
+	if dist[v] < 0 {
+		return math.Inf(1)
+	}
+	return float64(count[v]) * float64(dist[v])
+}
+
+// AllMultiPathDistances returns the full n×n multi-path distance matrix.
+// Entry [i][j] is +Inf for unreachable pairs and 0 on the diagonal.
+func (g *Graph) AllMultiPathDistances() [][]float64 {
+	m := make([][]float64, g.n)
+	for u := 0; u < g.n; u++ {
+		dist, count := g.ShortestPathCounts(u)
+		row := make([]float64, g.n)
+		for v := 0; v < g.n; v++ {
+			switch {
+			case u == v:
+				row[v] = 0
+			case dist[v] < 0:
+				row[v] = math.Inf(1)
+			default:
+				row[v] = float64(count[v]) * float64(dist[v])
+			}
+		}
+		m[u] = row
+	}
+	return m
+}
+
+// Components returns the connected components of g, each as a sorted
+// slice of vertex ids, ordered by their smallest vertex.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, g.n)
+	var comps [][]int
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		stack := []int{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, u)
+			for _, v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		// Insertion sort: components are small.
+		for i := 1; i < len(comp); i++ {
+			for j := i; j > 0 && comp[j] < comp[j-1]; j-- {
+				comp[j], comp[j-1] = comp[j-1], comp[j]
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// WeightedEdge is an edge with a non-negative weight.
+type WeightedEdge struct {
+	To     int
+	Weight float64
+}
+
+// WeightedGraph is an undirected graph with weighted edges.
+type WeightedGraph struct {
+	n   int
+	adj [][]WeightedEdge
+}
+
+// NewWeighted returns an empty weighted graph with n vertices.
+func NewWeighted(n int) *WeightedGraph {
+	return &WeightedGraph{n: n, adj: make([][]WeightedEdge, n)}
+}
+
+// N returns the number of vertices.
+func (g *WeightedGraph) N() int { return g.n }
+
+// AddEdge adds an undirected weighted edge.
+func (g *WeightedGraph) AddEdge(u, v int, w float64) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("graphx: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if w < 0 {
+		return fmt.Errorf("graphx: negative weight %g on edge (%d,%d)", w, u, v)
+	}
+	g.adj[u] = append(g.adj[u], WeightedEdge{To: v, Weight: w})
+	g.adj[v] = append(g.adj[v], WeightedEdge{To: u, Weight: w})
+	return nil
+}
+
+// Dijkstra returns the weighted shortest-path distances from src.
+// Unreachable vertices get +Inf.
+func (g *WeightedGraph) Dijkstra(src int) []float64 {
+	dist := make([]float64, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	pq := &distHeap{{v: src, d: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(distItem)
+		if item.d > dist[item.v] {
+			continue
+		}
+		for _, e := range g.adj[item.v] {
+			if nd := item.d + e.Weight; nd < dist[e.To] {
+				dist[e.To] = nd
+				heap.Push(pq, distItem{v: e.To, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+type distItem struct {
+	v int
+	d float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// GreedyColoring colors the graph greedily in the given vertex order,
+// returning color[v] for each vertex. Adjacent vertices always receive
+// different colors; the number of colors used is at most maxDegree+1.
+func (g *Graph) GreedyColoring(order []int) []int {
+	color := make([]int, g.n)
+	for i := range color {
+		color[i] = -1
+	}
+	used := make([]bool, g.n+1)
+	for _, u := range order {
+		for _, v := range g.adj[u] {
+			if c := color[v]; c >= 0 {
+				used[c] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		color[u] = c
+		for _, v := range g.adj[u] {
+			if cv := color[v]; cv >= 0 {
+				used[cv] = false
+			}
+		}
+	}
+	return color
+}

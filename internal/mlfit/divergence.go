@@ -1,0 +1,87 @@
+package mlfit
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram bins values into nBins equal-width bins over [min, max] and
+// returns the normalized probability mass per bin. Values outside the
+// range are clamped into the boundary bins; an empty input returns a
+// uniform distribution so divergence computations stay defined.
+func Histogram(values []float64, min, max float64, nBins int) []float64 {
+	if nBins <= 0 {
+		panic(fmt.Sprintf("mlfit: nBins must be positive, got %d", nBins))
+	}
+	h := make([]float64, nBins)
+	if len(values) == 0 {
+		for i := range h {
+			h[i] = 1 / float64(nBins)
+		}
+		return h
+	}
+	width := (max - min) / float64(nBins)
+	if width <= 0 {
+		h[0] = 1
+		return h
+	}
+	for _, v := range values {
+		b := int((v - min) / width)
+		if b < 0 {
+			b = 0
+		}
+		if b >= nBins {
+			b = nBins - 1
+		}
+		h[b]++
+	}
+	for i := range h {
+		h[i] /= float64(len(values))
+	}
+	return h
+}
+
+// klDivergence returns KL(p || q) in bits for distributions with matched
+// support; terms where p is zero contribute nothing, and q is smoothed
+// by the caller.
+func klDivergence(p, q []float64) float64 {
+	var d float64
+	for i := range p {
+		if p[i] > 0 && q[i] > 0 {
+			d += p[i] * math.Log2(p[i]/q[i])
+		}
+	}
+	return d
+}
+
+// JSDivergence returns the Jensen–Shannon divergence (bits, in [0,1])
+// between two probability distributions over the same bins. This is the
+// Figure 12 similarity metric for predicted noise distributions.
+func JSDivergence(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("mlfit: JS divergence bin mismatch %d vs %d", len(p), len(q)))
+	}
+	m := make([]float64, len(p))
+	for i := range p {
+		m[i] = (p[i] + q[i]) / 2
+	}
+	return klDivergence(p, m)/2 + klDivergence(q, m)/2
+}
+
+// JSDivergenceSamples bins two sample sets over their joint range and
+// returns the JS divergence of the resulting histograms.
+func JSDivergenceSamples(a, b []float64, nBins int) float64 {
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, v := range a {
+		min = math.Min(min, v)
+		max = math.Max(max, v)
+	}
+	for _, v := range b {
+		min = math.Min(min, v)
+		max = math.Max(max, v)
+	}
+	if math.IsInf(min, 1) {
+		return 0 // both empty
+	}
+	return JSDivergence(Histogram(a, min, max, nBins), Histogram(b, min, max, nBins))
+}

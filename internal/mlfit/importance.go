@@ -1,0 +1,49 @@
+package mlfit
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// PermutationImportance measures each feature's contribution to a
+// fitted forest: the increase in MSE when that feature's column is
+// randomly permuted (breaking its relationship to the target) while
+// the others stay intact. Larger values mean the model leans on the
+// feature more. Used to sanity-check that the crosstalk model actually
+// exploits the equivalent distance rather than memorizing noise.
+func PermutationImportance(f *Forest, X [][]float64, y []float64, rounds int, seed int64) ([]float64, error) {
+	if len(X) == 0 {
+		return nil, fmt.Errorf("mlfit: empty evaluation set")
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("mlfit: %d rows but %d targets", len(X), len(y))
+	}
+	if rounds < 1 {
+		return nil, fmt.Errorf("mlfit: rounds must be positive, got %d", rounds)
+	}
+	nf := len(X[0])
+	base := MSE(f.PredictAll(X), y)
+	rng := rand.New(rand.NewSource(seed))
+
+	// Work on a mutable copy of one column at a time.
+	col := make([]float64, len(X))
+	importance := make([]float64, nf)
+	for feat := 0; feat < nf; feat++ {
+		for i := range X {
+			col[i] = X[i][feat]
+		}
+		var total float64
+		for r := 0; r < rounds; r++ {
+			perm := rng.Perm(len(X))
+			for i := range X {
+				X[i][feat] = col[perm[i]]
+			}
+			total += MSE(f.PredictAll(X), y) - base
+		}
+		for i := range X {
+			X[i][feat] = col[i]
+		}
+		importance[feat] = total / float64(rounds)
+	}
+	return importance, nil
+}

@@ -1,0 +1,77 @@
+package mlfit
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPermutationImportanceFindsInformativeFeature(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 400; i++ {
+		signal := rng.Float64()
+		noise := rng.Float64()
+		X = append(X, []float64{signal, noise})
+		y = append(y, 3*signal+rng.NormFloat64()*0.02)
+	}
+	f, err := FitForest(X, y, DefaultForestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, err := PermutationImportance(f, X, y, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imp) != 2 {
+		t.Fatalf("got %d importances", len(imp))
+	}
+	if imp[0] <= imp[1] {
+		t.Errorf("signal importance %v should exceed noise importance %v", imp[0], imp[1])
+	}
+	if imp[0] <= 0 {
+		t.Errorf("signal importance %v should be positive", imp[0])
+	}
+}
+
+func TestPermutationImportanceRestoresData(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 100; i++ {
+		X = append(X, []float64{rng.Float64()})
+		y = append(y, X[i][0])
+	}
+	orig := make([]float64, len(X))
+	for i := range X {
+		orig[i] = X[i][0]
+	}
+	f, err := FitForest(X, y, DefaultForestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PermutationImportance(f, X, y, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := range X {
+		if X[i][0] != orig[i] {
+			t.Fatal("importance computation mutated the data")
+		}
+	}
+}
+
+func TestPermutationImportanceValidation(t *testing.T) {
+	f, err := FitForest([][]float64{{1}, {2}}, []float64{1, 2}, DefaultForestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PermutationImportance(f, nil, nil, 1, 1); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := PermutationImportance(f, [][]float64{{1}}, []float64{1, 2}, 1, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := PermutationImportance(f, [][]float64{{1}}, []float64{1}, 0, 1); err == nil {
+		t.Error("zero rounds accepted")
+	}
+}

@@ -1,0 +1,246 @@
+// Package mlfit is the from-scratch machine-learning substrate the
+// crosstalk characterization model is built on: CART regression trees,
+// bagged random-forest regression, k-fold cross-validation, mean squared
+// error, and distribution comparison via Jensen–Shannon divergence.
+//
+// Only the features the paper's pipeline needs are implemented, but they
+// are implemented completely: variance-reduction splits, bootstrap
+// sampling, per-tree feature subsampling and deterministic seeding.
+package mlfit
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// treeNode is one node of a regression tree. Leaves have feature == -1.
+type treeNode struct {
+	feature   int     // split feature index, -1 for leaf
+	threshold float64 // go left when x[feature] <= threshold
+	value     float64 // leaf prediction (mean of targets)
+	left      *treeNode
+	right     *treeNode
+}
+
+// Tree is a CART regression tree.
+type Tree struct {
+	root     *treeNode
+	nFeature int
+}
+
+// TreeConfig controls tree growth.
+type TreeConfig struct {
+	MaxDepth    int // maximum depth; 0 means unlimited
+	MinLeafSize int // minimum samples in a leaf; 0 means 1
+	// MaxFeatures is the number of features considered per split;
+	// 0 means all features.
+	MaxFeatures int
+}
+
+func (cfg TreeConfig) normalized() TreeConfig {
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 1 << 30
+	}
+	if cfg.MinLeafSize <= 0 {
+		cfg.MinLeafSize = 1
+	}
+	return cfg
+}
+
+// FitTree grows a regression tree on rows X (features) and targets y.
+// rng is only used when cfg.MaxFeatures restricts the split search; a
+// nil rng is allowed in that case the full feature set is used.
+func FitTree(X [][]float64, y []float64, cfg TreeConfig, rng *rand.Rand) (*Tree, error) {
+	if len(X) == 0 {
+		return nil, fmt.Errorf("mlfit: empty training set")
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("mlfit: %d rows but %d targets", len(X), len(y))
+	}
+	nf := len(X[0])
+	for i, row := range X {
+		if len(row) != nf {
+			return nil, fmt.Errorf("mlfit: row %d has %d features, want %d", i, len(row), nf)
+		}
+	}
+	cfg = cfg.normalized()
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &Tree{nFeature: nf}
+	t.root = grow(X, y, idx, cfg, rng, 0)
+	return t, nil
+}
+
+func mean(y []float64, idx []int) float64 {
+	var s float64
+	for _, i := range idx {
+		s += y[i]
+	}
+	return s / float64(len(idx))
+}
+
+// sse returns the sum of squared errors of idx around its mean.
+func sse(y []float64, idx []int) float64 {
+	m := mean(y, idx)
+	var s float64
+	for _, i := range idx {
+		d := y[i] - m
+		s += d * d
+	}
+	return s
+}
+
+func grow(X [][]float64, y []float64, idx []int, cfg TreeConfig, rng *rand.Rand, depth int) *treeNode {
+	leaf := &treeNode{feature: -1, value: mean(y, idx)}
+	if depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeafSize {
+		return leaf
+	}
+
+	nf := len(X[0])
+	features := make([]int, nf)
+	for i := range features {
+		features[i] = i
+	}
+	if cfg.MaxFeatures > 0 && cfg.MaxFeatures < nf && rng != nil {
+		rng.Shuffle(nf, func(i, j int) { features[i], features[j] = features[j], features[i] })
+		features = features[:cfg.MaxFeatures]
+	}
+
+	bestGain := 0.0
+	bestFeature := -1
+	bestThreshold := 0.0
+	parentSSE := sse(y, idx)
+
+	// Scratch buffers reused across features.
+	order := make([]int, len(idx))
+	for _, f := range features {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return X[order[a]][f] < X[order[b]][f] })
+
+		// Prefix sums allow O(1) variance evaluation of every split.
+		var sumL, sumSqL float64
+		var sumR, sumSqR float64
+		for _, i := range order {
+			sumR += y[i]
+			sumSqR += y[i] * y[i]
+		}
+		for k := 0; k < len(order)-1; k++ {
+			v := y[order[k]]
+			sumL += v
+			sumSqL += v * v
+			sumR -= v
+			sumSqR -= v * v
+			// Only split between distinct feature values.
+			if X[order[k]][f] == X[order[k+1]][f] {
+				continue
+			}
+			nl, nr := k+1, len(order)-k-1
+			if nl < cfg.MinLeafSize || nr < cfg.MinLeafSize {
+				continue
+			}
+			sseL := sumSqL - sumL*sumL/float64(nl)
+			sseR := sumSqR - sumR*sumR/float64(nr)
+			gain := parentSSE - sseL - sseR
+			if gain > bestGain {
+				bestGain = gain
+				bestFeature = f
+				bestThreshold = (X[order[k]][f] + X[order[k+1]][f]) / 2
+			}
+		}
+	}
+
+	if bestFeature < 0 || bestGain <= 1e-15 {
+		return leaf
+	}
+
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if X[i][bestFeature] <= bestThreshold {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) == 0 || len(rightIdx) == 0 {
+		return leaf
+	}
+	return &treeNode{
+		feature:   bestFeature,
+		threshold: bestThreshold,
+		value:     leaf.value,
+		left:      grow(X, y, leftIdx, cfg, rng, depth+1),
+		right:     grow(X, y, rightIdx, cfg, rng, depth+1),
+	}
+}
+
+// Predict returns the tree's prediction for feature vector x.
+func (t *Tree) Predict(x []float64) float64 {
+	n := t.root
+	for n.feature >= 0 {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// Depth returns the maximum depth of the tree (a single leaf has depth 0).
+func (t *Tree) Depth() int { return nodeDepth(t.root) }
+
+func nodeDepth(n *treeNode) int {
+	if n == nil || n.feature < 0 {
+		return 0
+	}
+	l, r := nodeDepth(n.left), nodeDepth(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// MSE returns the mean squared error between predictions and targets,
+// E = (1/N) Σ (y_i - ŷ_i)², the paper's fitting loss.
+func MSE(pred, actual []float64) float64 {
+	if len(pred) != len(actual) {
+		panic(fmt.Sprintf("mlfit: MSE length mismatch %d vs %d", len(pred), len(actual)))
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range pred {
+		d := pred[i] - actual[i]
+		s += d * d
+	}
+	return s / float64(len(pred))
+}
+
+// R2 returns the coefficient of determination of pred against actual.
+func R2(pred, actual []float64) float64 {
+	if len(actual) == 0 {
+		return 0
+	}
+	var m float64
+	for _, v := range actual {
+		m += v
+	}
+	m /= float64(len(actual))
+	var ssRes, ssTot float64
+	for i := range actual {
+		ssRes += (actual[i] - pred[i]) * (actual[i] - pred[i])
+		ssTot += (actual[i] - m) * (actual[i] - m)
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return math.Inf(-1)
+	}
+	return 1 - ssRes/ssTot
+}

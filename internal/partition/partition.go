@@ -1,0 +1,283 @@
+// Package partition implements YOUTIAO's 4-stage generative chip
+// partition (§4.4). Large chips are split into multiplexing clusters so
+// FDM/TDM grouping runs over small regions instead of the whole chip
+// (whole-chip grouping is O(n^k) in the worst case):
+//
+//	stage 1: pick random seeds and expand regions by minimum
+//	         equivalent distance;
+//	stage 2: swap qubits at region borders toward the seed they are
+//	         actually closest to;
+//	stage 3: (pipelining hook) regions are routable as soon as they
+//	         stabilize — callers group each region independently;
+//	stage 4: finish when no swaps remain and the design-rule check
+//	         passes (every region connected and non-empty).
+package partition
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/chip"
+)
+
+// DistanceFunc is the pairwise equivalent-distance metric.
+type DistanceFunc func(i, j int) float64
+
+// Partition assigns every qubit to a region.
+type Partition struct {
+	// Regions lists the qubit ids of each region, sorted.
+	Regions [][]int
+	// Seeds holds the seed qubit of each region.
+	Seeds []int
+	// SwapCount is the number of border swaps stage 2 performed.
+	SwapCount int
+}
+
+// RegionOf returns the region index of qubit q, or -1.
+func (p *Partition) RegionOf(q int) int {
+	for ri, r := range p.Regions {
+		for _, m := range r {
+			if m == q {
+				return ri
+			}
+		}
+	}
+	return -1
+}
+
+// Config tunes partitioning.
+type Config struct {
+	// NumSeeds is the number of regions; 0 derives it from TargetSize.
+	NumSeeds int
+	// TargetSize is the desired qubits per region when NumSeeds is 0
+	// (default 16).
+	TargetSize int
+	// MaxSwapRounds bounds stage 2 (default 8).
+	MaxSwapRounds int
+}
+
+func (cfg Config) normalized(n int) Config {
+	if cfg.TargetSize <= 0 {
+		cfg.TargetSize = 16
+	}
+	if cfg.NumSeeds <= 0 {
+		cfg.NumSeeds = (n + cfg.TargetSize - 1) / cfg.TargetSize
+	}
+	if cfg.NumSeeds > n {
+		cfg.NumSeeds = n
+	}
+	if cfg.MaxSwapRounds <= 0 {
+		cfg.MaxSwapRounds = 8
+	}
+	return cfg
+}
+
+// Generate runs the 4-stage generative partition on a chip. The rng
+// only chooses the stage-1 seeds; everything after is deterministic.
+func Generate(c *chip.Chip, dist DistanceFunc, cfg Config, rng *rand.Rand) (*Partition, error) {
+	n := c.NumQubits()
+	if n == 0 {
+		return nil, fmt.Errorf("partition: chip has no qubits")
+	}
+	cfg = cfg.normalized(n)
+
+	// Stage 1a: random seeds (distinct).
+	seeds := rng.Perm(n)[:cfg.NumSeeds]
+	sort.Ints(seeds)
+
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	for ri, s := range seeds {
+		assign[s] = ri
+	}
+
+	// Stage 1b: expand. Regions grow one qubit at a time; the global
+	// minimum (region frontier, unassigned qubit) equivalent distance
+	// wins each step, with region size as tie-breaker so growth stays
+	// balanced. Growth is restricted to topological neighbours of the
+	// region so regions stay connected (the DRC invariant).
+	sizes := make([]int, cfg.NumSeeds)
+	for ri := range seeds {
+		sizes[ri] = 1
+	}
+	g := c.Graph()
+	for assignedCount := cfg.NumSeeds; assignedCount < n; assignedCount++ {
+		bestQ, bestR, bestKey := -1, -1, math.Inf(1)
+		for q := 0; q < n; q++ {
+			if assign[q] >= 0 {
+				continue
+			}
+			for _, nb := range g.Neighbors(q) {
+				ri := assign[nb]
+				if ri < 0 {
+					continue
+				}
+				// Distance to the region's seed guides expansion;
+				// a mild size penalty balances region populations.
+				key := dist(seeds[ri], q) + 0.25*float64(sizes[ri])
+				if key < bestKey {
+					bestQ, bestR, bestKey = q, ri, key
+				}
+			}
+		}
+		if bestQ < 0 {
+			// Disconnected remainder: start absorbing it into the
+			// smallest region by raw distance (no adjacency available).
+			for q := 0; q < n; q++ {
+				if assign[q] >= 0 {
+					continue
+				}
+				for ri := range seeds {
+					key := dist(seeds[ri], q) + 0.25*float64(sizes[ri])
+					if key < bestKey {
+						bestQ, bestR, bestKey = q, ri, key
+					}
+				}
+			}
+		}
+		assign[bestQ] = bestR
+		sizes[bestR]++
+	}
+
+	// Stage 2: border swaps. A border qubit moves to an adjacent region
+	// whose seed is strictly closer, provided the move keeps its old
+	// region connected.
+	p := &Partition{Seeds: seeds}
+	for round := 0; round < cfg.MaxSwapRounds; round++ {
+		swapped := false
+		for q := 0; q < n; q++ {
+			cur := assign[q]
+			if q == seeds[cur] {
+				continue
+			}
+			bestR, bestD := cur, dist(seeds[cur], q)
+			for _, nb := range g.Neighbors(q) {
+				ri := assign[nb]
+				if ri == cur {
+					continue
+				}
+				if d := dist(seeds[ri], q); d < bestD {
+					bestR, bestD = ri, d
+				}
+			}
+			if bestR != cur && sizes[cur] > 1 && regionConnectedWithout(c, assign, cur, q) {
+				assign[q] = bestR
+				sizes[cur]--
+				sizes[bestR]++
+				p.SwapCount++
+				swapped = true
+			}
+		}
+		if !swapped {
+			break
+		}
+	}
+
+	p.Regions = make([][]int, cfg.NumSeeds)
+	for q := 0; q < n; q++ {
+		p.Regions[assign[q]] = append(p.Regions[assign[q]], q)
+	}
+	for _, r := range p.Regions {
+		sort.Ints(r)
+	}
+	// Stage 4: DRC.
+	if err := p.Validate(c); err != nil {
+		return nil, fmt.Errorf("partition: DRC failed: %w", err)
+	}
+	return p, nil
+}
+
+// regionConnectedWithout reports whether region ri stays connected when
+// qubit skip is removed.
+func regionConnectedWithout(c *chip.Chip, assign []int, ri, skip int) bool {
+	var members []int
+	for q, r := range assign {
+		if r == ri && q != skip {
+			members = append(members, q)
+		}
+	}
+	if len(members) <= 1 {
+		return true
+	}
+	inRegion := make(map[int]bool, len(members))
+	for _, q := range members {
+		inRegion[q] = true
+	}
+	seen := map[int]bool{members[0]: true}
+	stack := []int{members[0]}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range c.Graph().Neighbors(u) {
+			if inRegion[v] && !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return len(seen) == len(members)
+}
+
+// Validate checks the partition design rules: the regions cover every
+// qubit exactly once, none is empty, and each region's induced
+// subgraph is connected (so its control lines can be routed locally).
+// Regions of a disconnected chip are exempt from the connectivity rule
+// only if the chip itself is disconnected.
+func (p *Partition) Validate(c *chip.Chip) error {
+	n := c.NumQubits()
+	seen := make([]int, n)
+	for i := range seen {
+		seen[i] = -1
+	}
+	for ri, r := range p.Regions {
+		if len(r) == 0 {
+			return fmt.Errorf("region %d is empty", ri)
+		}
+		for _, q := range r {
+			if q < 0 || q >= n {
+				return fmt.Errorf("region %d has out-of-range qubit %d", ri, q)
+			}
+			if seen[q] >= 0 {
+				return fmt.Errorf("qubit %d in regions %d and %d", q, seen[q], ri)
+			}
+			seen[q] = ri
+		}
+	}
+	for q, r := range seen {
+		if r < 0 {
+			return fmt.Errorf("qubit %d unassigned", q)
+		}
+	}
+	chipConnected := len(c.Graph().Components()) == 1
+	if !chipConnected {
+		return nil
+	}
+	assign := seen
+	for ri := range p.Regions {
+		if !regionConnectedWithout(c, assign, ri, -1) {
+			return fmt.Errorf("region %d is disconnected", ri)
+		}
+	}
+	return nil
+}
+
+// CouplerRegion assigns every coupler to a region for TDM grouping: the
+// region of its lower-id endpoint (boundary couplers belong to exactly
+// one region so device coverage stays a partition).
+func (p *Partition) CouplerRegion(c *chip.Chip) []int {
+	assign := make([]int, c.NumQubits())
+	for ri, r := range p.Regions {
+		for _, q := range r {
+			assign[q] = ri
+		}
+	}
+	out := make([]int, c.NumCouplers())
+	for i, cp := range c.Couplers {
+		out[i] = assign[cp.A]
+	}
+	return out
+}

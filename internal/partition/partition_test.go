@@ -1,0 +1,239 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/chip"
+)
+
+func physDist(c *chip.Chip) DistanceFunc {
+	return func(i, j int) float64 { return c.PhysicalDistance(i, j) }
+}
+
+func TestGenerateValidPartition(t *testing.T) {
+	c := chip.Square(6, 6)
+	rng := rand.New(rand.NewSource(1))
+	p, err := Generate(c, physDist(c), Config{TargetSize: 9}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Regions) != 4 {
+		t.Errorf("got %d regions, want 4 (36 qubits / target 9)", len(p.Regions))
+	}
+}
+
+func TestGenerateRegionsConnected(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		c := chip.Square(8, 8)
+		rng := rand.New(rand.NewSource(seed))
+		p, err := Generate(c, physDist(c), Config{TargetSize: 16}, rng)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Validate already checks connectivity; verify directly too.
+		assign := make([]int, c.NumQubits())
+		for ri, r := range p.Regions {
+			for _, q := range r {
+				assign[q] = ri
+			}
+		}
+		for ri := range p.Regions {
+			if !regionConnectedWithout(c, assign, ri, -1) {
+				t.Errorf("seed %d: region %d disconnected", seed, ri)
+			}
+		}
+	}
+}
+
+func TestGenerateBalancedSizes(t *testing.T) {
+	c := chip.Square(8, 8)
+	rng := rand.New(rand.NewSource(3))
+	p, err := Generate(c, physDist(c), Config{NumSeeds: 4}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ri, r := range p.Regions {
+		if len(r) < 4 || len(r) > 40 {
+			t.Errorf("region %d size %d badly unbalanced", ri, len(r))
+		}
+	}
+}
+
+func TestGenerateSingleRegion(t *testing.T) {
+	c := chip.Square(3, 3)
+	rng := rand.New(rand.NewSource(1))
+	p, err := Generate(c, physDist(c), Config{NumSeeds: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Regions) != 1 || len(p.Regions[0]) != 9 {
+		t.Errorf("single region should hold the whole chip: %v", p.Regions)
+	}
+}
+
+func TestGenerateMoreSeedsThanQubits(t *testing.T) {
+	c := chip.Square(2, 2)
+	rng := rand.New(rand.NewSource(1))
+	p, err := Generate(c, physDist(c), Config{NumSeeds: 10}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Regions) != 4 {
+		t.Errorf("seeds should clamp to qubit count: %d regions", len(p.Regions))
+	}
+}
+
+func TestRegionOf(t *testing.T) {
+	c := chip.Square(4, 4)
+	rng := rand.New(rand.NewSource(2))
+	p, err := Generate(c, physDist(c), Config{NumSeeds: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ri, r := range p.Regions {
+		for _, q := range r {
+			if p.RegionOf(q) != ri {
+				t.Errorf("RegionOf(%d) = %d, want %d", q, p.RegionOf(q), ri)
+			}
+		}
+	}
+	if p.RegionOf(99) != -1 {
+		t.Error("RegionOf unknown qubit should be -1")
+	}
+}
+
+func TestCouplerRegionCoversAllCouplers(t *testing.T) {
+	c := chip.Square(5, 5)
+	rng := rand.New(rand.NewSource(4))
+	p, err := Generate(c, physDist(c), Config{NumSeeds: 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := p.CouplerRegion(c)
+	if len(cr) != c.NumCouplers() {
+		t.Fatalf("got %d coupler regions, want %d", len(cr), c.NumCouplers())
+	}
+	for ci, ri := range cr {
+		if ri < 0 || ri >= len(p.Regions) {
+			t.Errorf("coupler %d assigned to invalid region %d", ci, ri)
+		}
+		// The region must contain the coupler's A endpoint.
+		if p.RegionOf(c.Couplers[ci].A) != ri {
+			t.Errorf("coupler %d region %d != region of endpoint A", ci, ri)
+		}
+	}
+}
+
+func TestValidateCatchesBadPartitions(t *testing.T) {
+	c := chip.Square(2, 2)
+	cases := []struct {
+		name string
+		p    *Partition
+	}{
+		{"empty region", &Partition{Regions: [][]int{{0, 1, 2, 3}, {}}}},
+		{"duplicate", &Partition{Regions: [][]int{{0, 1}, {1, 2, 3}}}},
+		{"missing", &Partition{Regions: [][]int{{0, 1, 2}}}},
+		{"out of range", &Partition{Regions: [][]int{{0, 1, 2, 7}}}},
+		{"disconnected", &Partition{Regions: [][]int{{0, 3}, {1, 2}}}},
+	}
+	for _, tc := range cases {
+		if tc.p.Validate(c) == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+}
+
+func TestGenerateDeterministicGivenSeed(t *testing.T) {
+	c := chip.Square(6, 6)
+	gen := func() *Partition {
+		rng := rand.New(rand.NewSource(7))
+		p, err := Generate(c, physDist(c), Config{TargetSize: 12}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	p1, p2 := gen(), gen()
+	if len(p1.Regions) != len(p2.Regions) {
+		t.Fatal("region counts differ")
+	}
+	for ri := range p1.Regions {
+		if len(p1.Regions[ri]) != len(p2.Regions[ri]) {
+			t.Fatalf("region %d sizes differ", ri)
+		}
+		for j := range p1.Regions[ri] {
+			if p1.Regions[ri][j] != p2.Regions[ri][j] {
+				t.Fatalf("region %d member %d differs", ri, j)
+			}
+		}
+	}
+}
+
+func TestGenerateAllTopologies(t *testing.T) {
+	for _, c := range chip.Table2Chips() {
+		rng := rand.New(rand.NewSource(1))
+		p, err := Generate(c, physDist(c), Config{TargetSize: 8}, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Topology, err)
+		}
+		if err := p.Validate(c); err != nil {
+			t.Errorf("%s: %v", c.Topology, err)
+		}
+	}
+}
+
+func TestGenerateEmptyChip(t *testing.T) {
+	qs := []chip.Qubit{}
+	c, err := chip.New("empty", "custom", qs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Generate(c, func(i, j int) float64 { return 0 }, Config{}, rng); err == nil {
+		t.Error("empty chip accepted")
+	}
+}
+
+func TestBorderSwapImprovesSeedDistance(t *testing.T) {
+	// After stage 2, no qubit adjacent to a foreign region may be
+	// strictly closer to that region's seed (unless moving would
+	// disconnect its own region or it is a seed itself).
+	c := chip.Square(6, 6)
+	rng := rand.New(rand.NewSource(9))
+	dist := physDist(c)
+	p, err := Generate(c, dist, Config{NumSeeds: 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := make([]int, c.NumQubits())
+	for ri, r := range p.Regions {
+		for _, q := range r {
+			assign[q] = ri
+		}
+	}
+	violations := 0
+	for q := 0; q < c.NumQubits(); q++ {
+		cur := assign[q]
+		if q == p.Seeds[cur] {
+			continue
+		}
+		if !regionConnectedWithout(c, assign, cur, q) {
+			continue
+		}
+		for _, nb := range c.Graph().Neighbors(q) {
+			ri := assign[nb]
+			if ri != cur && dist(p.Seeds[ri], q) < dist(p.Seeds[cur], q) {
+				violations++
+			}
+		}
+	}
+	// Bounded rounds may leave a few stragglers, but the bulk must be
+	// stable.
+	if violations > c.NumQubits()/6 {
+		t.Errorf("%d border-swap violations remain", violations)
+	}
+}

@@ -1,0 +1,121 @@
+package pulse
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPiPulseFlips(t *testing.T) {
+	p := Params{OmegaMHz: PiPulseOmegaMHz, DetuningMHz: 0, DurationNs: PiPulseNs}
+	if got := ExcitationProbability(p); math.Abs(got-1) > 1e-9 {
+		t.Errorf("resonant π-pulse excitation %v, want 1", got)
+	}
+}
+
+func TestHalfPiPulse(t *testing.T) {
+	p := Params{OmegaMHz: PiPulseOmegaMHz, DetuningMHz: 0, DurationNs: PiPulseNs / 2}
+	if got := ExcitationProbability(p); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("π/2 pulse excitation %v, want 0.5", got)
+	}
+}
+
+func TestZeroDrive(t *testing.T) {
+	p := Params{OmegaMHz: 0, DetuningMHz: 0, DurationNs: 100}
+	if got := ExcitationProbability(p); got != 0 {
+		t.Errorf("no drive should give 0, got %v", got)
+	}
+}
+
+func TestDetuningSuppressesExcitationEnvelope(t *testing.T) {
+	// The envelope Ω²/(Ω²+Δ²) bounds the excitation at any time.
+	om := PiPulseOmegaMHz
+	for _, det := range []float64{50, 200, 1000} {
+		p := Params{OmegaMHz: om, DetuningMHz: det, DurationNs: PiPulseNs}
+		bound := om * om / (om*om + det*det)
+		if got := ExcitationProbability(p); got > bound+1e-12 {
+			t.Errorf("detuning %v MHz: excitation %v exceeds envelope %v", det, got, bound)
+		}
+	}
+}
+
+func TestRK4MatchesClosedForm(t *testing.T) {
+	cases := []Params{
+		{OmegaMHz: 20, DetuningMHz: 0, DurationNs: 25},
+		{OmegaMHz: 20, DetuningMHz: 40, DurationNs: 25},
+		{OmegaMHz: 5, DetuningMHz: 100, DurationNs: 50},
+		{OmegaMHz: 1, DetuningMHz: 750, DurationNs: 25},
+	}
+	for _, p := range cases {
+		want := ExcitationProbability(p)
+		got, err := SimulateExcitation(p, 4000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-4 {
+			t.Errorf("params %+v: RK4 %v vs closed form %v", p, got, want)
+		}
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := SimulateExcitation(Params{OmegaMHz: 1, DurationNs: 1}, 0); err == nil {
+		t.Error("0 steps accepted")
+	}
+}
+
+func TestSimulatePreservesNorm(t *testing.T) {
+	p := Params{OmegaMHz: 20, DetuningMHz: 40, DurationNs: 100}
+	got, err := SimulateExcitation(p, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 0 || got > 1+1e-6 {
+		t.Errorf("excitation probability %v outside [0,1]", got)
+	}
+}
+
+func TestSpectatorExcitationDecaysWithDetuning(t *testing.T) {
+	prevEnvelope := 1.0
+	for _, df := range []float64{0.05, 0.1, 0.5, 1.0, 2.0} {
+		// Average over the oscillation by using the envelope bound.
+		p := SpectatorExcitation(0.05, df)
+		om := 0.05 * PiPulseOmegaMHz
+		envelope := om * om / (om*om + df*1000*df*1000)
+		if p > envelope+1e-12 {
+			t.Errorf("detuning %v GHz: spectator %v above envelope %v", df, p, envelope)
+		}
+		if envelope > prevEnvelope {
+			t.Errorf("envelope should decay with detuning")
+		}
+		prevEnvelope = envelope
+	}
+}
+
+func TestLeakageFactorProperties(t *testing.T) {
+	if l := LeakageFactor(0); math.Abs(l-1) > 1e-12 {
+		t.Errorf("LeakageFactor(0) = %v, want 1", l)
+	}
+	if LeakageFactor(0.3) != LeakageFactor(-0.3) {
+		t.Error("LeakageFactor should be even")
+	}
+	prev := 1.0
+	for df := 0.01; df <= 2; df += 0.01 {
+		l := LeakageFactor(df)
+		if l > prev {
+			t.Fatalf("LeakageFactor not monotone at %v", df)
+		}
+		prev = l
+	}
+	// A zone of spacing (0.75 GHz) must be strongly suppressed.
+	if l := LeakageFactor(0.75); l > 5e-3 {
+		t.Errorf("one-zone leakage %v too high", l)
+	}
+}
+
+func TestPiPulseCalibration(t *testing.T) {
+	// Ω·t = 2π·(Ω/2π)·t must equal π for the standard π-pulse.
+	product := 2 * math.Pi * PiPulseOmegaMHz * 1e-3 * PiPulseNs
+	if math.Abs(product-math.Pi) > 1e-9 {
+		t.Errorf("π-pulse calibration off: Ω·t = %v", product)
+	}
+}

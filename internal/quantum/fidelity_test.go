@@ -1,0 +1,218 @@
+package quantum
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/circuit"
+	"repro/internal/schedule"
+)
+
+func flatXT(v float64) CrosstalkFunc {
+	return func(i, j int) float64 {
+		if i == j {
+			return 0
+		}
+		return v
+	}
+}
+
+func TestLorentzianLeakage(t *testing.T) {
+	if l := LorentzianLeakage(0); l != 1 {
+		t.Errorf("leakage(0) = %v", l)
+	}
+	if l := LorentzianLeakage(0.04); math.Abs(l-0.5) > 1e-12 {
+		t.Errorf("leakage at width should be 0.5, got %v", l)
+	}
+	if l := LorentzianLeakage(1.0); l > 2e-3 {
+		t.Errorf("1 GHz detuning leaks %v, want < -27 dB", l)
+	}
+	if LorentzianLeakage(0.2) != LorentzianLeakage(-0.2) {
+		t.Error("leakage should be even")
+	}
+}
+
+func TestParallelDriveError(t *testing.T) {
+	nm := NewNoiseModel(flatXT(0.01), map[int]float64{0: 5.0, 1: 5.0, 2: 6.5})
+	// Same frequency: full crosstalk; far detuned: suppressed.
+	eNear := nm.ParallelDriveError(0, []int{0, 1})
+	eFar := nm.ParallelDriveError(0, []int{0, 2})
+	if eNear <= eFar {
+		t.Errorf("collision error %v should exceed detuned error %v", eNear, eFar)
+	}
+	if math.Abs(eNear-(nm.Rates.OneQubit+0.01)) > 1e-12 {
+		t.Errorf("collision error %v, want base+xt", eNear)
+	}
+	// Alone: just the base error.
+	if e := nm.ParallelDriveError(0, []int{0}); e != nm.Rates.OneQubit {
+		t.Errorf("solo drive error %v", e)
+	}
+	// Error saturates at 1.
+	nm2 := NewNoiseModel(flatXT(0.7), map[int]float64{0: 5, 1: 5, 2: 5})
+	if e := nm2.ParallelDriveError(0, []int{0, 1, 2}); e != 1 {
+		t.Errorf("error should clamp to 1, got %v", e)
+	}
+}
+
+func TestParallelDriveErrorUnknownFrequency(t *testing.T) {
+	nm := NewNoiseModel(flatXT(0.01), map[int]float64{})
+	// Unknown frequencies: assume full overlap.
+	if e := nm.ParallelDriveError(0, []int{0, 1}); math.Abs(e-(1e-4+0.01)) > 1e-12 {
+		t.Errorf("unknown-frequency error %v", e)
+	}
+}
+
+func TestRepeatedLayerFidelity(t *testing.T) {
+	nm := NewNoiseModel(nil, nil)
+	// No crosstalk: fidelity = (1-e1)^(layers*qubits) with no decoherence.
+	got := nm.RepeatedLayerFidelity([]int{0, 1, 2}, 10, 0)
+	want := math.Pow(1-nm.Rates.OneQubit, 30)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	// Decoherence reduces fidelity further.
+	withT1 := nm.RepeatedLayerFidelity([]int{0, 1, 2}, 10, 25)
+	if withT1 >= got {
+		t.Errorf("decoherence should lower fidelity: %v vs %v", withT1, got)
+	}
+	// More layers, lower fidelity.
+	if nm.RepeatedLayerFidelity([]int{0}, 100, 0) >= nm.RepeatedLayerFidelity([]int{0}, 10, 0) {
+		t.Error("fidelity should decay with layers")
+	}
+}
+
+func TestRepeatedLayerFidelityCollapse(t *testing.T) {
+	nm := NewNoiseModel(flatXT(1.0), nil)
+	if f := nm.RepeatedLayerFidelity([]int{0, 1}, 1, 0); f != 0 {
+		t.Errorf("certain error should give 0 fidelity, got %v", f)
+	}
+}
+
+// buildSchedule compiles and schedules a small circuit on a chip
+// without TDM constraints.
+func buildSchedule(t *testing.T, build func(c *circuit.Circuit)) *schedule.Schedule {
+	t.Helper()
+	ch := chip.Square(2, 2)
+	c := circuit.New(4)
+	build(c)
+	sched, err := schedule.New(ch, nil, schedule.DefaultDurations()).Run(circuit.Decompose(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched
+}
+
+func TestEstimateScheduleBaseline(t *testing.T) {
+	sched := buildSchedule(t, func(c *circuit.Circuit) {
+		if err := c.Append(circuit.RX, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	nm := NewNoiseModel(nil, nil)
+	f, err := nm.EstimateSchedule(sched, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One 1q gate + 25ns decay on one qubit.
+	want := (1 - nm.Rates.OneQubit) * math.Exp(-25.0/90000)
+	if math.Abs(f-want) > 1e-9 {
+		t.Errorf("got %v, want %v", f, want)
+	}
+}
+
+func TestEstimateScheduleCrosstalkPenalty(t *testing.T) {
+	mk := func(xt CrosstalkFunc) float64 {
+		sched := buildSchedule(t, func(c *circuit.Circuit) {
+			_ = c.Append(circuit.RX, 1, 0)
+			_ = c.Append(circuit.RX, 1, 3)
+		})
+		nm := NewNoiseModel(xt, map[int]float64{0: 5, 3: 5})
+		f, err := nm.EstimateSchedule(sched, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	clean := mk(nil)
+	noisy := mk(flatXT(0.01))
+	if noisy >= clean {
+		t.Errorf("crosstalk should lower fidelity: %v vs %v", noisy, clean)
+	}
+}
+
+func TestEstimateScheduleZZPenalty(t *testing.T) {
+	sched := buildSchedule(t, func(c *circuit.Circuit) {
+		_ = c.Append(circuit.CZ, 0, 0, 1)
+		_ = c.Append(circuit.CZ, 0, 2, 3)
+	})
+	nm := NewNoiseModel(nil, nil)
+	base, err := nm.EstimateSchedule(sched, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm.ZZ = flatXT(0.3) // 0.3 MHz shifts between simultaneous CZ pairs
+	withZZ, err := nm.EstimateSchedule(sched, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withZZ >= base {
+		t.Errorf("ZZ between simultaneous CZs should cost fidelity: %v vs %v", withZZ, base)
+	}
+}
+
+func TestEstimateScheduleSameGateNoSelfPenalty(t *testing.T) {
+	// A lone CZ has no *cross-gate* penalty even with huge crosstalk.
+	sched := buildSchedule(t, func(c *circuit.Circuit) {
+		_ = c.Append(circuit.CZ, 0, 0, 1)
+	})
+	nm := NewNoiseModel(flatXT(0.5), nil)
+	nm.ZZ = flatXT(100)
+	f, err := nm.EstimateSchedule(sched, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1 - nm.Rates.TwoQubit) * math.Exp(-60.0*2/90000)
+	if math.Abs(f-want) > 1e-9 {
+		t.Errorf("got %v, want %v (no intra-gate penalty)", f, want)
+	}
+}
+
+func TestEstimateScheduleLatencyMatters(t *testing.T) {
+	short := buildSchedule(t, func(c *circuit.Circuit) {
+		_ = c.Append(circuit.RZ, 1, 0) // zero duration
+	})
+	long := buildSchedule(t, func(c *circuit.Circuit) {
+		_ = c.Append(circuit.Measure, 0, 0) // 300 ns
+	})
+	nm := NewNoiseModel(nil, nil)
+	nm.Rates.Measure = 0 // isolate decoherence
+	fs, err := nm.EstimateSchedule(short, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := nm.EstimateSchedule(long, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl >= fs {
+		t.Errorf("longer schedule should decohere more: %v vs %v", fl, fs)
+	}
+}
+
+func TestEstimateScheduleInvalidT1(t *testing.T) {
+	nm := NewNoiseModel(nil, nil)
+	nm.T1Us = 0
+	if _, err := nm.EstimateSchedule(&schedule.Schedule{}, 1); err == nil {
+		t.Error("T1 = 0 accepted")
+	}
+}
+
+func TestDefaultErrorRates(t *testing.T) {
+	r := DefaultErrorRates()
+	// Calibration anchors from the paper: 99.99% 1q, 99.73% 2q, 99.0%
+	// readout.
+	if r.OneQubit != 1e-4 || r.TwoQubit != 2.7e-3 || r.Measure != 1e-2 {
+		t.Errorf("rates drifted: %+v", r)
+	}
+}

@@ -1,0 +1,227 @@
+package quantum
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/schedule"
+)
+
+// TrajectoryConfig controls Monte Carlo noisy simulation.
+type TrajectoryConfig struct {
+	// Trajectories is the number of quantum trajectories to average.
+	Trajectories int
+	// Seed makes the run deterministic.
+	Seed int64
+}
+
+// DefaultTrajectoryConfig averages 200 trajectories.
+func DefaultTrajectoryConfig() TrajectoryConfig {
+	return TrajectoryConfig{Trajectories: 200, Seed: 1}
+}
+
+// MonteCarloFidelity estimates circuit fidelity by stochastic
+// trajectory simulation: each trajectory runs the schedule's gates on a
+// state vector, injecting
+//
+//   - random Pauli errors after each gate with its base error rate,
+//   - spectator Pauli errors between simultaneously driven qubit pairs
+//     with the model's crosstalk-leakage probability, and
+//   - amplitude-damping (T1) jumps per qubit per slot,
+//
+// and the fidelity is the mean squared overlap with the ideal final
+// state. It cross-validates the closed-form EstimateSchedule on
+// registers small enough for dense simulation.
+//
+// nQubits is the register width (all slot gates must fit), bounded by
+// MaxQubits.
+func (nm *NoiseModel) MonteCarloFidelity(sched *schedule.Schedule, nQubits int, cfg TrajectoryConfig) (float64, error) {
+	if cfg.Trajectories < 1 {
+		return 0, fmt.Errorf("quantum: need at least 1 trajectory, got %d", cfg.Trajectories)
+	}
+	if nm.T1Us <= 0 {
+		return 0, fmt.Errorf("quantum: T1 must be positive, got %g µs", nm.T1Us)
+	}
+	ideal, err := NewState(nQubits)
+	if err != nil {
+		return 0, err
+	}
+	for _, slot := range sched.Slots {
+		for _, g := range slot.Gates {
+			if g.Name == circuit.Measure {
+				continue
+			}
+			if err := ideal.Apply(g); err != nil {
+				return 0, err
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t1Ns := nm.T1Us * 1000
+	var sum float64
+	for tr := 0; tr < cfg.Trajectories; tr++ {
+		noisy, err := NewState(nQubits)
+		if err != nil {
+			return 0, err
+		}
+		for _, slot := range sched.Slots {
+			if err := nm.applyNoisySlot(noisy, slot, t1Ns, rng); err != nil {
+				return 0, err
+			}
+		}
+		f, err := ideal.Overlap(noisy)
+		if err != nil {
+			return 0, err
+		}
+		sum += f
+	}
+	return sum / float64(cfg.Trajectories), nil
+}
+
+func (nm *NoiseModel) applyNoisySlot(s *State, slot schedule.Slot, t1Ns float64, rng *rand.Rand) error {
+	type drive struct {
+		q        int
+		spectral bool
+		gate     int
+	}
+	var drives []drive
+
+	for gi, g := range slot.Gates {
+		if g.Name == circuit.Measure {
+			continue
+		}
+		if err := s.Apply(g); err != nil {
+			return err
+		}
+		// Base gate error as a uniform random Pauli on the operands.
+		if e := nm.gateBaseError(g); e > 0 && rng.Float64() < e {
+			q := g.Qubits[rng.Intn(len(g.Qubits))]
+			s.applyPauli(rng.Intn(3), q)
+		}
+		qs, spectral := drivenQubits(g)
+		for _, q := range qs {
+			drives = append(drives, drive{q: q, spectral: spectral, gate: gi})
+		}
+	}
+
+	// Crosstalk between simultaneously driven qubits of different
+	// gates: spectral pairs pick up a spectator X (leakage drive),
+	// flux pairs a correlated ZZ phase error.
+	for a := 0; a < len(drives); a++ {
+		for b := a + 1; b < len(drives); b++ {
+			if drives[a].gate == drives[b].gate {
+				continue
+			}
+			p := nm.pairPenalty(drives[a].q, drives[b].q, drives[a].spectral && drives[b].spectral)
+			if p <= 0 || rng.Float64() >= p {
+				continue
+			}
+			if drives[a].spectral && drives[b].spectral {
+				// The spectator of the pair flips.
+				s.applyPauli(0, drives[b].q)
+			} else {
+				s.applyPauli(2, drives[a].q)
+				s.applyPauli(2, drives[b].q)
+			}
+		}
+	}
+
+	// Amplitude damping over the slot duration: a standard quantum
+	// trajectory step per qubit.
+	if slot.Duration > 0 {
+		gamma := 1 - math.Exp(-slot.Duration/t1Ns)
+		for q := 0; q < s.n; q++ {
+			s.amplitudeDampStep(q, gamma, rng)
+		}
+	}
+	return nil
+}
+
+// applyPauli applies X (0), Y (1) or Z (2) to qubit q.
+func (s *State) applyPauli(which, q int) {
+	switch which {
+	case 0:
+		s.apply1Q(q, 0, 1, 1, 0)
+	case 1:
+		s.apply1Q(q, 0, complex(0, -1), complex(0, 1), 0)
+	default:
+		s.apply1Q(q, 1, 0, 0, -1)
+	}
+}
+
+// amplitudeDampStep performs one T1 trajectory step on qubit q with
+// decay probability gamma (conditional on being excited): with
+// probability gamma·P(1) the qubit jumps to |0>; otherwise the
+// no-jump back-action damps the |1> amplitude by sqrt(1-gamma) and the
+// state renormalizes.
+func (s *State) amplitudeDampStep(q int, gamma float64, rng *rand.Rand) {
+	if gamma <= 0 {
+		return
+	}
+	p1 := s.ProbabilityOfQubit(q)
+	if p1 == 0 {
+		return
+	}
+	if rng.Float64() < gamma*p1 {
+		// Jump: |1> -> |0>. Project and relabel amplitudes.
+		bit := 1 << uint(q)
+		for i := range s.amp {
+			if i&bit == 0 {
+				s.amp[i] = s.amp[i|bit]
+			} else {
+				s.amp[i] = 0
+			}
+		}
+		s.renormalize()
+		return
+	}
+	// No jump: damp the excited amplitudes.
+	bit := 1 << uint(q)
+	f := complex(math.Sqrt(1-gamma), 0)
+	for i := range s.amp {
+		if i&bit != 0 {
+			s.amp[i] *= f
+		}
+	}
+	s.renormalize()
+}
+
+func (s *State) renormalize() {
+	n := s.Norm()
+	if n == 0 {
+		s.amp[0] = 1
+		return
+	}
+	f := complex(1/math.Sqrt(n), 0)
+	for i := range s.amp {
+		s.amp[i] *= f
+	}
+}
+
+// Purity diagnostics: global phase differences are irrelevant to all
+// fidelity computations here, but expose a helper for tests.
+
+// GlobalPhaseAligned returns t with its global phase rotated to match
+// s (useful when comparing decompositions that differ by phase).
+func (s *State) GlobalPhaseAligned(t *State) (*State, error) {
+	if s.n != t.n {
+		return nil, fmt.Errorf("quantum: phase-align of %d- and %d-qubit states", s.n, t.n)
+	}
+	var dot complex128
+	for i := range s.amp {
+		dot += cmplx.Conj(t.amp[i]) * s.amp[i]
+	}
+	out := &State{n: t.n, amp: make([]complex128, len(t.amp))}
+	phase := complex(1, 0)
+	if cmplx.Abs(dot) > 0 {
+		phase = dot / complex(cmplx.Abs(dot), 0)
+	}
+	for i := range t.amp {
+		out.amp[i] = t.amp[i] * phase
+	}
+	return out, nil
+}

@@ -1,0 +1,190 @@
+package quantum
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/circuit"
+	"repro/internal/schedule"
+)
+
+func mcSchedule(t *testing.T, build func(c *circuit.Circuit)) *schedule.Schedule {
+	t.Helper()
+	ch := chip.Square(2, 2)
+	c := circuit.New(4)
+	build(c)
+	sched, err := schedule.New(ch, nil, schedule.DefaultDurations()).Run(circuit.Decompose(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched
+}
+
+func TestMonteCarloNoiselessIsPerfect(t *testing.T) {
+	sched := mcSchedule(t, func(c *circuit.Circuit) {
+		_ = c.Append(circuit.H, 0, 0)
+		_ = c.Append(circuit.CX, 0, 0, 1)
+	})
+	nm := NewNoiseModel(nil, nil)
+	nm.Rates = ErrorRates{}
+	nm.T1Us = 1e12 // effectively no decay
+	f, err := nm.MonteCarloFidelity(sched, 4, TrajectoryConfig{Trajectories: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-1) > 1e-9 {
+		t.Errorf("noiseless MC fidelity %v, want 1", f)
+	}
+}
+
+func TestMonteCarloMatchesAnalyticBaseErrors(t *testing.T) {
+	// A short circuit dominated by base gate errors: MC and the
+	// closed-form estimate must agree within sampling error.
+	sched := mcSchedule(t, func(c *circuit.Circuit) {
+		_ = c.Append(circuit.RX, 1, 0)
+		_ = c.Append(circuit.RX, 1, 1)
+		_ = c.Append(circuit.CZ, 0, 0, 1)
+		_ = c.Append(circuit.CZ, 0, 2, 3)
+	})
+	nm := NewNoiseModel(nil, nil)
+	nm.Rates = ErrorRates{OneQubit: 0.02, TwoQubit: 0.05}
+	nm.T1Us = 1e12
+	analytic, err := nm.EstimateSchedule(sched, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := nm.MonteCarloFidelity(sched, 4, TrajectoryConfig{Trajectories: 3000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The analytic product treats every error event as fully
+	// destructive, so it lower-bounds the trajectory average; injected
+	// Paulis that commute with the remaining circuit (e.g. Y after
+	// RX) keep some overlap, so MC may sit above it by up to roughly
+	// half the total error budget.
+	if mc < analytic-0.02 {
+		t.Errorf("MC %v fell below the analytic lower bound %v", mc, analytic)
+	}
+	if mc > analytic+0.08 {
+		t.Errorf("MC %v implausibly far above analytic %v", mc, analytic)
+	}
+}
+
+func TestMonteCarloDecoherenceMatchesAnalytic(t *testing.T) {
+	// Pure T1 decay on an excited qubit over a known duration.
+	sched := mcSchedule(t, func(c *circuit.Circuit) {
+		_ = c.Append(circuit.X, 0, 0)
+		_ = c.Append(circuit.Measure, 0, 0) // 300 ns of idle decay
+	})
+	nm := NewNoiseModel(nil, nil)
+	nm.Rates = ErrorRates{}
+	nm.T1Us = 0.5 // aggressive so the effect is visible
+	mc, err := nm.MonteCarloFidelity(sched, 4, TrajectoryConfig{Trajectories: 4000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Survival of |1> over 325 ns at T1=500 ns: exp(-0.65) ≈ 0.52.
+	// (two slots: 25 ns X pulse + 300 ns measurement)
+	want := math.Exp(-325.0 / 500)
+	if math.Abs(mc-want) > 0.04 {
+		t.Errorf("MC decay fidelity %v, want ≈%v", mc, want)
+	}
+}
+
+func TestMonteCarloCrosstalkHurts(t *testing.T) {
+	sched := mcSchedule(t, func(c *circuit.Circuit) {
+		_ = c.Append(circuit.RX, 1, 0)
+		_ = c.Append(circuit.RX, 1, 3)
+	})
+	cfg := TrajectoryConfig{Trajectories: 800, Seed: 3}
+	clean := NewNoiseModel(nil, nil)
+	clean.Rates = ErrorRates{}
+	clean.T1Us = 1e12
+	fc, err := clean.MonteCarloFidelity(sched, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy := NewNoiseModel(func(i, j int) float64 { return 0.2 }, map[int]float64{0: 5, 3: 5})
+	noisy.Rates = ErrorRates{}
+	noisy.T1Us = 1e12
+	fn, err := noisy.MonteCarloFidelity(sched, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fn >= fc-0.05 {
+		t.Errorf("crosstalk should hurt: %v vs %v", fn, fc)
+	}
+}
+
+func TestMonteCarloValidation(t *testing.T) {
+	nm := NewNoiseModel(nil, nil)
+	if _, err := nm.MonteCarloFidelity(&schedule.Schedule{}, 2, TrajectoryConfig{}); err == nil {
+		t.Error("0 trajectories accepted")
+	}
+	nm.T1Us = 0
+	if _, err := nm.MonteCarloFidelity(&schedule.Schedule{}, 2, TrajectoryConfig{Trajectories: 1}); err == nil {
+		t.Error("T1 = 0 accepted")
+	}
+}
+
+func TestMonteCarloDeterministicInSeed(t *testing.T) {
+	sched := mcSchedule(t, func(c *circuit.Circuit) {
+		_ = c.Append(circuit.RX, 1, 0)
+	})
+	nm := NewNoiseModel(nil, nil)
+	cfg := TrajectoryConfig{Trajectories: 50, Seed: 9}
+	f1, err := nm.MonteCarloFidelity(sched, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := nm.MonteCarloFidelity(sched, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != f2 {
+		t.Errorf("identical seeds gave %v and %v", f1, f2)
+	}
+}
+
+func TestAmplitudeDampStepStatistics(t *testing.T) {
+	// Starting from |1>, a gamma step should leave the qubit excited
+	// with probability 1-gamma on average.
+	const gamma = 0.3
+	const trials = 3000
+	rng := newTestRand(7)
+	var stillExcited float64
+	for i := 0; i < trials; i++ {
+		s, err := NewState(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.amp[0], s.amp[1] = 0, 1
+		s.amplitudeDampStep(0, gamma, rng)
+		stillExcited += s.ProbabilityOfQubit(0)
+	}
+	got := stillExcited / trials
+	if math.Abs(got-(1-gamma)) > 0.03 {
+		t.Errorf("mean excitation %v after damping, want %v", got, 1-gamma)
+	}
+}
+
+func TestGlobalPhaseAligned(t *testing.T) {
+	a, _ := NewState(1)
+	b, _ := NewState(1)
+	// Rotate b by a global phase.
+	for i := range b.amp {
+		b.amp[i] *= complex(0, 1)
+	}
+	aligned, err := a.GlobalPhaseAligned(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(real(aligned.amp[0])-1) > 1e-12 || math.Abs(imag(aligned.amp[0])) > 1e-12 {
+		t.Errorf("alignment failed: %v", aligned.amp[0])
+	}
+	c, _ := NewState(2)
+	if _, err := a.GlobalPhaseAligned(c); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}

@@ -1,0 +1,355 @@
+package quantum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+func mustApp(t *testing.T, c *circuit.Circuit, name circuit.GateName, param float64, qs ...int) {
+	t.Helper()
+	if err := c.Append(name, param, qs...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewStateValidation(t *testing.T) {
+	if _, err := NewState(0); err == nil {
+		t.Error("0 qubits accepted")
+	}
+	if _, err := NewState(MaxQubits + 1); err == nil {
+		t.Error("oversized register accepted")
+	}
+	s, err := NewState(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Probability(0) != 1 {
+		t.Error("initial state not |00>")
+	}
+}
+
+func TestRXPiIsBitFlip(t *testing.T) {
+	c := circuit.New(1)
+	mustApp(t, c, circuit.RX, math.Pi, 0)
+	s, err := Simulate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := s.Probability(1); math.Abs(p-1) > 1e-12 {
+		t.Errorf("P(|1>) = %v, want 1", p)
+	}
+}
+
+func TestRYHalfPiSuperposition(t *testing.T) {
+	c := circuit.New(1)
+	mustApp(t, c, circuit.RY, math.Pi/2, 0)
+	s, err := Simulate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := s.Probability(0); math.Abs(p-0.5) > 1e-12 {
+		t.Errorf("P(|0>) = %v, want 0.5", p)
+	}
+}
+
+func TestRZPhaseOnly(t *testing.T) {
+	c := circuit.New(1)
+	mustApp(t, c, circuit.RZ, 1.234, 0)
+	s, err := Simulate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := s.Probability(0); math.Abs(p-1) > 1e-12 {
+		t.Errorf("RZ changed populations: P(|0>) = %v", p)
+	}
+}
+
+func TestHadamardDecomposition(t *testing.T) {
+	// H = RY(π/2)·RZ(π) up to global phase: H|0> has equal weights,
+	// H|1> too, and HH = I.
+	h := circuit.Gate{Name: circuit.H, Qubits: []int{0}}
+	lowered := circuit.Decompose(&circuit.Circuit{NumQubits: 1, Gates: []circuit.Gate{h, h}})
+	s, err := Simulate(lowered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := s.Probability(0); math.Abs(p-1) > 1e-10 {
+		t.Errorf("HH|0> should be |0>: P = %v", p)
+	}
+}
+
+func TestBellState(t *testing.T) {
+	c := circuit.New(2)
+	mustApp(t, c, circuit.H, 0, 0)
+	mustApp(t, c, circuit.CX, 0, 0, 1)
+	s, err := Simulate(circuit.Decompose(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p00 := s.Probability(0); math.Abs(p00-0.5) > 1e-10 {
+		t.Errorf("P(00) = %v, want 0.5", p00)
+	}
+	if p11 := s.Probability(3); math.Abs(p11-0.5) > 1e-10 {
+		t.Errorf("P(11) = %v, want 0.5", p11)
+	}
+	if p01 := s.Probability(1); p01 > 1e-10 {
+		t.Errorf("P(01) = %v, want 0", p01)
+	}
+}
+
+func TestCZPhase(t *testing.T) {
+	// CZ on |++> then H on both returns... simpler: CZ|11> = -|11>.
+	c := circuit.New(2)
+	mustApp(t, c, circuit.RX, math.Pi, 0)
+	mustApp(t, c, circuit.RX, math.Pi, 1)
+	mustApp(t, c, circuit.CZ, 0, 0, 1)
+	s, err := Simulate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s.Amplitude(3)
+	// RX(π)⊗RX(π)|00> = -|11>; CZ flips sign to +|11>.
+	if math.Abs(real(a)-1) > 1e-10 || math.Abs(imag(a)) > 1e-10 {
+		t.Errorf("amplitude %v, want +1", a)
+	}
+}
+
+func TestSwapDecompositionMovesState(t *testing.T) {
+	c := circuit.New(2)
+	mustApp(t, c, circuit.X, 0, 0)
+	mustApp(t, c, circuit.SWAP, 0, 0, 1)
+	s, err := Simulate(circuit.Decompose(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := s.Probability(2); math.Abs(p-1) > 1e-10 { // |10> little-endian: qubit1 set
+		t.Errorf("P(q1=1) = %v, want 1", p)
+	}
+}
+
+func TestToffoliTruthTable(t *testing.T) {
+	for in := 0; in < 8; in++ {
+		c := circuit.New(3)
+		for q := 0; q < 3; q++ {
+			if in&(1<<q) != 0 {
+				mustApp(t, c, circuit.X, 0, q)
+			}
+		}
+		mustApp(t, c, circuit.CCX, 0, 0, 1, 2)
+		s, err := Simulate(circuit.Decompose(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := in
+		if in&1 != 0 && in&2 != 0 {
+			want ^= 4
+		}
+		if p := s.Probability(want); math.Abs(p-1) > 1e-9 {
+			t.Errorf("CCX on |%03b>: P(|%03b>) = %v, want 1", in, want, p)
+		}
+	}
+}
+
+func TestFredkinTruthTable(t *testing.T) {
+	for in := 0; in < 8; in++ {
+		c := circuit.New(3)
+		for q := 0; q < 3; q++ {
+			if in&(1<<q) != 0 {
+				mustApp(t, c, circuit.X, 0, q)
+			}
+		}
+		// Control qubit 0, swap qubits 1 and 2.
+		mustApp(t, c, circuit.CSWAP, 0, 0, 1, 2)
+		s, err := Simulate(circuit.Decompose(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := in
+		if in&1 != 0 {
+			b1, b2 := (in>>1)&1, (in>>2)&1
+			want = in&1 | b2<<1 | b1<<2
+		}
+		if p := s.Probability(want); math.Abs(p-1) > 1e-9 {
+			t.Errorf("CSWAP on |%03b>: got P(|%03b>) = %v, want 1", in, want, p)
+		}
+	}
+}
+
+func TestCPDecompositionPhase(t *testing.T) {
+	// CP(θ)|11> = e^{iθ}|11>. Verify via interference: prepare
+	// (|10>+|11>)/√2 with H on qubit 0 (control=qubit1 set), apply
+	// CP(π) (equals CZ), then H again: should deterministically flip.
+	c := circuit.New(2)
+	mustApp(t, c, circuit.X, 0, 1)
+	mustApp(t, c, circuit.H, 0, 0)
+	mustApp(t, c, circuit.CP, math.Pi, 0, 1)
+	mustApp(t, c, circuit.H, 0, 0)
+	s, err := Simulate(circuit.Decompose(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := s.Probability(3); math.Abs(p-1) > 1e-9 {
+		t.Errorf("CP(π) should act as CZ: P(|11>) = %v", p)
+	}
+}
+
+func TestNormPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := circuit.VQC(5, 3, rng)
+	s, err := Simulate(circuit.Decompose(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Norm(); math.Abs(n-1) > 1e-9 {
+		t.Errorf("norm %v after VQC", n)
+	}
+}
+
+func TestDJConstantOracleBehaviour(t *testing.T) {
+	// Our DJ oracle is balanced (CX from every input to ancilla), so
+	// measuring the inputs never yields all-zeros with certainty zero:
+	// for the balanced oracle the all-zero outcome has probability 0.
+	c := circuit.DJ(4)
+	s, err := Simulate(circuit.Decompose(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pAllZero float64
+	// Inputs are qubits 0..3; ancilla is 4. Sum over ancilla values.
+	pAllZero = s.Probability(0) + s.Probability(1<<4)
+	if pAllZero > 1e-9 {
+		t.Errorf("balanced DJ should never measure all-zero inputs, got %v", pAllZero)
+	}
+}
+
+func TestQFTOnZeroState(t *testing.T) {
+	// QFT|0...0> is the uniform superposition.
+	n := 4
+	c := circuit.QFT(n)
+	s, err := Simulate(circuit.Decompose(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 / float64(int(1)<<n)
+	for i := 0; i < 1<<n; i++ {
+		if p := s.Probability(i); math.Abs(p-want) > 1e-9 {
+			t.Fatalf("P(%d) = %v, want %v", i, p, want)
+		}
+	}
+}
+
+func TestMeasureQubitCollapses(t *testing.T) {
+	c := circuit.New(2)
+	mustApp(t, c, circuit.H, 0, 0)
+	mustApp(t, c, circuit.CX, 0, 0, 1)
+	s, err := Simulate(circuit.Decompose(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b0 := s.MeasureQubit(0, rng)
+	// Bell state: qubit 1 must agree.
+	b1 := s.MeasureQubit(1, rng)
+	if b0 != b1 {
+		t.Errorf("Bell measurement disagreement: %d vs %d", b0, b1)
+	}
+	if n := s.Norm(); math.Abs(n-1) > 1e-9 {
+		t.Errorf("norm %v after collapse", n)
+	}
+}
+
+func TestMeasureAllStatistics(t *testing.T) {
+	// H|0> measured many times: roughly half ones.
+	rng := rand.New(rand.NewSource(2))
+	ones := 0
+	const trials = 400
+	for i := 0; i < trials; i++ {
+		c := circuit.New(1)
+		mustApp(t, c, circuit.H, 0, 0)
+		s, err := Simulate(circuit.Decompose(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ones += s.MeasureAll(rng)[0]
+	}
+	if ones < trials/2-60 || ones > trials/2+60 {
+		t.Errorf("H|0> measured 1 %d/%d times", ones, trials)
+	}
+}
+
+func TestProbabilityOfQubit(t *testing.T) {
+	c := circuit.New(2)
+	mustApp(t, c, circuit.X, 0, 1)
+	s, err := Simulate(circuit.Decompose(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := s.ProbabilityOfQubit(1); math.Abs(p-1) > 1e-12 {
+		t.Errorf("P(q1=1) = %v", p)
+	}
+	if p := s.ProbabilityOfQubit(0); p > 1e-12 {
+		t.Errorf("P(q0=1) = %v", p)
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	a, _ := NewState(2)
+	b, _ := NewState(2)
+	if f, err := a.Overlap(b); err != nil || math.Abs(f-1) > 1e-12 {
+		t.Errorf("identical states overlap %v (%v)", f, err)
+	}
+	c := circuit.New(2)
+	mustApp(t, c, circuit.X, 0, 0)
+	d, err := Simulate(circuit.Decompose(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := a.Overlap(d); f > 1e-12 {
+		t.Errorf("orthogonal states overlap %v", f)
+	}
+	e, _ := NewState(3)
+	if _, err := a.Overlap(e); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestRunRejectsNonBasis(t *testing.T) {
+	c := circuit.New(2)
+	mustApp(t, c, circuit.H, 0, 0)
+	s, _ := NewState(2)
+	if err := s.Run(c); err == nil {
+		t.Error("non-basis gate accepted by simulator")
+	}
+}
+
+func TestRunRejectsOversizedCircuit(t *testing.T) {
+	s, _ := NewState(2)
+	c := circuit.New(3)
+	if err := s.Run(c); err == nil {
+		t.Error("circuit larger than register accepted")
+	}
+}
+
+func TestGHZState(t *testing.T) {
+	c := circuit.GHZ(4)
+	s, err := Simulate(circuit.Decompose(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := s.Probability(0); math.Abs(p-0.5) > 1e-9 {
+		t.Errorf("P(|0000>) = %v, want 0.5", p)
+	}
+	if p := s.Probability(15); math.Abs(p-0.5) > 1e-9 {
+		t.Errorf("P(|1111>) = %v, want 0.5", p)
+	}
+	var other float64
+	for i := 1; i < 15; i++ {
+		other += s.Probability(i)
+	}
+	if other > 1e-9 {
+		t.Errorf("GHZ leaks %v into other basis states", other)
+	}
+}

@@ -1,0 +1,196 @@
+// Package quantum provides the simulation substrate behind the fidelity
+// experiments: a dense state-vector simulator for functional validation
+// of compiled circuits (the stand-in for the paper's Qiskit runs), and
+// an analytic Pauli/decoherence error-accumulation model that scores
+// scheduled circuits at sizes a state vector cannot reach.
+package quantum
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"repro/internal/circuit"
+)
+
+// State is a pure quantum state over n qubits, 2^n amplitudes in
+// little-endian qubit order (qubit 0 is the least-significant bit).
+type State struct {
+	n   int
+	amp []complex128
+}
+
+// MaxQubits bounds dense simulation (2^24 amplitudes ≈ 256 MiB).
+const MaxQubits = 24
+
+// NewState returns |0...0> on n qubits.
+func NewState(n int) (*State, error) {
+	if n < 1 || n > MaxQubits {
+		return nil, fmt.Errorf("quantum: qubit count %d outside [1,%d]", n, MaxQubits)
+	}
+	s := &State{n: n, amp: make([]complex128, 1<<uint(n))}
+	s.amp[0] = 1
+	return s, nil
+}
+
+// NumQubits returns the register width.
+func (s *State) NumQubits() int { return s.n }
+
+// Amplitude returns the amplitude of basis state idx.
+func (s *State) Amplitude(idx int) complex128 { return s.amp[idx] }
+
+// Probability returns |amp[idx]|².
+func (s *State) Probability(idx int) float64 {
+	a := s.amp[idx]
+	return real(a)*real(a) + imag(a)*imag(a)
+}
+
+// apply1Q applies the 2×2 unitary [[a,b],[c,d]] to qubit q.
+func (s *State) apply1Q(q int, a, b, c, d complex128) {
+	bit := 1 << uint(q)
+	for i := 0; i < len(s.amp); i++ {
+		if i&bit != 0 {
+			continue
+		}
+		j := i | bit
+		x, y := s.amp[i], s.amp[j]
+		s.amp[i] = a*x + b*y
+		s.amp[j] = c*x + d*y
+	}
+}
+
+// applyCZ applies controlled-Z between qubits a and b.
+func (s *State) applyCZ(a, b int) {
+	ba, bb := 1<<uint(a), 1<<uint(b)
+	for i := range s.amp {
+		if i&ba != 0 && i&bb != 0 {
+			s.amp[i] = -s.amp[i]
+		}
+	}
+}
+
+// Apply executes one basis gate (RX, RY, RZ, CZ). Measure gates are
+// ignored here; use MeasureAll / MeasureQubit explicitly.
+func (s *State) Apply(g circuit.Gate) error {
+	switch g.Name {
+	case circuit.RX:
+		c := complex(math.Cos(g.Param/2), 0)
+		is := complex(0, -math.Sin(g.Param/2))
+		s.apply1Q(g.Qubits[0], c, is, is, c)
+	case circuit.RY:
+		c := complex(math.Cos(g.Param/2), 0)
+		sn := complex(math.Sin(g.Param/2), 0)
+		s.apply1Q(g.Qubits[0], c, -sn, sn, c)
+	case circuit.RZ:
+		em := cmplx.Exp(complex(0, -g.Param/2))
+		ep := cmplx.Exp(complex(0, g.Param/2))
+		s.apply1Q(g.Qubits[0], em, 0, 0, ep)
+	case circuit.CZ:
+		s.applyCZ(g.Qubits[0], g.Qubits[1])
+	case circuit.Measure:
+		// Terminal measurements are deferred to the caller.
+	default:
+		return fmt.Errorf("quantum: non-basis gate %s; run circuit.Decompose first", g.Name)
+	}
+	return nil
+}
+
+// Run executes every gate of a hardware-basis circuit on the state.
+func (s *State) Run(c *circuit.Circuit) error {
+	if c.NumQubits > s.n {
+		return fmt.Errorf("quantum: circuit needs %d qubits, state has %d", c.NumQubits, s.n)
+	}
+	for _, g := range c.Gates {
+		if err := s.Apply(g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Simulate builds a fresh state and runs the circuit on it.
+func Simulate(c *circuit.Circuit) (*State, error) {
+	s, err := NewState(c.NumQubits)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Run(c); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MeasureQubit samples qubit q, collapses the state and returns the
+// outcome bit.
+func (s *State) MeasureQubit(q int, rng *rand.Rand) int {
+	bit := 1 << uint(q)
+	var p1 float64
+	for i, a := range s.amp {
+		if i&bit != 0 {
+			p1 += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	outcome := 0
+	if rng.Float64() < p1 {
+		outcome = 1
+	}
+	var norm float64
+	for i := range s.amp {
+		keep := (i&bit != 0) == (outcome == 1)
+		if !keep {
+			s.amp[i] = 0
+			continue
+		}
+		a := s.amp[i]
+		norm += real(a)*real(a) + imag(a)*imag(a)
+	}
+	scale := complex(1/math.Sqrt(norm), 0)
+	for i := range s.amp {
+		s.amp[i] *= scale
+	}
+	return outcome
+}
+
+// MeasureAll samples every qubit and returns the bitstring (qubit 0 in
+// element 0).
+func (s *State) MeasureAll(rng *rand.Rand) []int {
+	out := make([]int, s.n)
+	for q := 0; q < s.n; q++ {
+		out[q] = s.MeasureQubit(q, rng)
+	}
+	return out
+}
+
+// ProbabilityOfQubit returns P(qubit q = 1) without collapsing.
+func (s *State) ProbabilityOfQubit(q int) float64 {
+	bit := 1 << uint(q)
+	var p1 float64
+	for i, a := range s.amp {
+		if i&bit != 0 {
+			p1 += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	return p1
+}
+
+// Overlap returns |<s|t>|², the state fidelity of two pure states.
+func (s *State) Overlap(t *State) (float64, error) {
+	if s.n != t.n {
+		return 0, fmt.Errorf("quantum: overlap of %d- and %d-qubit states", s.n, t.n)
+	}
+	var dot complex128
+	for i := range s.amp {
+		dot += cmplx.Conj(s.amp[i]) * t.amp[i]
+	}
+	return real(dot)*real(dot) + imag(dot)*imag(dot), nil
+}
+
+// Norm returns <s|s>; it should stay 1 within numerical error.
+func (s *State) Norm() float64 {
+	var n float64
+	for _, a := range s.amp {
+		n += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return n
+}

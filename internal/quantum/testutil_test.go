@@ -1,0 +1,6 @@
+package quantum
+
+import "math/rand"
+
+// newTestRand returns a seeded rng for statistical tests.
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

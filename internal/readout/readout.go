@@ -1,0 +1,178 @@
+// Package readout models frequency-multiplexed dispersive readout, the
+// third control-line family of the wiring system. Each qubit couples to
+// a readout resonator; all resonators on one feedline are probed
+// simultaneously with frequency-stacked tones (FDM without filters, as
+// in Figure 2). The model predicts per-qubit assignment fidelity from
+// the dispersive phase swing, photon shot noise and inter-resonator
+// spectral interference, and derives how many qubits one feedline can
+// carry at a target fidelity — the paper's "up to 8 qubits at 99.0%
+// single-shot fidelity" anchor.
+package readout
+
+import (
+	"fmt"
+	"math"
+)
+
+// Resonator is one qubit's readout resonator.
+type Resonator struct {
+	// FreqGHz is the resonator frequency.
+	FreqGHz float64
+	// KappaMHz is the resonator linewidth κ/2π.
+	KappaMHz float64
+	// ChiMHz is the dispersive shift χ/2π (resonance moves by ±χ with
+	// the qubit state).
+	ChiMHz float64
+}
+
+// DefaultResonator returns typical planar-transmon readout parameters.
+func DefaultResonator(freqGHz float64) Resonator {
+	return Resonator{FreqGHz: freqGHz, KappaMHz: 5, ChiMHz: 1.5}
+}
+
+// PhaseSwing returns the transmitted-phase separation (radians)
+// between the qubit's two states when probed at the mean resonance:
+// 2·atan(2χ/κ).
+func (r Resonator) PhaseSwing() float64 {
+	return 2 * math.Atan2(2*r.ChiMHz, r.KappaMHz)
+}
+
+// Probe describes the measurement settings shared by a feedline.
+type Probe struct {
+	// Photons is the steady-state intra-resonator photon number n̄.
+	Photons float64
+	// IntegrationNs is the demodulation window τ.
+	IntegrationNs float64
+	// Efficiency is the measurement quantum efficiency η in (0, 1].
+	Efficiency float64
+}
+
+// DefaultProbe uses typical dispersive-readout settings: ~10 photons
+// in the resonator, a 300 ns window and a phase-preserving
+// amplification chain at 35% quantum efficiency.
+func DefaultProbe() Probe {
+	return Probe{Photons: 10, IntegrationNs: 300, Efficiency: 0.35}
+}
+
+func (p Probe) validate() error {
+	if p.Photons <= 0 || p.IntegrationNs <= 0 {
+		return fmt.Errorf("readout: non-positive probe power or window")
+	}
+	if p.Efficiency <= 0 || p.Efficiency > 1 {
+		return fmt.Errorf("readout: efficiency %g outside (0,1]", p.Efficiency)
+	}
+	return nil
+}
+
+// Feedline is a set of resonators sharing one readout line.
+type Feedline struct {
+	Resonators []Resonator
+}
+
+// interference returns the spectral overlap of resonator j's response
+// at resonator i's probe frequency: a Lorentzian in their detuning with
+// half-width κ_j/2.
+func interference(ri, rj Resonator) float64 {
+	detMHz := math.Abs(ri.FreqGHz-rj.FreqGHz) * 1000
+	hw := rj.KappaMHz / 2
+	return hw * hw / (hw*hw + detMHz*detMHz)
+}
+
+// SNR returns the readout signal-to-noise ratio of resonator i under
+// the probe: dispersive phase swing over shot noise, degraded by the
+// spectral interference of every other tone on the line.
+func (f *Feedline) SNR(i int, p Probe) (float64, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	if i < 0 || i >= len(f.Resonators) {
+		return 0, fmt.Errorf("readout: resonator %d out of range", i)
+	}
+	ri := f.Resonators[i]
+	// Photon shot-noise phase uncertainty after integrating τ:
+	// σ ≈ 1/sqrt(η·n̄·κ·τ). κ in MHz and τ in ns gives κτ in 1e-3
+	// cycles; convert to angular counts.
+	kt := 2 * math.Pi * ri.KappaMHz * 1e-3 * p.IntegrationNs
+	sigma2 := 1 / (p.Efficiency * p.Photons * kt)
+	// Interfering tones add phase noise proportional to their spectral
+	// overlap (they carry comparable photon numbers).
+	for j, rj := range f.Resonators {
+		if j == i {
+			continue
+		}
+		sigma2 += interference(ri, rj)
+	}
+	return ri.PhaseSwing() / math.Sqrt(sigma2), nil
+}
+
+// AssignmentError converts an SNR into the single-shot misassignment
+// probability of two Gaussian pointer states separated by SNR·σ:
+// ε = erfc(SNR/(2√2))/2.
+func AssignmentError(snr float64) float64 {
+	return 0.5 * math.Erfc(snr/(2*math.Sqrt2))
+}
+
+// Fidelity returns resonator i's single-shot assignment fidelity.
+func (f *Feedline) Fidelity(i int, p Probe) (float64, error) {
+	snr, err := f.SNR(i, p)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - AssignmentError(snr), nil
+}
+
+// WorstFidelity returns the minimum fidelity across the feedline.
+func (f *Feedline) WorstFidelity(p Probe) (float64, error) {
+	if len(f.Resonators) == 0 {
+		return 0, fmt.Errorf("readout: empty feedline")
+	}
+	worst := 1.0
+	for i := range f.Resonators {
+		fid, err := f.Fidelity(i, p)
+		if err != nil {
+			return 0, err
+		}
+		if fid < worst {
+			worst = fid
+		}
+	}
+	return worst, nil
+}
+
+// DesignFeedline allocates n resonators evenly across the readout band
+// [bandLoGHz, bandHiGHz] with default resonator parameters.
+func DesignFeedline(n int, bandLoGHz, bandHiGHz float64) (*Feedline, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("readout: need at least 1 resonator")
+	}
+	if bandHiGHz <= bandLoGHz {
+		return nil, fmt.Errorf("readout: empty band [%g, %g]", bandLoGHz, bandHiGHz)
+	}
+	f := &Feedline{}
+	step := (bandHiGHz - bandLoGHz) / float64(n+1)
+	for i := 1; i <= n; i++ {
+		f.Resonators = append(f.Resonators, DefaultResonator(bandLoGHz+float64(i)*step))
+	}
+	return f, nil
+}
+
+// Capacity returns the largest number of default resonators one
+// feedline in the band supports at or above the target worst-case
+// fidelity, up to maxN.
+func Capacity(bandLoGHz, bandHiGHz float64, p Probe, targetFidelity float64, maxN int) (int, error) {
+	best := 0
+	for n := 1; n <= maxN; n++ {
+		f, err := DesignFeedline(n, bandLoGHz, bandHiGHz)
+		if err != nil {
+			return 0, err
+		}
+		worst, err := f.WorstFidelity(p)
+		if err != nil {
+			return 0, err
+		}
+		if worst >= targetFidelity {
+			best = n
+		}
+	}
+	return best, nil
+}

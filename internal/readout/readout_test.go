@@ -1,0 +1,179 @@
+package readout
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPhaseSwing(t *testing.T) {
+	r := Resonator{KappaMHz: 5, ChiMHz: 2.5}
+	// 2χ = κ -> swing = 2·atan(1) = π/2.
+	if got := r.PhaseSwing(); math.Abs(got-math.Pi/2) > 1e-12 {
+		t.Errorf("swing %v, want π/2", got)
+	}
+	// Stronger dispersive shift, bigger swing.
+	weak := Resonator{KappaMHz: 5, ChiMHz: 0.5}
+	if weak.PhaseSwing() >= r.PhaseSwing() {
+		t.Error("swing should grow with χ")
+	}
+}
+
+func TestProbeValidation(t *testing.T) {
+	f, err := DesignFeedline(2, 7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Probe{
+		{Photons: 0, IntegrationNs: 100, Efficiency: 0.5},
+		{Photons: 1, IntegrationNs: 0, Efficiency: 0.5},
+		{Photons: 1, IntegrationNs: 100, Efficiency: 0},
+		{Photons: 1, IntegrationNs: 100, Efficiency: 1.5},
+	}
+	for _, p := range bad {
+		if _, err := f.SNR(0, p); err == nil {
+			t.Errorf("invalid probe %+v accepted", p)
+		}
+	}
+	if _, err := f.SNR(5, DefaultProbe()); err == nil {
+		t.Error("out-of-range resonator accepted")
+	}
+}
+
+func TestSingleResonatorFidelityHigh(t *testing.T) {
+	f, err := DesignFeedline(1, 7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fid, err := f.Fidelity(0, DefaultProbe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fid < 0.99 {
+		t.Errorf("lone resonator fidelity %v below 99%%", fid)
+	}
+}
+
+func TestInterferenceDegradesWithCrowding(t *testing.T) {
+	p := DefaultProbe()
+	var prev float64 = 1
+	for _, n := range []int{1, 4, 16, 64} {
+		f, err := DesignFeedline(n, 7, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst, err := f.WorstFidelity(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if worst > prev+1e-12 {
+			t.Errorf("%d resonators: fidelity improved to %v", n, worst)
+		}
+		prev = worst
+	}
+}
+
+func TestPaperCapacityAnchor(t *testing.T) {
+	// The paper (after George et al.): an FDM readout line carries up
+	// to 8 qubits at 99.0% single-shot fidelity in a 1 GHz band.
+	cap8, err := Capacity(7, 8, DefaultProbe(), 0.99, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap8 < 8 {
+		t.Errorf("capacity %d at 99%%, paper supports 8", cap8)
+	}
+	// But not unboundedly many: a tighter fidelity target must reduce
+	// capacity as tone crowding raises interference.
+	capTight, err := Capacity(7, 8, DefaultProbe(), 0.999, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capTight >= 32 {
+		t.Errorf("99.9%% capacity %d did not bound tone crowding", capTight)
+	}
+	if capTight > cap8 {
+		t.Errorf("tighter target raised capacity: %d vs %d", capTight, cap8)
+	}
+}
+
+func TestAssignmentErrorProperties(t *testing.T) {
+	if e := AssignmentError(0); math.Abs(e-0.5) > 1e-12 {
+		t.Errorf("zero SNR should be a coin flip, got %v", e)
+	}
+	prev := 0.5
+	for snr := 0.5; snr < 10; snr += 0.5 {
+		e := AssignmentError(snr)
+		if e >= prev {
+			t.Fatalf("error not decreasing at SNR %v", snr)
+		}
+		prev = e
+	}
+	if e := AssignmentError(10); e > 1e-3 {
+		t.Errorf("SNR 10 error %v too high", e)
+	}
+}
+
+func TestMoreIntegrationHelps(t *testing.T) {
+	f, err := DesignFeedline(4, 7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := DefaultProbe()
+	short.IntegrationNs = 50
+	long := DefaultProbe()
+	long.IntegrationNs = 1000
+	s1, err := f.SNR(0, short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := f.SNR(0, long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 <= s1 {
+		t.Errorf("longer integration should raise SNR: %v vs %v", s2, s1)
+	}
+}
+
+func TestDesignFeedlineValidation(t *testing.T) {
+	if _, err := DesignFeedline(0, 7, 8); err == nil {
+		t.Error("0 resonators accepted")
+	}
+	if _, err := DesignFeedline(4, 8, 7); err == nil {
+		t.Error("inverted band accepted")
+	}
+	f, err := DesignFeedline(3, 7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range f.Resonators {
+		if r.FreqGHz <= 7 || r.FreqGHz >= 8 {
+			t.Errorf("resonator %d at %v GHz outside band", i, r.FreqGHz)
+		}
+	}
+	// Evenly spaced.
+	d1 := f.Resonators[1].FreqGHz - f.Resonators[0].FreqGHz
+	d2 := f.Resonators[2].FreqGHz - f.Resonators[1].FreqGHz
+	if math.Abs(d1-d2) > 1e-12 {
+		t.Error("resonators not evenly spaced")
+	}
+}
+
+func TestWorstFidelityEmpty(t *testing.T) {
+	f := &Feedline{}
+	if _, err := f.WorstFidelity(DefaultProbe()); err == nil {
+		t.Error("empty feedline accepted")
+	}
+}
+
+func TestInterferenceSymmetricDecay(t *testing.T) {
+	a := DefaultResonator(7.2)
+	b := DefaultResonator(7.3)
+	c := DefaultResonator(7.8)
+	if interference(a, b) <= interference(a, c) {
+		t.Error("interference should decay with detuning")
+	}
+	if interference(a, b) != interference(b, a) {
+		t.Error("interference should be symmetric for equal κ")
+	}
+}

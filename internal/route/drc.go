@@ -1,0 +1,91 @@
+package route
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// DRCReport is the post-routing design-rule check of a Result: it
+// re-examines the committed geometry independently of the router's own
+// bookkeeping.
+type DRCReport struct {
+	// SpacingViolations counts point pairs from different nets closer
+	// than the minimum spacing (excluding declared crossover hops).
+	SpacingViolations int
+	// MinSpacing is the smallest observed inter-net clearance (mm).
+	MinSpacing float64
+	// Crossovers echoes the router's airbridge count for context.
+	Crossovers int
+}
+
+// minClearance is the DRC spacing limit: one wire pitch minus the wire
+// width (the bare gap between adjacent conductors).
+const minClearance = WirePitch - WireWidth
+
+// CheckDRC sweeps the routed nets on a hash grid and reports the
+// spacing violations between distinct nets. Nets that declared
+// crossovers are allowed to touch (their hops are physical airbridges),
+// so their contacts are not counted.
+func CheckDRC(res *Result) *DRCReport {
+	report := &DRCReport{MinSpacing: math.Inf(1)}
+	report.Crossovers = res.Crossings
+
+	// Bucket points at pitch resolution; only neighbouring buckets can
+	// violate spacing.
+	type bucket struct{ x, y int }
+	cellSize := WirePitch
+	points := make(map[bucket][]struct {
+		p   geom.Point
+		net int
+	})
+	for ni := range res.Nets {
+		for _, p := range res.Nets[ni].Path {
+			b := bucket{int(math.Floor(p.X / cellSize)), int(math.Floor(p.Y / cellSize))}
+			points[b] = append(points[b], struct {
+				p   geom.Point
+				net int
+			}{p, ni})
+		}
+	}
+
+	crossing := make([]bool, len(res.Nets))
+	for ni := range res.Nets {
+		crossing[ni] = res.Nets[ni].Crossings > 0
+	}
+
+	seenPairs := make(map[[2]int]bool)
+	for b, pts := range points {
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				nb := bucket{b.x + dx, b.y + dy}
+				others, ok := points[nb]
+				if !ok {
+					continue
+				}
+				for _, a := range pts {
+					for _, o := range others {
+						if a.net >= o.net {
+							continue
+						}
+						d := a.p.Dist(o.p)
+						if d < report.MinSpacing && d > 0 {
+							report.MinSpacing = d
+						}
+						if d < minClearance-1e-9 {
+							if crossing[a.net] || crossing[o.net] {
+								continue // airbridge contact
+							}
+							key := [2]int{a.net, o.net}
+							if !seenPairs[key] {
+								seenPairs[key] = true
+								report.SpacingViolations++
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return report
+}

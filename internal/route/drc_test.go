@@ -1,0 +1,76 @@
+package route
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/geom"
+)
+
+func TestCheckDRCCleanRouting(t *testing.T) {
+	c := chip.Square(3, 3)
+	r := NewRouter(c)
+	var nets []Net
+	for _, q := range c.Qubits {
+		nets = append(nets, Net{Kind: NetXY, Label: "xy", Targets: []geom.Point{q.Pos}})
+	}
+	res, err := r.RouteAll(nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := CheckDRC(res)
+	// The router's halo enforces the pitch; crossover-free nets must
+	// have no spacing violations among themselves.
+	if report.SpacingViolations > 0 {
+		t.Errorf("%d spacing violations in a small clean routing (min %.4f mm)",
+			report.SpacingViolations, report.MinSpacing)
+	}
+	// Any observed clearance must respect the rule (an Inf means no two
+	// nets ever came within a bucket of each other, which also passes).
+	if !math.IsInf(report.MinSpacing, 1) && report.MinSpacing < minClearance-1e-9 {
+		t.Errorf("min spacing %v below clearance %v without violations", report.MinSpacing, minClearance)
+	}
+}
+
+func TestCheckDRCDetectsManufacturedViolation(t *testing.T) {
+	// Hand-build a Result with two parallel nets 5 µm apart — a clear
+	// violation of the 10 µm clearance.
+	res := &Result{
+		Nets: []RoutedNet{
+			{Net: Net{Label: "a"}, Path: []geom.Point{geom.Pt(0, 0), geom.Pt(0.1, 0)}},
+			{Net: Net{Label: "b"}, Path: []geom.Point{geom.Pt(0, 0.005), geom.Pt(0.1, 0.005)}},
+		},
+	}
+	report := CheckDRC(res)
+	if report.SpacingViolations == 0 {
+		t.Error("manufactured 5 µm violation not detected")
+	}
+	if report.MinSpacing > 0.006 {
+		t.Errorf("min spacing %v, want ~0.005", report.MinSpacing)
+	}
+}
+
+func TestCheckDRCIgnoresDeclaredCrossovers(t *testing.T) {
+	res := &Result{
+		Nets: []RoutedNet{
+			{Net: Net{Label: "a"}, Path: []geom.Point{geom.Pt(0, 0), geom.Pt(0.1, 0)}},
+			{Net: Net{Label: "b"}, Path: []geom.Point{geom.Pt(0.05, 0)}, Crossings: 1},
+		},
+		Crossings: 1,
+	}
+	report := CheckDRC(res)
+	if report.SpacingViolations != 0 {
+		t.Errorf("airbridge contact counted as violation")
+	}
+	if report.Crossovers != 1 {
+		t.Errorf("crossover count lost")
+	}
+}
+
+func TestCheckDRCEmpty(t *testing.T) {
+	report := CheckDRC(&Result{})
+	if report.SpacingViolations != 0 {
+		t.Error("empty routing has violations")
+	}
+}

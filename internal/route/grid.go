@@ -1,0 +1,342 @@
+// Package route implements the chip-level control-line router used by
+// the Table 2 chip-level evaluation: a grid router at 10 µm resolution
+// running A* under standard EDA constraints — no crossing of committed
+// wires, a minimum spacing between adjacent lines, and keep-out discs
+// around the large on-chip components (qubits). Interfaces sit on the
+// chip perimeter at a 0.5 mm pitch and each routed net consumes one.
+package route
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Physical constants from the paper's chip-level discussion.
+const (
+	// Resolution is the routing-grid cell size in mm (10 µm).
+	Resolution = 0.010
+	// WireWidth is the control-line width in mm (20 µm).
+	WireWidth = 0.020
+	// WirePitch is the line-to-line pitch in mm (30 µm).
+	WirePitch = 0.030
+	// InterfacePitch is the perimeter interface pitch in mm (0.5 mm).
+	InterfacePitch = 0.5
+	// QubitKeepOut is the blocked radius around each qubit in mm.
+	QubitKeepOut = 0.20
+	// Margin is the die margin around the qubit array in mm; interface
+	// pads sit near the die edge, so every net runs a trunk from the
+	// edge to the array.
+	Margin = 2.5
+	// ControlPitch is the strip width of narrow digital DEMUX-control
+	// lines (5 µm lines at 10 µm pitch).
+	ControlPitch = 0.010
+)
+
+// cell is an integer grid coordinate.
+type cell struct{ X, Y int }
+
+// Grid is the routing canvas: a blocked-cell bitmap plus component
+// keep-out discs.
+type Grid struct {
+	w, h    int
+	origin  geom.Point
+	blocked []bool
+	discs   []disc
+	// discOf[cell] is the index of the keep-out disc covering the cell,
+	// or -1. Discs are assumed non-overlapping (device keep-outs are
+	// smaller than half the qubit pitch).
+	discOf []int16
+}
+
+type disc struct {
+	center geom.Point
+	radius float64
+}
+
+// NewGrid creates a routing grid covering bounds expanded by Margin.
+func NewGrid(bounds geom.Rect) *Grid {
+	b := bounds.Expand(Margin)
+	w := int(math.Ceil(b.Width()/Resolution)) + 1
+	h := int(math.Ceil(b.Height()/Resolution)) + 1
+	g := &Grid{w: w, h: h, origin: b.Min, blocked: make([]bool, w*h)}
+	g.discOf = make([]int16, w*h)
+	for i := range g.discOf {
+		g.discOf[i] = -1
+	}
+	return g
+}
+
+// Width and Height return the grid dimensions in cells.
+func (g *Grid) Width() int  { return g.w }
+func (g *Grid) Height() int { return g.h }
+
+// AddKeepOut registers a circular component keep-out.
+func (g *Grid) AddKeepOut(center geom.Point, radius float64) {
+	idx := int16(len(g.discs))
+	g.discs = append(g.discs, disc{center: center, radius: radius})
+	// Rasterize the disc into the index map.
+	c0 := g.toCell(geom.Pt(center.X-radius, center.Y-radius))
+	c1 := g.toCell(geom.Pt(center.X+radius, center.Y+radius))
+	for y := c0.Y; y <= c1.Y; y++ {
+		for x := c0.X; x <= c1.X; x++ {
+			c := cell{x, y}
+			if !g.inBounds(c) {
+				continue
+			}
+			if g.toPoint(c).Dist(center) < radius {
+				g.discOf[g.idx(c)] = idx
+			}
+		}
+	}
+}
+
+func (g *Grid) toCell(p geom.Point) cell {
+	return cell{
+		X: int(math.Round((p.X - g.origin.X) / Resolution)),
+		Y: int(math.Round((p.Y - g.origin.Y) / Resolution)),
+	}
+}
+
+func (g *Grid) toPoint(c cell) geom.Point {
+	return geom.Pt(g.origin.X+float64(c.X)*Resolution, g.origin.Y+float64(c.Y)*Resolution)
+}
+
+func (g *Grid) inBounds(c cell) bool {
+	return c.X >= 0 && c.X < g.w && c.Y >= 0 && c.Y < g.h
+}
+
+func (g *Grid) idx(c cell) int { return c.Y*g.w + c.X }
+
+// exemptDiscs returns the indices of keep-out discs containing either
+// segment endpoint: a wire may traverse the discs it starts or ends in.
+func (g *Grid) exemptDiscs(a, b geom.Point) []int16 {
+	var out []int16
+	for i, d := range g.discs {
+		if a.Dist(d.center) < d.radius || b.Dist(d.center) < d.radius {
+			out = append(out, int16(i))
+		}
+	}
+	return out
+}
+
+// inKeepOut reports whether the cell sits in a keep-out disc other than
+// the exempted ones (discs containing the segment's endpoints).
+func (g *Grid) inKeepOut(ci int, exempt []int16) bool {
+	d := g.discOf[ci]
+	if d < 0 {
+		return false
+	}
+	for _, e := range exempt {
+		if e == d {
+			return false
+		}
+	}
+	return true
+}
+
+// blockPath commits a routed path: its cells, plus a one-cell halo that
+// enforces the 30 µm pitch (wire width 20 µm on a 10 µm grid), become
+// unavailable to later nets.
+func (g *Grid) blockPath(cells []cell) {
+	for _, c := range cells {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				n := cell{c.X + dx, c.Y + dy}
+				if g.inBounds(n) {
+					g.blocked[g.idx(n)] = true
+				}
+			}
+		}
+	}
+}
+
+type pqItem struct {
+	c     cell
+	f, gc float64
+}
+
+type pathPQ []pqItem
+
+func (q pathPQ) Len() int            { return len(q) }
+func (q pathPQ) Less(i, j int) bool  { return q[i].f < q[j].f }
+func (q pathPQ) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pathPQ) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pathPQ) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// crossPenalty is the A* cost of stepping onto a committed wire cell in
+// the crossing-allowed retry pass — each such step models an airbridge
+// crossover.
+const crossPenalty = 60
+
+// astar finds the cheapest 4-connected path from src to dst avoiding
+// blocked cells and foreign keep-outs. When allowCross is set, blocked
+// cells are passable at crossPenalty (airbridge crossovers); keep-outs
+// stay hard. It returns nil when no path exists.
+// srcZone returns the contiguous region of committed-wire cells around
+// src (capped), which the new segment may traverse freely: a branch
+// departing from its own hub or chain end necessarily starts inside the
+// halo of the wiring already committed there.
+func (g *Grid) srcZone(src cell) map[int]bool {
+	const cap = 600
+	si := g.idx(src)
+	if !g.blocked[si] {
+		return nil
+	}
+	zone := map[int]bool{si: true}
+	queue := []cell{src}
+	for len(queue) > 0 && len(zone) < cap {
+		c := queue[0]
+		queue = queue[1:]
+		for _, d := range [4]cell{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			n := cell{c.X + d.X, c.Y + d.Y}
+			if !g.inBounds(n) {
+				continue
+			}
+			ni := g.idx(n)
+			if g.blocked[ni] && !zone[ni] {
+				zone[ni] = true
+				queue = append(queue, n)
+			}
+		}
+	}
+	return zone
+}
+
+func (g *Grid) astar(src, dst cell, exempt []int16, srcZone map[int]bool, allowCross bool) []cell {
+	if !g.inBounds(src) || !g.inBounds(dst) {
+		return nil
+	}
+	// Expansion budget: a crossing-free pass that wanders far beyond
+	// the direct corridor is abandoned in favour of the (always
+	// feasible) crossing pass, bounding worst-case routing time.
+	budget := 1 << 62
+	if !allowCross {
+		manhattan := abs(src.X-dst.X) + abs(src.Y-dst.Y)
+		budget = 400*(manhattan+1) + 20000
+	}
+	expanded := 0
+	const unvisited = -1
+	prev := make([]int32, g.w*g.h)
+	cost := make([]float64, g.w*g.h)
+	for i := range prev {
+		prev[i] = unvisited
+		cost[i] = math.Inf(1)
+	}
+	h := func(c cell) float64 {
+		return float64(abs(c.X-dst.X) + abs(c.Y-dst.Y))
+	}
+	pq := &pathPQ{{c: src, f: h(src)}}
+	cost[g.idx(src)] = 0
+	prev[g.idx(src)] = int32(g.idx(src))
+	dirs := [4]cell{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(pqItem)
+		if it.c == dst {
+			return g.reconstruct(prev, src, dst)
+		}
+		ci := g.idx(it.c)
+		if it.gc > cost[ci] {
+			continue
+		}
+		if expanded++; expanded > budget {
+			return nil
+		}
+		for _, d := range dirs {
+			n := cell{it.c.X + d.X, it.c.Y + d.Y}
+			if !g.inBounds(n) {
+				continue
+			}
+			ni := g.idx(n)
+			step := 1.0
+			if n != dst {
+				if g.inKeepOut(ni, exempt) {
+					continue
+				}
+				if g.blocked[ni] && !srcZone[ni] {
+					if !allowCross {
+						continue
+					}
+					step += crossPenalty
+				}
+			}
+			if nc := it.gc + step; nc < cost[ni] {
+				cost[ni] = nc
+				prev[ni] = int32(ci)
+				heap.Push(pq, pqItem{c: n, f: nc + h(n), gc: nc})
+			}
+		}
+	}
+	return nil
+}
+
+func (g *Grid) reconstruct(prev []int32, src, dst cell) []cell {
+	var path []cell
+	cur := g.idx(dst)
+	srcIdx := g.idx(src)
+	for {
+		path = append(path, cell{cur % g.w, cur / g.w})
+		if cur == srcIdx {
+			break
+		}
+		cur = int(prev[cur])
+	}
+	// Reverse in place.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// RouteSegment routes one wire segment from a to b, commits it to the
+// grid, and returns its polyline. Keep-out discs containing either
+// endpoint are traversable for this segment. When no crossing-free path
+// exists, a second pass allows airbridge crossovers at a penalty;
+// crossings reports how many committed wires the result hops over.
+func (g *Grid) RouteSegment(a, b geom.Point) (path []geom.Point, crossings int, err error) {
+	src, dst := g.toCell(a), g.toCell(b)
+	if !g.inBounds(src) || !g.inBounds(dst) {
+		return nil, 0, fmt.Errorf("route: segment %v -> %v outside grid", a, b)
+	}
+	exempt := g.exemptDiscs(a, b)
+	zone := g.srcZone(src)
+	cells := g.astar(src, dst, exempt, zone, false)
+	if cells == nil {
+		cells = g.astar(src, dst, exempt, zone, true)
+		if cells == nil {
+			return nil, 0, fmt.Errorf("route: no path %v -> %v even with crossovers", a, b)
+		}
+		// Count crossover events: each transition into a committed-wire
+		// region is one airbridge.
+		inWire := false
+		for _, c := range cells[1:] {
+			ci := g.idx(c)
+			b := g.blocked[ci] && !zone[ci]
+			if b && !inWire {
+				crossings++
+			}
+			inWire = b
+		}
+	}
+	pts := make([]geom.Point, len(cells))
+	for i, c := range cells {
+		pts[i] = g.toPoint(c)
+	}
+	g.blockPath(cells)
+	return pts, crossings, nil
+}

@@ -1,0 +1,252 @@
+package route
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/geom"
+)
+
+func TestGridCoordinateRoundTrip(t *testing.T) {
+	g := NewGrid(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(2, 2)})
+	for _, p := range []geom.Point{geom.Pt(0, 0), geom.Pt(1.234, 0.567), geom.Pt(2, 2)} {
+		c := g.toCell(p)
+		back := g.toPoint(c)
+		if back.Dist(p) > Resolution {
+			t.Errorf("round trip %v -> %v drifts %v", p, back, back.Dist(p))
+		}
+	}
+}
+
+func TestGridDimensionsCoverMargin(t *testing.T) {
+	b := geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)}
+	g := NewGrid(b)
+	wantCells := int(math.Ceil((1+2*Margin)/Resolution)) + 1
+	if g.Width() != wantCells || g.Height() != wantCells {
+		t.Errorf("grid %dx%d, want %dx%d", g.Width(), g.Height(), wantCells, wantCells)
+	}
+}
+
+func TestRouteSegmentStraightLine(t *testing.T) {
+	g := NewGrid(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(2, 2)})
+	path, crossings, err := g.RouteSegment(geom.Pt(0, 1), geom.Pt(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crossings != 0 {
+		t.Errorf("unexpected crossings: %d", crossings)
+	}
+	if l := geom.PathLength(path); math.Abs(l-2) > 4*Resolution {
+		t.Errorf("path length %v, want ~2", l)
+	}
+}
+
+func TestRouteSegmentAvoidsCommittedWire(t *testing.T) {
+	g := NewGrid(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(2, 2)})
+	// Vertical wall through the middle (partial: leaves a gap at top).
+	if _, _, err := g.RouteSegment(geom.Pt(1, -Margin+0.2), geom.Pt(1, 1.5)); err != nil {
+		t.Fatal(err)
+	}
+	// Horizontal route must detour around the wall's top end.
+	path, crossings, err := g.RouteSegment(geom.Pt(0, 1), geom.Pt(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crossings != 0 {
+		t.Errorf("detour should avoid crossing, got %d crossings", crossings)
+	}
+	if l := geom.PathLength(path); l < 2.5 {
+		t.Errorf("path length %v suggests it did not detour", l)
+	}
+}
+
+func TestRouteSegmentCrossesWhenWalledIn(t *testing.T) {
+	g := NewGrid(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)})
+	// Wall spanning the full grid height: unavoidable.
+	if _, _, err := g.RouteSegment(geom.Pt(0.5, -Margin), geom.Pt(0.5, 1+Margin)); err != nil {
+		t.Fatal(err)
+	}
+	_, crossings, err := g.RouteSegment(geom.Pt(0, 0.5), geom.Pt(1, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crossings == 0 {
+		t.Error("full wall must force a crossover")
+	}
+	if crossings > 2 {
+		t.Errorf("one wall should cost one or two crossings, got %d", crossings)
+	}
+}
+
+func TestKeepOutRespected(t *testing.T) {
+	g := NewGrid(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(2, 2)})
+	center := geom.Pt(1, 1)
+	g.AddKeepOut(center, 0.3)
+	path, _, err := g.RouteSegment(geom.Pt(0, 1), geom.Pt(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range path {
+		if p.Dist(center) < 0.3-Resolution {
+			t.Fatalf("path enters foreign keep-out at %v", p)
+		}
+	}
+}
+
+func TestKeepOutExemptForOwnTarget(t *testing.T) {
+	g := NewGrid(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(2, 2)})
+	center := geom.Pt(1, 1)
+	g.AddKeepOut(center, 0.3)
+	// Routing INTO the keep-out's centre must work (it is the target's
+	// own disc).
+	path, crossings, err := g.RouteSegment(geom.Pt(0, 1), center)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crossings != 0 {
+		t.Errorf("own-target route crossed %d wires", crossings)
+	}
+	if end := path[len(path)-1]; end.Dist(center) > Resolution {
+		t.Errorf("path ends at %v, not the target", end)
+	}
+}
+
+func TestRouterGoogleStyleNets(t *testing.T) {
+	c := chip.Square(3, 3)
+	r := NewRouter(c)
+	var nets []Net
+	for _, q := range c.Qubits {
+		nets = append(nets, Net{Kind: NetXY, Label: "xy", Targets: []geom.Point{q.Pos}})
+	}
+	res, err := r.RouteAll(nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumInterfaces != len(nets) {
+		t.Errorf("interfaces %d, want %d", res.NumInterfaces, len(nets))
+	}
+	if res.TotalLength <= 0 || res.Area <= 0 {
+		t.Error("zero routed length/area")
+	}
+	if math.Abs(res.Area-res.TotalLength*WirePitch) > 1e-9 {
+		t.Errorf("area %v != length %v x pitch", res.Area, res.TotalLength)
+	}
+	for i, rn := range res.Nets {
+		if len(rn.Path) == 0 {
+			t.Errorf("net %d has empty path", i)
+		}
+		if rn.Length <= 0 {
+			t.Errorf("net %d has zero length", i)
+		}
+	}
+}
+
+func TestRouterControlNetsAreNarrow(t *testing.T) {
+	c := chip.Square(2, 2)
+	r := NewRouter(c)
+	nets := []Net{
+		{Kind: NetControl, Label: "ctl", Targets: []geom.Point{c.Qubits[0].Pos}},
+	}
+	res, err := r.RouteAll(nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Area-res.TotalLength*ControlPitch) > 1e-9 {
+		t.Errorf("control net should use ControlPitch: area %v length %v", res.Area, res.TotalLength)
+	}
+}
+
+func TestRouterStarNet(t *testing.T) {
+	c := chip.Square(3, 3)
+	r := NewRouter(c)
+	hub := Centroid([]geom.Point{c.Qubits[0].Pos, c.Qubits[1].Pos, c.Qubits[3].Pos})
+	nets := []Net{{
+		Kind:    NetZ,
+		Label:   "star",
+		Star:    true,
+		Targets: []geom.Point{hub, c.Qubits[0].Pos, c.Qubits[1].Pos, c.Qubits[3].Pos},
+	}}
+	res, err := r.RouteAll(nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The star must reach every target.
+	for _, target := range nets[0].Targets[1:] {
+		found := false
+		for _, p := range res.Nets[0].Path {
+			if p.Dist(target) <= Resolution {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("star branch never reaches %v", target)
+		}
+	}
+}
+
+func TestRouterChainNet(t *testing.T) {
+	c := chip.Square(3, 3)
+	r := NewRouter(c)
+	nets := []Net{{
+		Kind:    NetXY,
+		Label:   "chain",
+		Targets: []geom.Point{c.Qubits[0].Pos, c.Qubits[1].Pos, c.Qubits[2].Pos},
+	}}
+	res, err := r.RouteAll(nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chain length: trunk (>= ~Margin*0.8) + ~2 hops.
+	if res.Nets[0].Length < 2*chip.DefaultPitch {
+		t.Errorf("chain too short: %v", res.Nets[0].Length)
+	}
+}
+
+func TestRouterRejectsEmptyNet(t *testing.T) {
+	r := NewRouter(chip.Square(2, 2))
+	if _, err := r.RouteAll([]Net{{Kind: NetXY, Label: "empty"}}); err == nil {
+		t.Error("empty net accepted")
+	}
+}
+
+func TestRouterInterfacesDistinct(t *testing.T) {
+	c := chip.Square(3, 3)
+	r := NewRouter(c)
+	var nets []Net
+	for _, q := range c.Qubits {
+		nets = append(nets, Net{Kind: NetZ, Label: "z", Targets: []geom.Point{q.Pos}})
+	}
+	res, err := r.RouteAll(nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[geom.Point]bool{}
+	for _, rn := range res.Nets {
+		if seen[rn.Interface] {
+			t.Errorf("interface %v claimed twice", rn.Interface)
+		}
+		seen[rn.Interface] = true
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(2, 0), geom.Pt(1, 3)}
+	if c := Centroid(pts); c != geom.Pt(1, 1) {
+		t.Errorf("centroid %v, want (1,1)", c)
+	}
+	if c := Centroid(nil); c != (geom.Point{}) {
+		t.Errorf("empty centroid %v", c)
+	}
+}
+
+func TestNetKindString(t *testing.T) {
+	for k, want := range map[NetKind]string{
+		NetXY: "XY", NetZ: "Z", NetReadout: "readout", NetControl: "control",
+	} {
+		if k.String() != want {
+			t.Errorf("%d: got %s want %s", int(k), k.String(), want)
+		}
+	}
+}

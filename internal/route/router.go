@@ -1,0 +1,258 @@
+package route
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/chip"
+	"repro/internal/geom"
+)
+
+// NetKind classifies a control net.
+type NetKind int
+
+const (
+	// NetXY is a microwave drive line (single qubit or FDM chain).
+	NetXY NetKind = iota
+	// NetZ is a flux line (single device or TDM star through a DEMUX).
+	NetZ
+	// NetReadout is a readout feedline chain.
+	NetReadout
+	// NetControl is a DEMUX digital control line.
+	NetControl
+)
+
+// String implements fmt.Stringer.
+func (k NetKind) String() string {
+	switch k {
+	case NetXY:
+		return "XY"
+	case NetZ:
+		return "Z"
+	case NetReadout:
+		return "readout"
+	case NetControl:
+		return "control"
+	default:
+		return fmt.Sprintf("NetKind(%d)", int(k))
+	}
+}
+
+// Net is an unrouted control net.
+type Net struct {
+	Kind  NetKind
+	Label string
+	// Targets are the device positions served by the net, visited in
+	// order for chain nets.
+	Targets []geom.Point
+	// Star marks a TDM net: Targets[0] is the DEMUX hub and the
+	// remaining targets are routed as branches from the hub.
+	Star bool
+}
+
+// RoutedNet is the routing result for one net.
+type RoutedNet struct {
+	Net
+	Interface geom.Point
+	Path      []geom.Point
+	Length    float64
+	// Crossings counts airbridge crossovers this net needed.
+	Crossings int
+}
+
+// Result aggregates a full chip routing.
+type Result struct {
+	Nets          []RoutedNet
+	NumInterfaces int
+	TotalLength   float64 // mm
+	Area          float64 // mm², occupied strip area of all wires
+	// Crossings is the total number of airbridge crossovers; a fully
+	// planar routing has zero.
+	Crossings int
+}
+
+// Router routes a set of nets on one chip.
+type Router struct {
+	grid       *Grid
+	bounds     geom.Rect
+	interfaces []geom.Point
+	used       []bool
+}
+
+// NewRouter prepares the routing canvas for a chip: grid, qubit
+// keep-outs and perimeter interfaces.
+func NewRouter(c *chip.Chip) *Router {
+	bounds := c.Bounds()
+	g := NewGrid(bounds)
+	for _, q := range c.Qubits {
+		g.AddKeepOut(q.Pos, QubitKeepOut)
+	}
+	return &Router{grid: g, bounds: bounds}
+}
+
+// perimeterInterfaces places interface pads on the rectangle
+// Margin*0.8 outside the qubit array. The pitch is InterfacePitch
+// unless the perimeter is too short for the requested pad count (small
+// evaluation chips), in which case pads are packed as densely as the
+// routing grid allows.
+func perimeterInterfaces(bounds geom.Rect, minCount int) []geom.Point {
+	r := bounds.Expand(Margin * 0.8)
+	pitch := InterfacePitch
+	if minCount > 0 {
+		perimeter := 2 * (r.Width() + r.Height())
+		if needed := perimeter / float64(minCount+4); needed < pitch {
+			pitch = needed
+		}
+	}
+	if pitch < 3*Resolution {
+		pitch = 3 * Resolution
+	}
+	var pts []geom.Point
+	for x := r.Min.X; x <= r.Max.X; x += pitch {
+		pts = append(pts, geom.Pt(x, r.Min.Y), geom.Pt(x, r.Max.Y))
+	}
+	for y := r.Min.Y + pitch; y < r.Max.Y; y += pitch {
+		pts = append(pts, geom.Pt(r.Min.X, y), geom.Pt(r.Max.X, y))
+	}
+	return pts
+}
+
+// NumAvailableInterfaces returns the perimeter capacity (0 before the
+// first RouteAll sizes the pad ring).
+func (r *Router) NumAvailableInterfaces() int { return len(r.interfaces) }
+
+// claimInterface picks the nearest free interface to p.
+func (r *Router) claimInterface(p geom.Point) (geom.Point, error) {
+	if r.used == nil {
+		r.used = make([]bool, len(r.interfaces))
+	}
+	best, bestD := -1, math.Inf(1)
+	for i, ifc := range r.interfaces {
+		if r.used[i] {
+			continue
+		}
+		if d := ifc.Dist(p); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	if best < 0 {
+		return geom.Point{}, fmt.Errorf("route: out of perimeter interfaces (%d placed)", len(r.interfaces))
+	}
+	r.used[best] = true
+	return r.interfaces[best], nil
+}
+
+// RouteAll routes every net, claiming one interface per net. Nets with
+// in-array wiring (chains, stars) route first, then single-target nets
+// innermost-first — the escape-routing discipline that keeps the
+// result near planar. The input order breaks ties deterministically.
+func (r *Router) RouteAll(nets []Net) (*Result, error) {
+	order := make([]int, len(nets))
+	for i := range order {
+		order[i] = i
+	}
+	est := make([]float64, len(nets))
+	for i, n := range nets {
+		if len(n.Targets) == 0 {
+			return nil, fmt.Errorf("route: net %d (%s) has no targets", i, n.Label)
+		}
+		est[i] = float64(len(n.Targets))*1e6 + r.edgeDistance(n.Targets[0])
+	}
+	sort.SliceStable(order, func(a, b int) bool { return est[order[a]] > est[order[b]] })
+
+	if r.interfaces == nil {
+		r.interfaces = perimeterInterfaces(r.bounds, len(nets))
+	}
+	if len(r.interfaces) < len(nets) {
+		return nil, fmt.Errorf("route: %d nets exceed perimeter capacity %d", len(nets), len(r.interfaces))
+	}
+
+	res := &Result{Nets: make([]RoutedNet, len(nets))}
+	for _, i := range order {
+		rn, err := r.routeNet(nets[i])
+		if err != nil {
+			return nil, fmt.Errorf("route: net %q: %w", nets[i].Label, err)
+		}
+		res.Nets[i] = rn
+		res.TotalLength += rn.Length
+		res.Crossings += rn.Crossings
+		// Each wire occupies a strip one pitch wide: 30 µm for coax-fed
+		// CPW lines, 10 µm for narrow digital control lines.
+		pitch := WirePitch
+		if rn.Kind == NetControl {
+			pitch = ControlPitch
+		}
+		res.Area += rn.Length * pitch
+	}
+	res.NumInterfaces = len(nets)
+	return res, nil
+}
+
+// edgeDistance is the distance from p to the die boundary (deeper nets
+// route first).
+func (r *Router) edgeDistance(p geom.Point) float64 {
+	die := r.bounds.Expand(Margin * 0.8)
+	dx := die.Max.X - p.X
+	if v := p.X - die.Min.X; v < dx {
+		dx = v
+	}
+	dy := die.Max.Y - p.Y
+	if v := p.Y - die.Min.Y; v < dy {
+		dy = v
+	}
+	if dy < dx {
+		return dy
+	}
+	return dx
+}
+
+func (r *Router) routeNet(n Net) (RoutedNet, error) {
+	ifc, err := r.claimInterface(n.Targets[0])
+	if err != nil {
+		return RoutedNet{}, err
+	}
+	rn := RoutedNet{Net: n, Interface: ifc}
+
+	appendSeg := func(a, b geom.Point) error {
+		path, crossings, err := r.grid.RouteSegment(a, b)
+		if err != nil {
+			return err
+		}
+		rn.Path = append(rn.Path, path...)
+		rn.Length += geom.PathLength(path)
+		rn.Crossings += crossings
+		return nil
+	}
+
+	if err := appendSeg(ifc, n.Targets[0]); err != nil {
+		return RoutedNet{}, err
+	}
+	if n.Star {
+		hub := n.Targets[0]
+		for _, t := range n.Targets[1:] {
+			if err := appendSeg(hub, t); err != nil {
+				return RoutedNet{}, err
+			}
+		}
+		return rn, nil
+	}
+	for i := 1; i < len(n.Targets); i++ {
+		if err := appendSeg(n.Targets[i-1], n.Targets[i]); err != nil {
+			return RoutedNet{}, err
+		}
+	}
+	return rn, nil
+}
+
+// Centroid returns the mean of the points, used to place DEMUX hubs.
+func Centroid(pts []geom.Point) geom.Point {
+	var c geom.Point
+	if len(pts) == 0 {
+		return c
+	}
+	for _, p := range pts {
+		c = c.Add(p)
+	}
+	return c.Scale(1 / float64(len(pts)))
+}

@@ -1,0 +1,147 @@
+// Package scalesim produces the large-scale wiring estimations of
+// Figure 17: coax-cable counts for square-topology systems from tens to
+// 100k qubits under Google's architecture and YOUTIAO, the IBM-chiplet
+// scale-out comparison, and the dollar savings. The per-architecture
+// line-counting rules mirror package wiring; the only free parameter is
+// the average Z-line DEMUX fan-out, which callers calibrate by running
+// the real TDM grouping on a moderate chip (see internal/experiments).
+package scalesim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cost"
+)
+
+// Capacities shared with package wiring (duplicated as plain numbers so
+// this package stays a pure calculator).
+const (
+	googleReadoutCap  = 7
+	youtiaoFDMCap     = 5
+	youtiaoReadoutCap = 8
+)
+
+// SquareCouplers returns the coupler count of the most-square w×h grid
+// holding n qubits: 2wh - w - h for the chosen factorization.
+func SquareCouplers(n int) int {
+	side := int(math.Round(math.Sqrt(float64(n))))
+	if side < 1 {
+		side = 1
+	}
+	w := side
+	h := (n + w - 1) / w
+	return 2*w*h - w - h
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// GoogleCoax returns the coax-cable count of a Google-style system on
+// an n-qubit square lattice: dedicated XY and Z lines plus multiplexed
+// readout.
+func GoogleCoax(n int) int {
+	return n + (n + SquareCouplers(n)) + ceilDiv(n, googleReadoutCap)
+}
+
+// YoutiaoCoax returns the coax count of a YOUTIAO system on an n-qubit
+// square lattice given the calibrated average Z DEMUX fan-out.
+func YoutiaoCoax(n int, zFanout float64) int {
+	if zFanout < 1 {
+		zFanout = 1
+	}
+	devices := n + SquareCouplers(n)
+	z := int(math.Ceil(float64(devices) / zFanout))
+	return ceilDiv(n, youtiaoFDMCap) + z + ceilDiv(n, youtiaoReadoutCap)
+}
+
+// Point is one system size in a scaling sweep.
+type Point struct {
+	Qubits      int
+	GoogleCoax  int
+	YoutiaoCoax int
+}
+
+// Reduction returns the Google/YOUTIAO cable ratio.
+func (p Point) Reduction() float64 {
+	if p.YoutiaoCoax == 0 {
+		return math.Inf(1)
+	}
+	return float64(p.GoogleCoax) / float64(p.YoutiaoCoax)
+}
+
+// Sweep evaluates both architectures at each qubit count.
+func Sweep(qubitCounts []int, zFanout float64) []Point {
+	pts := make([]Point, len(qubitCounts))
+	for i, n := range qubitCounts {
+		pts[i] = Point{Qubits: n, GoogleCoax: GoogleCoax(n), YoutiaoCoax: YoutiaoCoax(n, zFanout)}
+	}
+	return pts
+}
+
+// Savings returns the coax-cable dollar savings of YOUTIAO over Google
+// at one system size, using the given price model.
+func Savings(p Point, m cost.Model) float64 {
+	return m.CoaxCost(p.GoogleCoax - p.YoutiaoCoax)
+}
+
+// IBM chiplet model (Figure 17c): the scale-out strategy interconnects
+// copies of a 133-qubit heavy-hexagon chip. Per chip the baseline needs
+// dedicated XY and Z lines (tunable-coupler generation), multiplexed
+// readout, and a few cables per inter-chip link.
+const (
+	// IBMChipQubits is the chiplet size (133-qubit heavy-hex).
+	IBMChipQubits = 133
+	// heavyHexCouplerRatio approximates couplers/qubits on large
+	// heavy-hexagon lattices.
+	heavyHexCouplerRatio = 1.2
+	// interChipCables is the coax cost of one chip-to-chip l-coupler
+	// link.
+	interChipCables = 4
+)
+
+// ChipletPoint compares the architectures at a chiplet count.
+type ChipletPoint struct {
+	Chips         int
+	Qubits        int
+	IBMCables     int
+	YoutiaoCables int
+}
+
+// Reduction returns the IBM/YOUTIAO cable ratio.
+func (p ChipletPoint) Reduction() float64 {
+	if p.YoutiaoCables == 0 {
+		return math.Inf(1)
+	}
+	return float64(p.IBMCables) / float64(p.YoutiaoCables)
+}
+
+// IBMChipletSweep evaluates 1..maxChips interconnected chiplets. The
+// YOUTIAO column applies hybrid multiplexing to the identical chiplet
+// array using the calibrated Z fan-out.
+func IBMChipletSweep(maxChips int, zFanout float64) ([]ChipletPoint, error) {
+	if maxChips < 1 {
+		return nil, fmt.Errorf("scalesim: maxChips must be >= 1, got %d", maxChips)
+	}
+	couplersPerChip := int(math.Round(heavyHexCouplerRatio * IBMChipQubits))
+	ibmPerChip := IBMChipQubits + (IBMChipQubits + couplersPerChip) + ceilDiv(IBMChipQubits, youtiaoReadoutCap)
+
+	if zFanout < 1 {
+		zFanout = 1
+	}
+	devices := IBMChipQubits + couplersPerChip
+	youtiaoPerChip := ceilDiv(IBMChipQubits, youtiaoFDMCap) +
+		int(math.Ceil(float64(devices)/zFanout)) +
+		ceilDiv(IBMChipQubits, youtiaoReadoutCap)
+
+	pts := make([]ChipletPoint, maxChips)
+	for i := 1; i <= maxChips; i++ {
+		links := (i - 1) * interChipCables
+		pts[i-1] = ChipletPoint{
+			Chips:         i,
+			Qubits:        i * IBMChipQubits,
+			IBMCables:     i*ibmPerChip + links,
+			YoutiaoCables: i*youtiaoPerChip + links,
+		}
+	}
+	return pts, nil
+}

@@ -1,0 +1,206 @@
+// Package schedule executes a hardware-basis circuit against a control
+// architecture. Its job is to turn "which control lines are shared"
+// into "how much serialization and latency the circuit pays":
+//
+//   - XY lines are FDM-multiplexed, so simultaneous single-qubit drives
+//     never conflict;
+//   - Z lines are TDM-multiplexed: a cryo-DEMUX feeds one device per
+//     time window, so two gates whose Z devices (qubit or coupler)
+//     share a DEMUX group must serialize into different slots — the
+//     paper's "curse of circuit depth" (challenge Case 3);
+//   - RZ is a virtual frame update: zero duration, no resources.
+//
+// A nil TDM grouping models Google's architecture (a dedicated Z line
+// per device): every ASAP layer fits into one slot.
+package schedule
+
+import (
+	"fmt"
+
+	"repro/internal/chip"
+	"repro/internal/circuit"
+	"repro/internal/tdm"
+)
+
+// Durations are the pulse lengths in ns.
+type Durations struct {
+	OneQubit float64
+	TwoQubit float64
+	Measure  float64
+	// DemuxSwitch is the cryo-DEMUX channel-switch time added between
+	// consecutive slots of one expanded layer.
+	DemuxSwitch float64
+}
+
+// DefaultDurations use the paper's hardware numbers: ~60 ns CZ layers
+// (five 2q gates in two layers ≈ 120 ns), 25 ns single-qubit pulses,
+// and the 2.6 ns cryo-DEMUX switch from Acharya et al.
+func DefaultDurations() Durations {
+	return Durations{OneQubit: 25, TwoQubit: 60, Measure: 300, DemuxSwitch: 2.6}
+}
+
+// Slot is one time window: the gates that execute simultaneously.
+type Slot struct {
+	Gates    []circuit.Gate
+	Duration float64 // ns
+	HasTwoQ  bool
+}
+
+// Schedule is the timing result of executing a circuit.
+type Schedule struct {
+	Slots []Slot
+	// TwoQubitDepth counts slots containing at least one 2q gate, the
+	// Figure 14 metric.
+	TwoQubitDepth int
+	// LatencyNs is the total execution time.
+	LatencyNs float64
+	// SerializationFactor is slots / ASAP layers (1.0 when no TDM
+	// serialization happened).
+	SerializationFactor float64
+}
+
+// CZPulseMode selects which devices a CZ gate drives through Z lines.
+type CZPulseMode int
+
+const (
+	// CZAllDevices: both qubits and the coupler receive square pulses
+	// (the general tunable-qubit CZ of challenge Cases 2-3).
+	CZAllDevices CZPulseMode = iota
+	// CZCouplerOnly: only the coupler is pulsed; the qubits sit at
+	// DC-parked interaction frequencies. This is the surface-code
+	// operation mode of the paper's §5.2 case study.
+	CZCouplerOnly
+)
+
+// Scheduler binds a chip and an optional TDM grouping.
+type Scheduler struct {
+	Chip     *chip.Chip
+	Grouping *tdm.Grouping // nil: dedicated Z line per device
+	Dur      Durations
+	CZMode   CZPulseMode
+}
+
+// New returns a scheduler; a nil grouping models dedicated Z lines.
+func New(c *chip.Chip, grouping *tdm.Grouping, dur Durations) *Scheduler {
+	return &Scheduler{Chip: c, Grouping: grouping, Dur: dur}
+}
+
+// zDevices returns the Z-line devices a gate drives, or nil for gates
+// without Z activity.
+func (s *Scheduler) zDevices(g circuit.Gate) ([]int, error) {
+	switch g.Name {
+	case circuit.CZ:
+		a, b := g.Qubits[0], g.Qubits[1]
+		cp, ok := s.Chip.CouplerBetween(a, b)
+		if !ok {
+			return nil, fmt.Errorf("schedule: CZ(%d,%d) has no coupler on chip %s", a, b, s.Chip.Name)
+		}
+		dev := tdm.NewDevices(s.Chip)
+		if s.CZMode == CZCouplerOnly {
+			return []int{dev.CouplerDevice(cp.ID)}, nil
+		}
+		return []int{a, b, dev.CouplerDevice(cp.ID)}, nil
+	case circuit.RX, circuit.RY, circuit.RZ, circuit.Measure, circuit.Barrier:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("schedule: non-basis gate %s; run circuit.Decompose first", g.Name)
+	}
+}
+
+// Run schedules the circuit and returns the timing analysis.
+func (s *Scheduler) Run(c *circuit.Circuit) (*Schedule, error) {
+	layers := c.Layers()
+	sched := &Schedule{}
+	for _, layer := range layers {
+		slots, err := s.expandLayer(layer)
+		if err != nil {
+			return nil, err
+		}
+		for si, slot := range slots {
+			sched.Slots = append(sched.Slots, slot)
+			sched.LatencyNs += slot.Duration
+			if si > 0 {
+				sched.LatencyNs += s.Dur.DemuxSwitch
+			}
+			if slot.HasTwoQ {
+				sched.TwoQubitDepth++
+			}
+		}
+	}
+	if len(layers) > 0 {
+		sched.SerializationFactor = float64(len(sched.Slots)) / float64(len(layers))
+	}
+	return sched, nil
+}
+
+// expandLayer splits one ASAP layer into TDM-legal slots: greedy
+// first-fit over the DEMUX-group conflict relation. Zero-duration RZ
+// gates ride along in the first slot.
+func (s *Scheduler) expandLayer(layer []circuit.Gate) ([]Slot, error) {
+	var slots []Slot
+	// groupsBusy[slot] tracks the DEMUX groups driven in the slot.
+	var groupsBusy []map[int]bool
+
+	place := func(g circuit.Gate, devs []int) {
+		dur := s.gateDuration(g)
+		for si := range slots {
+			if s.Grouping != nil && conflictsSlot(s.Grouping, groupsBusy[si], devs) {
+				continue
+			}
+			slots[si].Gates = append(slots[si].Gates, g)
+			slots[si].HasTwoQ = slots[si].HasTwoQ || g.Name == circuit.CZ
+			if dur > slots[si].Duration {
+				slots[si].Duration = dur
+			}
+			markBusy(s.Grouping, groupsBusy[si], devs)
+			return
+		}
+		slot := Slot{Gates: []circuit.Gate{g}, Duration: dur, HasTwoQ: g.Name == circuit.CZ}
+		busy := make(map[int]bool)
+		markBusy(s.Grouping, busy, devs)
+		slots = append(slots, slot)
+		groupsBusy = append(groupsBusy, busy)
+	}
+
+	for _, g := range layer {
+		devs, err := s.zDevices(g)
+		if err != nil {
+			return nil, err
+		}
+		place(g, devs)
+	}
+	return slots, nil
+}
+
+func conflictsSlot(grouping *tdm.Grouping, busy map[int]bool, devs []int) bool {
+	for _, d := range devs {
+		if gi := grouping.GroupOf(d); gi >= 0 && busy[gi] {
+			return true
+		}
+	}
+	return false
+}
+
+func markBusy(grouping *tdm.Grouping, busy map[int]bool, devs []int) {
+	if grouping == nil {
+		return
+	}
+	for _, d := range devs {
+		if gi := grouping.GroupOf(d); gi >= 0 {
+			busy[gi] = true
+		}
+	}
+}
+
+func (s *Scheduler) gateDuration(g circuit.Gate) float64 {
+	switch g.Name {
+	case circuit.RZ, circuit.Barrier:
+		return 0 // virtual / fence
+	case circuit.CZ:
+		return s.Dur.TwoQubit
+	case circuit.Measure:
+		return s.Dur.Measure
+	default:
+		return s.Dur.OneQubit
+	}
+}

@@ -1,0 +1,320 @@
+package schedule
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/circuit"
+	"repro/internal/tdm"
+)
+
+func mustApp(t *testing.T, c *circuit.Circuit, name circuit.GateName, param float64, qs ...int) {
+	t.Helper()
+	if err := c.Append(name, param, qs...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// pairGrouping builds a grouping that puts the two named devices in one
+// group and everything else on dedicated lines.
+func pairGrouping(gi *tdm.GateInfo, a, b int) *tdm.Grouping {
+	g := &tdm.Grouping{}
+	g.Groups = append(g.Groups, tdm.Group{Devices: []int{a, b}, Level: tdm.Demux1to2})
+	for d := 0; d < gi.Dev.Count(); d++ {
+		if d != a && d != b {
+			g.Groups = append(g.Groups, tdm.Group{Devices: []int{d}, Level: tdm.DemuxNone})
+		}
+	}
+	return g
+}
+
+func TestGoogleSchedulingNoSerialization(t *testing.T) {
+	ch := chip.Square(2, 2)
+	c := circuit.New(4)
+	mustApp(t, c, circuit.CZ, 0, 0, 1)
+	mustApp(t, c, circuit.CZ, 0, 2, 3)
+	sched, err := New(ch, nil, DefaultDurations()).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Slots) != 1 {
+		t.Fatalf("got %d slots, want 1 (parallel CZs)", len(sched.Slots))
+	}
+	if sched.TwoQubitDepth != 1 {
+		t.Errorf("2q depth %d, want 1", sched.TwoQubitDepth)
+	}
+	if sched.SerializationFactor != 1 {
+		t.Errorf("serialization %v, want 1", sched.SerializationFactor)
+	}
+	if math.Abs(sched.LatencyNs-DefaultDurations().TwoQubit) > 1e-9 {
+		t.Errorf("latency %v, want one CZ", sched.LatencyNs)
+	}
+}
+
+func TestTDMConflictSerializes(t *testing.T) {
+	ch := chip.Square(2, 2)
+	gi := tdm.AnalyzeGates(ch)
+	// Group qubit 0 and qubit 3 (devices of the two parallel CZs).
+	g := pairGrouping(gi, 0, 3)
+	c := circuit.New(4)
+	mustApp(t, c, circuit.CZ, 0, 0, 1)
+	mustApp(t, c, circuit.CZ, 0, 2, 3)
+	sched, err := New(ch, g, DefaultDurations()).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Slots) != 2 {
+		t.Fatalf("shared DEMUX should serialize: got %d slots", len(sched.Slots))
+	}
+	if sched.TwoQubitDepth != 2 {
+		t.Errorf("2q depth %d, want 2", sched.TwoQubitDepth)
+	}
+	dur := DefaultDurations()
+	want := 2*dur.TwoQubit + dur.DemuxSwitch
+	if math.Abs(sched.LatencyNs-want) > 1e-9 {
+		t.Errorf("latency %v, want %v (2 CZ + switch)", sched.LatencyNs, want)
+	}
+	if sched.SerializationFactor != 2 {
+		t.Errorf("serialization %v, want 2", sched.SerializationFactor)
+	}
+}
+
+func TestNonConflictingGroupingKeepsParallelism(t *testing.T) {
+	ch := chip.Square(2, 2)
+	gi := tdm.AnalyzeGates(ch)
+	// Qubits 0 and 1 share a gate... choose devices from the same CZ's
+	// non-overlapping... group qubit 0 with qubit 2: the two CZs
+	// CZ(0,1) and CZ(2,3) would conflict. Instead group devices used
+	// by gates that never run together: qubit 0 and coupler of gate
+	// (0,1)? Illegal. Use two couplers of gates sharing qubit 1:
+	// couplers (0,1) and (1,3).
+	cp01, ok := ch.CouplerBetween(0, 1)
+	if !ok {
+		t.Fatal("missing coupler")
+	}
+	cp13, ok := ch.CouplerBetween(1, 3)
+	if !ok {
+		t.Fatal("missing coupler")
+	}
+	dev := tdm.NewDevices(ch)
+	g := pairGrouping(gi, dev.CouplerDevice(cp01.ID), dev.CouplerDevice(cp13.ID))
+	if err := g.Validate(gi); err != nil {
+		t.Fatal(err)
+	}
+	// These two gates share qubit 1, so they can never be in one ASAP
+	// layer anyway: scheduling costs nothing.
+	c := circuit.New(4)
+	mustApp(t, c, circuit.CZ, 0, 0, 1)
+	mustApp(t, c, circuit.CZ, 0, 1, 3)
+	sched, err := New(ch, g, DefaultDurations()).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.SerializationFactor != 1 {
+		t.Errorf("natural non-parallelism should cost nothing: factor %v", sched.SerializationFactor)
+	}
+}
+
+func TestOneQubitGatesNeverConflict(t *testing.T) {
+	ch := chip.Square(2, 2)
+	gi := tdm.AnalyzeGates(ch)
+	g := pairGrouping(gi, 0, 1)
+	c := circuit.New(4)
+	mustApp(t, c, circuit.RX, 1, 0)
+	mustApp(t, c, circuit.RX, 1, 1)
+	sched, err := New(ch, g, DefaultDurations()).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// XY drives are FDM'd: same-group qubits still drive in parallel.
+	if len(sched.Slots) != 1 {
+		t.Errorf("1q gates serialized: %d slots", len(sched.Slots))
+	}
+}
+
+func TestRZIsFree(t *testing.T) {
+	ch := chip.Square(2, 2)
+	c := circuit.New(4)
+	mustApp(t, c, circuit.RZ, 1, 0)
+	sched, err := New(ch, nil, DefaultDurations()).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.LatencyNs != 0 {
+		t.Errorf("virtual RZ should cost nothing, latency %v", sched.LatencyNs)
+	}
+}
+
+func TestMeasureDuration(t *testing.T) {
+	ch := chip.Square(2, 2)
+	c := circuit.New(4)
+	mustApp(t, c, circuit.Measure, 0, 0)
+	sched, err := New(ch, nil, DefaultDurations()).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.LatencyNs != DefaultDurations().Measure {
+		t.Errorf("latency %v, want measure duration", sched.LatencyNs)
+	}
+	if sched.TwoQubitDepth != 0 {
+		t.Error("measure counted as 2q depth")
+	}
+}
+
+func TestCZWithoutCouplerFails(t *testing.T) {
+	ch := chip.Square(2, 2)
+	c := circuit.New(4)
+	mustApp(t, c, circuit.CZ, 0, 0, 3) // diagonal: no coupler
+	if _, err := New(ch, nil, DefaultDurations()).Run(c); err == nil {
+		t.Error("CZ without coupler accepted")
+	}
+}
+
+func TestNonBasisGateFails(t *testing.T) {
+	ch := chip.Square(2, 2)
+	c := circuit.New(4)
+	mustApp(t, c, circuit.H, 0, 0)
+	if _, err := New(ch, nil, DefaultDurations()).Run(c); err == nil {
+		t.Error("non-basis gate accepted")
+	}
+}
+
+func TestCZCouplerOnlyMode(t *testing.T) {
+	ch := chip.Square(2, 2)
+	gi := tdm.AnalyzeGates(ch)
+	// Group the two qubits 0 and 3: in AllDevices mode the parallel
+	// CZs conflict; in CouplerOnly mode they do not.
+	g := pairGrouping(gi, 0, 3)
+	c := circuit.New(4)
+	mustApp(t, c, circuit.CZ, 0, 0, 1)
+	mustApp(t, c, circuit.CZ, 0, 2, 3)
+
+	s := New(ch, g, DefaultDurations())
+	all, err := s.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.CZMode = CZCouplerOnly
+	couplerOnly, err := s.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.TwoQubitDepth != 2 || couplerOnly.TwoQubitDepth != 1 {
+		t.Errorf("depths %d/%d, want 2 (all devices) and 1 (coupler only)",
+			all.TwoQubitDepth, couplerOnly.TwoQubitDepth)
+	}
+}
+
+func TestBarrierIgnoredByScheduler(t *testing.T) {
+	ch := chip.Square(2, 2)
+	c := circuit.New(4)
+	mustApp(t, c, circuit.RX, 1, 0)
+	mustApp(t, c, circuit.Barrier, 0)
+	mustApp(t, c, circuit.RX, 1, 1)
+	sched, err := New(ch, nil, DefaultDurations()).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Barrier forces two layers; each costs one 1q duration.
+	if want := 2 * DefaultDurations().OneQubit; math.Abs(sched.LatencyNs-want) > 1e-9 {
+		t.Errorf("latency %v, want %v", sched.LatencyNs, want)
+	}
+}
+
+func TestSlotDurationIsMax(t *testing.T) {
+	ch := chip.Square(2, 2)
+	c := circuit.New(4)
+	mustApp(t, c, circuit.RX, 1, 0)    // 25 ns
+	mustApp(t, c, circuit.CZ, 0, 2, 3) // 60 ns, same layer
+	sched, err := New(ch, nil, DefaultDurations()).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Slots) != 1 {
+		t.Fatalf("%d slots, want 1", len(sched.Slots))
+	}
+	if sched.Slots[0].Duration != DefaultDurations().TwoQubit {
+		t.Errorf("slot duration %v, want the CZ duration", sched.Slots[0].Duration)
+	}
+}
+
+func TestGroupedYoutiaoBeatsLocalClusteringOnDepth(t *testing.T) {
+	// End-to-end sanity: on a 4x4 chip with a real circuit, the
+	// YOUTIAO grouping must serialize no more than local clustering.
+	ch := chip.Square(4, 4)
+	gi := tdm.AnalyzeGates(ch)
+	xt := func(i, j int) float64 {
+		if i == j {
+			return 0
+		}
+		return 0.3 / (1 + ch.PhysicalDistance(i, j))
+	}
+	youtiao, err := tdm.GroupChip(gi, tdm.DefaultConfig(xt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := tdm.LocalClusterGroup(gi, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logical, err := circuit.Benchmark(circuit.BenchVQC, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := circuit.Compile(logical, ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(g *tdm.Grouping) int {
+		sched, err := New(ch, g, DefaultDurations()).Run(compiled.Circuit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sched.TwoQubitDepth
+	}
+	base := run(nil)
+	yt := run(youtiao)
+	lc := run(local)
+	if yt < base {
+		t.Errorf("YOUTIAO depth %d below unconstrained %d", yt, base)
+	}
+	if yt > lc {
+		t.Errorf("YOUTIAO depth %d exceeds local clustering %d", yt, lc)
+	}
+}
+
+func TestRandomLayeredStress(t *testing.T) {
+	// The adversarial workload: maximally parallel CZ layers on a 4x4
+	// chip under a real TDM grouping. Legality must hold and
+	// serialization stay bounded by the largest group size.
+	ch := chip.Square(4, 4)
+	gi := tdm.AnalyzeGates(ch)
+	grouping, err := tdm.GroupChip(gi, tdm.DefaultConfig(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxGroup := 0
+	for _, g := range grouping.Groups {
+		if len(g.Devices) > maxGroup {
+			maxGroup = len(g.Devices)
+		}
+	}
+	rng := rand.New(rand.NewSource(11))
+	circ, err := circuit.RandomLayered(ch, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := New(ch, grouping, DefaultDurations()).Run(circ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.SerializationFactor > float64(maxGroup) {
+		t.Errorf("serialization %v exceeds max group size %d",
+			sched.SerializationFactor, maxGroup)
+	}
+	if sched.TwoQubitDepth < 10 {
+		t.Errorf("2q depth %d below layer count", sched.TwoQubitDepth)
+	}
+}

@@ -1,0 +1,205 @@
+// Package surface builds rotated surface-code chips and their
+// error-correction schedules, the substrate of the paper's
+// fault-tolerant case study (§5.2, Table 1). A distance-d code has
+// 2d²-1 qubits (d² data + d²-1 parity) and 4d(d-1) couplers; each
+// error-correction cycle runs Hadamards on the parity qubits, four CZ
+// interaction layers and a parity readout.
+package surface
+
+import (
+	"fmt"
+
+	"repro/internal/chip"
+	"repro/internal/circuit"
+	"repro/internal/geom"
+)
+
+// StabilizerType distinguishes X and Z parity checks.
+type StabilizerType int
+
+// Stabilizer types.
+const (
+	XStabilizer StabilizerType = iota
+	ZStabilizer
+)
+
+// String implements fmt.Stringer.
+func (t StabilizerType) String() string {
+	if t == XStabilizer {
+		return "X"
+	}
+	return "Z"
+}
+
+// Neighbour direction indices into the Neighbors array.
+const (
+	NW = iota
+	NE
+	SW
+	SE
+)
+
+// Code is a distance-d rotated surface code laid out on a chip.
+type Code struct {
+	Distance int
+	Chip     *chip.Chip
+	// Data lists the data-qubit ids (d²).
+	Data []int
+	// Parity lists the parity-qubit ids (d²-1).
+	Parity []int
+	// Type[i] is the stabilizer type of Parity[i].
+	Type []StabilizerType
+	// Neighbors[i] holds the data qubits Parity[i] checks, indexed by
+	// NW/NE/SW/SE; -1 marks an absent (boundary) neighbour.
+	Neighbors [][4]int
+}
+
+// New constructs the distance-d rotated surface code. d must be odd
+// and >= 3.
+func New(d int) (*Code, error) {
+	if d < 3 || d%2 == 0 {
+		return nil, fmt.Errorf("surface: distance must be odd and >= 3, got %d", d)
+	}
+	code := &Code{Distance: d}
+
+	var qubits []chip.Qubit
+	dataID := make(map[[2]int]int) // (row, col) -> qubit id
+	addQubit := func(x, y float64) int {
+		id := len(qubits)
+		qubits = append(qubits, chip.Qubit{
+			ID:  id,
+			Pos: geom.Pt(x*chip.DefaultPitch, y*chip.DefaultPitch),
+			T1:  chip.DefaultT1,
+		})
+		return id
+	}
+	for r := 0; r < d; r++ {
+		for c := 0; c < d; c++ {
+			id := addQubit(float64(c), float64(r))
+			dataID[[2]int{r, c}] = id
+			code.Data = append(code.Data, id)
+		}
+	}
+
+	// Parity candidates sit at plaquette centres (r+0.5, c+0.5) for
+	// r, c in -1..d-1; the keep rule selects all interior plaquettes
+	// plus alternating boundary plaquettes, exactly d²-1 in total.
+	keep := func(r, c int) bool {
+		interiorR := r >= 0 && r <= d-2
+		interiorC := c >= 0 && c <= d-2
+		switch {
+		case interiorR && interiorC:
+			return true
+		case r == -1 && interiorC:
+			return c%2 == 0
+		case r == d-1 && interiorC:
+			return c%2 == 1
+		case c == -1 && interiorR:
+			return r%2 == 1
+		case c == d-1 && interiorR:
+			return r%2 == 0
+		default:
+			return false
+		}
+	}
+
+	var couplerPairs [][2]int
+	for r := -1; r <= d-1; r++ {
+		for c := -1; c <= d-1; c++ {
+			if !keep(r, c) {
+				continue
+			}
+			pid := addQubit(float64(c)+0.5, float64(r)+0.5)
+			code.Parity = append(code.Parity, pid)
+			if mod2(r+c) == 0 {
+				code.Type = append(code.Type, XStabilizer)
+			} else {
+				code.Type = append(code.Type, ZStabilizer)
+			}
+			// NW, NE, SW, SE data neighbours (row+1 is "north").
+			deltas := [4][2]int{NW: {1, 0}, NE: {1, 1}, SW: {0, 0}, SE: {0, 1}}
+			nb := [4]int{-1, -1, -1, -1}
+			for dir, delta := range deltas {
+				dr, dc := r+delta[0], c+delta[1]
+				if dr < 0 || dr >= d || dc < 0 || dc >= d {
+					continue
+				}
+				did := dataID[[2]int{dr, dc}]
+				nb[dir] = did
+				couplerPairs = append(couplerPairs, [2]int{pid, did})
+			}
+			code.Neighbors = append(code.Neighbors, nb)
+		}
+	}
+
+	if got, want := len(qubits), 2*d*d-1; got != want {
+		return nil, fmt.Errorf("surface: built %d qubits, want %d", got, want)
+	}
+	if got, want := len(couplerPairs), 4*d*(d-1); got != want {
+		return nil, fmt.Errorf("surface: built %d couplers, want %d", got, want)
+	}
+
+	ch, err := chip.New(fmt.Sprintf("surface-d%d", d), "surface", qubits, couplerPairs)
+	if err != nil {
+		return nil, fmt.Errorf("surface: %w", err)
+	}
+	code.Chip = ch
+	return code, nil
+}
+
+func mod2(x int) int {
+	m := x % 2
+	if m < 0 {
+		m += 2
+	}
+	return m
+}
+
+// interactionOrder is the standard zigzag schedule: X stabilizers visit
+// NW, NE, SW, SE while Z stabilizers visit NW, SW, NE, SE. The
+// staggering guarantees no data qubit is touched twice in one step, so
+// an unconstrained architecture runs each cycle in exactly 4 CZ layers.
+var interactionOrder = map[StabilizerType][4]int{
+	XStabilizer: {NW, NE, SW, SE},
+	ZStabilizer: {NW, SW, NE, SE},
+}
+
+// CycleCircuit builds `cycles` error-correction rounds: per round,
+// Hadamards on X-type parity qubits, four CZ interaction layers in the
+// zigzag order, closing Hadamards, and parity readout.
+func (code *Code) CycleCircuit(cycles int) *circuit.Circuit {
+	c := circuit.New(code.Chip.NumQubits())
+	app := func(name circuit.GateName, qubits ...int) {
+		if err := c.Append(name, 0, qubits...); err != nil {
+			panic(err) // construction invariant: operands are valid
+		}
+	}
+	for cyc := 0; cyc < cycles; cyc++ {
+		for i, p := range code.Parity {
+			if code.Type[i] == XStabilizer {
+				app(circuit.H, p)
+			}
+		}
+		app(circuit.Barrier)
+		for step := 0; step < 4; step++ {
+			for i, p := range code.Parity {
+				dir := interactionOrder[code.Type[i]][step]
+				if data := code.Neighbors[i][dir]; data >= 0 {
+					app(circuit.CZ, p, data)
+				}
+			}
+			app(circuit.Barrier)
+		}
+		for i, p := range code.Parity {
+			if code.Type[i] == XStabilizer {
+				app(circuit.H, p)
+			}
+		}
+		app(circuit.Barrier)
+		for _, p := range code.Parity {
+			app(circuit.Measure, p)
+		}
+		app(circuit.Barrier)
+	}
+	return c
+}

@@ -1,0 +1,199 @@
+package surface
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/schedule"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, d := range []int{0, 1, 2, 4, -3} {
+		if _, err := New(d); err == nil {
+			t.Errorf("distance %d accepted", d)
+		}
+	}
+}
+
+func TestQubitAndCouplerCounts(t *testing.T) {
+	for _, d := range []int{3, 5, 7, 9, 11} {
+		code, err := New(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := code.Chip.NumQubits(), 2*d*d-1; got != want {
+			t.Errorf("d=%d: %d qubits, want %d", d, got, want)
+		}
+		if got, want := code.Chip.NumCouplers(), 4*d*(d-1); got != want {
+			t.Errorf("d=%d: %d couplers, want %d", d, got, want)
+		}
+		if got, want := len(code.Data), d*d; got != want {
+			t.Errorf("d=%d: %d data qubits, want %d", d, got, want)
+		}
+		if got, want := len(code.Parity), d*d-1; got != want {
+			t.Errorf("d=%d: %d parity qubits, want %d", d, got, want)
+		}
+	}
+}
+
+func TestStabilizerBalance(t *testing.T) {
+	// X and Z stabilizers come in (d²-1)/2 each... the rotated code has
+	// equal counts.
+	for _, d := range []int{3, 5} {
+		code, err := New(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var x, z int
+		for _, st := range code.Type {
+			if st == XStabilizer {
+				x++
+			} else {
+				z++
+			}
+		}
+		if x != z {
+			t.Errorf("d=%d: %d X vs %d Z stabilizers", d, x, z)
+		}
+	}
+}
+
+func TestParityWeights(t *testing.T) {
+	code, err := New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weight4, weight2 := 0, 0
+	for i := range code.Parity {
+		w := 0
+		for _, nb := range code.Neighbors[i] {
+			if nb >= 0 {
+				w++
+			}
+		}
+		switch w {
+		case 4:
+			weight4++
+		case 2:
+			weight2++
+		default:
+			t.Errorf("parity %d has weight %d", i, w)
+		}
+	}
+	d := 5
+	if weight4 != (d-1)*(d-1) {
+		t.Errorf("%d weight-4 stabilizers, want %d", weight4, (d-1)*(d-1))
+	}
+	if weight2 != 2*(d-1) {
+		t.Errorf("%d weight-2 stabilizers, want %d", weight2, 2*(d-1))
+	}
+}
+
+func TestNeighborsAreCoupled(t *testing.T) {
+	code, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range code.Parity {
+		for _, nb := range code.Neighbors[i] {
+			if nb < 0 {
+				continue
+			}
+			if _, ok := code.Chip.CouplerBetween(p, nb); !ok {
+				t.Errorf("parity %d and data %d not coupled", p, nb)
+			}
+		}
+	}
+}
+
+func TestChipConnected(t *testing.T) {
+	code, err := New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comps := code.Chip.Graph().Components(); len(comps) != 1 {
+		t.Errorf("surface chip disconnected: %d components", len(comps))
+	}
+}
+
+func TestCycleCircuitGateCounts(t *testing.T) {
+	d := 3
+	code, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles := 2
+	c := code.CycleCircuit(cycles)
+	var h, cz, meas int
+	for _, g := range c.Gates {
+		switch g.Name {
+		case circuit.H:
+			h++
+		case circuit.CZ:
+			cz++
+		case circuit.Measure:
+			meas++
+		}
+	}
+	if want := cycles * code.Chip.NumCouplers(); cz != want {
+		t.Errorf("%d CZs, want %d (every coupler once per cycle)", cz, want)
+	}
+	if want := cycles * len(code.Parity); meas != want {
+		t.Errorf("%d measures, want %d", meas, want)
+	}
+	// 2 H per X stabilizer per cycle.
+	var xCount int
+	for _, st := range code.Type {
+		if st == XStabilizer {
+			xCount++
+		}
+	}
+	if want := cycles * 2 * xCount; h != want {
+		t.Errorf("%d Hs, want %d", h, want)
+	}
+}
+
+func TestZigzagScheduleGivesFourCZLayers(t *testing.T) {
+	// The whole point of the zigzag interaction order: on dedicated
+	// wiring every EC cycle runs exactly 4 CZ layers.
+	for _, d := range []int{3, 5} {
+		code, err := New(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles := 3
+		circ := circuit.Decompose(code.CycleCircuit(cycles))
+		sched, err := schedule.New(code.Chip, nil, schedule.DefaultDurations()).Run(circ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := 4 * cycles; sched.TwoQubitDepth != want {
+			t.Errorf("d=%d: 2q depth %d, want %d", d, sched.TwoQubitDepth, want)
+		}
+	}
+}
+
+func TestNoDataQubitTouchedTwicePerStep(t *testing.T) {
+	code, err := New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 4; step++ {
+		used := map[int]bool{}
+		for i := range code.Parity {
+			dir := interactionOrder[code.Type[i]][step]
+			if data := code.Neighbors[i][dir]; data >= 0 {
+				if used[data] {
+					t.Fatalf("step %d: data qubit %d used twice", step, data)
+				}
+				used[data] = true
+			}
+		}
+	}
+}
+
+func TestStabilizerTypeString(t *testing.T) {
+	if XStabilizer.String() != "X" || ZStabilizer.String() != "Z" {
+		t.Error("stabilizer names wrong")
+	}
+}

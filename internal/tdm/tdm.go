@@ -1,0 +1,294 @@
+// Package tdm implements YOUTIAO's TDM control design for Z lines
+// (§4.3): the parallelism index over qubits and couplers, the
+// threshold split into 1:2 / 1:4 cryo-DEMUX levels, and the 3-step
+// greedy graph-coloring grouping that packs devices exhibiting natural
+// non-parallelism — topological (gates that can never coexist because
+// they share a qubit) and noisy (gates whose simultaneous execution the
+// crosstalk model forbids) — onto shared DEMUXes.
+//
+// Devices are indexed uniformly: qubit q is device q, coupler c is
+// device NumQubits + c.
+package tdm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/chip"
+)
+
+// DemuxLevel is the fan-out of a cryo-DEMUX.
+type DemuxLevel int
+
+const (
+	// DemuxNone marks a dedicated (unmultiplexed) Z line.
+	DemuxNone DemuxLevel = 1
+	// Demux1to2 is a 1:2 cryo-DEMUX (1 digital control bit).
+	Demux1to2 DemuxLevel = 2
+	// Demux1to4 is a 1:4 cryo-DEMUX (2 digital control bits).
+	Demux1to4 DemuxLevel = 4
+)
+
+// ControlBits returns the number of digital control lines the DEMUX
+// needs (log2 of the fan-out).
+func (l DemuxLevel) ControlBits() int {
+	switch l {
+	case DemuxNone:
+		return 0
+	case Demux1to2:
+		return 1
+	case Demux1to4:
+		return 2
+	default:
+		panic(fmt.Sprintf("tdm: invalid DEMUX level %d", int(l)))
+	}
+}
+
+// String implements fmt.Stringer.
+func (l DemuxLevel) String() string {
+	switch l {
+	case DemuxNone:
+		return "direct"
+	case Demux1to2:
+		return "1:2"
+	case Demux1to4:
+		return "1:4"
+	default:
+		return fmt.Sprintf("DemuxLevel(%d)", int(l))
+	}
+}
+
+// Devices gives the uniform device indexing over a chip.
+type Devices struct {
+	chip *chip.Chip
+}
+
+// NewDevices wraps a chip with the device index space.
+func NewDevices(c *chip.Chip) Devices { return Devices{chip: c} }
+
+// Count returns the total number of devices (qubits + couplers).
+func (d Devices) Count() int { return d.chip.NumQubits() + d.chip.NumCouplers() }
+
+// QubitDevice returns the device index of qubit q.
+func (d Devices) QubitDevice(q int) int { return q }
+
+// CouplerDevice returns the device index of coupler c.
+func (d Devices) CouplerDevice(c int) int { return d.chip.NumQubits() + c }
+
+// IsCoupler reports whether device dev is a coupler.
+func (d Devices) IsCoupler(dev int) bool { return dev >= d.chip.NumQubits() }
+
+// CouplerID returns the coupler id of a coupler device.
+func (d Devices) CouplerID(dev int) int { return dev - d.chip.NumQubits() }
+
+// Name returns a readable device name (q3 or c7).
+func (d Devices) Name(dev int) string {
+	if d.IsCoupler(dev) {
+		return fmt.Sprintf("c%d", d.CouplerID(dev))
+	}
+	return fmt.Sprintf("q%d", dev)
+}
+
+// GateInfo is the static analysis of the chip's hardware 2q-gate sites
+// that the parallelism index and grouping passes consume.
+type GateInfo struct {
+	Dev   Devices
+	Gates []chip.TwoQubitGate
+	// GatesOf[dev] lists gate indices that occupy the device.
+	GatesOf [][]int
+	// NonCoex[g] lists gate indices topologically non-coexistent with
+	// gate g (they share a qubit, so can never run in the same layer).
+	NonCoex [][]int
+}
+
+// AnalyzeGates builds the gate tables for a chip.
+func AnalyzeGates(c *chip.Chip) *GateInfo {
+	dev := NewDevices(c)
+	gates := c.TwoQubitGates()
+	gi := &GateInfo{
+		Dev:     dev,
+		Gates:   gates,
+		GatesOf: make([][]int, dev.Count()),
+		NonCoex: make([][]int, len(gates)),
+	}
+	for idx, g := range gates {
+		gi.GatesOf[g.Q1] = append(gi.GatesOf[g.Q1], idx)
+		gi.GatesOf[g.Q2] = append(gi.GatesOf[g.Q2], idx)
+		gi.GatesOf[dev.CouplerDevice(g.Coupler)] = append(gi.GatesOf[dev.CouplerDevice(g.Coupler)], idx)
+	}
+	for a := range gates {
+		for b := range gates {
+			if a == b {
+				continue
+			}
+			if sharesQubit(gates[a], gates[b]) {
+				gi.NonCoex[a] = append(gi.NonCoex[a], b)
+			}
+		}
+	}
+	return gi
+}
+
+func sharesQubit(a, b chip.TwoQubitGate) bool {
+	return a.Q1 == b.Q1 || a.Q1 == b.Q2 || a.Q2 == b.Q1 || a.Q2 == b.Q2
+}
+
+// GateDevices returns the three devices a gate occupies.
+func (gi *GateInfo) GateDevices(g int) [3]int {
+	gate := gi.Gates[g]
+	return [3]int{gate.Q1, gate.Q2, gi.Dev.CouplerDevice(gate.Coupler)}
+}
+
+// ParallelismIndex returns the paper's parallelism index for device dev:
+// the mean, over gates occupying the device, of the number of
+// topologically non-coexistent 2q gates, divided by the device's
+// connectivity (always 1 for couplers). Devices that participate in no
+// gate (isolated qubits) have index 0.
+func (gi *GateInfo) ParallelismIndex(dev int) float64 {
+	gates := gi.GatesOf[dev]
+	if len(gates) == 0 {
+		return 0
+	}
+	var total int
+	for _, g := range gates {
+		total += len(gi.NonCoex[g])
+	}
+	conn := 1
+	if !gi.Dev.IsCoupler(dev) {
+		conn = gi.Dev.chip.Degree(dev)
+	}
+	if conn == 0 {
+		return 0
+	}
+	return float64(total) / float64(conn)
+}
+
+// AllParallelismIndices returns the index for every device.
+func (gi *GateInfo) AllParallelismIndices() []float64 {
+	out := make([]float64, gi.Dev.Count())
+	for d := range out {
+		out[d] = gi.ParallelismIndex(d)
+	}
+	return out
+}
+
+// Group is one TDM group: the devices wired to a single Z line, through
+// a cryo-DEMUX when the group holds more than one device.
+type Group struct {
+	Devices []int
+	// Level is the DEMUX hardware chosen for the group, derived from
+	// its final size (1: direct line, 2: 1:2, 3-4: 1:4).
+	Level DemuxLevel
+}
+
+// Grouping is a complete TDM plan for a chip (or a partition region).
+type Grouping struct {
+	Groups []Group
+	// Theta is the parallelism threshold used.
+	Theta float64
+	// groupOf caches device -> group index.
+	groupOf map[int]int
+}
+
+// NumZLines returns the number of physical Z lines (= groups).
+func (g *Grouping) NumZLines() int { return len(g.Groups) }
+
+// ControlLines returns the total number of twisted-pair digital control
+// lines needed by all DEMUXes.
+func (g *Grouping) ControlLines() int {
+	var n int
+	for _, grp := range g.Groups {
+		n += grp.Level.ControlBits()
+	}
+	return n
+}
+
+// GroupOf returns the group index holding device dev, or -1.
+func (g *Grouping) GroupOf(dev int) int {
+	if g.groupOf == nil {
+		g.groupOf = make(map[int]int)
+		for gi, grp := range g.Groups {
+			for _, d := range grp.Devices {
+				g.groupOf[d] = gi
+			}
+		}
+	}
+	if gi, ok := g.groupOf[dev]; ok {
+		return gi
+	}
+	return -1
+}
+
+// LevelCounts returns how many groups use each DEMUX level.
+func (g *Grouping) LevelCounts() map[DemuxLevel]int {
+	m := make(map[DemuxLevel]int)
+	for _, grp := range g.Groups {
+		m[grp.Level]++
+	}
+	return m
+}
+
+// Validate checks the grouping invariants against the gate tables:
+// every device appears exactly once, no group exceeds its level
+// capacity, and — the Case 2 legality rule — no gate has two of its
+// devices in the same group (which would make the gate unrealizable).
+func (g *Grouping) Validate(gi *GateInfo) error {
+	seen := make(map[int]int)
+	for gid, grp := range g.Groups {
+		if len(grp.Devices) == 0 {
+			return fmt.Errorf("tdm: group %d is empty", gid)
+		}
+		if len(grp.Devices) > int(grp.Level) {
+			return fmt.Errorf("tdm: group %d has %d devices, level %s", gid, len(grp.Devices), grp.Level)
+		}
+		for _, d := range grp.Devices {
+			if d < 0 || d >= gi.Dev.Count() {
+				return fmt.Errorf("tdm: group %d has out-of-range device %d", gid, d)
+			}
+			if prev, dup := seen[d]; dup {
+				return fmt.Errorf("tdm: device %s in groups %d and %d", gi.Dev.Name(d), prev, gid)
+			}
+			seen[d] = gid
+		}
+	}
+	if len(seen) != gi.Dev.Count() {
+		return fmt.Errorf("tdm: grouping covers %d of %d devices", len(seen), gi.Dev.Count())
+	}
+	for gIdx := range gi.Gates {
+		devs := gi.GateDevices(gIdx)
+		for a := 0; a < 3; a++ {
+			for b := a + 1; b < 3; b++ {
+				if seen[devs[a]] == seen[devs[b]] {
+					return fmt.Errorf("tdm: gate %d devices %s and %s share group %d (unrealizable 2q gate)",
+						gIdx, gi.Dev.Name(devs[a]), gi.Dev.Name(devs[b]), seen[devs[a]])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// levelFor derives the DEMUX hardware from the final group size.
+func levelFor(size int) DemuxLevel {
+	switch {
+	case size <= 1:
+		return DemuxNone
+	case size == 2:
+		return Demux1to2
+	default:
+		return Demux1to4
+	}
+}
+
+// sortedByIndex returns device ids sorted by ascending parallelism
+// index, ties broken by id for determinism.
+func sortedByIndex(devs []int, idx []float64) []int {
+	out := append([]int(nil), devs...)
+	sort.Slice(out, func(a, b int) bool {
+		if idx[out[a]] != idx[out[b]] {
+			return idx[out[a]] < idx[out[b]]
+		}
+		return out[a] < out[b]
+	})
+	return out
+}

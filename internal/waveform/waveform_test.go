@@ -1,0 +1,163 @@
+package waveform
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSynthesizeValidation(t *testing.T) {
+	if _, err := Synthesize([]Tone{{FreqGHz: 5, Amplitude: 1}}, 0, 20); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := Synthesize([]Tone{{FreqGHz: 5, Amplitude: 1}}, 10, 0); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := Synthesize([]Tone{{FreqGHz: 15, Amplitude: 1}}, 10, 20); err == nil {
+		t.Error("Nyquist violation accepted")
+	}
+	if _, err := Synthesize([]Tone{{FreqGHz: -1, Amplitude: 1}}, 10, 20); err == nil {
+		t.Error("negative frequency accepted")
+	}
+}
+
+func TestSingleToneProperties(t *testing.T) {
+	w, err := Synthesize([]Tone{{FreqGHz: 5, Amplitude: 0.8}}, 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := w.Duration(); math.Abs(d-100) > 0.1 {
+		t.Errorf("duration %v, want 100", d)
+	}
+	if p := w.Peak(); math.Abs(p-0.8) > 0.01 {
+		t.Errorf("peak %v, want 0.8", p)
+	}
+	// A sinusoid's RMS is A/√2 and crest factor √2.
+	if r := w.RMS(); math.Abs(r-0.8/math.Sqrt2) > 0.01 {
+		t.Errorf("RMS %v, want %v", r, 0.8/math.Sqrt2)
+	}
+	if cf := w.CrestFactor(); math.Abs(cf-math.Sqrt2) > 0.05 {
+		t.Errorf("crest factor %v, want √2", cf)
+	}
+}
+
+func TestDemodulateRecoversTones(t *testing.T) {
+	tones := []Tone{
+		{FreqGHz: 4.50, Amplitude: 0.3, Phase: 0.4},
+		{FreqGHz: 5.50, Amplitude: 0.2, Phase: -1.1},
+		{FreqGHz: 6.50, Amplitude: 0.25, Phase: 2.0},
+	}
+	// 100 ns window: 10 MHz bins; tones spaced 1 GHz apart are
+	// orthogonal many times over.
+	w, err := Synthesize(tones, 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tone := range tones {
+		amp, phase := w.Demodulate(tone.FreqGHz)
+		if math.Abs(amp-tone.Amplitude) > 0.01 {
+			t.Errorf("tone %g GHz: recovered amplitude %v, want %v", tone.FreqGHz, amp, tone.Amplitude)
+		}
+		dp := math.Mod(phase-tone.Phase+3*math.Pi, 2*math.Pi) - math.Pi
+		if math.Abs(dp) > 0.05 {
+			t.Errorf("tone %g GHz: recovered phase %v, want %v", tone.FreqGHz, phase, tone.Phase)
+		}
+	}
+	// A vacant frequency (well separated) recovers nearly nothing.
+	if amp, _ := w.Demodulate(5.0); amp > 0.02 {
+		t.Errorf("vacant bin recovered %v", amp)
+	}
+}
+
+func TestDemodulateOrthogonalSpacing(t *testing.T) {
+	// Tones at the FDM cell spacing (10 MHz) over their orthogonal
+	// window (100 ns) separate exactly.
+	tones := []Tone{
+		{FreqGHz: 5.000, Amplitude: 0.4},
+		{FreqGHz: 5.010, Amplitude: 0.3},
+	}
+	w, err := Synthesize(tones, OrthogonalWindowNs([]float64{5.000, 5.010}), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a0, _ := w.Demodulate(5.000)
+	a1, _ := w.Demodulate(5.010)
+	if math.Abs(a0-0.4) > 0.02 || math.Abs(a1-0.3) > 0.02 {
+		t.Errorf("orthogonal recovery failed: %v, %v", a0, a1)
+	}
+}
+
+func TestAnalyzeLineNoClipping(t *testing.T) {
+	freqs := []float64{4.5, 5.0, 5.5, 6.0, 6.5}
+	a, err := AnalyzeLine(freqs, 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumTones != 5 {
+		t.Errorf("tones %d", a.NumTones)
+	}
+	if a.Clipped {
+		t.Error("equal-share amplitudes should never clip")
+	}
+	if a.Peak > 1.0+1e-9 {
+		t.Errorf("peak %v exceeds full scale", a.Peak)
+	}
+	if a.WorstRecoveryError > 0.05 {
+		t.Errorf("recovery error %v too large", a.WorstRecoveryError)
+	}
+	if a.CrestFactor < 1 {
+		t.Errorf("crest factor %v below 1", a.CrestFactor)
+	}
+}
+
+func TestAnalyzeLineCrestGrowsWithTones(t *testing.T) {
+	// More tones -> higher crest factor (≈√(2N) for equal tones),
+	// i.e. each tone gets less usable DAC range: the headroom argument
+	// for bounding FDM line capacity.
+	var prev float64
+	for _, n := range []int{1, 2, 4, 8} {
+		freqs := make([]float64, n)
+		for i := range freqs {
+			freqs[i] = 4.1 + 0.35*float64(i)
+		}
+		a, err := AnalyzeLine(freqs, 200, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.CrestFactor < prev {
+			t.Errorf("crest factor decreased at %d tones: %v < %v", n, a.CrestFactor, prev)
+		}
+		prev = a.CrestFactor
+	}
+}
+
+func TestAnalyzeLineEmpty(t *testing.T) {
+	if _, err := AnalyzeLine(nil, 100, 50); err == nil {
+		t.Error("empty line accepted")
+	}
+}
+
+func TestMinToneSpacing(t *testing.T) {
+	if s := MinToneSpacing([]float64{4.5, 5.0, 5.02}); math.Abs(s-0.02) > 1e-12 {
+		t.Errorf("spacing %v, want 0.02", s)
+	}
+	if !math.IsInf(MinToneSpacing([]float64{5}), 1) {
+		t.Error("single tone should give +Inf")
+	}
+}
+
+func TestOrthogonalWindow(t *testing.T) {
+	// 10 MHz spacing -> 100 ns window.
+	if w := OrthogonalWindowNs([]float64{5.00, 5.01}); math.Abs(w-100) > 1e-9 {
+		t.Errorf("window %v, want 100 ns", w)
+	}
+	if w := OrthogonalWindowNs([]float64{5}); w != 0 {
+		t.Errorf("degenerate window %v", w)
+	}
+}
+
+func TestEmptyWaveformStats(t *testing.T) {
+	w := &Waveform{SampleRateGSps: 1}
+	if w.RMS() != 0 || w.Peak() != 0 || w.CrestFactor() != 0 {
+		t.Error("empty waveform stats should be zero")
+	}
+}

@@ -1,0 +1,137 @@
+// Package wiring assembles cryostat-level wiring plans: how many coax
+// lines, twisted-pair control lines, DACs and on-chip interfaces a
+// control architecture needs for a given chip. Four architectures are
+// modelled: Google's Sycamore-style baseline (dedicated XY and Z lines,
+// multiplexed readout only), YOUTIAO's hybrid FDM+TDM design, and the
+// two single-technique baselines (George et al. FDM-only, Acharya et
+// al. TDM-only with local clustering).
+package wiring
+
+import (
+	"fmt"
+
+	"repro/internal/chip"
+	"repro/internal/fdm"
+	"repro/internal/tdm"
+)
+
+// Multiplexing capacities. GoogleReadoutCapacity and the ADCShare are
+// calibrated so the Google baseline reproduces the interface counts of
+// the paper's Table 2 exactly; the YOUTIAO capacities come from the
+// paper (FDM line capacity 5 for XY, up to 8 qubits per readout line).
+const (
+	GoogleReadoutCapacity  = 7
+	YoutiaoFDMCapacity     = 5
+	YoutiaoReadoutCapacity = 8
+	// ADCShare is the number of qubits sharing one readout digitizer
+	// channel, which adds DAC/ADC hardware but no chip interface.
+	ADCShare = 10
+)
+
+// Plan is a cryostat-level wiring bill of materials.
+type Plan struct {
+	Architecture string
+	NumQubits    int
+	NumCouplers  int
+
+	XYLines      int // microwave drive coax
+	ZLines       int // flux coax
+	ReadoutLines int // readout feedline coax
+	ControlLines int // DEMUX digital controls (twisted pair)
+
+	// DemuxCount is the number of DEMUX units per level.
+	DemuxCount map[tdm.DemuxLevel]int
+
+	DACs       int // room-temperature DAC/ADC channels
+	Interfaces int // on-chip signal interfaces
+}
+
+// CoaxLines returns the number of coaxial cables through the cryostat
+// (control lines run on cheap twisted pair and are excluded).
+func (p *Plan) CoaxLines() int { return p.XYLines + p.ZLines + p.ReadoutLines }
+
+// finish derives the interface and DAC counts shared by every
+// architecture: one chip interface per line of any kind, plus one
+// digitizer channel per ADCShare qubits on the room-temperature side.
+func (p *Plan) finish() {
+	p.Interfaces = p.XYLines + p.ZLines + p.ReadoutLines + p.ControlLines
+	p.DACs = p.Interfaces + ceilDiv(p.NumQubits, ADCShare)
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// Google returns the baseline Sycamore-style plan: a dedicated XY line
+// per qubit, a dedicated Z line per qubit and per coupler, and
+// frequency-multiplexed readout.
+func Google(c *chip.Chip) *Plan {
+	p := &Plan{
+		Architecture: "google",
+		NumQubits:    c.NumQubits(),
+		NumCouplers:  c.NumCouplers(),
+		XYLines:      c.NumQubits(),
+		ZLines:       c.NumQubits() + c.NumCouplers(),
+		ReadoutLines: ceilDiv(c.NumQubits(), GoogleReadoutCapacity),
+		DemuxCount:   map[tdm.DemuxLevel]int{},
+	}
+	p.finish()
+	return p
+}
+
+// Youtiao returns the hybrid plan for a chip given its FDM grouping
+// (XY lines) and TDM grouping (Z lines).
+func Youtiao(c *chip.Chip, f *fdm.Grouping, t *tdm.Grouping) (*Plan, error) {
+	if f == nil || t == nil {
+		return nil, fmt.Errorf("wiring: YOUTIAO plan needs both groupings")
+	}
+	p := &Plan{
+		Architecture: "youtiao",
+		NumQubits:    c.NumQubits(),
+		NumCouplers:  c.NumCouplers(),
+		XYLines:      f.NumLines(),
+		ZLines:       t.NumZLines(),
+		ReadoutLines: ceilDiv(c.NumQubits(), YoutiaoReadoutCapacity),
+		ControlLines: t.ControlLines(),
+		DemuxCount:   t.LevelCounts(),
+	}
+	delete(p.DemuxCount, tdm.DemuxNone)
+	p.finish()
+	return p, nil
+}
+
+// GeorgeFDM returns the FDM-only baseline: XY and readout lines are
+// frequency-multiplexed (in-line allocation only), Z lines stay
+// dedicated.
+func GeorgeFDM(c *chip.Chip) *Plan {
+	p := &Plan{
+		Architecture: "george-fdm",
+		NumQubits:    c.NumQubits(),
+		NumCouplers:  c.NumCouplers(),
+		XYLines:      ceilDiv(c.NumQubits(), YoutiaoFDMCapacity),
+		ZLines:       c.NumQubits() + c.NumCouplers(),
+		ReadoutLines: ceilDiv(c.NumQubits(), YoutiaoReadoutCapacity),
+		DemuxCount:   map[tdm.DemuxLevel]int{},
+	}
+	p.finish()
+	return p
+}
+
+// AcharyaTDM returns the TDM-only baseline: Z lines multiplexed through
+// cryo-DEMUXes with local clustering, XY dedicated, Sycamore readout.
+func AcharyaTDM(c *chip.Chip, t *tdm.Grouping) (*Plan, error) {
+	if t == nil {
+		return nil, fmt.Errorf("wiring: Acharya plan needs a TDM grouping")
+	}
+	p := &Plan{
+		Architecture: "acharya-tdm",
+		NumQubits:    c.NumQubits(),
+		NumCouplers:  c.NumCouplers(),
+		XYLines:      c.NumQubits(),
+		ZLines:       t.NumZLines(),
+		ReadoutLines: ceilDiv(c.NumQubits(), GoogleReadoutCapacity),
+		ControlLines: t.ControlLines(),
+		DemuxCount:   t.LevelCounts(),
+	}
+	delete(p.DemuxCount, tdm.DemuxNone)
+	p.finish()
+	return p, nil
+}

@@ -1,0 +1,172 @@
+package wiring
+
+import (
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/fdm"
+	"repro/internal/tdm"
+)
+
+// simpleTDM builds a legal grouping of the chip's devices by local
+// clustering, good enough for wiring arithmetic tests.
+func simpleTDM(t *testing.T, c *chip.Chip) *tdm.Grouping {
+	t.Helper()
+	gi := tdm.AnalyzeGates(c)
+	g, err := tdm.LocalClusterGroup(gi, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func simpleFDM(t *testing.T, c *chip.Chip) *fdm.Grouping {
+	t.Helper()
+	var all []int
+	for i := 0; i < c.NumQubits(); i++ {
+		all = append(all, i)
+	}
+	return fdm.LocalClusterGroup(all, YoutiaoFDMCapacity)
+}
+
+func TestGoogleTable2Anchors(t *testing.T) {
+	// The Google baseline must reproduce Table 2's interface counts
+	// exactly; they calibrated the readout capacity.
+	wantInterfaces := map[string]int{
+		"square":        32,
+		"hexagon":       53,
+		"heavy-square":  69,
+		"heavy-hexagon": 67,
+		"low-density":   57,
+	}
+	wantDACs := map[string]int{
+		"square":        33,
+		"hexagon":       55,
+		"heavy-square":  72,
+		"heavy-hexagon": 70,
+		"low-density":   59,
+	}
+	for _, c := range chip.Table2Chips() {
+		p := Google(c)
+		if p.Interfaces != wantInterfaces[c.Topology] {
+			t.Errorf("%s: %d interfaces, want %d", c.Topology, p.Interfaces, wantInterfaces[c.Topology])
+		}
+		if p.DACs != wantDACs[c.Topology] {
+			t.Errorf("%s: %d DACs, want %d", c.Topology, p.DACs, wantDACs[c.Topology])
+		}
+		if p.XYLines != c.NumQubits() {
+			t.Errorf("%s: XY %d, want one per qubit", c.Topology, p.XYLines)
+		}
+		if p.ZLines != c.NumQubits()+c.NumCouplers() {
+			t.Errorf("%s: Z %d, want qubits+couplers", c.Topology, p.ZLines)
+		}
+		if p.ControlLines != 0 {
+			t.Errorf("%s: Google plan has control lines", c.Topology)
+		}
+	}
+}
+
+func TestYoutiaoPlan(t *testing.T) {
+	c := chip.Square(3, 3)
+	f := simpleFDM(t, c)
+	g := simpleTDM(t, c)
+	p, err := Youtiao(c, f, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.XYLines != f.NumLines() {
+		t.Errorf("XY %d, want %d", p.XYLines, f.NumLines())
+	}
+	if p.ZLines != g.NumZLines() {
+		t.Errorf("Z %d, want %d", p.ZLines, g.NumZLines())
+	}
+	if p.ControlLines != g.ControlLines() {
+		t.Errorf("control %d, want %d", p.ControlLines, g.ControlLines())
+	}
+	if p.CoaxLines() != p.XYLines+p.ZLines+p.ReadoutLines {
+		t.Error("coax accounting wrong")
+	}
+	if p.Interfaces != p.CoaxLines()+p.ControlLines {
+		t.Error("interface accounting wrong")
+	}
+	if _, ok := p.DemuxCount[tdm.DemuxNone]; ok {
+		t.Error("direct lines counted as DEMUX hardware")
+	}
+}
+
+func TestYoutiaoNeedsGroupings(t *testing.T) {
+	c := chip.Square(2, 2)
+	if _, err := Youtiao(c, nil, nil); err == nil {
+		t.Error("nil groupings accepted")
+	}
+	if _, err := AcharyaTDM(c, nil); err == nil {
+		t.Error("nil TDM grouping accepted")
+	}
+}
+
+func TestYoutiaoReducesCoax(t *testing.T) {
+	for _, c := range chip.Table2Chips() {
+		f := simpleFDM(t, c)
+		g := simpleTDM(t, c)
+		y, err := Youtiao(c, f, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := Google(c)
+		ratio := float64(b.CoaxLines()) / float64(y.CoaxLines())
+		if ratio < 2 {
+			t.Errorf("%s: coax reduction only %.2fx", c.Topology, ratio)
+		}
+	}
+}
+
+func TestGeorgeFDMPlan(t *testing.T) {
+	c := chip.Square(3, 3)
+	p := GeorgeFDM(c)
+	if p.XYLines != 2 { // ceil(9/5)
+		t.Errorf("XY %d, want 2", p.XYLines)
+	}
+	if p.ZLines != 21 {
+		t.Errorf("Z %d, want 21 (dedicated)", p.ZLines)
+	}
+	if p.ControlLines != 0 {
+		t.Error("FDM-only plan has control lines")
+	}
+	// George sits between Google and full YOUTIAO.
+	g := Google(c)
+	if p.CoaxLines() >= g.CoaxLines() {
+		t.Error("George should reduce coax vs Google")
+	}
+}
+
+func TestAcharyaTDMPlan(t *testing.T) {
+	c := chip.Square(3, 3)
+	g := simpleTDM(t, c)
+	p, err := AcharyaTDM(c, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.XYLines != c.NumQubits() {
+		t.Errorf("XY %d, want dedicated", p.XYLines)
+	}
+	if p.ZLines != g.NumZLines() {
+		t.Errorf("Z %d, want %d", p.ZLines, g.NumZLines())
+	}
+	if p.CoaxLines() >= Google(c).CoaxLines() {
+		t.Error("Acharya should reduce coax vs Google")
+	}
+}
+
+func TestCoaxExcludesControl(t *testing.T) {
+	c := chip.Square(3, 3)
+	y, err := Youtiao(c, simpleFDM(t, c), simpleTDM(t, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.CoaxLines() > y.Interfaces {
+		t.Error("coax exceeds interfaces")
+	}
+	if y.ControlLines > 0 && y.CoaxLines() == y.Interfaces {
+		t.Error("control lines should ride twisted pairs, not coax")
+	}
+}

@@ -1,0 +1,211 @@
+package xmon
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/chip"
+)
+
+func testDevice(seed int64) *Device {
+	return NewDevice(chip.Square(4, 4), DefaultParams(), rand.New(rand.NewSource(seed)))
+}
+
+func TestDeterministicFabrication(t *testing.T) {
+	a, b := testDevice(42), testDevice(42)
+	for i := range a.Chip.Qubits {
+		if a.Chip.Qubits[i].BaseFreq != b.Chip.Qubits[i].BaseFreq {
+			t.Fatalf("qubit %d frequencies differ across identical seeds", i)
+		}
+	}
+	for i := 0; i < a.Chip.NumQubits(); i++ {
+		for j := 0; j < a.Chip.NumQubits(); j++ {
+			if a.Coupling(XY, i, j) != b.Coupling(XY, i, j) {
+				t.Fatalf("coupling (%d,%d) differs across identical seeds", i, j)
+			}
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := testDevice(1), testDevice(2)
+	same := true
+	for i := range a.Chip.Qubits {
+		if a.Chip.Qubits[i].BaseFreq != b.Chip.Qubits[i].BaseFreq {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical frequency plans")
+	}
+}
+
+func TestFrequenciesInBand(t *testing.T) {
+	d := testDevice(1)
+	for _, q := range d.Chip.Qubits {
+		if q.BaseFreq < chip.FreqMin || q.BaseFreq > chip.FreqMax {
+			t.Errorf("qubit %d frequency %.3f outside [%g, %g]", q.ID, q.BaseFreq, chip.FreqMin, chip.FreqMax)
+		}
+	}
+}
+
+func TestNeighboursAvoidCollision(t *testing.T) {
+	d := testDevice(1)
+	for _, e := range d.Chip.Graph().Edges() {
+		df := math.Abs(d.Chip.Qubits[e[0]].BaseFreq - d.Chip.Qubits[e[1]].BaseFreq)
+		if df < 0.5 {
+			t.Errorf("adjacent qubits %v only %.3f GHz apart; fabrication pattern should separate them", e, df)
+		}
+	}
+}
+
+func TestCouplingProperties(t *testing.T) {
+	d := testDevice(1)
+	n := d.Chip.NumQubits()
+	for _, kind := range []CrosstalkKind{XY, ZZ} {
+		for i := 0; i < n; i++ {
+			if d.Coupling(kind, i, i) != 0 {
+				t.Errorf("%v self-coupling not zero", kind)
+			}
+			for j := i + 1; j < n; j++ {
+				a, b := d.Coupling(kind, i, j), d.Coupling(kind, j, i)
+				if a != b {
+					t.Errorf("%v coupling asymmetric at (%d,%d): %v vs %v", kind, i, j, a, b)
+				}
+				if a < 0 {
+					t.Errorf("%v coupling negative at (%d,%d)", kind, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestCouplingDecaysWithDistance(t *testing.T) {
+	d := testDevice(1)
+	// Compare distance-1 and distance-3 pairs along a row; averaged over
+	// rows to wash out disorder.
+	var near, far float64
+	rows := 4
+	for r := 0; r < rows; r++ {
+		base := r * 4
+		near += d.Coupling(XY, base, base+1)
+		far += d.Coupling(XY, base, base+3)
+	}
+	if near <= far {
+		t.Errorf("coupling should decay with distance: near %.3g vs far %.3g", near, far)
+	}
+}
+
+func TestCrosstalkCollisionFactor(t *testing.T) {
+	p := DefaultParams()
+	p.DisorderSigma = 0 // deterministic comparison
+	p.FreqDisorder = 0
+	d := NewDevice(chip.Square(4, 4), p, rand.New(rand.NewSource(1)))
+	// XY crosstalk is suppressed relative to coupling when frequencies
+	// differ (collision factor < 1), equal when detuning is zero.
+	for _, e := range d.Chip.Graph().Edges() {
+		i, j := e[0], e[1]
+		xt, cp := d.Crosstalk(XY, i, j), d.Coupling(XY, i, j)
+		if xt > cp+1e-12 {
+			t.Errorf("XY crosstalk exceeds coupling at (%d,%d)", i, j)
+		}
+		df := d.Chip.Qubits[i].BaseFreq - d.Chip.Qubits[j].BaseFreq
+		if math.Abs(df) > 0.5 && xt > 0.7*cp {
+			t.Errorf("detuned pair (%d,%d) barely suppressed: xt=%.3g coupling=%.3g", i, j, xt, cp)
+		}
+	}
+	// ZZ is frequency-independent here.
+	for _, e := range d.Chip.Graph().Edges() {
+		if d.Crosstalk(ZZ, e[0], e[1]) != d.Coupling(ZZ, e[0], e[1]) {
+			t.Errorf("ZZ crosstalk should equal coupling")
+		}
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	d := testDevice(1)
+	rng := rand.New(rand.NewSource(9))
+	samples := d.Measure(XY, 0.05, rng)
+	n := d.Chip.NumQubits()
+	if want := n * (n - 1) / 2; len(samples) != want {
+		t.Fatalf("got %d samples, want %d", len(samples), want)
+	}
+	seen := make(map[[2]int]bool)
+	for _, s := range samples {
+		if s.I >= s.J {
+			t.Errorf("sample pair not ordered: %+v", s)
+		}
+		if s.Value < 0 {
+			t.Errorf("negative measured crosstalk: %+v", s)
+		}
+		if s.Kind != XY {
+			t.Errorf("wrong kind: %+v", s)
+		}
+		key := [2]int{s.I, s.J}
+		if seen[key] {
+			t.Errorf("duplicate pair %v", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestMeasureNoiseIsBounded(t *testing.T) {
+	d := testDevice(1)
+	rng := rand.New(rand.NewSource(5))
+	samples := d.Measure(XY, 0.05, rng)
+	var maxRel float64
+	for _, s := range samples {
+		truth := d.Crosstalk(XY, s.I, s.J)
+		if truth == 0 {
+			continue
+		}
+		rel := math.Abs(s.Value-truth) / truth
+		if rel > maxRel {
+			maxRel = rel
+		}
+	}
+	if maxRel > 0.5 {
+		t.Errorf("5%% measurement noise produced %.0f%% deviation", 100*maxRel)
+	}
+}
+
+func TestCrosstalkMatrix(t *testing.T) {
+	d := testDevice(1)
+	m := d.CrosstalkMatrix(ZZ)
+	n := d.Chip.NumQubits()
+	if len(m) != n {
+		t.Fatalf("matrix size %d, want %d", len(m), n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if m[i][j] != d.Crosstalk(ZZ, i, j) {
+				t.Fatalf("matrix[%d][%d] mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if XY.String() != "XY" || ZZ.String() != "ZZ" {
+		t.Error("kind names wrong")
+	}
+	if CrosstalkKind(9).String() == "" {
+		t.Error("unknown kind should still format")
+	}
+}
+
+func TestAdjacentSameFrequencyCrosstalkMagnitude(t *testing.T) {
+	// The paper's motivating numbers: same-frequency neighbouring
+	// qubits suffer percent-level XY crosstalk (parallel X fidelity
+	// ~98.9%). Force a collision and check the scale.
+	p := DefaultParams()
+	p.DisorderSigma = 0
+	p.FreqDisorder = 0
+	d := NewDevice(chip.Square(4, 4), p, rand.New(rand.NewSource(1)))
+	d.Chip.Qubits[1].BaseFreq = d.Chip.Qubits[0].BaseFreq
+	xt := d.Crosstalk(XY, 0, 1)
+	if xt < 1e-3 || xt > 5e-2 {
+		t.Errorf("same-frequency neighbour crosstalk %.3g outside percent-level window", xt)
+	}
+}

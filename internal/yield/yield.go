@@ -1,0 +1,198 @@
+// Package yield estimates design yield under fabrication disorder: the
+// probability that a chip coming out of the fab can actually meet the
+// wiring design's fidelity target once its qubits are retuned to the
+// allocated frequency plan. The paper's two-level allocation assumes
+// qubits can be placed in their cells; real devices scatter around
+// their fabrication targets and the tunable range is limited (~50 MHz),
+// so some dice land in frequency-crowded configurations that no
+// allocation can rescue. Yield analysis Monte-Carlos the whole design
+// pipeline over fabrication seeds.
+package yield
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/chip"
+	"repro/internal/fdm"
+	"repro/internal/quantum"
+	"repro/internal/xmon"
+)
+
+// Config controls the yield study.
+type Config struct {
+	// Dice is the number of fabricated chips to sample.
+	Dice int
+	// ErrorTarget is the acceptable mean per-gate error under
+	// simultaneous operation (e.g. 2e-4 for 99.98%).
+	ErrorTarget float64
+	// FDMCapacity is the line capacity of the design (paper: 4 or 5).
+	FDMCapacity int
+	// Params configures the synthetic fab line; zero value uses
+	// xmon.DefaultParams.
+	Params xmon.Params
+	// Seed makes the study deterministic.
+	Seed int64
+}
+
+// DefaultConfig matches the evaluation chip's headline target.
+func DefaultConfig() Config {
+	return Config{
+		Dice:        40,
+		ErrorTarget: 3e-4,
+		FDMCapacity: 4,
+		Params:      xmon.DefaultParams(),
+		Seed:        1,
+	}
+}
+
+// Die is the outcome of one fabricated chip.
+type Die struct {
+	Seed int64
+	// MeanGateError is the average per-gate error with every qubit
+	// driven simultaneously under the die's own allocation.
+	MeanGateError float64
+	// WorstGateError is the worst single qubit's error.
+	WorstGateError float64
+	// Pass reports whether MeanGateError meets the target.
+	Pass bool
+}
+
+// Result is the aggregate yield study.
+type Result struct {
+	Dice []Die
+	// Yield is the passing fraction.
+	Yield float64
+	// MedianError is the median of the dice's mean gate errors.
+	MedianError float64
+}
+
+// Run fabricates cfg.Dice synthetic chips on the given lattice, designs
+// each with the FDM grouping + allocation (using the die's own latent
+// coupling as the oracle — the best any characterization could do),
+// and scores simultaneous-drive errors against the target.
+func Run(c *chip.Chip, cfg Config) (*Result, error) {
+	if cfg.Dice < 1 {
+		return nil, fmt.Errorf("yield: need at least 1 die, got %d", cfg.Dice)
+	}
+	if cfg.ErrorTarget <= 0 {
+		return nil, fmt.Errorf("yield: error target must be positive")
+	}
+	if cfg.FDMCapacity < 1 {
+		return nil, fmt.Errorf("yield: FDM capacity must be >= 1")
+	}
+	if cfg.Params.AmplitudeXY == 0 {
+		cfg.Params = xmon.DefaultParams()
+	}
+
+	res := &Result{}
+	qubits := make([]int, c.NumQubits())
+	for i := range qubits {
+		qubits[i] = i
+	}
+
+	for d := 0; d < cfg.Dice; d++ {
+		seed := cfg.Seed + int64(d)
+		rng := rand.New(rand.NewSource(seed))
+		// Fabricate a fresh die on a copy of the lattice (the device
+		// mutates base frequencies).
+		die := xmon.NewDevice(cloneChip(c), cfg.Params, rng)
+		coupling := func(i, j int) float64 { return die.Coupling(xmon.XY, i, j) }
+		dist := func(i, j int) float64 { return die.Chip.PhysicalDistance(i, j) }
+
+		g, err := fdm.Group(qubits, cfg.FDMCapacity, dist)
+		if err != nil {
+			return nil, fmt.Errorf("yield: die %d grouping: %w", d, err)
+		}
+		plan, err := fdm.Allocate(g, coupling, fdm.DefaultAllocOptions())
+		if err != nil {
+			return nil, fmt.Errorf("yield: die %d allocation: %w", d, err)
+		}
+
+		nm := quantum.NewNoiseModel(coupling, plan.Freq)
+		var sum, worst float64
+		for _, q := range qubits {
+			e := nm.ParallelDriveError(q, qubits)
+			sum += e
+			if e > worst {
+				worst = e
+			}
+		}
+		mean := sum / float64(len(qubits))
+		res.Dice = append(res.Dice, Die{
+			Seed:           seed,
+			MeanGateError:  mean,
+			WorstGateError: worst,
+			Pass:           mean <= cfg.ErrorTarget,
+		})
+	}
+
+	pass := 0
+	errs := make([]float64, len(res.Dice))
+	for i, d := range res.Dice {
+		errs[i] = d.MeanGateError
+		if d.Pass {
+			pass++
+		}
+	}
+	sort.Float64s(errs)
+	res.Yield = float64(pass) / float64(len(res.Dice))
+	res.MedianError = errs[len(errs)/2]
+	return res, nil
+}
+
+// cloneChip deep-copies a chip so per-die frequency assignment does not
+// leak between dice.
+func cloneChip(c *chip.Chip) *chip.Chip {
+	qs := make([]chip.Qubit, len(c.Qubits))
+	copy(qs, c.Qubits)
+	pairs := make([][2]int, len(c.Couplers))
+	for i, cp := range c.Couplers {
+		pairs[i] = [2]int{cp.A, cp.B}
+	}
+	out, err := chip.New(c.Name, c.Topology, qs, pairs)
+	if err != nil {
+		panic(err) // structural copy of a valid chip cannot fail
+	}
+	return out
+}
+
+// DisorderSweep runs the study across fabrication-scatter levels and
+// returns the yield at each, quantifying how much disorder the
+// allocation scheme tolerates before crowding kills yield.
+func DisorderSweep(c *chip.Chip, cfg Config, disorders []float64) (map[float64]float64, error) {
+	out := make(map[float64]float64, len(disorders))
+	for _, dis := range disorders {
+		if dis < 0 {
+			return nil, fmt.Errorf("yield: negative disorder %g", dis)
+		}
+		cc := cfg
+		if cc.Params.AmplitudeXY == 0 {
+			cc.Params = xmon.DefaultParams()
+		}
+		cc.Params.FreqDisorder = dis
+		r, err := Run(c, cc)
+		if err != nil {
+			return nil, err
+		}
+		out[dis] = r.Yield
+	}
+	return out, nil
+}
+
+// mean is exported for tests via Mean.
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(xs []float64) float64 { return mean(xs) }

@@ -1,0 +1,129 @@
+package yield
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/chip"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Dice = 10
+	return cfg
+}
+
+func TestRunValidation(t *testing.T) {
+	c := chip.Square(3, 3)
+	bad := smallConfig()
+	bad.Dice = 0
+	if _, err := Run(c, bad); err == nil {
+		t.Error("0 dice accepted")
+	}
+	bad = smallConfig()
+	bad.ErrorTarget = 0
+	if _, err := Run(c, bad); err == nil {
+		t.Error("zero target accepted")
+	}
+	bad = smallConfig()
+	bad.FDMCapacity = 0
+	if _, err := Run(c, bad); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestRunBasicProperties(t *testing.T) {
+	c := chip.Square(4, 4)
+	res, err := Run(c, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dice) != 10 {
+		t.Fatalf("got %d dice", len(res.Dice))
+	}
+	if res.Yield < 0 || res.Yield > 1 {
+		t.Errorf("yield %v out of range", res.Yield)
+	}
+	for i, d := range res.Dice {
+		if d.MeanGateError <= 0 || d.MeanGateError > 1 {
+			t.Errorf("die %d mean error %v implausible", i, d.MeanGateError)
+		}
+		if d.WorstGateError < d.MeanGateError {
+			t.Errorf("die %d worst error below mean", i)
+		}
+		if d.Pass != (d.MeanGateError <= smallConfig().ErrorTarget) {
+			t.Errorf("die %d pass flag inconsistent", i)
+		}
+	}
+	if res.MedianError <= 0 {
+		t.Error("median error missing")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	c := chip.Square(3, 3)
+	a, err := Run(c, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(chip.Square(3, 3), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Yield != b.Yield || a.MedianError != b.MedianError {
+		t.Error("yield study not deterministic")
+	}
+}
+
+func TestRunDoesNotMutateInputChip(t *testing.T) {
+	c := chip.Square(3, 3)
+	if _, err := Run(c, smallConfig()); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range c.Qubits {
+		if q.BaseFreq != 0 {
+			t.Fatal("input chip's frequencies were mutated")
+		}
+	}
+}
+
+func TestDesignedYieldHealthy(t *testing.T) {
+	// At the default fab scatter, the noise-aware allocation should
+	// pass the 3e-4 target on most dice of a 16-qubit chip.
+	c := chip.Square(4, 4)
+	cfg := smallConfig()
+	cfg.Dice = 20
+	res, err := Run(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Yield < 0.6 {
+		t.Errorf("yield %.2f unexpectedly low (median err %.2e)", res.Yield, res.MedianError)
+	}
+}
+
+func TestDisorderSweepMonotoneTrend(t *testing.T) {
+	// Yield at extreme disorder must not beat yield at low disorder.
+	c := chip.Square(3, 3)
+	cfg := smallConfig()
+	cfg.Dice = 12
+	sweep, err := DisorderSweep(c, cfg, []float64{0.01, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep[0.4] > sweep[0.01] {
+		t.Errorf("yield rose with disorder: %.2f @0.01 vs %.2f @0.4", sweep[0.01], sweep[0.4])
+	}
+	if _, err := DisorderSweep(c, cfg, []float64{-1}); err == nil {
+		t.Error("negative disorder accepted")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("mean %v", m)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("empty mean should be NaN")
+	}
+}

@@ -1,0 +1,282 @@
+// Package youtiao is the public API of the YOUTIAO reproduction: a
+// hybrid-multiplexing control-wiring designer for superconducting
+// quantum processors (Tian et al., MICRO 2025).
+//
+// YOUTIAO reduces the coaxial-cable and on-chip routing burden of a
+// quantum chip by sharing control lines: XY drive and readout lines are
+// frequency-division multiplexed (FDM), while Z flux lines are
+// time-division multiplexed (TDM) through cryogenic DEMUXes. The
+// design pipeline is noise-aware end to end:
+//
+//  1. fit a crosstalk characterization model from calibration data
+//     (equivalent distance -> random-forest regression);
+//  2. partition large chips into multiplexing regions (generative
+//     chip partition);
+//  3. group qubits onto FDM lines and allocate their frequencies in
+//     two levels (zones and 10 MHz cells);
+//  4. group qubits and couplers onto TDM DEMUXes by exploiting natural
+//     (topological and noisy) non-parallelism;
+//  5. assemble the cryostat-level wiring bill of materials, price it,
+//     and optionally route the chip level.
+//
+// The one-call entry point is Design:
+//
+//	ch := youtiao.NewSquareChip(6, 6)
+//	design, err := youtiao.Design(ch, youtiao.Options{Seed: 1})
+//	if err != nil { ... }
+//	fmt.Println(design.Report())
+//
+// Design works on synthetic devices fabricated by the built-in Xmon
+// device model; DesignDevice accepts an externally characterized
+// device. The underlying subsystems live in internal/ packages and are
+// re-exported here only through stable result types.
+package youtiao
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/chip"
+	"repro/internal/cost"
+	"repro/internal/experiments"
+	"repro/internal/schedule"
+	"repro/internal/tdm"
+	"repro/internal/wiring"
+	"repro/internal/xmon"
+)
+
+// Chip is a quantum-chip description (re-exported).
+type Chip = chip.Chip
+
+// Options tune the design pipeline (re-exported from the experiment
+// harness so library users and experiments share one configuration).
+type Options = experiments.Options
+
+// NewSquareChip returns a w×h square-lattice chip.
+func NewSquareChip(w, h int) *Chip { return chip.Square(w, h) }
+
+// NewHexagonChip returns a rows×cols hexagon (brick-wall) chip.
+func NewHexagonChip(rows, cols int) *Chip { return chip.Hexagon(rows, cols) }
+
+// NewHeavySquareChip returns a heavy-square chip over a w×h node grid.
+func NewHeavySquareChip(w, h int) *Chip { return chip.HeavySquare(w, h) }
+
+// NewHeavyHexagonChip returns a heavy-hexagon chip over a rows×cols
+// node grid.
+func NewHeavyHexagonChip(rows, cols int) *Chip { return chip.HeavyHexagon(rows, cols) }
+
+// NewLowDensityChip returns a w×h low-density (degree-2 serpentine)
+// chip.
+func NewLowDensityChip(w, h int) *Chip { return chip.LowDensity(w, h) }
+
+// NewChip builds a chip of the named topology ("square", "hexagon",
+// "heavy-square", "heavy-hexagon", "low-density") with approximately n
+// qubits.
+func NewChip(topology string, n int) (*Chip, error) { return chip.ByTopology(topology, n) }
+
+// FDMLine is one frequency-multiplexed XY line of a design.
+type FDMLine struct {
+	Qubits []int `json:"qubits"`
+	// FreqGHz holds the allocated drive frequency of each qubit, in
+	// the order of Qubits.
+	FreqGHz []float64 `json:"freqGHz"`
+}
+
+// TDMGroup is one Z line of a design: the devices behind one DEMUX.
+type TDMGroup struct {
+	// Devices names the members: "q<N>" for qubits, "c<N>" for
+	// couplers.
+	Devices []string `json:"devices"`
+	// Demux is the hardware level: "direct", "1:2" or "1:4".
+	Demux string `json:"demux"`
+	// ControlBits is the number of twisted-pair digital controls.
+	ControlBits int `json:"controlBits"`
+}
+
+// Wiring is the cryostat-level bill of materials of one architecture.
+type Wiring struct {
+	Architecture string  `json:"architecture"`
+	XYLines      int     `json:"xyLines"`
+	ZLines       int     `json:"zLines"`
+	ReadoutLines int     `json:"readoutLines"`
+	ControlLines int     `json:"controlLines"`
+	CoaxLines    int     `json:"coaxLines"`
+	DACs         int     `json:"dacs"`
+	Interfaces   int     `json:"interfaces"`
+	CostUSD      float64 `json:"costUSD"`
+}
+
+// DesignResult is a complete multiplexed wiring design for a chip.
+type DesignResult struct {
+	Chip *Chip
+
+	// CrosstalkWeights are the fitted equivalent-distance weights
+	// (w_phy, w_top) of the XY characterization model.
+	CrosstalkWeights struct{ WPhy, WTop float64 }
+	// CrosstalkCVError is the cross-validated MSE of the XY model.
+	CrosstalkCVError float64
+
+	// Regions lists the generative-partition regions (nil when the
+	// chip was grouped whole).
+	Regions [][]int
+
+	FDMLines  []FDMLine
+	TDMGroups []TDMGroup
+
+	// Youtiao and Baseline are the hybrid and Google-style wiring
+	// bills for the same chip.
+	Youtiao  Wiring
+	Baseline Wiring
+
+	pipeline *experiments.Pipeline
+}
+
+// Design runs the full YOUTIAO pipeline on a chip: it fabricates a
+// synthetic Xmon device (deterministic in Options.Seed), characterizes
+// crosstalk, partitions, groups, allocates frequencies and assembles
+// the wiring plans.
+func Design(c *Chip, opts Options) (*DesignResult, error) {
+	p, err := experiments.BuildPipeline(c, opts)
+	if err != nil {
+		return nil, fmt.Errorf("youtiao: %w", err)
+	}
+	return fromPipeline(p)
+}
+
+// DesignDevice runs the pipeline on an externally fabricated device
+// (see package internal/xmon for the synthetic model it replaces).
+func DesignDevice(dev *xmon.Device, opts Options) (*DesignResult, error) {
+	p, err := experiments.BuildPipelineOnDevice(dev, opts)
+	if err != nil {
+		return nil, fmt.Errorf("youtiao: %w", err)
+	}
+	return fromPipeline(p)
+}
+
+func fromPipeline(p *experiments.Pipeline) (*DesignResult, error) {
+	res := &DesignResult{Chip: p.Chip, pipeline: p}
+	res.CrosstalkWeights.WPhy = p.ModelXY.Weights.WPhy
+	res.CrosstalkWeights.WTop = p.ModelXY.Weights.WTop
+	res.CrosstalkCVError = p.ModelXY.CVError
+	if p.Partition != nil {
+		res.Regions = p.Partition.Regions
+	}
+
+	for _, group := range p.FDM.Groups {
+		line := FDMLine{Qubits: append([]int(nil), group...)}
+		for _, q := range group {
+			line.FreqGHz = append(line.FreqGHz, p.FreqPlan.Freq[q])
+		}
+		res.FDMLines = append(res.FDMLines, line)
+	}
+	for _, g := range p.TDM.Groups {
+		tg := TDMGroup{Demux: g.Level.String(), ControlBits: g.Level.ControlBits()}
+		for _, d := range g.Devices {
+			tg.Devices = append(tg.Devices, p.Gates.Dev.Name(d))
+		}
+		res.TDMGroups = append(res.TDMGroups, tg)
+	}
+
+	model := cost.DefaultModel()
+	yPlan, err := wiring.Youtiao(p.Chip, p.FDM, p.TDM)
+	if err != nil {
+		return nil, fmt.Errorf("youtiao: %w", err)
+	}
+	res.Youtiao = toWiring(yPlan, model)
+	res.Baseline = toWiring(wiring.Google(p.Chip), model)
+	return res, nil
+}
+
+func toWiring(p *wiring.Plan, m cost.Model) Wiring {
+	return Wiring{
+		Architecture: p.Architecture,
+		XYLines:      p.XYLines,
+		ZLines:       p.ZLines,
+		ReadoutLines: p.ReadoutLines,
+		ControlLines: p.ControlLines,
+		CoaxLines:    p.CoaxLines(),
+		DACs:         p.DACs,
+		Interfaces:   p.Interfaces,
+		CostUSD:      m.WiringCost(p),
+	}
+}
+
+// CoaxReduction returns the coax-cable reduction factor over the
+// Google-style baseline.
+func (r *DesignResult) CoaxReduction() float64 {
+	if r.Youtiao.CoaxLines == 0 {
+		return 0
+	}
+	return float64(r.Baseline.CoaxLines) / float64(r.Youtiao.CoaxLines)
+}
+
+// CostReduction returns the wiring-cost reduction factor over the
+// baseline.
+func (r *DesignResult) CostReduction() float64 {
+	if r.Youtiao.CostUSD == 0 {
+		return 0
+	}
+	return r.Baseline.CostUSD / r.Youtiao.CostUSD
+}
+
+// QubitFrequency returns the allocated operating frequency (GHz) of a
+// qubit.
+func (r *DesignResult) QubitFrequency(q int) (float64, bool) {
+	f, ok := r.pipeline.FreqPlan.Freq[q]
+	return f, ok
+}
+
+// PredictCrosstalk returns the fitted XY crosstalk prediction between
+// two qubits.
+func (r *DesignResult) PredictCrosstalk(i, j int) float64 {
+	return r.pipeline.PredXY.Predict(i, j)
+}
+
+// Report renders a human-readable design summary.
+func (r *DesignResult) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "YOUTIAO design for %s (%d qubits, %d couplers)\n",
+		r.Chip.Name, r.Chip.NumQubits(), r.Chip.NumCouplers())
+	fmt.Fprintf(&b, "crosstalk model: w_phy=%.2f w_top=%.2f (CV MSE %.3g)\n",
+		r.CrosstalkWeights.WPhy, r.CrosstalkWeights.WTop, r.CrosstalkCVError)
+	if r.Regions != nil {
+		fmt.Fprintf(&b, "partition: %d regions\n", len(r.Regions))
+	}
+	fmt.Fprintf(&b, "FDM: %d XY lines\n", len(r.FDMLines))
+	for i, l := range r.FDMLines {
+		fmt.Fprintf(&b, "  line %d:", i)
+		for j, q := range l.Qubits {
+			fmt.Fprintf(&b, " q%d@%.2fGHz", q, l.FreqGHz[j])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "TDM: %d Z lines\n", len(r.TDMGroups))
+	for i, g := range r.TDMGroups {
+		fmt.Fprintf(&b, "  group %d (%s): %s\n", i, g.Demux, strings.Join(g.Devices, " "))
+	}
+	fmt.Fprintf(&b, "wiring: coax %d -> %d (%.1fx), cost $%.0fK -> $%.0fK (%.1fx)\n",
+		r.Baseline.CoaxLines, r.Youtiao.CoaxLines, r.CoaxReduction(),
+		r.Baseline.CostUSD/1000, r.Youtiao.CostUSD/1000, r.CostReduction())
+	return b.String()
+}
+
+// ScheduleBenchmark compiles and schedules one of the paper's five
+// benchmark circuits ("VQC", "ISING", "DJ", "QFT", "QKNN") with the
+// given logical width under this design's TDM grouping, returning the
+// two-qubit gate depth and latency (ns).
+func (r *DesignResult) ScheduleBenchmark(name string, qubits int) (depth int, latencyNs float64, err error) {
+	sched, err := r.pipeline.ScheduleBenchmark(name, qubits)
+	if err != nil {
+		return 0, 0, fmt.Errorf("youtiao: %w", err)
+	}
+	return sched.TwoQubitDepth, sched.LatencyNs, nil
+}
+
+// DemuxMix returns the number of 1:2 and 1:4 DEMUX units of the design.
+func (r *DesignResult) DemuxMix() (oneToTwo, oneToFour int) {
+	counts := r.pipeline.TDM.LevelCounts()
+	return counts[tdm.Demux1to2], counts[tdm.Demux1to4]
+}
+
+// DefaultGateDurations exposes the scheduler's pulse lengths.
+func DefaultGateDurations() schedule.Durations { return schedule.DefaultDurations() }
