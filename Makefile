@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race fuzz bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The determinism contract is only meaningful if the parallel stages are
+# also race-free; -race is part of the standard verify gate.
+race:
+	$(GO) test -race ./...
+
+fuzz:
+	$(GO) test ./internal/fdm -run NONE -fuzz FuzzGroupAllocate -fuzztime 30s
+
+bench:
+	$(GO) test -run NONE -bench . -benchmem .
+
+verify: build test race

@@ -404,6 +404,22 @@ func BenchmarkDesignPipeline36Q(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineSequential / BenchmarkPipelineParallel time the full
+// 8×8 design with the worker pool off (Workers: 1) and on (Workers: 4).
+// The designs are bit-identical either way — compare ns/op to see the
+// speedup, which tracks the number of physical cores available.
+func benchPipeline64Q(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Design(NewSquareChip(8, 8), Options{Seed: 1, Workers: workers, PartitionTargetSize: 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelineSequential(b *testing.B) { benchPipeline64Q(b, 1) }
+
+func BenchmarkPipelineParallel(b *testing.B) { benchPipeline64Q(b, 4) }
+
 func BenchmarkScheduleSurfaceCycle(b *testing.B) {
 	code, err := surface.New(5)
 	if err != nil {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	youtiao [-topology square] [-qubits 36] [-seed 1] [-theta 4] [-fdm 5] [-verbose]
+//	youtiao [-topology square] [-qubits 36] [-seed 1] [-theta 4] [-fdm 5] [-workers 0] [-verbose]
 package main
 
 import (
@@ -22,6 +22,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "device fabrication / design seed")
 	theta := flag.Float64("theta", 4, "TDM parallelism threshold")
 	fdmCap := flag.Int("fdm", 5, "FDM line capacity (qubits per XY line)")
+	workers := flag.Int("workers", 0, "worker goroutines for the parallel pipeline stages (0 = all CPUs, 1 = sequential; the design is identical either way)")
 	verbose := flag.Bool("verbose", false, "print the full line-by-line plan")
 	asJSON := flag.Bool("json", false, "emit the design as JSON")
 	flag.Parse()
@@ -34,6 +35,7 @@ func main() {
 		Seed:        *seed,
 		Theta:       *theta,
 		FDMCapacity: *fdmCap,
+		Workers:     *workers,
 	})
 	if err != nil {
 		log.Fatal(err)

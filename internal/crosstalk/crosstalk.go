@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/chip"
 	"repro/internal/mlfit"
+	"repro/internal/parallel"
 	"repro/internal/xmon"
 )
 
@@ -28,6 +29,11 @@ type FitConfig struct {
 	// Folds is the cross-validation fold count (the paper uses 5).
 	Folds  int
 	Forest mlfit.ForestConfig
+	// Workers bounds the goroutines evaluating weight candidates
+	// (<= 0: runtime.NumCPU(), 1: sequential). Every candidate's CV is
+	// seeded independently, so the selected model is identical for any
+	// worker count.
+	Workers int
 }
 
 // DefaultFitConfig mirrors the paper's setup: 5-fold CV and a coarse
@@ -82,33 +88,52 @@ func Fit(c *chip.Chip, samples []xmon.Sample, cfg FitConfig) (*Model, error) {
 		topo[i] = t
 	}
 
-	best := &Model{Kind: kind, CVError: math.Inf(1)}
-	X := make([][]float64, len(samples))
-	for i := range X {
-		X[i] = make([]float64, 1)
+	// The grid search is the hot loop of characterization: every
+	// (w_phy, w_top) candidate runs an independent k-fold CV, so the
+	// candidates fan out over the worker pool. Selection scans the
+	// results in grid order with a strict '<', reproducing the
+	// sequential first-best tie-break for any worker count.
+	type candidate struct {
+		wp, wt float64
 	}
+	var cands []candidate
 	for _, wp := range cfg.WeightGrid {
 		for _, wt := range cfg.WeightGrid {
 			if wp == 0 && wt == 0 {
 				continue
 			}
-			for i := range X {
-				X[i][0] = wp*phys[i] + wt*topo[i]
-			}
-			mse, err := mlfit.KFoldMSE(X, y, cfg.Folds, cfg.Forest, cfg.Forest.Seed)
-			if err != nil {
-				return nil, fmt.Errorf("crosstalk: CV at (%.2f,%.2f): %w", wp, wt, err)
-			}
-			if mse < best.CVError {
-				best.CVError = mse
-				best.Weights = chip.EquivWeights{WPhy: wp, WTop: wt}
-			}
+			cands = append(cands, candidate{wp, wt})
+		}
+	}
+	mses := make([]float64, len(cands))
+	err := parallel.ForEachErr(cfg.Workers, len(cands), func(ci int) error {
+		cand := cands[ci]
+		X := make([][]float64, len(samples))
+		for i := range X {
+			X[i] = []float64{cand.wp*phys[i] + cand.wt*topo[i]}
+		}
+		mse, err := mlfit.KFoldMSE(X, y, cfg.Folds, cfg.Forest, cfg.Forest.Seed)
+		if err != nil {
+			return fmt.Errorf("crosstalk: CV at (%.2f,%.2f): %w", cand.wp, cand.wt, err)
+		}
+		mses[ci] = mse
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	best := &Model{Kind: kind, CVError: math.Inf(1)}
+	for ci, cand := range cands {
+		if mses[ci] < best.CVError {
+			best.CVError = mses[ci]
+			best.Weights = chip.EquivWeights{WPhy: cand.wp, WTop: cand.wt}
 		}
 	}
 
 	// Refit on the full dataset at the winning weights.
+	X := make([][]float64, len(samples))
 	for i := range X {
-		X[i][0] = best.Weights.WPhy*phys[i] + best.Weights.WTop*topo[i]
+		X[i] = []float64{best.Weights.WPhy*phys[i] + best.Weights.WTop*topo[i]}
 	}
 	forest, err := mlfit.FitForest(X, y, cfg.Forest)
 	if err != nil {

@@ -1,0 +1,47 @@
+package crosstalk
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/xmon"
+)
+
+// TestFitWorkerCountInvariant: the parallel weight-grid search must
+// select the same model — weights, CV error, and every forest
+// prediction — with 4 workers as with 1, across several seeds. Each
+// candidate's CV is independently seeded and selection scans in grid
+// order, so worker scheduling cannot leak into the result.
+func TestFitWorkerCountInvariant(t *testing.T) {
+	c := chip.Square(4, 4)
+	for _, seed := range []int64{1, 2, 3} {
+		rng := rand.New(rand.NewSource(seed))
+		dev := xmon.NewDevice(c, xmon.DefaultParams(), rng)
+		samples := dev.MeasureSeeded(xmon.XY, 0.05, seed, 1)
+
+		var models [2]*Model
+		for wi, workers := range []int{1, 4} {
+			cfg := fastFitConfig()
+			cfg.Workers = workers
+			m, err := Fit(c, samples, cfg)
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			models[wi] = m
+		}
+		seq, par := models[0], models[1]
+		if seq.Weights != par.Weights {
+			t.Errorf("seed %d: weights %+v (Workers=1) vs %+v (Workers=4)", seed, seq.Weights, par.Weights)
+		}
+		if seq.CVError != par.CVError {
+			t.Errorf("seed %d: CV error %v vs %v", seed, seq.CVError, par.CVError)
+		}
+		ps, pp := seq.On(c), par.On(c)
+		for i := 1; i < c.NumQubits(); i++ {
+			if ps.Predict(0, i) != pp.Predict(0, i) {
+				t.Fatalf("seed %d: prediction (0,%d) differs across worker counts", seed, i)
+			}
+		}
+	}
+}

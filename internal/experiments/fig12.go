@@ -45,11 +45,11 @@ func Fig12(opts Options) (*Fig12Result, error) {
 	dev66 := xmon.NewDevice(chip.Square(6, 6), xmon.DefaultParams(), rng)
 	dev88 := xmon.NewDevice(chip.Square(8, 8), xmon.DefaultParams(), rng)
 
-	model66, err := fitModel(dev66.Chip, dev66, xmon.XY, opts, rng)
+	model66, err := fitModel(dev66.Chip, dev66, xmon.XY, opts, opts.Seed, streamMeasureXY, streamSubsampleXY)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig12 6x6 fit: %w", err)
 	}
-	model88, err := fitModel(dev88.Chip, dev88, xmon.XY, opts, rng)
+	model88, err := fitModel(dev88.Chip, dev88, xmon.XY, opts, opts.Seed, streamMeasureAlt, streamSubsampleAlt)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig12 8x8 fit: %w", err)
 	}

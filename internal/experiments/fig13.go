@@ -54,7 +54,7 @@ func Fig13(opts Options) (*Fig13Result, error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	dev := xmon.NewDevice(chip.Square(6, 6), xmon.DefaultParams(), rng)
 
-	plans, err := fig13Plans(dev, opts, rng)
+	plans, err := fig13Plans(dev, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -78,9 +78,9 @@ func Fig13(opts Options) (*Fig13Result, error) {
 }
 
 // fig13Plans builds the frequency plan of each strategy.
-func fig13Plans(dev *xmon.Device, opts Options, rng *rand.Rand) (map[string]map[int]float64, error) {
+func fig13Plans(dev *xmon.Device, opts Options) (map[string]map[int]float64, error) {
 	c := dev.Chip
-	model, err := fitModel(c, dev, xmon.XY, opts, rng)
+	model, err := fitModel(c, dev, xmon.XY, opts, opts.Seed, streamMeasureXY, streamSubsampleXY)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig13 fit: %w", err)
 	}

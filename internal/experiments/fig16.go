@@ -38,7 +38,7 @@ func Fig16(opts Options, thetas []float64) ([]Fig16Row, error) {
 	for _, c := range chip.Table2Chips() {
 		rng := rand.New(rand.NewSource(opts.Seed))
 		dev := xmon.NewDevice(c, xmon.DefaultParams(), rng)
-		model, err := fitModel(c, dev, xmon.ZZ, opts, rng)
+		model, err := fitModel(c, dev, xmon.ZZ, opts, opts.Seed, streamMeasureZZ, streamSubsampleZZ)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fig16 %s fit: %w", c.Topology, err)
 		}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/chip"
 	"repro/internal/cost"
+	"repro/internal/parallel"
 	"repro/internal/scalesim"
 	"repro/internal/tdm"
 	"repro/internal/wiring"
@@ -42,31 +43,41 @@ func Fig17(opts Options) (*Fig17Result, error) {
 	opts = opts.normalized()
 	res := &Fig17Result{}
 
-	// Calibrate the square-lattice fan-out.
-	sq, err := BuildPipeline(chip.Square(10, 10), opts)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: fig17 square calibration: %w", err)
+	// The three calibration pipelines (square fan-out, heavy-hex
+	// fan-out, and the 150-qubit system) are independent designs, so
+	// they fan out over the worker pool; each one is deterministic in
+	// (chip, seed) alone.
+	calibrations := []struct {
+		name     string
+		chip     *chip.Chip
+		pipeline *Pipeline
+	}{
+		{name: "square calibration", chip: chip.Square(10, 10)},
+		{name: "heavy-hex calibration", chip: chip.HeavyHexagon(5, 5)},
+		{name: "150q pipeline", chip: chip.Square(15, 10)},
 	}
-	res.ZFanoutSquare = zFanout(sq)
-
-	hh, err := BuildPipeline(chip.HeavyHexagon(5, 5), opts)
+	err := parallel.ForEachErr(opts.Workers, len(calibrations), func(i int) error {
+		cal := &calibrations[i]
+		p, err := BuildPipeline(cal.chip, opts)
+		if err != nil {
+			return fmt.Errorf("experiments: fig17 %s: %w", cal.name, err)
+		}
+		cal.pipeline = p
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("experiments: fig17 heavy-hex calibration: %w", err)
+		return nil, err
 	}
-	res.ZFanoutHeavyHex = zFanout(hh)
+	res.ZFanoutSquare = zFanout(calibrations[0].pipeline)
+	res.ZFanoutHeavyHex = zFanout(calibrations[1].pipeline)
+	p150 := calibrations[2].pipeline
 
-	res.SmallSweep = scalesim.Sweep([]int{10, 25, 50, 100, 150, 300, 500, 1000}, res.ZFanoutSquare)
-	res.LargeSweep = scalesim.Sweep([]int{1000, 5000, 10000, 50000, 100000}, res.ZFanoutSquare)
+	res.SmallSweep = scalesim.SweepWorkers([]int{10, 25, 50, 100, 150, 300, 500, 1000}, res.ZFanoutSquare, opts.Workers)
+	res.LargeSweep = scalesim.SweepWorkers([]int{1000, 5000, 10000, 50000, 100000}, res.ZFanoutSquare, opts.Workers)
 
 	res.Chiplets, err = scalesim.IBMChipletSweep(25, res.ZFanoutHeavyHex)
 	if err != nil {
 		return nil, err
-	}
-
-	// 150-qubit system: real pipeline on a 15×10 grid.
-	p150, err := BuildPipeline(chip.Square(15, 10), opts)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: fig17 150q pipeline: %w", err)
 	}
 	gPlan := wiring.Google(p150.Chip)
 	yPlan, err := wiring.Youtiao(p150.Chip, p150.FDM, p150.TDM)

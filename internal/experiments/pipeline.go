@@ -12,13 +12,13 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
-	"sync"
 
 	"repro/internal/chip"
 	"repro/internal/circuit"
 	"repro/internal/crosstalk"
 	"repro/internal/fdm"
 	"repro/internal/mlfit"
+	"repro/internal/parallel"
 	"repro/internal/partition"
 	"repro/internal/schedule"
 	"repro/internal/tdm"
@@ -55,6 +55,13 @@ type Options struct {
 	// fast default (coarser grid and smaller forest than
 	// crosstalk.DefaultFitConfig, adequate for grouping guidance).
 	Fit crosstalk.FitConfig
+	// Workers bounds the worker pool of every parallel pipeline stage
+	// (calibration campaign, model grid search, per-region grouping).
+	// <= 0 selects runtime.NumCPU(); 1 runs fully sequentially. The
+	// designed system is bit-identical for every value — randomness is
+	// split per task from Seed, never shared across workers (see
+	// internal/parallel).
+	Workers int
 }
 
 func (o Options) normalized() Options {
@@ -84,8 +91,27 @@ func (o Options) normalized() Options {
 			},
 		}
 	}
+	if o.Fit.Workers == 0 {
+		o.Fit.Workers = o.Workers
+	}
 	return o
 }
+
+// Stable per-stage stream indices for parallel.TaskSeed: each pipeline
+// stage that needs randomness owns a fixed stream of the design seed,
+// so stages never share RNG state and can run in any order or in
+// parallel without perturbing each other's draws.
+const (
+	streamMeasureXY = iota + 1
+	streamSubsampleXY
+	streamMeasureZZ
+	streamSubsampleZZ
+	streamPartition
+	// streamMeasureAlt/streamSubsampleAlt serve experiments fitting a
+	// second same-kind model in one run (Figure 12's transfer pair).
+	streamMeasureAlt
+	streamSubsampleAlt
+)
 
 // Pipeline is the fully-designed YOUTIAO control system for one chip.
 type Pipeline struct {
@@ -108,36 +134,64 @@ type Pipeline struct {
 // BuildPipeline designs the complete YOUTIAO control system for a chip.
 func BuildPipeline(c *chip.Chip, opts Options) (*Pipeline, error) {
 	opts = opts.normalized()
+	// Fabrication keeps its own sequential stream at the raw seed so a
+	// given (chip, seed) always yields the same device.
 	rng := rand.New(rand.NewSource(opts.Seed))
 	dev := xmon.NewDevice(c, xmon.DefaultParams(), rng)
-	return buildOnDevice(dev, opts, rng)
+	return buildOnDevice(dev, opts, opts.Seed)
 }
 
 // BuildPipelineOnDevice designs the system for an already-fabricated
 // device (used by the model-transfer experiments).
 func BuildPipelineOnDevice(dev *xmon.Device, opts Options) (*Pipeline, error) {
 	opts = opts.normalized()
-	rng := rand.New(rand.NewSource(opts.Seed + 7))
-	return buildOnDevice(dev, opts, rng)
+	return buildOnDevice(dev, opts, opts.Seed+7)
 }
 
-func buildOnDevice(dev *xmon.Device, opts Options, rng *rand.Rand) (*Pipeline, error) {
+// buildOnDevice runs characterization and design. designSeed is the
+// master seed of every post-fabrication stage; each stage splits its
+// own stream off it, so the XY and ZZ campaigns are independent tasks
+// and the result is invariant in opts.Workers.
+func buildOnDevice(dev *xmon.Device, opts Options, designSeed int64) (*Pipeline, error) {
 	c := dev.Chip
 	p := &Pipeline{Opts: opts, Chip: c, Device: dev}
 
-	// 1. Calibration campaign and crosstalk characterization.
-	var err error
-	p.ModelXY, err = fitModel(c, dev, xmon.XY, opts, rng)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: XY model: %w", err)
+	// 1. Calibration campaign and crosstalk characterization. The two
+	// channels are measured and fitted concurrently; inside each fit
+	// the weight grid fans out again over the same Workers budget.
+	kinds := []struct {
+		kind                     xmon.CrosstalkKind
+		measureStream, subStream uint64
+		model                    *crosstalk.Model
+	}{
+		{kind: xmon.XY, measureStream: streamMeasureXY, subStream: streamSubsampleXY},
+		{kind: xmon.ZZ, measureStream: streamMeasureZZ, subStream: streamSubsampleZZ},
 	}
-	p.ModelZZ, err = fitModel(c, dev, xmon.ZZ, opts, rng)
+	err := parallel.ForEachErr(min2(opts.Workers), len(kinds), func(ki int) error {
+		k := &kinds[ki]
+		m, err := fitModel(c, dev, k.kind, opts, designSeed, k.measureStream, k.subStream)
+		if err != nil {
+			return fmt.Errorf("experiments: %v model: %w", k.kind, err)
+		}
+		k.model = m
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("experiments: ZZ model: %w", err)
+		return nil, err
 	}
+	p.ModelXY, p.ModelZZ = kinds[0].model, kinds[1].model
 	p.PredXY = p.ModelXY.On(c)
 	p.PredZZ = p.ModelZZ.On(c)
-	return p, p.design(rng)
+	return p, p.design(parallel.TaskSeed(designSeed, streamPartition))
+}
+
+// min2 caps the two-task characterization fan-out so a sequential
+// request (Workers == 1) stays strictly sequential.
+func min2(workers int) int {
+	if w := parallel.Workers(workers); w < 2 {
+		return w
+	}
+	return 2
 }
 
 // AttachModels installs externally-trained crosstalk models (the
@@ -146,19 +200,20 @@ func (p *Pipeline) AttachModels(xy, zz *crosstalk.Model) error {
 	p.ModelXY, p.ModelZZ = xy, zz
 	p.PredXY = xy.On(p.Chip)
 	p.PredZZ = zz.On(p.Chip)
-	rng := rand.New(rand.NewSource(p.Opts.Seed + 13))
-	return p.design(rng)
+	return p.design(parallel.TaskSeed(p.Opts.Seed+13, streamPartition))
 }
 
 // design runs partition -> FDM -> allocation -> TDM with the current
-// predictors.
-func (p *Pipeline) design(rng *rand.Rand) error {
+// predictors. seed drives the generative partition only; the grouping
+// stages are deterministic searches.
+func (p *Pipeline) design(seed int64) error {
 	c := p.Chip
 	dist := p.PredXY.EquivDistance
 
 	// 2. Generative partition (skipped for chips at or below one
 	// region).
 	if c.NumQubits() > p.Opts.PartitionTargetSize {
+		rng := rand.New(rand.NewSource(seed))
 		part, err := partition.Generate(c, dist, partition.Config{TargetSize: p.Opts.PartitionTargetSize}, rng)
 		if err != nil {
 			return fmt.Errorf("experiments: partition: %w", err)
@@ -166,27 +221,25 @@ func (p *Pipeline) design(rng *rand.Rand) error {
 		p.Partition = part
 	}
 
-	// 3. FDM grouping per region — regions are independent after the
-	// partition stabilizes, so they are grouped concurrently (the
-	// paper's stage-3 pipelining) and assembled in region order to
+	// 3. FDM grouping per region — regions are disjoint after the
+	// partition stabilizes, so they fan out over the worker pool (the
+	// paper's stage-3 pipelining) and are assembled in region order to
 	// stay deterministic. The two-level allocation then runs globally.
 	regions := p.regions()
 	p.FDM = &fdm.Grouping{Capacity: p.Opts.FDMCapacity}
 	fdmResults := make([]*fdm.Grouping, len(regions))
-	fdmErrs := make([]error, len(regions))
-	var wg sync.WaitGroup
-	for ri, region := range regions {
-		wg.Add(1)
-		go func(ri int, region []int) {
-			defer wg.Done()
-			fdmResults[ri], fdmErrs[ri] = fdm.Group(region, p.Opts.FDMCapacity, dist)
-		}(ri, region)
-	}
-	wg.Wait()
-	for ri := range regions {
-		if fdmErrs[ri] != nil {
-			return fmt.Errorf("experiments: FDM grouping region %d: %w", ri, fdmErrs[ri])
+	err := parallel.ForEachErr(p.Opts.Workers, len(regions), func(ri int) error {
+		var err error
+		fdmResults[ri], err = fdm.Group(regions[ri], p.Opts.FDMCapacity, dist)
+		if err != nil {
+			return fmt.Errorf("experiments: FDM grouping region %d: %w", ri, err)
 		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for ri := range regions {
 		p.FDM.Groups = append(p.FDM.Groups, fdmResults[ri].Groups...)
 	}
 	plan, err := fdm.Allocate(p.FDM, p.PredXY.Predict, fdm.DefaultAllocOptions())
@@ -218,8 +271,7 @@ func (p *Pipeline) design(rng *rand.Rand) error {
 	}
 	p.TDM = &tdm.Grouping{Theta: cfg.Theta}
 	couplerRegions := p.couplerRegions()
-	tdmResults := make([]*tdm.Grouping, len(regions))
-	tdmErrs := make([]error, len(regions))
+	regionDevs := make([][]int, len(regions))
 	for ri, region := range regions {
 		devs := append([]int(nil), region...)
 		for ci, cr := range couplerRegions {
@@ -227,17 +279,21 @@ func (p *Pipeline) design(rng *rand.Rand) error {
 				devs = append(devs, p.Gates.Dev.CouplerDevice(ci))
 			}
 		}
-		wg.Add(1)
-		go func(ri int, devs []int) {
-			defer wg.Done()
-			tdmResults[ri], tdmErrs[ri] = tdm.GroupDevices(p.Gates, devs, cfg)
-		}(ri, devs)
+		regionDevs[ri] = devs
 	}
-	wg.Wait()
-	for ri := range regions {
-		if tdmErrs[ri] != nil {
-			return fmt.Errorf("experiments: TDM grouping region %d: %w", ri, tdmErrs[ri])
+	tdmResults := make([]*tdm.Grouping, len(regions))
+	err = parallel.ForEachErr(p.Opts.Workers, len(regions), func(ri int) error {
+		var err error
+		tdmResults[ri], err = tdm.GroupDevices(p.Gates, regionDevs[ri], cfg)
+		if err != nil {
+			return fmt.Errorf("experiments: TDM grouping region %d: %w", ri, err)
 		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for ri := range regions {
 		p.TDM.Groups = append(p.TDM.Groups, tdmResults[ri].Groups...)
 	}
 	return nil
@@ -280,10 +336,12 @@ func (p *Pipeline) ScheduleBenchmark(name string, qubits int) (*schedule.Schedul
 }
 
 // fitModel measures one crosstalk channel and fits the characterization
-// model, subsampling large campaigns.
-func fitModel(c *chip.Chip, dev *xmon.Device, kind xmon.CrosstalkKind, opts Options, rng *rand.Rand) (*crosstalk.Model, error) {
-	samples := dev.Measure(kind, 0.05, rng)
+// model, subsampling large campaigns. The measurement campaign and the
+// subsample draw run on their own streams of the design seed.
+func fitModel(c *chip.Chip, dev *xmon.Device, kind xmon.CrosstalkKind, opts Options, designSeed int64, measureStream, subStream uint64) (*crosstalk.Model, error) {
+	samples := dev.MeasureSeeded(kind, 0.05, parallel.TaskSeed(designSeed, measureStream), opts.Workers)
 	if len(samples) > opts.MaxFitSamples {
+		rng := parallel.TaskRand(designSeed, subStream)
 		perm := rng.Perm(len(samples))[:opts.MaxFitSamples]
 		sub := make([]xmon.Sample, len(perm))
 		for i, pi := range perm {

@@ -1,0 +1,95 @@
+package fdm
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/chip"
+)
+
+// TestGroupingConcurrentUse hammers one shared Grouping from many
+// goroutines (run under -race): grouping, allocation and validation are
+// pure functions of their inputs, so concurrent readers must neither
+// race nor diverge from the sequential result.
+func TestGroupingConcurrentUse(t *testing.T) {
+	c := chip.Square(6, 6)
+	dist := func(i, j int) float64 { return c.PhysicalDistance(i, j) }
+	xt := func(i, j int) float64 { return 1.0 / (1.0 + dist(i, j)) }
+
+	g, err := GroupChip(c, 5, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPlan, err := Allocate(g, xt, DefaultAllocOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLines := make([]int, c.NumQubits())
+	for q := range wantLines {
+		wantLines[q] = g.LineOf(q)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := g.Validate(c.NumQubits()); err != nil {
+				t.Errorf("concurrent Validate: %v", err)
+			}
+			for q := 0; q < c.NumQubits(); q++ {
+				if got := g.LineOf(q); got != wantLines[q] {
+					t.Errorf("concurrent LineOf(%d) = %d, want %d", q, got, wantLines[q])
+					return
+				}
+			}
+			plan, err := Allocate(g, xt, DefaultAllocOptions())
+			if err != nil {
+				t.Errorf("concurrent Allocate: %v", err)
+				return
+			}
+			if !reflect.DeepEqual(plan.Freq, wantPlan.Freq) || !reflect.DeepEqual(plan.Cell, wantPlan.Cell) {
+				t.Error("concurrent Allocate diverged from the sequential plan")
+			}
+			if err := plan.Validate(g); err != nil {
+				t.Errorf("concurrent plan validation: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestGroupConcurrentCalls runs independent Group calls over the same
+// members slice concurrently; the greedy search must not share scratch
+// state between calls.
+func TestGroupConcurrentCalls(t *testing.T) {
+	members := make([]int, 30)
+	for i := range members {
+		members[i] = i
+	}
+	dist := func(i, j int) float64 {
+		d := float64(i - j)
+		return d * d
+	}
+	want, err := Group(members, 4, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g, err := Group(members, 4, dist)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !reflect.DeepEqual(g.Groups, want.Groups) {
+				t.Error("concurrent Group diverged")
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,121 @@
+// Package parallel is the shared worker-pool execution layer of the
+// YOUTIAO pipeline. Every embarrassingly-parallel inner loop — the
+// crosstalk calibration campaign, Monte Carlo fidelity trajectories,
+// per-region FDM/TDM grouping, the scaling sweeps — fans out through
+// ForEach/ForEachErr so one Workers knob controls them all.
+//
+// Determinism is the package contract: callers write results only into
+// the slot of their own task index and derive any randomness from
+// TaskSeed, which splits a master seed into independent per-task
+// streams with SplitMix64. Outputs are then bit-identical for any
+// worker count or GOMAXPROCS — Workers only changes how fast the
+// answer arrives, never what it is.
+package parallel
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count option: any value <= 0 selects
+// runtime.NumCPU(); positive values are returned unchanged. A resolved
+// count of 1 means strictly sequential execution on the caller's
+// goroutine.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// ForEach runs fn(i) once for every i in [0, n), on at most
+// Workers(workers) goroutines. Tasks are handed out by an atomic
+// counter, so the assignment of tasks to goroutines is scheduling-
+// dependent — fn must keep the determinism contract: write only to
+// state owned by index i (e.g. out[i]) and take any randomness from a
+// per-index TaskSeed stream. With a resolved worker count of 1 (or
+// n <= 1) fn runs inline on the calling goroutine with no
+// synchronization at all, reproducing pre-pool sequential behaviour.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEachErr is ForEach for fallible tasks. Every task always runs
+// (there is no early cancellation — tasks are cheap relative to the
+// bookkeeping that cancellation would need), and the error of the
+// lowest-indexed failing task is returned, so the reported error is
+// the same one sequential execution would have surfaced first.
+func ForEachErr(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	ForEach(workers, n, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// golden is the 64-bit golden-ratio increment of the SplitMix64
+// generator.
+const golden = 0x9E3779B97F4A7C15
+
+// SplitMix64 is one step of Steele et al.'s SplitMix64 generator:
+// advance the state by the golden-ratio increment and apply the
+// avalanching finalizer. It is the mixing primitive behind TaskSeed.
+func SplitMix64(x uint64) uint64 {
+	x += golden
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// TaskSeed splits a master seed into the seed of task index `task`.
+// Distinct (master, task) pairs land on well-separated SplitMix64
+// outputs, so sibling tasks get statistically independent RNG streams
+// while the whole family stays a pure function of the master seed —
+// the scheme that makes parallel results worker-count-invariant.
+func TaskSeed(master int64, task uint64) int64 {
+	z := SplitMix64(uint64(master))
+	return int64(SplitMix64(z + (task+1)*golden))
+}
+
+// TaskRand returns a private *rand.Rand for task index `task` of the
+// master seed's family. The generator is owned by the caller and must
+// not be shared across tasks.
+func TaskRand(master int64, task uint64) *rand.Rand {
+	return rand.New(rand.NewSource(TaskSeed(master, task)))
+}

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"repro/internal/circuit"
+	"repro/internal/parallel"
 	"repro/internal/schedule"
 )
 
@@ -14,8 +15,13 @@ import (
 type TrajectoryConfig struct {
 	// Trajectories is the number of quantum trajectories to average.
 	Trajectories int
-	// Seed makes the run deterministic.
+	// Seed makes the run deterministic: trajectory tr draws from its
+	// own RNG stream split off Seed by parallel.TaskSeed, so the result
+	// does not depend on Workers or GOMAXPROCS.
 	Seed int64
+	// Workers bounds the goroutines running trajectories (<= 0:
+	// runtime.NumCPU(), 1: sequential).
+	Workers int
 }
 
 // DefaultTrajectoryConfig averages 200 trajectories.
@@ -60,23 +66,36 @@ func (nm *NoiseModel) MonteCarloFidelity(sched *schedule.Schedule, nQubits int, 
 		}
 	}
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Each trajectory owns a state vector and an RNG stream derived
+	// from (Seed, trajectory index), so trajectories are independent
+	// tasks: the model is only read, and the per-index fidelity slots
+	// are summed in index order afterwards for bit-identical results at
+	// any worker count.
 	t1Ns := nm.T1Us * 1000
-	var sum float64
-	for tr := 0; tr < cfg.Trajectories; tr++ {
+	fids := make([]float64, cfg.Trajectories)
+	err = parallel.ForEachErr(cfg.Workers, cfg.Trajectories, func(tr int) error {
+		rng := parallel.TaskRand(cfg.Seed, uint64(tr))
 		noisy, err := NewState(nQubits)
 		if err != nil {
-			return 0, err
+			return err
 		}
 		for _, slot := range sched.Slots {
 			if err := nm.applyNoisySlot(noisy, slot, t1Ns, rng); err != nil {
-				return 0, err
+				return err
 			}
 		}
 		f, err := ideal.Overlap(noisy)
 		if err != nil {
-			return 0, err
+			return err
 		}
+		fids[tr] = f
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, f := range fids {
 		sum += f
 	}
 	return sum / float64(cfg.Trajectories), nil

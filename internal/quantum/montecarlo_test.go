@@ -2,6 +2,7 @@ package quantum
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"repro/internal/chip"
@@ -126,6 +127,70 @@ func TestMonteCarloValidation(t *testing.T) {
 	if _, err := nm.MonteCarloFidelity(&schedule.Schedule{}, 2, TrajectoryConfig{Trajectories: 1}); err == nil {
 		t.Error("T1 = 0 accepted")
 	}
+}
+
+// TestMonteCarloWorkerCountInvariant is the determinism regression
+// test of the parallel execution layer: the trajectory average with 4
+// workers must be bit-identical to the sequential run for every seed,
+// because each trajectory draws from its own split RNG stream.
+func TestMonteCarloWorkerCountInvariant(t *testing.T) {
+	sched := mcSchedule(t, func(c *circuit.Circuit) {
+		_ = c.Append(circuit.RX, 1, 0)
+		_ = c.Append(circuit.CZ, 0, 0, 1)
+		_ = c.Append(circuit.RX, 1, 2)
+	})
+	nm := NewNoiseModel(func(i, j int) float64 { return 0.05 }, map[int]float64{0: 5, 2: 5.2})
+	nm.Rates = ErrorRates{OneQubit: 0.01, TwoQubit: 0.03}
+	nm.T1Us = 30
+	for _, seed := range []int64{1, 2, 3} {
+		var got [2]float64
+		for wi, workers := range []int{1, 4} {
+			f, err := nm.MonteCarloFidelity(sched, 4, TrajectoryConfig{
+				Trajectories: 200, Seed: seed, Workers: workers,
+			})
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			got[wi] = f
+		}
+		if got[0] != got[1] {
+			t.Errorf("seed %d: Workers=1 gave %v, Workers=4 gave %v", seed, got[0], got[1])
+		}
+	}
+}
+
+// TestMonteCarloSharedNoiseModel runs several MonteCarloFidelity calls
+// concurrently on one NoiseModel (run under -race): the model must be
+// a read-only input, with no RNG or scratch state smuggled through it.
+func TestMonteCarloSharedNoiseModel(t *testing.T) {
+	sched := mcSchedule(t, func(c *circuit.Circuit) {
+		_ = c.Append(circuit.RX, 1, 0)
+		_ = c.Append(circuit.RX, 1, 3)
+	})
+	nm := NewNoiseModel(func(i, j int) float64 { return 0.1 }, map[int]float64{0: 5, 3: 5})
+	nm.Rates = ErrorRates{OneQubit: 0.02}
+	nm.T1Us = 50
+	cfg := TrajectoryConfig{Trajectories: 100, Seed: 4, Workers: 4}
+	want, err := nm.MonteCarloFidelity(sched, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f, err := nm.MonteCarloFidelity(sched, 4, cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if f != want {
+				t.Errorf("concurrent call returned %v, want %v", f, want)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestMonteCarloDeterministicInSeed(t *testing.T) {

@@ -1,0 +1,24 @@
+package scalesim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSweepWorkerCountInvariant: the parallel sweep writes each size
+// into its own slot, so any worker count returns the identical slice.
+func TestSweepWorkerCountInvariant(t *testing.T) {
+	counts := []int{10, 100, 1000, 10000, 100000, 54, 321, 9999}
+	for _, zFanout := range []float64{1, 2.5, 3.3} {
+		want := SweepWorkers(counts, zFanout, 1)
+		for _, workers := range []int{2, 4, 16} {
+			got := SweepWorkers(counts, zFanout, workers)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("zFanout %.1f workers %d: sweep differs", zFanout, workers)
+			}
+		}
+		if got := Sweep(counts, zFanout); !reflect.DeepEqual(got, want) {
+			t.Fatalf("Sweep and SweepWorkers(…, 1) disagree at fan-out %.1f", zFanout)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"repro/internal/cost"
+	"repro/internal/parallel"
 )
 
 // Capacities shared with package wiring (duplicated as plain numbers so
@@ -71,10 +72,20 @@ func (p Point) Reduction() float64 {
 
 // Sweep evaluates both architectures at each qubit count.
 func Sweep(qubitCounts []int, zFanout float64) []Point {
+	return SweepWorkers(qubitCounts, zFanout, 1)
+}
+
+// SweepWorkers is Sweep fanned out over the worker pool: each system
+// size is an independent task writing its own point, so the sweep is
+// bit-identical to the sequential one for any worker count (<= 0:
+// runtime.NumCPU(), 1: sequential). Use it for the long calibrated
+// sweeps of the 100k-qubit estimation.
+func SweepWorkers(qubitCounts []int, zFanout float64, workers int) []Point {
 	pts := make([]Point, len(qubitCounts))
-	for i, n := range qubitCounts {
+	parallel.ForEach(workers, len(qubitCounts), func(i int) {
+		n := qubitCounts[i]
 		pts[i] = Point{Qubits: n, GoogleCoax: GoogleCoax(n), YoutiaoCoax: YoutiaoCoax(n, zFanout)}
-	}
+	})
 	return pts
 }
 

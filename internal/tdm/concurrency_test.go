@@ -1,0 +1,84 @@
+package tdm
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/chip"
+)
+
+// TestGroupDevicesConcurrentUse runs GroupDevices from several
+// goroutines over one shared GateInfo (run under -race): analysis
+// results are read-only inputs to grouping, so concurrent calls must
+// agree with the sequential reference.
+func TestGroupDevicesConcurrentUse(t *testing.T) {
+	c := chip.Square(6, 6)
+	gi := AnalyzeGates(c)
+	xt := func(i, j int) float64 {
+		d := float64(i - j)
+		if d < 0 {
+			d = -d
+		}
+		return 1.0 / (1.0 + d)
+	}
+	want, err := GroupChip(gi, DefaultConfig(xt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g, err := GroupChip(gi, DefaultConfig(xt))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !reflect.DeepEqual(g.Groups, want.Groups) {
+				t.Error("concurrent GroupChip diverged from the sequential grouping")
+			}
+			if err := g.Validate(gi); err != nil {
+				t.Errorf("concurrent grouping failed validation: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestGroupOfConcurrent exercises the lazily-built reverse index of a
+// shared Grouping from many goroutines at once (run under -race): the
+// sync.Once assembly must give every caller the same complete map.
+func TestGroupOfConcurrent(t *testing.T) {
+	c := chip.Square(5, 5)
+	gi := AnalyzeGates(c)
+	g, err := GroupChip(gi, DefaultConfig(func(i, j int) float64 { return 0.1 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected mapping straight from the group lists.
+	want := make(map[int]int)
+	for idx, grp := range g.Groups {
+		for _, dev := range grp.Devices {
+			want[dev] = idx
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for dev, idx := range want {
+				if got := g.GroupOf(dev); got != idx {
+					t.Errorf("concurrent GroupOf(%d) = %d, want %d", dev, got, idx)
+					return
+				}
+			}
+			if g.GroupOf(-1) != -1 {
+				t.Error("GroupOf(-1) should be -1")
+			}
+		}()
+	}
+	wg.Wait()
+}

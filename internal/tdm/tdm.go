@@ -13,6 +13,7 @@ package tdm
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/chip"
 )
@@ -182,12 +183,15 @@ type Group struct {
 }
 
 // Grouping is a complete TDM plan for a chip (or a partition region).
+// Once assembled (Groups no longer appended to), a Grouping is safe for
+// concurrent readers: the GroupOf cache is built under a sync.Once.
 type Grouping struct {
 	Groups []Group
 	// Theta is the parallelism threshold used.
 	Theta float64
-	// groupOf caches device -> group index.
-	groupOf map[int]int
+	// groupOf caches device -> group index, built once on first use.
+	groupOfOnce sync.Once
+	groupOf     map[int]int
 }
 
 // NumZLines returns the number of physical Z lines (= groups).
@@ -203,16 +207,18 @@ func (g *Grouping) ControlLines() int {
 	return n
 }
 
-// GroupOf returns the group index holding device dev, or -1.
+// GroupOf returns the group index holding device dev, or -1. It may be
+// called from any number of goroutines; the lazy index is built exactly
+// once. Do not mutate Groups after the first call.
 func (g *Grouping) GroupOf(dev int) int {
-	if g.groupOf == nil {
+	g.groupOfOnce.Do(func() {
 		g.groupOf = make(map[int]int)
 		for gi, grp := range g.Groups {
 			for _, d := range grp.Devices {
 				g.groupOf[d] = gi
 			}
 		}
-	}
+	})
 	if gi, ok := g.groupOf[dev]; ok {
 		return gi
 	}

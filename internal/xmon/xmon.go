@@ -20,6 +20,7 @@ import (
 	"math/rand"
 
 	"repro/internal/chip"
+	"repro/internal/parallel"
 )
 
 // CrosstalkKind distinguishes the two measured crosstalk channels.
@@ -221,6 +222,36 @@ func (d *Device) Measure(kind CrosstalkKind, noiseRel float64, rng *rand.Rand) [
 			samples = append(samples, Sample{I: i, J: j, Kind: kind, Value: v})
 		}
 	}
+	return samples
+}
+
+// MeasureSeeded is the parallel calibration campaign: the same samples
+// as Measure in the same (i<j) pair order, but each pair draws its
+// measurement noise from a private RNG stream split off the seed by
+// its pair index, so the campaign can fan out over any number of
+// workers and still return bit-identical samples (see
+// internal/parallel). workers <= 0 selects runtime.NumCPU(), 1 runs
+// sequentially.
+func (d *Device) MeasureSeeded(kind CrosstalkKind, noiseRel float64, seed int64, workers int) []Sample {
+	n := d.Chip.NumQubits()
+	samples := make([]Sample, n*(n-1)/2)
+	p := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			samples[p] = Sample{I: i, J: j, Kind: kind}
+			p++
+		}
+	}
+	parallel.ForEach(workers, len(samples), func(p int) {
+		s := &samples[p]
+		rng := parallel.TaskRand(seed, uint64(p))
+		v := d.Crosstalk(kind, s.I, s.J)
+		v *= 1 + rng.NormFloat64()*noiseRel
+		if v < 0 {
+			v = 0
+		}
+		s.Value = v
+	})
 	return samples
 }
 
