@@ -1,9 +1,12 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench verify
+.PHONY: build vet test race race-faults fuzz bench faults verify
 
 build:
 	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
 
 test:
 	$(GO) test ./...
@@ -13,10 +16,21 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Focused race pass over the fault-injection, cancellation and context
+# plumbing — the code most likely to regress under concurrency.
+race-faults:
+	$(GO) test -race -count=1 -run 'Fault|Defect|Ctx|Cancel|Deadline' ./internal/parallel ./internal/faults ./internal/crosstalk ./internal/experiments
+
 fuzz:
 	$(GO) test ./internal/fdm -run NONE -fuzz FuzzGroupAllocate -fuzztime 30s
+	$(GO) test ./internal/faults -run NONE -fuzz FuzzPlanExclusion -fuzztime 30s
 
 bench:
 	$(GO) test -run NONE -bench . -benchmem .
 
-verify: build test race
+# Smoke-test graceful degradation: design a small chip across a defect
+# ladder and print the wiring/fidelity table.
+faults:
+	$(GO) run ./cmd/youtiao -qubits 25 -sweep-defects 0,0.01,0.02,0.05 -retry-budget 3
+
+verify: build vet test race

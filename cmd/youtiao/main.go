@@ -4,14 +4,21 @@
 // Usage:
 //
 //	youtiao [-topology square] [-qubits 36] [-seed 1] [-theta 4] [-fdm 5] [-workers 0] [-verbose]
+//	youtiao -defect-rate 0.02 -retry-budget 3 -timeout 30s
+//	youtiao -sweep-defects 0,0.01,0.02,0.05
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"strconv"
+	"strings"
+	"time"
 
 	"repro"
+	"repro/internal/experiments"
 )
 
 func main() {
@@ -25,18 +32,46 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines for the parallel pipeline stages (0 = all CPUs, 1 = sequential; the design is identical either way)")
 	verbose := flag.Bool("verbose", false, "print the full line-by-line plan")
 	asJSON := flag.Bool("json", false, "emit the design as JSON")
+	defectRate := flag.Float64("defect-rate", 0, "uniform fault-injection rate over every defect class (0 disables; try 0.02)")
+	retryBudget := flag.Int("retry-budget", 0, "calibration re-measurement attempts after a dropout (0 = default 3, negative = none)")
+	timeout := flag.Duration("timeout", 0, "abort the design after this long (0 = no limit)")
+	sweep := flag.String("sweep-defects", "", "comma-separated defect rates: run the degradation sweep instead of a single design")
 	flag.Parse()
 
 	ch, err := youtiao.NewChip(*topology, *qubits)
 	if err != nil {
 		log.Fatal(err)
 	}
-	design, err := youtiao.Design(ch, youtiao.Options{
+	opts := youtiao.Options{
 		Seed:        *seed,
 		Theta:       *theta,
 		FDMCapacity: *fdmCap,
 		Workers:     *workers,
+		Faults:      youtiao.UniformFaults(*defectRate),
+		RetryBudget: *retryBudget,
+	}
+	// Distinguish an explicit `-theta 0` from the default.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "theta" {
+			opts.HasTheta = true
+		}
 	})
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if *sweep != "" {
+		if err := runSweep(ctx, ch, *sweep, opts); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	design, err := youtiao.DesignCtx(ctx, ch, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,6 +89,10 @@ func main() {
 		return
 	}
 	fmt.Printf("chip: %s (%d qubits, %d couplers)\n", ch.Name, ch.NumQubits(), ch.NumCouplers())
+	if f := design.Faults; f != nil {
+		fmt.Printf("faults: %d dead qubits, %d broken couplers, %d stuck-lossy (calibration: %d retried, %d lost)\n",
+			len(f.DeadQubits), len(f.BrokenCouplers), f.StuckLossy, f.CalibRetried, f.CalibLostPairs)
+	}
 	fmt.Printf("crosstalk model: w_phy=%.2f w_top=%.2f\n",
 		design.CrosstalkWeights.WPhy, design.CrosstalkWeights.WTop)
 	fmt.Printf("XY lines: %d -> %d   Z lines: %d -> %d\n",
@@ -66,4 +105,30 @@ func main() {
 		design.Baseline.CoaxLines, design.Youtiao.CoaxLines, design.CoaxReduction())
 	fmt.Printf("wiring cost: $%.0fK -> $%.0fK (%.1fx)\n",
 		design.Baseline.CostUSD/1000, design.Youtiao.CostUSD/1000, design.CostReduction())
+}
+
+// runSweep parses the rate list and prints the degradation table.
+func runSweep(ctx context.Context, ch *youtiao.Chip, list string, opts youtiao.Options) error {
+	var rates []float64
+	for _, part := range strings.Split(list, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return fmt.Errorf("bad -sweep-defects entry %q: %w", part, err)
+		}
+		rates = append(rates, r)
+	}
+	start := time.Now()
+	points, err := experiments.DefectSweep(ctx, ch, rates, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("defect sweep on %s (%d qubits), %d rates, %s\n",
+		ch.Name, ch.NumQubits(), len(points), time.Since(start).Round(time.Millisecond))
+	fmt.Println("rate    alive  dead  brokenC  stuck  lost  XY  Z   coax  cost($K)  fidelity")
+	for _, pt := range points {
+		fmt.Printf("%-7.3f %-6d %-5d %-8d %-6d %-5d %-3d %-3d %-5d %-9.1f %.6f\n",
+			pt.Rate, pt.AliveQubits, pt.DeadQubits, pt.BrokenCouplers, pt.StuckLossy,
+			pt.Calib.LostPairs, pt.XYLines, pt.ZLines, pt.CoaxLines, pt.WiringCost/1000, pt.GateFidelity)
+	}
+	return nil
 }

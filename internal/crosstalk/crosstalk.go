@@ -11,8 +11,10 @@
 package crosstalk
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/chip"
 	"repro/internal/mlfit"
@@ -34,6 +36,13 @@ type FitConfig struct {
 	// seeded independently, so the selected model is identical for any
 	// worker count.
 	Workers int
+	// TrimOutlierFraction drops the largest-valued fraction of the
+	// samples before fitting (0: keep all; must be < 1). Calibration
+	// campaigns on faulty hardware produce heavy-tailed outlier
+	// readings that would otherwise dominate the regression; trimming
+	// is deterministic — samples sort by (value, index) — so the fitted
+	// model stays reproducible.
+	TrimOutlierFraction float64
 }
 
 // DefaultFitConfig mirrors the paper's setup: 5-fold CV and a coarse
@@ -58,11 +67,21 @@ type Model struct {
 // on the given chip. It returns the model with the best (w_phy, w_top)
 // under k-fold CV, matching the paper's procedure.
 func Fit(c *chip.Chip, samples []xmon.Sample, cfg FitConfig) (*Model, error) {
+	return FitCtx(context.Background(), c, samples, cfg)
+}
+
+// FitCtx is Fit with cooperative cancellation: the grid search checks
+// ctx between weight candidates and returns ctx.Err() once it fires.
+func FitCtx(ctx context.Context, c *chip.Chip, samples []xmon.Sample, cfg FitConfig) (*Model, error) {
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("crosstalk: no samples")
 	}
 	if cfg.Folds < 2 {
 		return nil, fmt.Errorf("crosstalk: need at least 2 folds, got %d", cfg.Folds)
+	}
+	samples, err := trimOutliers(samples, cfg.TrimOutlierFraction)
+	if err != nil {
+		return nil, err
 	}
 	kind := samples[0].Kind
 	for _, s := range samples {
@@ -106,7 +125,7 @@ func Fit(c *chip.Chip, samples []xmon.Sample, cfg FitConfig) (*Model, error) {
 		}
 	}
 	mses := make([]float64, len(cands))
-	err := parallel.ForEachErr(cfg.Workers, len(cands), func(ci int) error {
+	err = parallel.ForEachCtx(ctx, cfg.Workers, len(cands), func(ci int) error {
 		cand := cands[ci]
 		X := make([][]float64, len(samples))
 		for i := range X {
@@ -141,6 +160,48 @@ func Fit(c *chip.Chip, samples []xmon.Sample, cfg FitConfig) (*Model, error) {
 	}
 	best.forest = forest
 	return best, nil
+}
+
+// trimOutliers drops the ceil(fraction*n) largest-valued samples,
+// preserving the original order of the survivors. Ordering is by
+// (value, original index), so the trimmed set is a deterministic
+// function of the input regardless of worker count or map iteration.
+func trimOutliers(samples []xmon.Sample, fraction float64) ([]xmon.Sample, error) {
+	if fraction == 0 {
+		return samples, nil
+	}
+	if fraction < 0 || fraction >= 1 {
+		return nil, fmt.Errorf("crosstalk: TrimOutlierFraction %v outside [0,1)", fraction)
+	}
+	drop := int(math.Ceil(fraction * float64(len(samples))))
+	if drop >= len(samples) {
+		drop = len(samples) - 1
+	}
+	if drop <= 0 {
+		return samples, nil
+	}
+	order := make([]int, len(samples))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if samples[ia].Value != samples[ib].Value {
+			return samples[ia].Value > samples[ib].Value
+		}
+		return ia < ib
+	})
+	cut := make(map[int]bool, drop)
+	for _, i := range order[:drop] {
+		cut[i] = true
+	}
+	kept := make([]xmon.Sample, 0, len(samples)-drop)
+	for i, s := range samples {
+		if !cut[i] {
+			kept = append(kept, s)
+		}
+	}
+	return kept, nil
 }
 
 // PredictDistance returns the model's crosstalk prediction at a raw

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/chip"
+	"repro/internal/cost"
+	"repro/internal/faults"
+	"repro/internal/wiring"
+)
+
+// DefectPoint is one row of the defect sweep: the designed system for a
+// chip degraded at a uniform defect rate, with the wiring and fidelity
+// the degraded design still achieves.
+type DefectPoint struct {
+	// Rate is the uniform defect rate applied to every fault class.
+	Rate float64
+	// AliveQubits, DeadQubits, BrokenCouplers and StuckLossy summarize
+	// the drawn fault plan.
+	AliveQubits    int
+	DeadQubits     int
+	BrokenCouplers int
+	StuckLossy     int
+	// Calib is the calibration campaign accounting (dropouts, retries,
+	// lost pairs, outliers) at this rate.
+	Calib faults.CampaignStats
+	// XYLines, ZLines and CoaxLines are the degraded design's wiring.
+	XYLines   int
+	ZLines    int
+	CoaxLines int
+	// WiringCost is the plan's cost under cost.DefaultModel.
+	WiringCost float64
+	// GateFidelity is the per-gate fidelity of Fig12Layers rounds of
+	// simultaneous 1q drives over the alive qubits.
+	GateFidelity float64
+}
+
+// DefectSweep designs the chip at each uniform defect rate and reports
+// how gracefully the pipeline degrades: every returned point passed
+// Pipeline.Validate, so a sweep that completes certifies the
+// degradation contract across the rate range. Rates must be
+// non-decreasing in damage tolerance — a rate that kills the whole
+// chip aborts the sweep with the failing rate in the error.
+func DefectSweep(ctx context.Context, c *chip.Chip, rates []float64, opts Options) ([]DefectPoint, error) {
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("experiments: defect sweep needs at least one rate")
+	}
+	model := cost.DefaultModel()
+	points := make([]DefectPoint, 0, len(rates))
+	for _, rate := range rates {
+		o := opts
+		o.Faults = faults.UniformSpec(rate)
+		p, err := BuildPipelineCtx(ctx, c, o)
+		if err != nil {
+			return points, fmt.Errorf("experiments: defect sweep at rate %.3f: %w", rate, err)
+		}
+		if err := p.Validate(); err != nil {
+			return points, fmt.Errorf("experiments: defect sweep at rate %.3f: %w", rate, err)
+		}
+		plan, err := wiring.Youtiao(c, p.FDM, p.TDM)
+		if err != nil {
+			return points, fmt.Errorf("experiments: defect sweep at rate %.3f: wiring: %w", rate, err)
+		}
+		alive := p.aliveQubits()
+		total := planLayerFidelity(p.Device, p.FreqPlan.Freq, alive, Fig12Layers)
+		pt := DefectPoint{
+			Rate:         rate,
+			AliveQubits:  len(alive),
+			XYLines:      plan.XYLines,
+			ZLines:       plan.ZLines,
+			CoaxLines:    plan.CoaxLines(),
+			WiringCost:   model.WiringCost(plan),
+			GateFidelity: perGate(total, Fig12Layers*len(alive)),
+			Calib:        p.Calib,
+		}
+		if p.Faults != nil {
+			pt.DeadQubits = len(p.Faults.DeadQubits())
+			pt.BrokenCouplers = len(p.Faults.BrokenCouplers())
+			pt.StuckLossy = p.Faults.StuckLossyCount()
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}

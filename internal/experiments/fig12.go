@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -45,11 +46,11 @@ func Fig12(opts Options) (*Fig12Result, error) {
 	dev66 := xmon.NewDevice(chip.Square(6, 6), xmon.DefaultParams(), rng)
 	dev88 := xmon.NewDevice(chip.Square(8, 8), xmon.DefaultParams(), rng)
 
-	model66, err := fitModel(dev66.Chip, dev66, xmon.XY, opts, opts.Seed, streamMeasureXY, streamSubsampleXY)
+	model66, _, err := fitModel(context.Background(), dev66.Chip, dev66, xmon.XY, opts, opts.Seed, streamMeasureXY, streamSubsampleXY, nil)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig12 6x6 fit: %w", err)
 	}
-	model88, err := fitModel(dev88.Chip, dev88, xmon.XY, opts, opts.Seed, streamMeasureAlt, streamSubsampleAlt)
+	model88, _, err := fitModel(context.Background(), dev88.Chip, dev88, xmon.XY, opts, opts.Seed, streamMeasureAlt, streamSubsampleAlt, nil)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig12 8x8 fit: %w", err)
 	}

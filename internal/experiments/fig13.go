@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -80,7 +81,7 @@ func Fig13(opts Options) (*Fig13Result, error) {
 // fig13Plans builds the frequency plan of each strategy.
 func fig13Plans(dev *xmon.Device, opts Options) (map[string]map[int]float64, error) {
 	c := dev.Chip
-	model, err := fitModel(c, dev, xmon.XY, opts, opts.Seed, streamMeasureXY, streamSubsampleXY)
+	model, _, err := fitModel(context.Background(), c, dev, xmon.XY, opts, opts.Seed, streamMeasureXY, streamSubsampleXY, nil)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig13 fit: %w", err)
 	}

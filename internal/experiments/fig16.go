@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -38,7 +39,7 @@ func Fig16(opts Options, thetas []float64) ([]Fig16Row, error) {
 	for _, c := range chip.Table2Chips() {
 		rng := rand.New(rand.NewSource(opts.Seed))
 		dev := xmon.NewDevice(c, xmon.DefaultParams(), rng)
-		model, err := fitModel(c, dev, xmon.ZZ, opts, opts.Seed, streamMeasureZZ, streamSubsampleZZ)
+		model, _, err := fitModel(context.Background(), c, dev, xmon.ZZ, opts, opts.Seed, streamMeasureZZ, streamSubsampleZZ, nil)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fig16 %s fit: %w", c.Topology, err)
 		}

@@ -10,12 +10,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/chip"
 	"repro/internal/circuit"
 	"repro/internal/crosstalk"
+	"repro/internal/faults"
 	"repro/internal/fdm"
 	"repro/internal/mlfit"
 	"repro/internal/parallel"
@@ -32,14 +34,25 @@ type Options struct {
 	Seed int64
 	// FDMCapacity is the qubits-per-XY-line limit (paper: 5).
 	FDMCapacity int
-	// Theta is the TDM parallelism threshold (paper example: 4).
+	// Theta is the TDM parallelism threshold (paper example: 4). An
+	// explicit zero is honored only when HasTheta is set; otherwise the
+	// default (4) applies.
 	Theta float64
+	// HasTheta marks Theta as explicitly set, so Theta = 0 (every
+	// device above threshold, 1:2 DEMUXes only) is expressible. CLI
+	// front-ends set it from flag presence.
+	HasTheta bool
 	// PartitionTargetSize is the qubits-per-region target; regions
 	// below 2 disable partitioning (small chips are grouped whole).
 	PartitionTargetSize int
 	// MaxFitSamples subsamples the calibration campaign before model
-	// fitting so large chips stay tractable. Defaults to 1500.
+	// fitting so large chips stay tractable. Defaults to 1500; an
+	// explicit zero (no cap) is honored only when HasMaxFitSamples is
+	// set.
 	MaxFitSamples int
+	// HasMaxFitSamples marks MaxFitSamples as explicitly set, so a zero
+	// value means "fit on the full campaign" instead of the default.
+	HasMaxFitSamples bool
 	// SparseQubitZ enables the surface-code operation mode for TDM
 	// grouping (see tdm.Config.SparseQubitZ).
 	SparseQubitZ bool
@@ -62,6 +75,16 @@ type Options struct {
 	// split per task from Seed, never shared across workers (see
 	// internal/parallel).
 	Workers int
+	// Faults injects a deterministic device-defect and calibration
+	// fault plan into the build (see internal/faults). The zero value
+	// disables injection and reproduces the fault-free pipeline
+	// bit-for-bit.
+	Faults faults.Spec
+	// RetryBudget is the number of re-measurement attempts per qubit
+	// pair after a calibration dropout (each attempt re-seeds its RNG
+	// stream deterministically; there is no wall-clock backoff).
+	// 0 selects the default (3); negative disables retries.
+	RetryBudget int
 }
 
 func (o Options) normalized() Options {
@@ -71,14 +94,19 @@ func (o Options) normalized() Options {
 	if o.FDMCapacity <= 0 {
 		o.FDMCapacity = 5
 	}
-	if o.Theta == 0 {
+	if o.Theta == 0 && !o.HasTheta {
 		o.Theta = 4
 	}
 	if o.PartitionTargetSize == 0 {
 		o.PartitionTargetSize = 36
 	}
-	if o.MaxFitSamples == 0 {
+	if o.MaxFitSamples == 0 && !o.HasMaxFitSamples {
 		o.MaxFitSamples = 1500
+	}
+	if o.RetryBudget == 0 {
+		o.RetryBudget = 3
+	} else if o.RetryBudget < 0 {
+		o.RetryBudget = 0
 	}
 	if len(o.Fit.WeightGrid) == 0 {
 		o.Fit = crosstalk.FitConfig{
@@ -93,6 +121,16 @@ func (o Options) normalized() Options {
 	}
 	if o.Fit.Workers == 0 {
 		o.Fit.Workers = o.Workers
+	}
+	// A campaign that injects heavy-tailed outliers defends the fit by
+	// default: trim a band twice the injection rate (capped), unless
+	// the caller chose a fraction explicitly.
+	if o.Faults.OutlierRate > 0 && o.Fit.TrimOutlierFraction == 0 {
+		f := 2 * o.Faults.OutlierRate
+		if f > 0.2 {
+			f = 0.2
+		}
+		o.Fit.TrimOutlierFraction = f
 	}
 	return o
 }
@@ -111,6 +149,9 @@ const (
 	// second same-kind model in one run (Figure 12's transfer pair).
 	streamMeasureAlt
 	streamSubsampleAlt
+	// streamFaults draws the fault plan. Appended last so fault-free
+	// builds replay the exact historical streams.
+	streamFaults
 )
 
 // Pipeline is the fully-designed YOUTIAO control system for one chip.
@@ -129,32 +170,60 @@ type Pipeline struct {
 	FreqPlan  *fdm.FrequencyPlan
 	Gates     *tdm.GateInfo
 	TDM       *tdm.Grouping
+
+	// Faults is the injected defect plan, nil for a fault-free build.
+	Faults *faults.Plan
+	// Calib aggregates the calibration campaign's fault accounting
+	// (dropouts, retries, lost pairs, outliers) across both channels.
+	Calib faults.CampaignStats
 }
 
 // BuildPipeline designs the complete YOUTIAO control system for a chip.
 func BuildPipeline(c *chip.Chip, opts Options) (*Pipeline, error) {
+	return BuildPipelineCtx(context.Background(), c, opts)
+}
+
+// BuildPipelineCtx is BuildPipeline with cooperative cancellation: the
+// calibration campaign, model grid search and per-region grouping all
+// check ctx and return its error (wrapped in a *DesignError) once it
+// fires.
+func BuildPipelineCtx(ctx context.Context, c *chip.Chip, opts Options) (*Pipeline, error) {
 	opts = opts.normalized()
 	// Fabrication keeps its own sequential stream at the raw seed so a
 	// given (chip, seed) always yields the same device.
 	rng := rand.New(rand.NewSource(opts.Seed))
 	dev := xmon.NewDevice(c, xmon.DefaultParams(), rng)
-	return buildOnDevice(dev, opts, opts.Seed)
+	return buildOnDevice(ctx, dev, opts, opts.Seed)
 }
 
 // BuildPipelineOnDevice designs the system for an already-fabricated
 // device (used by the model-transfer experiments).
 func BuildPipelineOnDevice(dev *xmon.Device, opts Options) (*Pipeline, error) {
 	opts = opts.normalized()
-	return buildOnDevice(dev, opts, opts.Seed+7)
+	return buildOnDevice(context.Background(), dev, opts, opts.Seed+7)
 }
 
 // buildOnDevice runs characterization and design. designSeed is the
 // master seed of every post-fabrication stage; each stage splits its
 // own stream off it, so the XY and ZZ campaigns are independent tasks
 // and the result is invariant in opts.Workers.
-func buildOnDevice(dev *xmon.Device, opts Options, designSeed int64) (*Pipeline, error) {
+func buildOnDevice(ctx context.Context, dev *xmon.Device, opts Options, designSeed int64) (*Pipeline, error) {
 	c := dev.Chip
 	p := &Pipeline{Opts: opts, Chip: c, Device: dev}
+
+	// 0. Fault plan. Drawn on its own stream so a disabled spec leaves
+	// every other stage's randomness untouched.
+	if opts.Faults.Enabled() {
+		plan, err := faults.New(c, opts.Faults, parallel.TaskSeed(designSeed, streamFaults))
+		if err != nil {
+			return nil, stageErr("faults", err)
+		}
+		p.Faults = plan
+		if len(plan.AliveQubits(c.NumQubits())) == 0 {
+			return nil, stageErr("faults", fmt.Errorf("fault plan killed all %d qubits (defect rate %.3f too high for this chip)",
+				c.NumQubits(), opts.Faults.DeadQubitRate))
+		}
+	}
 
 	// 1. Calibration campaign and crosstalk characterization. The two
 	// channels are measured and fitted concurrently; inside each fit
@@ -163,26 +232,29 @@ func buildOnDevice(dev *xmon.Device, opts Options, designSeed int64) (*Pipeline,
 		kind                     xmon.CrosstalkKind
 		measureStream, subStream uint64
 		model                    *crosstalk.Model
+		stats                    faults.CampaignStats
 	}{
 		{kind: xmon.XY, measureStream: streamMeasureXY, subStream: streamSubsampleXY},
 		{kind: xmon.ZZ, measureStream: streamMeasureZZ, subStream: streamSubsampleZZ},
 	}
-	err := parallel.ForEachErr(min2(opts.Workers), len(kinds), func(ki int) error {
+	err := parallel.ForEachCtx(ctx, min2(opts.Workers), len(kinds), func(ki int) error {
 		k := &kinds[ki]
-		m, err := fitModel(c, dev, k.kind, opts, designSeed, k.measureStream, k.subStream)
+		m, stats, err := fitModel(ctx, c, dev, k.kind, opts, designSeed, k.measureStream, k.subStream, p.Faults)
 		if err != nil {
-			return fmt.Errorf("experiments: %v model: %w", k.kind, err)
+			return fmt.Errorf("%v model: %w", k.kind, err)
 		}
-		k.model = m
+		k.model, k.stats = m, stats
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, stageErr("characterize", err)
 	}
 	p.ModelXY, p.ModelZZ = kinds[0].model, kinds[1].model
+	p.Calib.Add(kinds[0].stats)
+	p.Calib.Add(kinds[1].stats)
 	p.PredXY = p.ModelXY.On(c)
 	p.PredZZ = p.ModelZZ.On(c)
-	return p, p.design(parallel.TaskSeed(designSeed, streamPartition))
+	return p, p.design(ctx, parallel.TaskSeed(designSeed, streamPartition))
 }
 
 // min2 caps the two-task characterization fan-out so a sequential
@@ -200,23 +272,30 @@ func (p *Pipeline) AttachModels(xy, zz *crosstalk.Model) error {
 	p.ModelXY, p.ModelZZ = xy, zz
 	p.PredXY = xy.On(p.Chip)
 	p.PredZZ = zz.On(p.Chip)
-	return p.design(parallel.TaskSeed(p.Opts.Seed+13, streamPartition))
+	return p.design(context.Background(), parallel.TaskSeed(p.Opts.Seed+13, streamPartition))
 }
 
 // design runs partition -> FDM -> allocation -> TDM with the current
 // predictors. seed drives the generative partition only; the grouping
-// stages are deterministic searches.
-func (p *Pipeline) design(seed int64) error {
+// stages are deterministic searches. Dead qubits and broken couplers
+// of the fault plan are excluded from every stage: the design covers
+// exactly the devices the chip can still operate.
+func (p *Pipeline) design(ctx context.Context, seed int64) error {
 	c := p.Chip
 	dist := p.PredXY.EquivDistance
+	alive := p.aliveQubits()
 
 	// 2. Generative partition (skipped for chips at or below one
 	// region).
-	if c.NumQubits() > p.Opts.PartitionTargetSize {
+	if len(alive) > p.Opts.PartitionTargetSize {
 		rng := rand.New(rand.NewSource(seed))
-		part, err := partition.Generate(c, dist, partition.Config{TargetSize: p.Opts.PartitionTargetSize}, rng)
+		cfg := partition.Config{TargetSize: p.Opts.PartitionTargetSize}
+		if p.Faults != nil {
+			cfg.Exclude = p.Faults.QubitDead
+		}
+		part, err := partition.Generate(c, dist, cfg, rng)
 		if err != nil {
-			return fmt.Errorf("experiments: partition: %w", err)
+			return stageErr("partition", err)
 		}
 		p.Partition = part
 	}
@@ -228,23 +307,23 @@ func (p *Pipeline) design(seed int64) error {
 	regions := p.regions()
 	p.FDM = &fdm.Grouping{Capacity: p.Opts.FDMCapacity}
 	fdmResults := make([]*fdm.Grouping, len(regions))
-	err := parallel.ForEachErr(p.Opts.Workers, len(regions), func(ri int) error {
+	err := parallel.ForEachCtx(ctx, p.Opts.Workers, len(regions), func(ri int) error {
 		var err error
 		fdmResults[ri], err = fdm.Group(regions[ri], p.Opts.FDMCapacity, dist)
 		if err != nil {
-			return fmt.Errorf("experiments: FDM grouping region %d: %w", ri, err)
+			return fmt.Errorf("region %d: %w", ri, err)
 		}
 		return nil
 	})
 	if err != nil {
-		return err
+		return stageErr("fdm", err)
 	}
 	for ri := range regions {
 		p.FDM.Groups = append(p.FDM.Groups, fdmResults[ri].Groups...)
 	}
 	plan, err := fdm.Allocate(p.FDM, p.PredXY.Predict, fdm.DefaultAllocOptions())
 	if err != nil {
-		return fmt.Errorf("experiments: frequency allocation: %w", err)
+		return stageErr("allocate", err)
 	}
 	if p.Opts.AnnealSteps > 0 {
 		annealOpts := fdm.DefaultAnnealOptions()
@@ -252,14 +331,21 @@ func (p *Pipeline) design(seed int64) error {
 		annealOpts.Seed = p.Opts.Seed
 		refined, _, _, err := fdm.Anneal(plan, p.FDM, p.PredXY.Predict, annealOpts)
 		if err != nil {
-			return fmt.Errorf("experiments: anneal: %w", err)
+			return stageErr("anneal", err)
 		}
 		plan = refined
 	}
 	p.FreqPlan = plan
 
-	// 4. TDM grouping per region over qubits and couplers.
-	p.Gates = tdm.AnalyzeGates(c)
+	// 4. TDM grouping per region over qubits and couplers. A fault plan
+	// drops unusable gate sites from the parallelism analysis, removes
+	// broken/dead couplers from the device sets and forces stuck-lossy
+	// devices onto dedicated direct lines.
+	var usableGate func(chip.TwoQubitGate) bool
+	if p.Faults != nil {
+		usableGate = func(g chip.TwoQubitGate) bool { return p.Faults.GateUsable(c, g) }
+	}
+	p.Gates = tdm.AnalyzeGatesUsable(c, usableGate)
 	cfg := tdm.DefaultConfig(p.PredZZ.Predict)
 	cfg.Theta = p.Opts.Theta
 	cfg.SparseQubitZ = p.Opts.SparseQubitZ
@@ -269,29 +355,37 @@ func (p *Pipeline) design(seed int64) error {
 	if p.Opts.TDMLossyLimit > 0 {
 		cfg.LossyLimit = p.Opts.TDMLossyLimit
 	}
+	if p.Faults != nil {
+		cfg.Isolate = func(dev int) bool {
+			if p.Gates.Dev.IsCoupler(dev) {
+				return p.Faults.CouplerStuckLossy(p.Gates.Dev.CouplerID(dev))
+			}
+			return p.Faults.QubitStuckLossy(dev)
+		}
+	}
 	p.TDM = &tdm.Grouping{Theta: cfg.Theta}
 	couplerRegions := p.couplerRegions()
 	regionDevs := make([][]int, len(regions))
 	for ri, region := range regions {
 		devs := append([]int(nil), region...)
 		for ci, cr := range couplerRegions {
-			if cr == ri {
+			if cr == ri && p.Faults.CouplerUsable(c, ci) {
 				devs = append(devs, p.Gates.Dev.CouplerDevice(ci))
 			}
 		}
 		regionDevs[ri] = devs
 	}
 	tdmResults := make([]*tdm.Grouping, len(regions))
-	err = parallel.ForEachErr(p.Opts.Workers, len(regions), func(ri int) error {
+	err = parallel.ForEachCtx(ctx, p.Opts.Workers, len(regions), func(ri int) error {
 		var err error
 		tdmResults[ri], err = tdm.GroupDevices(p.Gates, regionDevs[ri], cfg)
 		if err != nil {
-			return fmt.Errorf("experiments: TDM grouping region %d: %w", ri, err)
+			return fmt.Errorf("region %d: %w", ri, err)
 		}
 		return nil
 	})
 	if err != nil {
-		return err
+		return stageErr("tdm", err)
 	}
 	for ri := range regions {
 		p.TDM.Groups = append(p.TDM.Groups, tdmResults[ri].Groups...)
@@ -299,16 +393,31 @@ func (p *Pipeline) design(seed int64) error {
 	return nil
 }
 
-// regions returns the partition regions, or one whole-chip region.
+// aliveQubits returns the qubits the fault plan left operable (all of
+// them for a fault-free build), sorted ascending.
+func (p *Pipeline) aliveQubits() []int {
+	return p.Faults.AliveQubits(p.Chip.NumQubits())
+}
+
+// usableDevices returns the TDM device ids the design must cover:
+// alive qubits plus usable couplers.
+func (p *Pipeline) usableDevices() []int {
+	devs := append([]int(nil), p.aliveQubits()...)
+	for ci := range p.Chip.Couplers {
+		if p.Faults.CouplerUsable(p.Chip, ci) {
+			devs = append(devs, p.Gates.Dev.CouplerDevice(ci))
+		}
+	}
+	return devs
+}
+
+// regions returns the partition regions, or one whole-(alive-)chip
+// region.
 func (p *Pipeline) regions() [][]int {
 	if p.Partition != nil {
 		return p.Partition.Regions
 	}
-	all := make([]int, p.Chip.NumQubits())
-	for i := range all {
-		all[i] = i
-	}
-	return [][]int{all}
+	return [][]int{p.aliveQubits()}
 }
 
 // couplerRegions returns the region index per coupler.
@@ -318,6 +427,69 @@ func (p *Pipeline) couplerRegions() []int {
 	}
 	out := make([]int, p.Chip.NumCouplers())
 	return out
+}
+
+// Validate re-checks every design invariant of a finished pipeline
+// against its fault plan and returns a *DesignError naming the first
+// failing stage:
+//
+//   - partition: regions cover exactly the alive qubits, none dead,
+//     connectivity within the alive subgraph;
+//   - fdm: groups cover exactly the alive qubits within capacity;
+//   - allocate: every grouped qubit has a frequency in its line's zone;
+//   - tdm: groups cover exactly the usable devices (a dead qubit or
+//     broken coupler in any group is an error), no gate's devices
+//     share a group, and every stuck-lossy device sits alone on a
+//     direct line.
+//
+// Build* runs these checks implicitly via the stage constructors;
+// Validate exists so campaigns and tests can assert the contract on
+// the assembled result.
+func (p *Pipeline) Validate() error {
+	if p.Chip == nil || p.FDM == nil || p.FreqPlan == nil || p.Gates == nil || p.TDM == nil {
+		return &DesignError{Stage: "validate", Err: fmt.Errorf("pipeline is incomplete (missing design stages)")}
+	}
+	var exclude func(q int) bool
+	if p.Faults != nil {
+		exclude = p.Faults.QubitDead
+	}
+	if p.Partition != nil {
+		if err := p.Partition.ValidateExcluding(p.Chip, exclude); err != nil {
+			return &DesignError{Stage: "partition", Err: err}
+		}
+	}
+	alive := p.aliveQubits()
+	if err := p.FDM.ValidateMembers(alive); err != nil {
+		return &DesignError{Stage: "fdm", Err: err}
+	}
+	if err := p.FreqPlan.Validate(p.FDM); err != nil {
+		return &DesignError{Stage: "allocate", Err: err}
+	}
+	devices := p.usableDevices()
+	if err := p.TDM.ValidateDevices(p.Gates, devices); err != nil {
+		return &DesignError{Stage: "tdm", Err: err}
+	}
+	if p.Faults != nil {
+		for _, d := range devices {
+			stuck := p.Faults.QubitStuckLossy(d)
+			if p.Gates.Dev.IsCoupler(d) {
+				stuck = p.Faults.CouplerStuckLossy(p.Gates.Dev.CouplerID(d))
+			}
+			if !stuck {
+				continue
+			}
+			gid := p.TDM.GroupOf(d)
+			if gid < 0 {
+				return &DesignError{Stage: "tdm", Err: fmt.Errorf("stuck-lossy device %s missing from grouping", p.Gates.Dev.Name(d))}
+			}
+			grp := p.TDM.Groups[gid]
+			if len(grp.Devices) != 1 || grp.Level != tdm.DemuxNone {
+				return &DesignError{Stage: "tdm", Err: fmt.Errorf("stuck-lossy device %s shares a DEMUX (group %d, level %s)",
+					p.Gates.Dev.Name(d), gid, grp.Level)}
+			}
+		}
+	}
+	return nil
 }
 
 // ScheduleBenchmark compiles the named benchmark circuit ("VQC",
@@ -337,10 +509,17 @@ func (p *Pipeline) ScheduleBenchmark(name string, qubits int) (*schedule.Schedul
 
 // fitModel measures one crosstalk channel and fits the characterization
 // model, subsampling large campaigns. The measurement campaign and the
-// subsample draw run on their own streams of the design seed.
-func fitModel(c *chip.Chip, dev *xmon.Device, kind xmon.CrosstalkKind, opts Options, designSeed int64, measureStream, subStream uint64) (*crosstalk.Model, error) {
-	samples := dev.MeasureSeeded(kind, 0.05, parallel.TaskSeed(designSeed, measureStream), opts.Workers)
-	if len(samples) > opts.MaxFitSamples {
+// subsample draw run on their own streams of the design seed. With a
+// nil (or disabled) fault plan the campaign is the historical
+// MeasureSeeded path, bit for bit; otherwise dropouts are retried
+// within opts.RetryBudget and surviving samples may carry injected
+// outliers (trimmed by the fit when configured).
+func fitModel(ctx context.Context, c *chip.Chip, dev *xmon.Device, kind xmon.CrosstalkKind, opts Options, designSeed int64, measureStream, subStream uint64, plan *faults.Plan) (*crosstalk.Model, faults.CampaignStats, error) {
+	samples, stats, err := faults.Measure(ctx, dev, kind, 0.05, parallel.TaskSeed(designSeed, measureStream), opts.Workers, opts.RetryBudget, plan)
+	if err != nil {
+		return nil, stats, err
+	}
+	if opts.MaxFitSamples > 0 && len(samples) > opts.MaxFitSamples {
 		rng := parallel.TaskRand(designSeed, subStream)
 		perm := rng.Perm(len(samples))[:opts.MaxFitSamples]
 		sub := make([]xmon.Sample, len(perm))
@@ -349,5 +528,6 @@ func fitModel(c *chip.Chip, dev *xmon.Device, kind xmon.CrosstalkKind, opts Opti
 		}
 		samples = sub
 	}
-	return crosstalk.Fit(c, samples, opts.Fit)
+	m, err := crosstalk.FitCtx(ctx, c, samples, opts.Fit)
+	return m, stats, err
 }

@@ -1,0 +1,101 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/fdm"
+	"repro/internal/tdm"
+)
+
+// FuzzPlanExclusion drives the degraded grouping path with arbitrary
+// fault rates and seeds, asserting the core degradation invariant: no
+// dead qubit ever appears in an FDM group and no dead/broken device
+// ever appears in a TDM group. The seed corpus covers the extremes
+// (fault-free, heavy damage) plus a few mixed plans.
+func FuzzPlanExclusion(f *testing.F) {
+	f.Add(uint64(1), 0.0, 0.0, 0.0)
+	f.Add(uint64(2), 0.05, 0.05, 0.05)
+	f.Add(uint64(3), 0.5, 0.3, 0.2)
+	f.Add(uint64(99), 0.9, 0.9, 0.9)
+	f.Fuzz(func(t *testing.T, seed uint64, deadRate, brokenRate, stuckRate float64) {
+		clamp := func(r float64) float64 {
+			if math.IsNaN(r) || r < 0 {
+				return 0
+			}
+			if r > 1 {
+				return 1
+			}
+			return r
+		}
+		spec := Spec{
+			DeadQubitRate:     clamp(deadRate),
+			BrokenCouplerRate: clamp(brokenRate),
+			StuckLossyRate:    clamp(stuckRate),
+		}
+		c := chip.Square(4, 4)
+		plan, err := New(c, spec, int64(seed))
+		if err != nil {
+			t.Fatalf("New(%+v, %d): %v", spec, seed, err)
+		}
+
+		alive := plan.AliveQubits(c.NumQubits())
+		if len(alive) == 0 {
+			return // dead chip: nothing to group, handled upstream
+		}
+
+		// FDM over the alive set.
+		g, err := fdm.Group(alive, 3, func(i, j int) float64 { return c.PhysicalDistance(i, j) })
+		if err != nil {
+			t.Fatalf("fdm.Group over %d alive qubits: %v", len(alive), err)
+		}
+		for gi, grp := range g.Groups {
+			for _, q := range grp {
+				if plan.QubitDead(q) {
+					t.Fatalf("seed %d: FDM group %d contains dead qubit %d", seed, gi, q)
+				}
+			}
+		}
+		if err := g.ValidateMembers(alive); err != nil {
+			t.Fatalf("seed %d: fdm.ValidateMembers: %v", seed, err)
+		}
+
+		// TDM over the usable devices.
+		gi := tdm.AnalyzeGatesUsable(c, func(tg chip.TwoQubitGate) bool { return plan.GateUsable(c, tg) })
+		var devs []int
+		for _, q := range alive {
+			devs = append(devs, gi.Dev.QubitDevice(q))
+		}
+		for ci := range c.Couplers {
+			if plan.CouplerUsable(c, ci) {
+				devs = append(devs, gi.Dev.CouplerDevice(ci))
+			}
+		}
+		cfg := tdm.DefaultConfig(nil)
+		cfg.Isolate = func(dev int) bool {
+			if gi.Dev.IsCoupler(dev) {
+				return plan.CouplerStuckLossy(gi.Dev.CouplerID(dev))
+			}
+			return plan.QubitStuckLossy(dev)
+		}
+		grouping, err := tdm.GroupDevices(gi, devs, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: tdm.GroupDevices over %d devices: %v", seed, len(devs), err)
+		}
+		for gid, grp := range grouping.Groups {
+			for _, d := range grp.Devices {
+				if gi.Dev.IsCoupler(d) {
+					if !plan.CouplerUsable(c, gi.Dev.CouplerID(d)) {
+						t.Fatalf("seed %d: TDM group %d contains unusable coupler device %s", seed, gid, gi.Dev.Name(d))
+					}
+				} else if plan.QubitDead(d) {
+					t.Fatalf("seed %d: TDM group %d contains dead qubit %d", seed, gid, d)
+				}
+			}
+		}
+		if err := grouping.ValidateDevices(gi, devs); err != nil {
+			t.Fatalf("seed %d: tdm.ValidateDevices: %v", seed, err)
+		}
+	})
+}

@@ -78,19 +78,68 @@ func (g *Grouping) Validate(n int) error {
 	return nil
 }
 
+// ValidateMembers checks that the grouping is a partition of exactly
+// the given member set with no line above capacity — the fault-aware
+// variant of Validate for designs where dead qubits are excluded and
+// the grouping must cover the alive set, the whole alive set and
+// nothing else.
+func (g *Grouping) ValidateMembers(members []int) error {
+	want := make(map[int]bool, len(members))
+	for _, q := range members {
+		if want[q] {
+			return fmt.Errorf("fdm: duplicate member %d in validation set", q)
+		}
+		want[q] = true
+	}
+	seen := make(map[int]bool, len(members))
+	for li, grp := range g.Groups {
+		if len(grp) > g.Capacity {
+			return fmt.Errorf("fdm: line %d has %d qubits, capacity %d", li, len(grp), g.Capacity)
+		}
+		for _, q := range grp {
+			if !want[q] {
+				return fmt.Errorf("fdm: line %d contains qubit %d outside the member set", li, q)
+			}
+			if seen[q] {
+				return fmt.Errorf("fdm: qubit %d appears in more than one line", q)
+			}
+			seen[q] = true
+		}
+	}
+	if len(seen) != len(want) {
+		return fmt.Errorf("fdm: grouping covers %d of %d members", len(seen), len(want))
+	}
+	return nil
+}
+
 // Group partitions the qubits in members into FDM lines of at most
 // capacity qubits using the greedy frontier search over dist. The first
 // seed is the first element of members; each subsequent line is seeded
 // with the lowest-id remaining qubit, keeping the algorithm
 // deterministic.
+//
+// Invalid input — an empty member list, a nil distance predictor, a
+// negative qubit id or a duplicate — is reported as a descriptive
+// error, never a panic or a silently empty grouping: a fault-degraded
+// pipeline may legitimately shrink a region to nothing, and the caller
+// must be able to tell that apart from a designed-empty line set.
 func Group(members []int, capacity int, dist DistanceFunc) (*Grouping, error) {
 	if capacity < 1 {
 		return nil, fmt.Errorf("fdm: capacity must be >= 1, got %d", capacity)
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("fdm: empty member list (no qubits to group)")
+	}
+	if dist == nil {
+		return nil, fmt.Errorf("fdm: nil distance predictor")
 	}
 	remaining := make(map[int]bool, len(members))
 	order := append([]int(nil), members...)
 	sort.Ints(order)
 	for _, q := range order {
+		if q < 0 {
+			return nil, fmt.Errorf("fdm: negative qubit id %d", q)
+		}
 		if remaining[q] {
 			return nil, fmt.Errorf("fdm: duplicate member %d", q)
 		}

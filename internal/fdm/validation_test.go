@@ -1,0 +1,53 @@
+package fdm
+
+import (
+	"strings"
+	"testing"
+)
+
+func unitDist(i, j int) float64 { return 1 }
+
+func TestGroupInputValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		members  []int
+		capacity int
+		dist     DistanceFunc
+		wantSub  string
+	}{
+		{"empty members", nil, 3, unitDist, "empty member list"},
+		{"nil predictor", []int{0, 1}, 3, nil, "nil distance predictor"},
+		{"negative id", []int{0, -2}, 3, unitDist, "negative qubit id"},
+		{"duplicate", []int{1, 1}, 3, unitDist, "duplicate member"},
+		{"zero capacity", []int{0}, 0, unitDist, "capacity"},
+	}
+	for _, tc := range cases {
+		g, err := Group(tc.members, tc.capacity, tc.dist)
+		if err == nil {
+			t.Errorf("%s: want error, got grouping %v", tc.name, g.Groups)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+func TestValidateMembers(t *testing.T) {
+	g, err := Group([]int{2, 5, 9, 11}, 2, unitDist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ValidateMembers([]int{2, 5, 9, 11}); err != nil {
+		t.Errorf("exact member set rejected: %v", err)
+	}
+	if err := g.ValidateMembers([]int{2, 5, 9}); err == nil {
+		t.Error("extra grouped qubit 11 not detected")
+	}
+	if err := g.ValidateMembers([]int{2, 5, 9, 11, 13}); err == nil {
+		t.Error("missing member 13 not detected")
+	}
+	if err := g.ValidateMembers([]int{2, 2, 5, 9, 11}); err == nil {
+		t.Error("duplicate validation member not detected")
+	}
+}

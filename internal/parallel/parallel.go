@@ -13,6 +13,7 @@
 package parallel
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -81,6 +82,73 @@ func ForEachErr(workers, n int, fn func(i int) error) error {
 	}
 	errs := make([]error, n)
 	ForEach(workers, n, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForEachCtx is ForEachErr with cooperative cancellation. The context
+// is checked before every task is handed out: once ctx is done, no new
+// task starts, the in-flight tasks finish, every worker goroutine
+// exits before the call returns (no leaks), and the context's error is
+// returned — cancellation takes precedence over task errors, because a
+// partially-executed batch has no well-defined lowest failing index.
+// When the context is never cancelled the behaviour, including the
+// lowest-index error selection and the determinism contract, is
+// exactly that of ForEachErr.
+//
+// Tasks that want finer-grained promptness (long-running fn bodies)
+// should check ctx themselves; ForEachCtx only guarantees promptness
+// at task granularity.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	errs := make([]error, n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			errs[i] = fn(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(w)
+		done := ctx.Done()
+		for g := 0; g < w; g++ {
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					errs[i] = fn(i)
+				}
+			}()
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

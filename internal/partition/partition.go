@@ -56,7 +56,14 @@ type Config struct {
 	TargetSize int
 	// MaxSwapRounds bounds stage 2 (default 8).
 	MaxSwapRounds int
+	// Exclude, when non-nil, marks qubits (dead devices of a fault
+	// plan) that belong to no region: they are skipped by seeding,
+	// expansion and swapping, and the partition invariants are checked
+	// over the remaining alive set only.
+	Exclude func(q int) bool
 }
+
+func (cfg Config) excluded(q int) bool { return cfg.Exclude != nil && cfg.Exclude(q) }
 
 func (cfg Config) normalized(n int) Config {
 	if cfg.TargetSize <= 0 {
@@ -76,15 +83,46 @@ func (cfg Config) normalized(n int) Config {
 
 // Generate runs the 4-stage generative partition on a chip. The rng
 // only chooses the stage-1 seeds; everything after is deterministic.
+// Qubits marked by cfg.Exclude are assigned to no region; with a nil
+// Exclude the result is identical to the pre-fault-aware algorithm.
 func Generate(c *chip.Chip, dist DistanceFunc, cfg Config, rng *rand.Rand) (*Partition, error) {
+	if c == nil {
+		return nil, fmt.Errorf("partition: nil chip")
+	}
+	if dist == nil {
+		return nil, fmt.Errorf("partition: nil distance predictor")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("partition: nil rng (seeding needs a deterministic source)")
+	}
 	n := c.NumQubits()
 	if n == 0 {
 		return nil, fmt.Errorf("partition: chip has no qubits")
 	}
-	cfg = cfg.normalized(n)
+	alive := 0
+	for q := 0; q < n; q++ {
+		if !cfg.excluded(q) {
+			alive++
+		}
+	}
+	if alive == 0 {
+		return nil, fmt.Errorf("partition: all %d qubits excluded (dead chip)", n)
+	}
+	cfg = cfg.normalized(alive)
 
-	// Stage 1a: random seeds (distinct).
-	seeds := rng.Perm(n)[:cfg.NumSeeds]
+	// Stage 1a: random seeds (distinct, alive). The permutation is
+	// drawn over all qubits so the seed stream does not depend on the
+	// fault plan; excluded entries are simply skipped.
+	seeds := make([]int, 0, cfg.NumSeeds)
+	for _, q := range rng.Perm(n) {
+		if cfg.excluded(q) {
+			continue
+		}
+		seeds = append(seeds, q)
+		if len(seeds) == cfg.NumSeeds {
+			break
+		}
+	}
 	sort.Ints(seeds)
 
 	assign := make([]int, n)
@@ -105,10 +143,10 @@ func Generate(c *chip.Chip, dist DistanceFunc, cfg Config, rng *rand.Rand) (*Par
 		sizes[ri] = 1
 	}
 	g := c.Graph()
-	for assignedCount := cfg.NumSeeds; assignedCount < n; assignedCount++ {
+	for assignedCount := cfg.NumSeeds; assignedCount < alive; assignedCount++ {
 		bestQ, bestR, bestKey := -1, -1, math.Inf(1)
 		for q := 0; q < n; q++ {
-			if assign[q] >= 0 {
+			if assign[q] >= 0 || cfg.excluded(q) {
 				continue
 			}
 			for _, nb := range g.Neighbors(q) {
@@ -128,7 +166,7 @@ func Generate(c *chip.Chip, dist DistanceFunc, cfg Config, rng *rand.Rand) (*Par
 			// Disconnected remainder: start absorbing it into the
 			// smallest region by raw distance (no adjacency available).
 			for q := 0; q < n; q++ {
-				if assign[q] >= 0 {
+				if assign[q] >= 0 || cfg.excluded(q) {
 					continue
 				}
 				for ri := range seeds {
@@ -151,13 +189,13 @@ func Generate(c *chip.Chip, dist DistanceFunc, cfg Config, rng *rand.Rand) (*Par
 		swapped := false
 		for q := 0; q < n; q++ {
 			cur := assign[q]
-			if q == seeds[cur] {
+			if cur < 0 || q == seeds[cur] {
 				continue
 			}
 			bestR, bestD := cur, dist(seeds[cur], q)
 			for _, nb := range g.Neighbors(q) {
 				ri := assign[nb]
-				if ri == cur {
+				if ri == cur || ri < 0 {
 					continue
 				}
 				if d := dist(seeds[ri], q); d < bestD {
@@ -179,13 +217,15 @@ func Generate(c *chip.Chip, dist DistanceFunc, cfg Config, rng *rand.Rand) (*Par
 
 	p.Regions = make([][]int, cfg.NumSeeds)
 	for q := 0; q < n; q++ {
-		p.Regions[assign[q]] = append(p.Regions[assign[q]], q)
+		if assign[q] >= 0 {
+			p.Regions[assign[q]] = append(p.Regions[assign[q]], q)
+		}
 	}
 	for _, r := range p.Regions {
 		sort.Ints(r)
 	}
 	// Stage 4: DRC.
-	if err := p.Validate(c); err != nil {
+	if err := p.ValidateExcluding(c, cfg.Exclude); err != nil {
 		return nil, fmt.Errorf("partition: DRC failed: %w", err)
 	}
 	return p, nil
@@ -228,7 +268,18 @@ func regionConnectedWithout(c *chip.Chip, assign []int, ri, skip int) bool {
 // Regions of a disconnected chip are exempt from the connectivity rule
 // only if the chip itself is disconnected.
 func (p *Partition) Validate(c *chip.Chip) error {
+	return p.ValidateExcluding(c, nil)
+}
+
+// ValidateExcluding is the fault-aware design-rule check: the regions
+// must cover every non-excluded qubit exactly once, contain no
+// excluded (dead) qubit, be non-empty, and stay connected within the
+// alive-induced subgraph. The connectivity rule is waived only when
+// the alive subgraph itself is disconnected — a fault plan can
+// genuinely sever the chip, and the partition must still be usable.
+func (p *Partition) ValidateExcluding(c *chip.Chip, exclude func(q int) bool) error {
 	n := c.NumQubits()
+	excluded := func(q int) bool { return exclude != nil && exclude(q) }
 	seen := make([]int, n)
 	for i := range seen {
 		seen[i] = -1
@@ -241,6 +292,9 @@ func (p *Partition) Validate(c *chip.Chip) error {
 			if q < 0 || q >= n {
 				return fmt.Errorf("region %d has out-of-range qubit %d", ri, q)
 			}
+			if excluded(q) {
+				return fmt.Errorf("region %d contains dead qubit %d", ri, q)
+			}
 			if seen[q] >= 0 {
 				return fmt.Errorf("qubit %d in regions %d and %d", q, seen[q], ri)
 			}
@@ -248,12 +302,11 @@ func (p *Partition) Validate(c *chip.Chip) error {
 		}
 	}
 	for q, r := range seen {
-		if r < 0 {
+		if r < 0 && !excluded(q) {
 			return fmt.Errorf("qubit %d unassigned", q)
 		}
 	}
-	chipConnected := len(c.Graph().Components()) == 1
-	if !chipConnected {
+	if !aliveConnected(c, excluded) {
 		return nil
 	}
 	assign := seen
@@ -263,6 +316,38 @@ func (p *Partition) Validate(c *chip.Chip) error {
 		}
 	}
 	return nil
+}
+
+// aliveConnected reports whether the subgraph induced by non-excluded
+// qubits is connected (vacuously true when no qubit is alive).
+func aliveConnected(c *chip.Chip, excluded func(q int) bool) bool {
+	n := c.NumQubits()
+	start := -1
+	alive := 0
+	for q := 0; q < n; q++ {
+		if !excluded(q) {
+			alive++
+			if start < 0 {
+				start = q
+			}
+		}
+	}
+	if alive == 0 {
+		return true
+	}
+	seen := map[int]bool{start: true}
+	stack := []int{start}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range c.Graph().Neighbors(u) {
+			if !excluded(v) && !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return len(seen) == alive
 }
 
 // CouplerRegion assigns every coupler to a region for TDM grouping: the

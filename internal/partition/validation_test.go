@@ -1,0 +1,119 @@
+package partition
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/chip"
+)
+
+func TestGenerateInputValidation(t *testing.T) {
+	c := chip.Square(4, 4)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Generate(nil, physDist(c), Config{}, rng); err == nil {
+		t.Error("nil chip accepted")
+	}
+	if _, err := Generate(c, nil, Config{}, rng); err == nil || !strings.Contains(err.Error(), "nil distance") {
+		t.Errorf("nil distance predictor: got %v", err)
+	}
+	if _, err := Generate(c, physDist(c), Config{}, nil); err == nil || !strings.Contains(err.Error(), "nil rng") {
+		t.Errorf("nil rng: got %v", err)
+	}
+	all := func(q int) bool { return true }
+	if _, err := Generate(c, physDist(c), Config{Exclude: all}, rng); err == nil || !strings.Contains(err.Error(), "excluded") {
+		t.Errorf("fully-excluded chip: got %v", err)
+	}
+}
+
+// TestGenerateExcludeNilMatchesBaseline: a nil Exclude must reproduce
+// the original algorithm byte-for-byte (same seeds, same regions).
+func TestGenerateExcludeNilMatchesBaseline(t *testing.T) {
+	c := chip.Square(6, 6)
+	cfg := Config{TargetSize: 9}
+	p1, err := Generate(c, physDist(c), cfg, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	never := func(q int) bool { return false }
+	p2, err := Generate(c, physDist(c), Config{TargetSize: 9, Exclude: never}, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1.Regions) != len(p2.Regions) {
+		t.Fatalf("region counts differ: %d vs %d", len(p1.Regions), len(p2.Regions))
+	}
+	for ri := range p1.Regions {
+		if len(p1.Regions[ri]) != len(p2.Regions[ri]) {
+			t.Fatalf("region %d sizes differ", ri)
+		}
+		for i := range p1.Regions[ri] {
+			if p1.Regions[ri][i] != p2.Regions[ri][i] {
+				t.Fatalf("region %d member %d differs", ri, i)
+			}
+		}
+	}
+}
+
+func TestGenerateExcludesDeadQubits(t *testing.T) {
+	c := chip.Square(6, 6)
+	dead := map[int]bool{3: true, 14: true, 27: true}
+	exclude := func(q int) bool { return dead[q] }
+	p, err := Generate(c, physDist(c), Config{TargetSize: 9, Exclude: exclude}, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := 0
+	for ri, r := range p.Regions {
+		for _, q := range r {
+			if dead[q] {
+				t.Errorf("region %d contains dead qubit %d", ri, q)
+			}
+			covered++
+		}
+	}
+	if want := c.NumQubits() - len(dead); covered != want {
+		t.Errorf("regions cover %d qubits, want %d", covered, want)
+	}
+	if err := p.ValidateExcluding(c, exclude); err != nil {
+		t.Errorf("ValidateExcluding rejected its own partition: %v", err)
+	}
+	// The fault-free validator must reject it: dead qubits unassigned.
+	if err := p.Validate(c); err == nil {
+		t.Error("fault-free Validate accepted a partition with unassigned qubits")
+	}
+}
+
+func TestValidateExcludingRejectsDeadInRegion(t *testing.T) {
+	c := chip.Square(3, 3)
+	p, err := Generate(c, physDist(c), Config{TargetSize: 4}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Declare a grouped qubit dead after the fact: the validator must
+	// flag its region.
+	deadQ := p.Regions[0][0]
+	err = p.ValidateExcluding(c, func(q int) bool { return q == deadQ })
+	if err == nil || !strings.Contains(err.Error(), "dead qubit") {
+		t.Errorf("dead qubit inside region not flagged: %v", err)
+	}
+}
+
+// TestGenerateSurvivesSeveredChip: killing a full column of a square
+// lattice disconnects the alive subgraph; the partition must still
+// succeed (connectivity rule waived) and cover all alive qubits.
+func TestGenerateSurvivesSeveredChip(t *testing.T) {
+	c := chip.Square(5, 5)
+	exclude := func(q int) bool { return q%5 == 2 } // kill column x=2
+	p, err := Generate(c, physDist(c), Config{TargetSize: 5, Exclude: exclude}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatalf("severed chip not handled gracefully: %v", err)
+	}
+	covered := 0
+	for _, r := range p.Regions {
+		covered += len(r)
+	}
+	if covered != 20 {
+		t.Errorf("covered %d alive qubits, want 20", covered)
+	}
+}

@@ -37,6 +37,11 @@ type Config struct {
 	// as naturally non-parallel and group freely. Gate legality (no two
 	// devices of one gate in a group) still holds.
 	SparseQubitZ bool
+	// Isolate, when non-nil, marks devices whose Z path is stuck-lossy
+	// (internal/faults): the device stays usable but must not sit
+	// behind a shared cryo-DEMUX, so it is wired on a dedicated direct
+	// line — a singleton group — instead of joining the greedy search.
+	Isolate func(dev int) bool
 }
 
 // DefaultConfig uses the paper's example threshold θ = 4 and a mild
@@ -67,18 +72,32 @@ func DefaultConfig(xt CrosstalkFunc) Config {
 // mean (the balancing rule). Legality always holds: no two devices of
 // one hardware gate ever share a group.
 func GroupDevices(gi *GateInfo, devices []int, cfg Config) (*Grouping, error) {
+	if gi == nil {
+		return nil, fmt.Errorf("tdm: nil gate tables")
+	}
+	if len(devices) == 0 {
+		return nil, fmt.Errorf("tdm: empty device list (no devices to group)")
+	}
+	seen := make(map[int]bool, len(devices))
 	for _, d := range devices {
 		if d < 0 || d >= gi.Dev.Count() {
 			return nil, fmt.Errorf("tdm: device %d out of range [0,%d)", d, gi.Dev.Count())
 		}
+		if seen[d] {
+			return nil, fmt.Errorf("tdm: duplicate device %d", d)
+		}
+		seen[d] = true
 	}
 	idx := gi.AllParallelismIndices()
 
-	var low, high []int
+	var low, high, isolated []int
 	for _, d := range devices {
-		if idx[d] <= cfg.Theta {
+		switch {
+		case cfg.Isolate != nil && cfg.Isolate(d):
+			isolated = append(isolated, d)
+		case idx[d] <= cfg.Theta:
 			low = append(low, d)
-		} else {
+		default:
 			high = append(high, d)
 		}
 	}
@@ -86,6 +105,12 @@ func GroupDevices(gi *GateInfo, devices []int, cfg Config) (*Grouping, error) {
 	g := &Grouping{Theta: cfg.Theta}
 	g.Groups = append(g.Groups, groupLevel(gi, low, 4, idx, cfg)...)
 	g.Groups = append(g.Groups, groupLevel(gi, high, 2, idx, cfg)...)
+	// Stuck-lossy devices close the plan as dedicated direct lines, in
+	// id order for determinism.
+	sort.Ints(isolated)
+	for _, d := range isolated {
+		g.Groups = append(g.Groups, Group{Devices: []int{d}, Level: DemuxNone})
+	}
 	return g, nil
 }
 

@@ -104,8 +104,27 @@ type GateInfo struct {
 
 // AnalyzeGates builds the gate tables for a chip.
 func AnalyzeGates(c *chip.Chip) *GateInfo {
+	return AnalyzeGatesUsable(c, nil)
+}
+
+// AnalyzeGatesUsable builds the gate tables for a chip, keeping only
+// the hardware gate sites for which usable returns true (nil keeps
+// all). A fault-degraded pipeline passes a predicate that drops gates
+// with a dead qubit or broken coupler, so the parallelism index and the
+// non-parallelism structure reflect the gates the chip can actually
+// run.
+func AnalyzeGatesUsable(c *chip.Chip, usable func(chip.TwoQubitGate) bool) *GateInfo {
 	dev := NewDevices(c)
 	gates := c.TwoQubitGates()
+	if usable != nil {
+		kept := gates[:0:0]
+		for _, g := range gates {
+			if usable(g) {
+				kept = append(kept, g)
+			}
+		}
+		gates = kept
+	}
 	gi := &GateInfo{
 		Dev:     dev,
 		Gates:   gates,
@@ -239,6 +258,26 @@ func (g *Grouping) LevelCounts() map[DemuxLevel]int {
 // capacity, and — the Case 2 legality rule — no gate has two of its
 // devices in the same group (which would make the gate unrealizable).
 func (g *Grouping) Validate(gi *GateInfo) error {
+	devices := make([]int, gi.Dev.Count())
+	for i := range devices {
+		devices[i] = i
+	}
+	return g.ValidateDevices(gi, devices)
+}
+
+// ValidateDevices checks the grouping invariants over exactly the given
+// device set — the fault-aware variant of Validate for plans where dead
+// qubits and broken couplers are excluded: coverage is required for
+// every listed device and forbidden for every other (so a dead device
+// in any group is an error).
+func (g *Grouping) ValidateDevices(gi *GateInfo, devices []int) error {
+	want := make(map[int]bool, len(devices))
+	for _, d := range devices {
+		if want[d] {
+			return fmt.Errorf("tdm: duplicate device %d in validation set", d)
+		}
+		want[d] = true
+	}
 	seen := make(map[int]int)
 	for gid, grp := range g.Groups {
 		if len(grp.Devices) == 0 {
@@ -251,22 +290,30 @@ func (g *Grouping) Validate(gi *GateInfo) error {
 			if d < 0 || d >= gi.Dev.Count() {
 				return fmt.Errorf("tdm: group %d has out-of-range device %d", gid, d)
 			}
+			if !want[d] {
+				return fmt.Errorf("tdm: group %d contains device %s outside the device set", gid, gi.Dev.Name(d))
+			}
 			if prev, dup := seen[d]; dup {
 				return fmt.Errorf("tdm: device %s in groups %d and %d", gi.Dev.Name(d), prev, gid)
 			}
 			seen[d] = gid
 		}
 	}
-	if len(seen) != gi.Dev.Count() {
-		return fmt.Errorf("tdm: grouping covers %d of %d devices", len(seen), gi.Dev.Count())
+	if len(seen) != len(want) {
+		return fmt.Errorf("tdm: grouping covers %d of %d devices", len(seen), len(want))
 	}
 	for gIdx := range gi.Gates {
 		devs := gi.GateDevices(gIdx)
 		for a := 0; a < 3; a++ {
 			for b := a + 1; b < 3; b++ {
-				if seen[devs[a]] == seen[devs[b]] {
+				// A gate device outside the validated set (e.g. a dead
+				// qubit's coupler in a degraded design) has no group to
+				// collide in.
+				ga, inA := seen[devs[a]]
+				gb, inB := seen[devs[b]]
+				if inA && inB && ga == gb {
 					return fmt.Errorf("tdm: gate %d devices %s and %s share group %d (unrealizable 2q gate)",
-						gIdx, gi.Dev.Name(devs[a]), gi.Dev.Name(devs[b]), seen[devs[a]])
+						gIdx, gi.Dev.Name(devs[a]), gi.Dev.Name(devs[b]), ga)
 				}
 			}
 		}

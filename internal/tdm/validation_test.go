@@ -1,0 +1,108 @@
+package tdm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chip"
+)
+
+func TestGroupDevicesInputValidation(t *testing.T) {
+	c := chip.Square(3, 3)
+	gi := AnalyzeGates(c)
+	cfg := DefaultConfig(nil)
+
+	if _, err := GroupDevices(nil, []int{0}, cfg); err == nil || !strings.Contains(err.Error(), "nil gate tables") {
+		t.Errorf("nil gate tables: got %v", err)
+	}
+	if _, err := GroupDevices(gi, nil, cfg); err == nil || !strings.Contains(err.Error(), "empty device list") {
+		t.Errorf("empty devices: got %v", err)
+	}
+	if _, err := GroupDevices(gi, []int{0, gi.Dev.Count()}, cfg); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("out-of-range device: got %v", err)
+	}
+	if _, err := GroupDevices(gi, []int{3, 3}, cfg); err == nil || !strings.Contains(err.Error(), "duplicate device") {
+		t.Errorf("duplicate device: got %v", err)
+	}
+}
+
+// TestGroupDevicesIsolate: isolated (stuck-lossy) devices land alone on
+// direct lines; everything else still validates.
+func TestGroupDevicesIsolate(t *testing.T) {
+	c := chip.Square(3, 3)
+	gi := AnalyzeGates(c)
+	cfg := DefaultConfig(nil)
+	stuck := map[int]bool{2: true, 7: true}
+	cfg.Isolate = func(dev int) bool { return stuck[dev] }
+
+	devs := make([]int, gi.Dev.Count())
+	for i := range devs {
+		devs[i] = i
+	}
+	g, err := GroupDevices(gi, devs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(gi); err != nil {
+		t.Fatalf("grouping with isolation invalid: %v", err)
+	}
+	for dev := range stuck {
+		gid := g.GroupOf(dev)
+		if gid < 0 {
+			t.Fatalf("stuck device %d missing from grouping", dev)
+		}
+		grp := g.Groups[gid]
+		if len(grp.Devices) != 1 || grp.Level != DemuxNone {
+			t.Errorf("stuck device %d in group %+v, want dedicated direct line", dev, grp)
+		}
+	}
+}
+
+func TestValidateDevicesSubset(t *testing.T) {
+	c := chip.Square(3, 3)
+	gi := AnalyzeGates(c)
+	cfg := DefaultConfig(nil)
+	// Group only the first half of the devices.
+	var devs []int
+	for d := 0; d < gi.Dev.Count()/2; d++ {
+		devs = append(devs, d)
+	}
+	g, err := GroupDevices(gi, devs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ValidateDevices(gi, devs); err != nil {
+		t.Errorf("exact device set rejected: %v", err)
+	}
+	// Full-chip validation must now fail (coverage gap)…
+	if err := g.Validate(gi); err == nil {
+		t.Error("half-chip grouping passed full-chip validation")
+	}
+	// …and so must validation against a set missing a grouped device.
+	if err := g.ValidateDevices(gi, devs[:len(devs)-1]); err == nil {
+		t.Error("grouped device outside the validation set not detected")
+	}
+}
+
+func TestAnalyzeGatesUsableFiltersGates(t *testing.T) {
+	c := chip.Square(3, 3)
+	full := AnalyzeGates(c)
+	deadQubit := 4 // centre of the 3x3 lattice: degree 4
+	filtered := AnalyzeGatesUsable(c, func(g chip.TwoQubitGate) bool {
+		return g.Q1 != deadQubit && g.Q2 != deadQubit
+	})
+	if len(filtered.Gates) >= len(full.Gates) {
+		t.Fatalf("filter removed nothing: %d vs %d gates", len(filtered.Gates), len(full.Gates))
+	}
+	if got := len(full.Gates) - len(filtered.Gates); got != c.Degree(deadQubit) {
+		t.Errorf("removed %d gates, want %d (degree of q%d)", got, c.Degree(deadQubit), deadQubit)
+	}
+	if n := len(filtered.GatesOf[deadQubit]); n != 0 {
+		t.Errorf("dead qubit still occupies %d gates", n)
+	}
+	for gIdx, g := range filtered.Gates {
+		if g.Q1 == deadQubit || g.Q2 == deadQubit {
+			t.Errorf("gate %d still references dead qubit", gIdx)
+		}
+	}
+}

@@ -255,6 +255,20 @@ func (d *Device) MeasureSeeded(kind CrosstalkKind, noiseRel float64, seed int64,
 	return samples
 }
 
+// MeasurePair measures the crosstalk of one qubit pair with the same
+// multiplicative noise model as Measure/MeasureSeeded, drawing from the
+// caller's rng. It is the single-shot primitive behind fault-injected
+// calibration campaigns (internal/faults), which re-measure a pair with
+// a fresh per-attempt RNG stream after a dropout.
+func (d *Device) MeasurePair(kind CrosstalkKind, i, j int, noiseRel float64, rng *rand.Rand) Sample {
+	v := d.Crosstalk(kind, i, j)
+	v *= 1 + rng.NormFloat64()*noiseRel
+	if v < 0 {
+		v = 0
+	}
+	return Sample{I: i, J: j, Kind: kind, Value: v}
+}
+
 // CrosstalkMatrix returns the full latent pairwise crosstalk matrix for
 // the channel, without measurement noise.
 func (d *Device) CrosstalkMatrix(kind CrosstalkKind) [][]float64 {

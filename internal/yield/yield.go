@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"repro/internal/chip"
+	"repro/internal/faults"
 	"repro/internal/fdm"
 	"repro/internal/quantum"
 	"repro/internal/xmon"
@@ -35,6 +36,12 @@ type Config struct {
 	Params xmon.Params
 	// Seed makes the study deterministic.
 	Seed int64
+	// Defects injects per-die device defects (see internal/faults):
+	// dead qubits are excluded from the die's grouping and scoring, so
+	// the study measures the yield of chips that ship with repairable
+	// defect maps instead of assuming perfect fabrication. The zero
+	// value reproduces the defect-free study bit-for-bit.
+	Defects faults.Spec
 }
 
 // DefaultConfig matches the evaluation chip's headline target.
@@ -51,6 +58,9 @@ func DefaultConfig() Config {
 // Die is the outcome of one fabricated chip.
 type Die struct {
 	Seed int64
+	// DeadQubits is the number of qubits the die's defect plan killed
+	// (0 in a defect-free study).
+	DeadQubits int
 	// MeanGateError is the average per-gate error with every qubit
 	// driven simultaneously under the die's own allocation.
 	MeanGateError float64
@@ -102,7 +112,24 @@ func Run(c *chip.Chip, cfg Config) (*Result, error) {
 		coupling := func(i, j int) float64 { return die.Coupling(xmon.XY, i, j) }
 		dist := func(i, j int) float64 { return die.Chip.PhysicalDistance(i, j) }
 
-		g, err := fdm.Group(qubits, cfg.FDMCapacity, dist)
+		// Each die draws its own defect map; a fully dead die fails
+		// outright instead of erroring the whole study.
+		dieQubits := qubits
+		var deadCount int
+		if cfg.Defects.Enabled() {
+			fp, err := faults.New(die.Chip, cfg.Defects, seed)
+			if err != nil {
+				return nil, fmt.Errorf("yield: die %d defect plan: %w", d, err)
+			}
+			dieQubits = fp.AliveQubits(die.Chip.NumQubits())
+			deadCount = len(fp.DeadQubits())
+			if len(dieQubits) == 0 {
+				res.Dice = append(res.Dice, Die{Seed: seed, DeadQubits: deadCount, MeanGateError: math.Inf(1), WorstGateError: math.Inf(1)})
+				continue
+			}
+		}
+
+		g, err := fdm.Group(dieQubits, cfg.FDMCapacity, dist)
 		if err != nil {
 			return nil, fmt.Errorf("yield: die %d grouping: %w", d, err)
 		}
@@ -113,16 +140,17 @@ func Run(c *chip.Chip, cfg Config) (*Result, error) {
 
 		nm := quantum.NewNoiseModel(coupling, plan.Freq)
 		var sum, worst float64
-		for _, q := range qubits {
-			e := nm.ParallelDriveError(q, qubits)
+		for _, q := range dieQubits {
+			e := nm.ParallelDriveError(q, dieQubits)
 			sum += e
 			if e > worst {
 				worst = e
 			}
 		}
-		mean := sum / float64(len(qubits))
+		mean := sum / float64(len(dieQubits))
 		res.Dice = append(res.Dice, Die{
 			Seed:           seed,
+			DeadQubits:     deadCount,
 			MeanGateError:  mean,
 			WorstGateError: worst,
 			Pass:           mean <= cfg.ErrorTarget,

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/chip"
+	"repro/internal/faults"
 )
 
 func smallConfig() Config {
@@ -125,5 +126,51 @@ func TestMean(t *testing.T) {
 	}
 	if !math.IsNaN(Mean(nil)) {
 		t.Error("empty mean should be NaN")
+	}
+}
+
+func TestRunWithDefects(t *testing.T) {
+	c := chip.Square(4, 4)
+	cfg := smallConfig()
+	base, err := Run(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Defects = faults.UniformSpec(0.1)
+	defective, err := Run(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(defective.Dice) != len(base.Dice) {
+		t.Fatalf("die counts differ: %d vs %d", len(defective.Dice), len(base.Dice))
+	}
+	var anyDead bool
+	for _, d := range defective.Dice {
+		if d.DeadQubits > 0 {
+			anyDead = true
+		}
+		if d.DeadQubits == 16 && !math.IsInf(d.MeanGateError, 1) {
+			t.Errorf("die %d fully dead but scored %v", d.Seed, d.MeanGateError)
+		}
+	}
+	if !anyDead {
+		t.Error("10% defect rate over 10 dice drew no dead qubits")
+	}
+	for _, d := range base.Dice {
+		if d.DeadQubits != 0 {
+			t.Errorf("defect-free die %d reports %d dead qubits", d.Seed, d.DeadQubits)
+		}
+	}
+
+	// Same config twice: deterministic.
+	again, err := Run(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range defective.Dice {
+		if defective.Dice[i] != again.Dice[i] {
+			t.Fatalf("die %d not deterministic under defects", i)
+		}
 	}
 }

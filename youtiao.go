@@ -33,12 +33,14 @@
 package youtiao
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/chip"
 	"repro/internal/cost"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/schedule"
 	"repro/internal/tdm"
 	"repro/internal/wiring"
@@ -51,6 +53,19 @@ type Chip = chip.Chip
 // Options tune the design pipeline (re-exported from the experiment
 // harness so library users and experiments share one configuration).
 type Options = experiments.Options
+
+// FaultSpec configures deterministic device-defect and calibration
+// fault injection (set it as Options.Faults; the zero value disables
+// injection). See internal/faults for the fault model.
+type FaultSpec = faults.Spec
+
+// UniformFaults returns a FaultSpec applying rate r to every fault
+// class — the CLI's -defect-rate semantics.
+func UniformFaults(r float64) FaultSpec { return faults.UniformSpec(r) }
+
+// DesignError reports which pipeline stage a failed design gave up in;
+// use errors.As to recover it from Design/DesignCtx errors.
+type DesignError = experiments.DesignError
 
 // NewSquareChip returns a w×h square-lattice chip.
 func NewSquareChip(w, h int) *Chip { return chip.Square(w, h) }
@@ -128,7 +143,26 @@ type DesignResult struct {
 	Youtiao  Wiring
 	Baseline Wiring
 
+	// Faults summarizes the injected fault plan and the calibration
+	// campaign's degradation accounting; nil for a fault-free design.
+	Faults *FaultReport
+
 	pipeline *experiments.Pipeline
+}
+
+// FaultReport is the degradation summary of a design built under fault
+// injection.
+type FaultReport struct {
+	DeadQubits     []int `json:"deadQubits"`
+	BrokenCouplers []int `json:"brokenCouplers"`
+	StuckLossy     int   `json:"stuckLossy"`
+	// CalibDropouts..CalibOutliers account for the calibration
+	// campaign: measurements lost to dropouts, pairs rescued by
+	// retries, pairs lost for good and heavy-tailed outlier samples.
+	CalibDropouts  int `json:"calibDropouts"`
+	CalibRetried   int `json:"calibRetried"`
+	CalibLostPairs int `json:"calibLostPairs"`
+	CalibOutliers  int `json:"calibOutliers"`
 }
 
 // Design runs the full YOUTIAO pipeline on a chip: it fabricates a
@@ -136,8 +170,18 @@ type DesignResult struct {
 // crosstalk, partitions, groups, allocates frequencies and assembles
 // the wiring plans.
 func Design(c *Chip, opts Options) (*DesignResult, error) {
-	p, err := experiments.BuildPipeline(c, opts)
+	return DesignCtx(context.Background(), c, opts)
+}
+
+// DesignCtx is Design with cooperative cancellation: pass a context
+// with a deadline to bound the design time; the pipeline returns the
+// context's error promptly once it fires.
+func DesignCtx(ctx context.Context, c *Chip, opts Options) (*DesignResult, error) {
+	p, err := experiments.BuildPipelineCtx(ctx, c, opts)
 	if err != nil {
+		return nil, fmt.Errorf("youtiao: %w", err)
+	}
+	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("youtiao: %w", err)
 	}
 	return fromPipeline(p)
@@ -175,6 +219,18 @@ func fromPipeline(p *experiments.Pipeline) (*DesignResult, error) {
 			tg.Devices = append(tg.Devices, p.Gates.Dev.Name(d))
 		}
 		res.TDMGroups = append(res.TDMGroups, tg)
+	}
+
+	if p.Faults != nil {
+		res.Faults = &FaultReport{
+			DeadQubits:     p.Faults.DeadQubits(),
+			BrokenCouplers: p.Faults.BrokenCouplers(),
+			StuckLossy:     p.Faults.StuckLossyCount(),
+			CalibDropouts:  p.Calib.Dropouts,
+			CalibRetried:   p.Calib.Retried,
+			CalibLostPairs: p.Calib.LostPairs,
+			CalibOutliers:  p.Calib.Outliers,
+		}
 	}
 
 	model := cost.DefaultModel()
@@ -241,6 +297,12 @@ func (r *DesignResult) Report() string {
 		r.CrosstalkWeights.WPhy, r.CrosstalkWeights.WTop, r.CrosstalkCVError)
 	if r.Regions != nil {
 		fmt.Fprintf(&b, "partition: %d regions\n", len(r.Regions))
+	}
+	if r.Faults != nil {
+		fmt.Fprintf(&b, "faults: %d dead qubits, %d broken couplers, %d stuck-lossy Z lines\n",
+			len(r.Faults.DeadQubits), len(r.Faults.BrokenCouplers), r.Faults.StuckLossy)
+		fmt.Fprintf(&b, "calibration: %d dropouts, %d pairs retried, %d lost, %d outliers\n",
+			r.Faults.CalibDropouts, r.Faults.CalibRetried, r.Faults.CalibLostPairs, r.Faults.CalibOutliers)
 	}
 	fmt.Fprintf(&b, "FDM: %d XY lines\n", len(r.FDMLines))
 	for i, l := range r.FDMLines {
