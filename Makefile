@@ -1,6 +1,9 @@
 GO ?= go
+BENCHTIME ?= 0.3s
+MAXREGRESS ?= 0.20
+BENCH_STAMP := $(shell date +%Y%m%d-%H%M%S)
 
-.PHONY: build vet test race race-faults fuzz bench faults verify
+.PHONY: build vet test race race-faults fuzz bench bench-smoke faults verify
 
 build:
 	$(GO) build ./...
@@ -25,12 +28,25 @@ fuzz:
 	$(GO) test ./internal/fdm -run NONE -fuzz FuzzGroupAllocate -fuzztime 30s
 	$(GO) test ./internal/faults -run NONE -fuzz FuzzPlanExclusion -fuzztime 30s
 
+# The benchmark-regression trajectory: run the full suite with
+# allocation reporting, snapshot it as BENCH_<stamp>.json, and gate on
+# the committed baseline (>20% time or allocs/op regression fails).
+# Refresh the baseline deliberately with
+#   cp BENCH_<stamp>.json BENCH_baseline.json
+# after a reviewed perf change, never automatically.
 bench:
-	$(GO) test -run NONE -bench . -benchmem .
+	$(GO) test -run NONE -bench . -benchmem -benchtime $(BENCHTIME) . | tee bench.out
+	$(GO) run ./tools/benchdiff -parse -in bench.out -out BENCH_$(BENCH_STAMP).json
+	$(GO) run ./tools/benchdiff -baseline BENCH_baseline.json -current BENCH_$(BENCH_STAMP).json -max-regress $(MAXREGRESS)
+
+# One-iteration sanity pass over every benchmark — wired into verify so
+# a broken bench never reaches the trajectory.
+bench-smoke:
+	$(GO) test -run NONE -bench . -benchtime 1x -benchmem . > /dev/null
 
 # Smoke-test graceful degradation: design a small chip across a defect
 # ladder and print the wiring/fidelity table.
 faults:
 	$(GO) run ./cmd/youtiao -qubits 25 -sweep-defects 0,0.01,0.02,0.05 -retry-budget 3
 
-verify: build vet test race
+verify: build vet test race bench-smoke

@@ -40,6 +40,7 @@ import (
 )
 
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Table1(experiments.Options{Seed: 1})
 		if err != nil {
@@ -63,6 +64,7 @@ func BenchmarkTable1(b *testing.B) {
 }
 
 func BenchmarkTable2(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Table2(experiments.Options{Seed: 1})
 		if err != nil {
@@ -85,6 +87,7 @@ func BenchmarkTable2(b *testing.B) {
 }
 
 func BenchmarkFig12(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig12(experiments.Options{Seed: 1})
 		if err != nil {
@@ -98,6 +101,7 @@ func BenchmarkFig12(b *testing.B) {
 }
 
 func BenchmarkFig13(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig13(experiments.Options{Seed: 1})
 		if err != nil {
@@ -114,6 +118,7 @@ func BenchmarkFig13(b *testing.B) {
 }
 
 func benchFig1415(b *testing.B, metric func(r experiments.BenchRow) (string, float64)) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Figs14And15(experiments.Options{Seed: 1})
 		if err != nil {
@@ -142,6 +147,7 @@ func BenchmarkFig15(b *testing.B) {
 }
 
 func BenchmarkFig16(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Fig16(experiments.Options{Seed: 1}, nil)
 		if err != nil {
@@ -156,6 +162,7 @@ func BenchmarkFig16(b *testing.B) {
 }
 
 func BenchmarkFig17(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig17(experiments.Options{Seed: 1})
 		if err != nil {
@@ -194,6 +201,8 @@ func BenchmarkAblationMultiPathMetric(b *testing.B) {
 	}
 	cfg := mlfit.ForestConfig{NumTrees: 12, Tree: mlfit.TreeConfig{MaxDepth: 10, MinLeafSize: 4}, Seed: 1}
 
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Xm, y := buildXY(func(i, j int) float64 { return multi[i][j] })
 		mseMulti, err := mlfit.KFoldMSE(Xm, y, 5, cfg, 1)
@@ -225,6 +234,7 @@ func BenchmarkAblationPartitioning(b *testing.B) {
 	}
 
 	b.Run("whole-chip", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := tdm.GroupChip(gi, tdm.DefaultConfig(xt)); err != nil {
 				b.Fatal(err)
@@ -232,6 +242,7 @@ func BenchmarkAblationPartitioning(b *testing.B) {
 		}
 	})
 	b.Run("partitioned", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			p, err := experiments.BuildPipeline(chip.Square(10, 10), experiments.Options{Seed: 1, PartitionTargetSize: 25})
 			if err != nil {
@@ -261,6 +272,8 @@ func BenchmarkAblationLossyLimit(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, limit := range []int{1, 2, 4} {
 			cfg := tdm.DefaultConfig(xt)
@@ -293,6 +306,8 @@ func BenchmarkAblationAnnealedAllocation(b *testing.B) {
 		members[i] = i
 	}
 	dist := func(i, j int) float64 { return c.PhysicalDistance(i, j) }
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g, err := fdmGroup(members, 4, dist)
 		if err != nil {
@@ -336,6 +351,7 @@ func BenchmarkForestFit(b *testing.B) {
 		y[i] = math.Exp(-x) + rng.NormFloat64()*0.01
 	}
 	cfg := mlfit.DefaultForestConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mlfit.FitForest(X, y, cfg); err != nil {
@@ -346,6 +362,7 @@ func BenchmarkForestFit(b *testing.B) {
 
 func BenchmarkMultiPathDistances(b *testing.B) {
 	g := chip.Square(10, 10).Graph()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.AllMultiPathDistances()
@@ -362,6 +379,7 @@ func BenchmarkTDMGrouping(b *testing.B) {
 		return 0.6 * math.Exp(-c.PhysicalDistance(i, j))
 	}
 	cfg := tdm.DefaultConfig(xt)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := tdm.GroupChip(gi, cfg); err != nil {
@@ -372,6 +390,7 @@ func BenchmarkTDMGrouping(b *testing.B) {
 
 func BenchmarkAStarRouting(b *testing.B) {
 	c := chip.Square(4, 4)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r := route.NewRouter(c)
@@ -388,6 +407,7 @@ func BenchmarkAStarRouting(b *testing.B) {
 func BenchmarkStateVector16Q(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	circ := circuit.Decompose(circuit.VQC(16, 2, rng))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := quantum.Simulate(circ); err != nil {
@@ -397,6 +417,7 @@ func BenchmarkStateVector16Q(b *testing.B) {
 }
 
 func BenchmarkDesignPipeline36Q(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := Design(NewSquareChip(6, 6), Options{Seed: 1}); err != nil {
 			b.Fatal(err)
@@ -409,6 +430,7 @@ func BenchmarkDesignPipeline36Q(b *testing.B) {
 // The designs are bit-identical either way — compare ns/op to see the
 // speedup, which tracks the number of physical cores available.
 func benchPipeline64Q(b *testing.B, workers int) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := Design(NewSquareChip(8, 8), Options{Seed: 1, Workers: workers, PartitionTargetSize: 16}); err != nil {
 			b.Fatal(err)
@@ -426,6 +448,7 @@ func BenchmarkScheduleSurfaceCycle(b *testing.B) {
 		b.Fatal(err)
 	}
 	circ := circuit.Decompose(code.CycleCircuit(5))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := schedule.New(code.Chip, nil, schedule.DefaultDurations()).Run(circ); err != nil {
@@ -444,6 +467,7 @@ func BenchmarkCrosstalkFit(b *testing.B) {
 		Folds:      5,
 		Forest:     mlfit.ForestConfig{NumTrees: 8, Tree: mlfit.TreeConfig{MaxDepth: 8, MinLeafSize: 4}, Seed: 1},
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := crosstalk.Fit(c, samples, cfg); err != nil {
@@ -452,10 +476,89 @@ func BenchmarkCrosstalkFit(b *testing.B) {
 	}
 }
 
+// BenchmarkMeasureAll times the terminal-measurement path on a
+// 12-qubit register (4096 amplitudes). After the first iteration the
+// state is collapsed to a basis state, but the pass structure — and so
+// the measured cost — is amplitude-independent.
+func BenchmarkMeasureAll(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	circ := circuit.Decompose(circuit.VQC(12, 2, rng))
+	s, err := quantum.Simulate(circ)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.MeasureAll(rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMonteCarloTrajectories is the allocation trajectory of the
+// Monte Carlo fidelity path: 64 sequential trajectories on a 9-qubit
+// register. allocs/op is the headline number — it must stay O(workers),
+// not O(trajectories).
+func BenchmarkMonteCarloTrajectories(b *testing.B) {
+	ch := chip.Square(3, 3)
+	rng := rand.New(rand.NewSource(1))
+	compiled, err := circuit.Compile(circuit.VQC(9, 2, rng), ch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched, err := schedule.New(ch, nil, schedule.DefaultDurations()).Run(compiled.Circuit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nm := quantum.NewNoiseModel(func(i, j int) float64 {
+		if i == j {
+			return 0
+		}
+		return 0.01
+	}, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nm.MonteCarloFidelity(sched, 9, quantum.TrajectoryConfig{
+			Trajectories: 64, Seed: 1, Workers: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictorMatrix times binding a fitted crosstalk model to a
+// chip and predicting the full pairwise matrix — the characterization
+// product every grouping stage consumes.
+func BenchmarkPredictorMatrix(b *testing.B) {
+	c := chip.Square(6, 6)
+	rng := rand.New(rand.NewSource(1))
+	dev := xmon.NewDevice(c, xmon.DefaultParams(), rng)
+	samples := dev.Measure(xmon.XY, 0.05, rng)
+	cfg := crosstalk.FitConfig{
+		WeightGrid: []float64{0, 0.5, 1},
+		Folds:      5,
+		Forest:     mlfit.ForestConfig{NumTrees: 8, Tree: mlfit.TreeConfig{MaxDepth: 8, MinLeafSize: 4}, Seed: 1},
+	}
+	m, err := crosstalk.Fit(c, samples, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := m.On(c)
+		mat := p.Matrix()
+		b.ReportMetric(mat[0][1], "xt-0-1")
+	}
+}
+
 // BenchmarkYield runs the fabrication-disorder yield study on the
 // 16-qubit chip and reports the passing fraction — the design-margin
 // extension of the Figure 13 fidelity target.
 func BenchmarkYield(b *testing.B) {
+	b.ReportAllocs()
 	c := chip.Square(4, 4)
 	cfg := yield.DefaultConfig()
 	cfg.Dice = 20

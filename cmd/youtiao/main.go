@@ -6,6 +6,7 @@
 //	youtiao [-topology square] [-qubits 36] [-seed 1] [-theta 4] [-fdm 5] [-workers 0] [-verbose]
 //	youtiao -defect-rate 0.02 -retry-budget 3 -timeout 30s
 //	youtiao -sweep-defects 0,0.01,0.02,0.05
+//	youtiao -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -13,6 +14,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -36,7 +40,34 @@ func main() {
 	retryBudget := flag.Int("retry-budget", 0, "calibration re-measurement attempts after a dropout (0 = default 3, negative = none)")
 	timeout := flag.Duration("timeout", 0, "abort the design after this long (0 = no limit)")
 	sweep := flag.String("sweep-defects", "", "comma-separated defect rates: run the degradation sweep instead of a single design")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatalf("-memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("-memprofile: %v", err)
+			}
+		}()
+	}
 
 	ch, err := youtiao.NewChip(*topology, *qubits)
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/chip"
 	"repro/internal/mlfit"
@@ -55,12 +56,23 @@ func DefaultFitConfig() FitConfig {
 	}
 }
 
-// Model is a fitted crosstalk characterization model.
+// Model is a fitted crosstalk characterization model. A Model is safe
+// for concurrent prediction (the FDM region grouping predicts from many
+// goroutines) and must not be copied after first use.
 type Model struct {
 	Kind    xmon.CrosstalkKind
 	Weights chip.EquivWeights
 	CVError float64 // cross-validated MSE at the selected weights
 	forest  *mlfit.Forest
+
+	// predCache memoizes forest.Predict per distinct equivalent
+	// distance. The feature space is one-dimensional and chips have few
+	// distinct (d_phy, d_top) combinations, so the forest walk — the
+	// dominant cost of Matrix/PredictedValues — runs once per distinct
+	// distance instead of once per pair. A sync.Map because predictions
+	// race in from parallel regions; the forest is pure, so concurrent
+	// fills for the same key store the same value.
+	predCache sync.Map // float64 d_equiv -> float64 prediction
 }
 
 // Fit trains the characterization model from calibration samples taken
@@ -127,10 +139,7 @@ func FitCtx(ctx context.Context, c *chip.Chip, samples []xmon.Sample, cfg FitCon
 	mses := make([]float64, len(cands))
 	err = parallel.ForEachCtx(ctx, cfg.Workers, len(cands), func(ci int) error {
 		cand := cands[ci]
-		X := make([][]float64, len(samples))
-		for i := range X {
-			X[i] = []float64{cand.wp*phys[i] + cand.wt*topo[i]}
-		}
+		X := featureMatrix(phys, topo, cand.wp, cand.wt)
 		mse, err := mlfit.KFoldMSE(X, y, cfg.Folds, cfg.Forest, cfg.Forest.Seed)
 		if err != nil {
 			return fmt.Errorf("crosstalk: CV at (%.2f,%.2f): %w", cand.wp, cand.wt, err)
@@ -150,16 +159,27 @@ func FitCtx(ctx context.Context, c *chip.Chip, samples []xmon.Sample, cfg FitCon
 	}
 
 	// Refit on the full dataset at the winning weights.
-	X := make([][]float64, len(samples))
-	for i := range X {
-		X[i] = []float64{best.Weights.WPhy*phys[i] + best.Weights.WTop*topo[i]}
-	}
+	X := featureMatrix(phys, topo, best.Weights.WPhy, best.Weights.WTop)
 	forest, err := mlfit.FitForest(X, y, cfg.Forest)
 	if err != nil {
 		return nil, fmt.Errorf("crosstalk: final fit: %w", err)
 	}
 	best.forest = forest
 	return best, nil
+}
+
+// featureMatrix builds the single-feature design matrix
+// X[i] = [wp*phys[i] + wt*topo[i]] over one flat backing array — two
+// allocations total instead of one per row, which matters because the
+// grid search rebuilds the matrix for every weight candidate.
+func featureMatrix(phys, topo []float64, wp, wt float64) [][]float64 {
+	flat := make([]float64, len(phys))
+	X := make([][]float64, len(phys))
+	for i := range X {
+		flat[i] = wp*phys[i] + wt*topo[i]
+		X[i] = flat[i : i+1 : i+1]
+	}
+	return X
 }
 
 // trimOutliers drops the ceil(fraction*n) largest-valued samples,
@@ -205,9 +225,14 @@ func trimOutliers(samples []xmon.Sample, fraction float64) ([]xmon.Sample, error
 }
 
 // PredictDistance returns the model's crosstalk prediction at a raw
-// equivalent distance.
+// equivalent distance, memoized per distinct distance.
 func (m *Model) PredictDistance(dEquiv float64) float64 {
-	return m.forest.Predict([]float64{dEquiv})
+	if v, ok := m.predCache.Load(dEquiv); ok {
+		return v.(float64)
+	}
+	p := m.forest.Predict([]float64{dEquiv})
+	m.predCache.Store(dEquiv, p)
+	return p
 }
 
 // Predictor binds a model to a chip, caching the chip's distance
@@ -245,14 +270,22 @@ func (p *Predictor) Predict(i, j int) float64 {
 	return p.Model.PredictDistance(p.EquivDistance(i, j))
 }
 
-// Matrix returns the full predicted pairwise crosstalk matrix.
+// Matrix returns the full predicted pairwise crosstalk matrix. The
+// model is symmetric in (i,j) — d_phy and d_top both are — so each
+// unordered pair is predicted once and mirrored; the diagonal is zero
+// by definition. Rows share one flat n*n backing array.
 func (p *Predictor) Matrix() [][]float64 {
 	n := p.chip.NumQubits()
+	flat := make([]float64, n*n)
 	m := make([][]float64, n)
 	for i := 0; i < n; i++ {
-		m[i] = make([]float64, n)
-		for j := 0; j < n; j++ {
-			m[i][j] = p.Predict(i, j)
+		m[i] = flat[i*n : (i+1)*n : (i+1)*n]
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := p.Predict(i, j)
+			m[i][j] = v
+			m[j][i] = v
 		}
 	}
 	return m

@@ -1,0 +1,76 @@
+package crosstalk
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/chip"
+)
+
+// TestMatrixSymmetryAndDiagonal pins the mirrored-pair construction of
+// Matrix: exact (not just approximate) symmetry, a zero diagonal, and
+// entry-wise agreement with pointwise Predict.
+func TestMatrixSymmetryAndDiagonal(t *testing.T) {
+	c := chip.Square(3, 4)
+	m, _ := fitOn(t, c, 5)
+	p := m.On(c)
+	mat := p.Matrix()
+	n := c.NumQubits()
+	if len(mat) != n {
+		t.Fatalf("matrix has %d rows, want %d", len(mat), n)
+	}
+	for i := 0; i < n; i++ {
+		if len(mat[i]) != n {
+			t.Fatalf("row %d has %d entries, want %d", i, len(mat[i]), n)
+		}
+		if mat[i][i] != 0 {
+			t.Errorf("diagonal [%d][%d] = %v, want 0", i, i, mat[i][i])
+		}
+		for j := i + 1; j < n; j++ {
+			if mat[i][j] != mat[j][i] {
+				t.Errorf("asymmetry at (%d,%d): %v vs %v", i, j, mat[i][j], mat[j][i])
+			}
+			if mat[i][j] != p.Predict(i, j) {
+				t.Errorf("matrix[%d][%d] = %v, Predict = %v", i, j, mat[i][j], p.Predict(i, j))
+			}
+		}
+	}
+}
+
+// TestPredictConcurrent hammers the memoized prediction path from many
+// goroutines — the FDM region grouping predicts concurrently, so the
+// cache must be race-free (run under -race) and every goroutine must
+// observe identical values.
+func TestPredictConcurrent(t *testing.T) {
+	c := chip.Square(3, 3)
+	m, _ := fitOn(t, c, 6)
+	p := m.On(c)
+	n := c.NumQubits()
+	want := p.Matrix()
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make([]string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						if got := p.Predict(i, j); got != want[i][j] {
+							errs[g] = "concurrent Predict diverged from Matrix"
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != "" {
+			t.Fatal(e)
+		}
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"repro/internal/parallel"
 )
 
 // Graph is an undirected graph over vertices 0..N-1.
@@ -85,26 +87,97 @@ func (g *Graph) Edges() [][2]int {
 	return es
 }
 
-// BFSDistances returns the unweighted shortest-path distance from src to
-// every vertex. Unreachable vertices get -1.
-func (g *Graph) BFSDistances(src int) []int {
-	dist := make([]int, g.n)
+// BFSScratch holds the working buffers of one breadth-first traversal —
+// the distance and path-count arrays plus the fixed-capacity vertex
+// queue (every vertex is enqueued at most once, so a flat n-slot buffer
+// with head/tail cursors replaces the historical slice-append queue and
+// its re-slicing churn). One scratch serves any number of sequential
+// traversals of graphs with at most the allocated vertex count; it must
+// not be shared between concurrent traversals.
+type BFSScratch struct {
+	dist  []int
+	count []int64
+	queue []int
+}
+
+// NewBFSScratch returns scratch sized for n-vertex graphs.
+func NewBFSScratch(n int) *BFSScratch {
+	return &BFSScratch{
+		dist:  make([]int, n),
+		count: make([]int64, n),
+		queue: make([]int, n),
+	}
+}
+
+// bfsDistancesInto runs the distance-only BFS from src into sc.dist.
+func (g *Graph) bfsDistancesInto(src int, sc *BFSScratch) {
+	dist, queue := sc.dist[:g.n], sc.queue[:g.n]
 	for i := range dist {
 		dist[i] = -1
 	}
 	dist[src] = 0
-	queue := []int{src}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	queue[0] = src
+	head, tail := 0, 1
+	for head < tail {
+		u := queue[head]
+		head++
+		du := dist[u] + 1
 		for _, v := range g.adj[u] {
 			if dist[v] < 0 {
-				dist[v] = dist[u] + 1
-				queue = append(queue, v)
+				dist[v] = du
+				queue[tail] = v
+				tail++
 			}
 		}
 	}
-	return dist
+}
+
+// shortestPathCountsInto runs the counting BFS from src into sc.dist
+// and sc.count.
+func (g *Graph) shortestPathCountsInto(src int, sc *BFSScratch) {
+	dist, count, queue := sc.dist[:g.n], sc.count[:g.n], sc.queue[:g.n]
+	for i := range dist {
+		dist[i] = -1
+		count[i] = 0
+	}
+	dist[src] = 0
+	count[src] = 1
+	queue[0] = src
+	head, tail := 0, 1
+	for head < tail {
+		u := queue[head]
+		head++
+		du := dist[u] + 1
+		for _, v := range g.adj[u] {
+			switch {
+			case dist[v] < 0:
+				dist[v] = du
+				count[v] = count[u]
+				queue[tail] = v
+				tail++
+			case dist[v] == du:
+				count[v] += count[u]
+			}
+		}
+	}
+}
+
+// BFSDistances returns the unweighted shortest-path distance from src to
+// every vertex. Unreachable vertices get -1. The returned slice is owned
+// by the caller; loops running many traversals should use
+// BFSDistancesScratch instead.
+func (g *Graph) BFSDistances(src int) []int {
+	sc := &BFSScratch{dist: make([]int, g.n), queue: make([]int, g.n)}
+	g.bfsDistancesInto(src, sc)
+	return sc.dist
+}
+
+// BFSDistancesScratch is BFSDistances computed in caller-owned scratch.
+// The returned slice aliases sc and is valid until the next traversal
+// using sc.
+func (g *Graph) BFSDistancesScratch(src int, sc *BFSScratch) []int {
+	g.bfsDistancesInto(src, sc)
+	return sc.dist[:g.n]
 }
 
 // ShortestPathCounts returns, for a source vertex, both the shortest-path
@@ -114,29 +187,17 @@ func (g *Graph) BFSDistances(src int) []int {
 // This implements the paper's multi-path topological metric: when n
 // shortest paths of length l connect two qubits, d_top = n*l.
 func (g *Graph) ShortestPathCounts(src int) (dist []int, count []int64) {
-	dist = make([]int, g.n)
-	count = make([]int64, g.n)
-	for i := range dist {
-		dist[i] = -1
-	}
-	dist[src] = 0
-	count[src] = 1
-	queue := []int{src}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, v := range g.adj[u] {
-			switch {
-			case dist[v] < 0:
-				dist[v] = dist[u] + 1
-				count[v] = count[u]
-				queue = append(queue, v)
-			case dist[v] == dist[u]+1:
-				count[v] += count[u]
-			}
-		}
-	}
-	return dist, count
+	sc := NewBFSScratch(g.n)
+	g.shortestPathCountsInto(src, sc)
+	return sc.dist, sc.count
+}
+
+// ShortestPathCountsScratch is ShortestPathCounts computed in
+// caller-owned scratch. The returned slices alias sc and are valid
+// until the next traversal using sc.
+func (g *Graph) ShortestPathCountsScratch(src int, sc *BFSScratch) (dist []int, count []int64) {
+	g.shortestPathCountsInto(src, sc)
+	return sc.dist[:g.n], sc.count[:g.n]
 }
 
 // MultiPathDistance returns the paper's multi-path topological distance
@@ -156,11 +217,28 @@ func (g *Graph) MultiPathDistance(u, v int) float64 {
 
 // AllMultiPathDistances returns the full n×n multi-path distance matrix.
 // Entry [i][j] is +Inf for unreachable pairs and 0 on the diagonal.
+// Sources fan out over runtime.NumCPU() workers; the matrix is a pure
+// function of the graph, so the worker count cannot change a single
+// entry (every row is written only by its own source's task).
 func (g *Graph) AllMultiPathDistances() [][]float64 {
+	return g.AllMultiPathDistancesWorkers(0)
+}
+
+// AllMultiPathDistancesWorkers is AllMultiPathDistances with an
+// explicit worker budget (<= 0: runtime.NumCPU(), 1: sequential). The
+// rows share one flat n*n backing array, and each worker reuses one
+// BFSScratch across all its sources.
+func (g *Graph) AllMultiPathDistancesWorkers(workers int) [][]float64 {
 	m := make([][]float64, g.n)
-	for u := 0; u < g.n; u++ {
-		dist, count := g.ShortestPathCounts(u)
-		row := make([]float64, g.n)
+	flat := make([]float64, g.n*g.n)
+	nWorkers := parallel.Resolve(workers, g.n)
+	scratch := make([]*BFSScratch, nWorkers)
+	for w := range scratch {
+		scratch[w] = NewBFSScratch(g.n)
+	}
+	parallel.ForEachWorker(workers, g.n, func(worker, u int) {
+		dist, count := g.ShortestPathCountsScratch(u, scratch[worker])
+		row := flat[u*g.n : (u+1)*g.n : (u+1)*g.n]
 		for v := 0; v < g.n; v++ {
 			switch {
 			case u == v:
@@ -172,7 +250,7 @@ func (g *Graph) AllMultiPathDistances() [][]float64 {
 			}
 		}
 		m[u] = row
-	}
+	})
 	return m
 }
 

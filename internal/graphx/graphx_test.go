@@ -295,3 +295,65 @@ func TestNewPanicsOnNegative(t *testing.T) {
 	}()
 	New(-1)
 }
+
+// randomGraph draws a connected-ish random graph for property tests.
+func randomGraph(n int, rng *rand.Rand) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		// Spanning-tree edge keeps most of the graph connected...
+		if rng.Float64() < 0.9 {
+			_ = g.AddEdge(rng.Intn(i), i)
+		}
+	}
+	// ...plus random extra edges for path multiplicity.
+	for e := 0; e < n; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			_ = g.AddEdge(u, v) // duplicates rejected, fine
+		}
+	}
+	return g
+}
+
+func TestBFSScratchMatchesAllocatingVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(3+rng.Intn(40), rng)
+		sc := NewBFSScratch(g.N())
+		for src := 0; src < g.N(); src++ {
+			want := g.BFSDistances(src)
+			got := g.BFSDistancesScratch(src, sc)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("trial %d src %d: scratch dist[%d] = %d, want %d", trial, src, v, got[v], want[v])
+				}
+			}
+			wd, wc := g.ShortestPathCounts(src)
+			gd, gc := g.ShortestPathCountsScratch(src, sc)
+			for v := range wd {
+				if gd[v] != wd[v] || gc[v] != wc[v] {
+					t.Fatalf("trial %d src %d: scratch counts (%d,%d), want (%d,%d)", trial, src, gd[v], gc[v], wd[v], wc[v])
+				}
+			}
+		}
+	}
+}
+
+// TestAllMultiPathDistancesWorkerCountInvariance: the parallel fan-out
+// over sources must produce a bit-identical matrix at any worker count.
+func TestAllMultiPathDistancesWorkerCountInvariance(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(5+rng.Intn(60), rng)
+		seq := g.AllMultiPathDistancesWorkers(1)
+		par := g.AllMultiPathDistancesWorkers(4)
+		for u := range seq {
+			for v := range seq[u] {
+				sv, pv := seq[u][v], par[u][v]
+				if sv != pv && !(math.IsInf(sv, 1) && math.IsInf(pv, 1)) {
+					t.Fatalf("seed %d: [%d][%d] = %v workers=1 vs %v workers=4", seed, u, v, sv, pv)
+				}
+			}
+		}
+	}
+}

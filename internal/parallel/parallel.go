@@ -71,6 +71,75 @@ func ForEach(workers, n int, fn func(i int)) {
 	wg.Wait()
 }
 
+// Resolve returns the worker count ForEach and friends actually use
+// for n tasks: Workers(workers) clamped to n and floored at 1. Callers
+// sizing per-worker scratch (see ForEachWorker) must size it with
+// Resolve so the slice covers exactly the ids that can appear.
+func Resolve(workers, n int) int {
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEachWorker is ForEach that additionally hands fn the id of the
+// executing worker, a stable integer in [0, Resolve(workers, n)). The
+// id exists so tasks can reuse per-worker scratch buffers (state
+// vectors, BFS queues) without synchronization: a worker runs its
+// tasks strictly sequentially, so scratch indexed by worker id is
+// data-race-free by construction. The determinism contract still
+// applies — which tasks land on which worker is scheduling-dependent,
+// so scratch must carry no information between tasks (reset it at task
+// entry) and results must still be written to per-index slots.
+func ForEachWorker(workers, n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Resolve(workers, n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// ForEachErrWorker is ForEachWorker for fallible tasks, with the same
+// lowest-failing-index error selection as ForEachErr.
+func ForEachErrWorker(workers, n int, fn func(worker, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	ForEachWorker(workers, n, func(worker, i int) { errs[i] = fn(worker, i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ForEachErr is ForEach for fallible tasks. Every task always runs
 // (there is no early cancellation — tasks are cheap relative to the
 // bookkeeping that cancellation would need), and the error of the

@@ -132,6 +132,83 @@ func TestTaskRandStreamsAreIndependentOfWorkerCount(t *testing.T) {
 	}
 }
 
+func TestResolve(t *testing.T) {
+	if got := Resolve(4, 100); got != 4 {
+		t.Errorf("Resolve(4, 100) = %d", got)
+	}
+	if got := Resolve(8, 3); got != 3 {
+		t.Errorf("Resolve(8, 3) = %d, want clamp to n", got)
+	}
+	if got := Resolve(1, 0); got != 1 {
+		t.Errorf("Resolve(1, 0) = %d, want floor 1", got)
+	}
+	if got := Resolve(0, 1000); got != runtime.NumCPU() {
+		t.Errorf("Resolve(0, 1000) = %d, want NumCPU", got)
+	}
+}
+
+func TestForEachWorkerVisitsEveryIndexWithValidWorkerID(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 13} {
+		for _, n := range []int{0, 1, 5, 100} {
+			w := Resolve(workers, n)
+			counts := make([]int32, n)
+			var badWorker atomic.Int32
+			ForEachWorker(workers, n, func(worker, i int) {
+				if worker < 0 || worker >= w {
+					badWorker.Store(int32(worker) + 1)
+				}
+				atomic.AddInt32(&counts[i], 1)
+			})
+			if b := badWorker.Load(); b != 0 {
+				t.Fatalf("workers=%d n=%d: worker id %d outside [0,%d)", workers, n, b-1, w)
+			}
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestForEachWorkerScratchIsRaceFree exercises the per-worker-scratch
+// pattern the id exists for: every worker mutates only its own slot,
+// which -race must accept and the totals must prove every task ran.
+func TestForEachWorkerScratchIsRaceFree(t *testing.T) {
+	const n = 500
+	w := Resolve(4, n)
+	scratch := make([]int, w)
+	ForEachWorker(4, n, func(worker, i int) { scratch[worker]++ })
+	total := 0
+	for _, c := range scratch {
+		total += c
+	}
+	if total != n {
+		t.Errorf("scratch counters sum to %d, want %d", total, n)
+	}
+}
+
+func TestForEachErrWorkerReturnsLowestIndexError(t *testing.T) {
+	errLow := errors.New("low")
+	for _, workers := range []int{1, 4} {
+		err := ForEachErrWorker(workers, 100, func(worker, i int) error {
+			switch i {
+			case 23:
+				return errLow
+			case 77:
+				return errors.New("high")
+			}
+			return nil
+		})
+		if err != errLow {
+			t.Errorf("workers=%d: got %v, want the index-23 error", workers, err)
+		}
+	}
+	if err := ForEachErrWorker(4, 0, func(worker, i int) error { return errors.New("never") }); err != nil {
+		t.Errorf("n=0 returned %v", err)
+	}
+}
+
 // TestForEachConcurrentUse drives the pool from many goroutines at
 // once — the pool itself must be freely shareable (run under -race).
 func TestForEachConcurrentUse(t *testing.T) {

@@ -1,0 +1,585 @@
+package quantum
+
+import (
+	"repro/internal/parallel"
+)
+
+// Kernel memory layout and sharding rules (the "performance contract"
+// section of DESIGN.md is the normative description):
+//
+// Amplitudes are one flat []complex128 in little-endian basis order. A
+// single-qubit gate on qubit q touches amplitude pairs (i, i|bit) with
+// bit = 1<<q; the pair index p in [0, len/2) enumerates them as
+//
+//	i = ((p &^ (bit-1)) << 1) | (p & (bit-1))
+//
+// i.e. contiguous runs of length bit inside blocks of length 2*bit, so
+// every kernel walks two interleaved contiguous streams instead of
+// scanning all amplitudes with a branch per index.
+//
+// Kernels are split into package-level span functions (plain loops over
+// a [lo, hi) sub-range, no closures) and thin dispatchers. The
+// dispatchers run the span function inline unless the register has at
+// least shardMinAmps amplitudes AND the state has a multi-worker
+// budget; only that sharded path pays for closures and goroutines. The
+// hot sequential path is allocation-free.
+//
+// Elementwise kernels (gate application, collapse, scaling) may
+// partition the index range arbitrarily — every slot is written by
+// exactly one task and no floating-point accumulation crosses a
+// partition. Reductions (Norm, Overlap, branch probabilities, the
+// MeasureAll prefix scan) follow the fixed-order chunked rule: partial
+// sums over fixed reduceChunk-sized chunks, accumulated in index order
+// within a chunk and in chunk order across chunks. Chunk boundaries
+// depend only on the register size — never on the worker count — so
+// results are bit-identical for any Workers setting, which is what
+// keeps the repository-wide determinism contract intact.
+const (
+	// shardMinAmps is the amplitude count from which kernels may shard
+	// across the worker pool and reductions switch to the fixed-order
+	// chunked rule. Below it everything runs as one sequential span,
+	// reproducing the pre-kernel results bit for bit.
+	shardMinAmps = 1 << 14
+	// reduceChunk is the fixed chunk length of chunked reductions.
+	reduceChunk = 1 << 12
+)
+
+// resolvedWorkers returns the effective worker budget of this state (a
+// zero field means sequential — NewState never enables sharding).
+func (s *State) resolvedWorkers() int {
+	if s.workers < 1 {
+		return 1
+	}
+	return s.workers
+}
+
+// sharded reports whether kernels should fan out over the worker pool.
+func (s *State) sharded() bool {
+	return len(s.amp) >= shardMinAmps && s.resolvedWorkers() > 1
+}
+
+// shardSpans splits [0, n) into one contiguous span per worker and runs
+// fn over each in parallel. Call only when s.sharded(); fn must be
+// elementwise — it may only write slots inside its own span.
+func (s *State) shardSpans(n int, fn func(lo, hi int)) {
+	w := s.resolvedWorkers()
+	if w > n {
+		w = n
+	}
+	span := (n + w - 1) / w
+	parallel.ForEach(w, w, func(g int) {
+		lo := g * span
+		hi := lo + span
+		if hi > n {
+			hi = n
+		}
+		if lo < hi {
+			fn(lo, hi)
+		}
+	})
+}
+
+// reduce sums fn over the domain [0, n) under the fixed-order chunked
+// rule. fn must accumulate its sub-range in index order and be free of
+// side effects; reduce never mutates the state and keeps any scratch
+// local, so it is safe on a shared read-only state
+// (MonteCarloFidelity overlaps every trajectory against one ideal
+// state from many goroutines).
+func (s *State) reduce(n int, fn func(lo, hi int) float64) float64 {
+	if len(s.amp) < shardMinAmps {
+		return fn(0, n)
+	}
+	var sum float64
+	if !s.sharded() {
+		// Same chunk-order association as the parallel path, no
+		// partial-sum allocation.
+		for lo := 0; lo < n; lo += reduceChunk {
+			hi := lo + reduceChunk
+			if hi > n {
+				hi = n
+			}
+			sum += fn(lo, hi)
+		}
+		return sum
+	}
+	nc := (n + reduceChunk - 1) / reduceChunk
+	parts := make([]float64, nc)
+	parallel.ForEach(s.resolvedWorkers(), nc, func(ci int) {
+		lo := ci * reduceChunk
+		hi := lo + reduceChunk
+		if hi > n {
+			hi = n
+		}
+		parts[ci] = fn(lo, hi)
+	})
+	for _, p := range parts {
+		sum += p
+	}
+	return sum
+}
+
+// reduceC is reduce for complex accumulators.
+func (s *State) reduceC(n int, fn func(lo, hi int) complex128) complex128 {
+	if len(s.amp) < shardMinAmps {
+		return fn(0, n)
+	}
+	var sum complex128
+	if !s.sharded() {
+		for lo := 0; lo < n; lo += reduceChunk {
+			hi := lo + reduceChunk
+			if hi > n {
+				hi = n
+			}
+			sum += fn(lo, hi)
+		}
+		return sum
+	}
+	nc := (n + reduceChunk - 1) / reduceChunk
+	parts := make([]complex128, nc)
+	parallel.ForEach(s.resolvedWorkers(), nc, func(ci int) {
+		lo := ci * reduceChunk
+		hi := lo + reduceChunk
+		if hi > n {
+			hi = n
+		}
+		parts[ci] = fn(lo, hi)
+	})
+	for _, p := range parts {
+		sum += p
+	}
+	return sum
+}
+
+// apply1QSpan applies the 2×2 unitary [[a,b],[c,d]] over pair indices
+// [lo, hi) of qubit bit `bit`, walking contiguous runs.
+func apply1QSpan(amp []complex128, bit, lo, hi int, a, b, c, d complex128) {
+	if bit == 1 {
+		// Qubit 0: pairs are adjacent, runs degenerate to single pairs —
+		// walk them directly without the run bookkeeping.
+		for i, e := lo<<1, hi<<1; i < e; i += 2 {
+			x, y := amp[i], amp[i+1]
+			amp[i] = a*x + b*y
+			amp[i+1] = c*x + d*y
+		}
+		return
+	}
+	mask := bit - 1
+	for p := lo; p < hi; {
+		k := p & mask
+		i := ((p &^ mask) << 1) | k
+		m := bit - k
+		if m > hi-p {
+			m = hi - p
+		}
+		p += m
+		for e := i + m; i < e; i++ {
+			j := i | bit
+			x, y := amp[i], amp[j]
+			amp[i] = a*x + b*y
+			amp[j] = c*x + d*y
+		}
+	}
+}
+
+// apply1Q applies the 2×2 unitary [[a,b],[c,d]] to qubit q.
+func (s *State) apply1Q(q int, a, b, c, d complex128) {
+	bit := 1 << uint(q)
+	half := len(s.amp) >> 1
+	if !s.sharded() {
+		apply1QSpan(s.amp, bit, 0, half, a, b, c, d)
+		return
+	}
+	s.shardSpans(half, func(lo, hi int) {
+		apply1QSpan(s.amp, bit, lo, hi, a, b, c, d)
+	})
+}
+
+// ry1QSpan applies the real Givens rotation [[c,-s],[s,c]] (an RY
+// gate) over pair indices [lo, hi). Every matrix entry is real, so each
+// product is a real×complex scale and the pair update costs half the
+// multiplies of the generic kernel — the dominant win on
+// rotation-heavy circuits. The dropped 0·x cross terms are exact zeros,
+// so the results match the generic kernel bit-for-bit (up to signs of
+// zero).
+func ry1QSpan(amp []complex128, bit, lo, hi int, c, s float64) {
+	if bit == 1 {
+		for i, e := lo<<1, hi<<1; i < e; i += 2 {
+			x, y := amp[i], amp[i+1]
+			amp[i] = complex(c*real(x)-s*real(y), c*imag(x)-s*imag(y))
+			amp[i+1] = complex(s*real(x)+c*real(y), s*imag(x)+c*imag(y))
+		}
+		return
+	}
+	mask := bit - 1
+	for p := lo; p < hi; {
+		k := p & mask
+		i := ((p &^ mask) << 1) | k
+		m := bit - k
+		if m > hi-p {
+			m = hi - p
+		}
+		p += m
+		for e := i + m; i < e; i++ {
+			j := i | bit
+			x, y := amp[i], amp[j]
+			amp[i] = complex(c*real(x)-s*real(y), c*imag(x)-s*imag(y))
+			amp[j] = complex(s*real(x)+c*real(y), s*imag(x)+c*imag(y))
+		}
+	}
+}
+
+// rx1QSpan applies [[c, -i·s], [-i·s, c]] (an RX gate) over pair
+// indices [lo, hi). The off-diagonal is purely imaginary, so -i·s·y
+// is just the partner's parts swapped and scaled — again only real
+// multiplies, as in ry1QSpan.
+func rx1QSpan(amp []complex128, bit, lo, hi int, c, s float64) {
+	if bit == 1 {
+		for i, e := lo<<1, hi<<1; i < e; i += 2 {
+			x, y := amp[i], amp[i+1]
+			amp[i] = complex(c*real(x)+s*imag(y), c*imag(x)-s*real(y))
+			amp[i+1] = complex(s*imag(x)+c*real(y), c*imag(y)-s*real(x))
+		}
+		return
+	}
+	mask := bit - 1
+	for p := lo; p < hi; {
+		k := p & mask
+		i := ((p &^ mask) << 1) | k
+		m := bit - k
+		if m > hi-p {
+			m = hi - p
+		}
+		p += m
+		for e := i + m; i < e; i++ {
+			j := i | bit
+			x, y := amp[i], amp[j]
+			amp[i] = complex(c*real(x)+s*imag(y), c*imag(x)-s*real(y))
+			amp[j] = complex(s*imag(x)+c*real(y), c*imag(y)-s*real(x))
+		}
+	}
+}
+
+// applyRX applies RX(θ) to qubit q, with c = cos(θ/2), sn = sin(θ/2).
+func (s *State) applyRX(q int, c, sn float64) {
+	bit := 1 << uint(q)
+	half := len(s.amp) >> 1
+	if !s.sharded() {
+		rx1QSpan(s.amp, bit, 0, half, c, sn)
+		return
+	}
+	s.shardSpans(half, func(lo, hi int) {
+		rx1QSpan(s.amp, bit, lo, hi, c, sn)
+	})
+}
+
+// applyRY applies RY(θ) to qubit q, with c = cos(θ/2), sn = sin(θ/2).
+func (s *State) applyRY(q int, c, sn float64) {
+	bit := 1 << uint(q)
+	half := len(s.amp) >> 1
+	if !s.sharded() {
+		ry1QSpan(s.amp, bit, 0, half, c, sn)
+		return
+	}
+	s.shardSpans(half, func(lo, hi int) {
+		ry1QSpan(s.amp, bit, lo, hi, c, sn)
+	})
+}
+
+// diag1QSpan applies diag(d0, d1) over pair indices [lo, hi).
+func diag1QSpan(amp []complex128, bit, lo, hi int, d0, d1 complex128) {
+	if bit == 1 {
+		for i, e := lo<<1, hi<<1; i < e; i += 2 {
+			amp[i] *= d0
+			amp[i+1] *= d1
+		}
+		return
+	}
+	mask := bit - 1
+	for p := lo; p < hi; {
+		k := p & mask
+		i := ((p &^ mask) << 1) | k
+		m := bit - k
+		if m > hi-p {
+			m = hi - p
+		}
+		p += m
+		for e := i + m; i < e; i++ {
+			amp[i] *= d0
+			amp[i|bit] *= d1
+		}
+	}
+}
+
+// branchScaleSpan multiplies only the bit-set branch by f over pair
+// indices [lo, hi) — the T1-damping back-action, where the ground
+// branch is untouched and a diag(1, f) kernel would waste half its
+// multiplies on identities.
+func branchScaleSpan(amp []complex128, bit, lo, hi int, f complex128) {
+	if bit == 1 {
+		for i, e := lo<<1, hi<<1; i < e; i += 2 {
+			amp[i+1] *= f
+		}
+		return
+	}
+	mask := bit - 1
+	for p := lo; p < hi; {
+		k := p & mask
+		i := ((p &^ mask) << 1) | k
+		m := bit - k
+		if m > hi-p {
+			m = hi - p
+		}
+		p += m
+		for e := i + m; i < e; i++ {
+			amp[i|bit] *= f
+		}
+	}
+}
+
+// applyDiag1Q applies diag(d0, d1) to qubit q — the RZ / Pauli-Z /
+// damping fast path: no pair gather, at most one multiply per
+// amplitude (none on a branch whose eigenvalue is exactly 1).
+func (s *State) applyDiag1Q(q int, d0, d1 complex128) {
+	bit := 1 << uint(q)
+	half := len(s.amp) >> 1
+	if d0 == 1 {
+		if !s.sharded() {
+			branchScaleSpan(s.amp, bit, 0, half, d1)
+			return
+		}
+		s.shardSpans(half, func(lo, hi int) {
+			branchScaleSpan(s.amp, bit, lo, hi, d1)
+		})
+		return
+	}
+	if !s.sharded() {
+		diag1QSpan(s.amp, bit, 0, half, d0, d1)
+		return
+	}
+	s.shardSpans(half, func(lo, hi int) {
+		diag1QSpan(s.amp, bit, lo, hi, d0, d1)
+	})
+}
+
+// antiDiag1QSpan applies [[0,b],[c,0]] over pair indices [lo, hi).
+func antiDiag1QSpan(amp []complex128, bit, lo, hi int, b, c complex128) {
+	if bit == 1 {
+		for i, e := lo<<1, hi<<1; i < e; i += 2 {
+			x, y := amp[i], amp[i+1]
+			amp[i] = b * y
+			amp[i+1] = c * x
+		}
+		return
+	}
+	mask := bit - 1
+	for p := lo; p < hi; {
+		k := p & mask
+		i := ((p &^ mask) << 1) | k
+		m := bit - k
+		if m > hi-p {
+			m = hi - p
+		}
+		p += m
+		for e := i + m; i < e; i++ {
+			j := i | bit
+			x, y := amp[i], amp[j]
+			amp[i] = b * y
+			amp[j] = c * x
+		}
+	}
+}
+
+// applyAntiDiag1Q applies [[0,b],[c,0]] to qubit q — the Pauli-X/Y
+// fast path: a pure swap-and-scale with no additions.
+func (s *State) applyAntiDiag1Q(q int, b, c complex128) {
+	bit := 1 << uint(q)
+	half := len(s.amp) >> 1
+	if !s.sharded() {
+		antiDiag1QSpan(s.amp, bit, 0, half, b, c)
+		return
+	}
+	s.shardSpans(half, func(lo, hi int) {
+		antiDiag1QSpan(s.amp, bit, lo, hi, b, c)
+	})
+}
+
+// czSpan negates amplitudes whose basis index has both control bits
+// set, for quarter indices [lo, hi). ba < bb. Each quarter index t
+// gains bit a (insert and set), then bit b: runs of consecutive t
+// inside one a-block stay inside one b-block (bb >= 2*ba), so the
+// final indices are contiguous.
+func czSpan(amp []complex128, ba, bb, lo, hi int) {
+	maskA, maskB := ba-1, bb-1
+	for t := lo; t < hi; {
+		k := t & maskA
+		x := ((t &^ maskA) << 1) | k | ba
+		i := ((x &^ maskB) << 1) | (x & maskB) | bb
+		m := ba - k
+		if m > hi-t {
+			m = hi - t
+		}
+		t += m
+		for e := i + m; i < e; i++ {
+			amp[i] = -amp[i]
+		}
+	}
+}
+
+// applyCZ negates every amplitude whose basis index has both control
+// bits set — a quarter of the register, visited directly instead of
+// scanning all indices with two branch tests.
+func (s *State) applyCZ(a, b int) {
+	if a > b {
+		a, b = b, a
+	}
+	ba, bb := 1<<uint(a), 1<<uint(b)
+	quarter := len(s.amp) >> 2
+	if !s.sharded() {
+		czSpan(s.amp, ba, bb, 0, quarter)
+		return
+	}
+	s.shardSpans(quarter, func(lo, hi int) {
+		czSpan(s.amp, ba, bb, lo, hi)
+	})
+}
+
+// branchNormsSpan accumulates both branch norms of qubit bit `bit`
+// over pair indices [lo, hi), each in ascending index order.
+func branchNormsSpan(amp []complex128, bit, lo, hi int) (p0, p1 float64) {
+	if bit == 1 {
+		for i, e := lo<<1, hi<<1; i < e; i += 2 {
+			x, y := amp[i], amp[i+1]
+			p0 += real(x)*real(x) + imag(x)*imag(x)
+			p1 += real(y)*real(y) + imag(y)*imag(y)
+		}
+		return p0, p1
+	}
+	mask := bit - 1
+	for p := lo; p < hi; {
+		k := p & mask
+		i := ((p &^ mask) << 1) | k
+		m := bit - k
+		if m > hi-p {
+			m = hi - p
+		}
+		p += m
+		for e := i + m; i < e; i++ {
+			x, y := amp[i], amp[i|bit]
+			p0 += real(x)*real(x) + imag(x)*imag(x)
+			p1 += real(y)*real(y) + imag(y)*imag(y)
+		}
+	}
+	return p0, p1
+}
+
+// branchNorms returns the squared norms of the bit-clear and bit-set
+// branches of qubit q in one pass over the register. Each branch
+// accumulates under the chunked-reduction rule, so the bit-set sum is
+// bit-identical to the historical separate p1 scan on small registers
+// and worker-count-invariant on large ones.
+func (s *State) branchNorms(q int) (p0, p1 float64) {
+	bit := 1 << uint(q)
+	half := len(s.amp) >> 1
+	if len(s.amp) < shardMinAmps {
+		return branchNormsSpan(s.amp, bit, 0, half)
+	}
+	if !s.sharded() {
+		for lo := 0; lo < half; lo += reduceChunk {
+			hi := lo + reduceChunk
+			if hi > half {
+				hi = half
+			}
+			c0, c1 := branchNormsSpan(s.amp, bit, lo, hi)
+			p0 += c0
+			p1 += c1
+		}
+		return p0, p1
+	}
+	nc := (half + reduceChunk - 1) / reduceChunk
+	parts0 := make([]float64, nc)
+	parts1 := make([]float64, nc)
+	parallel.ForEach(s.resolvedWorkers(), nc, func(ci int) {
+		lo := ci * reduceChunk
+		hi := lo + reduceChunk
+		if hi > half {
+			hi = half
+		}
+		parts0[ci], parts1[ci] = branchNormsSpan(s.amp, bit, lo, hi)
+	})
+	for ci := 0; ci < nc; ci++ {
+		p0 += parts0[ci]
+		p1 += parts1[ci]
+	}
+	return p0, p1
+}
+
+// collapseSpan zeroes the dead branch and rescales the surviving one
+// over pair indices [lo, hi).
+func collapseSpan(amp []complex128, bit, lo, hi, outcome int, scale complex128) {
+	if bit == 1 {
+		if outcome == 1 {
+			for i, e := lo<<1, hi<<1; i < e; i += 2 {
+				amp[i] = 0
+				amp[i+1] *= scale
+			}
+		} else {
+			for i, e := lo<<1, hi<<1; i < e; i += 2 {
+				amp[i] *= scale
+				amp[i+1] = 0
+			}
+		}
+		return
+	}
+	mask := bit - 1
+	for p := lo; p < hi; {
+		k := p & mask
+		i := ((p &^ mask) << 1) | k
+		m := bit - k
+		if m > hi-p {
+			m = hi - p
+		}
+		p += m
+		if outcome == 1 {
+			for e := i + m; i < e; i++ {
+				amp[i] = 0
+				amp[i|bit] *= scale
+			}
+		} else {
+			for e := i + m; i < e; i++ {
+				amp[i] *= scale
+				amp[i|bit] = 0
+			}
+		}
+	}
+}
+
+// collapseBranch zeroes the dead branch of qubit q and rescales the
+// surviving one — the single collapse pass of MeasureQubit.
+func (s *State) collapseBranch(q, outcome int, scale complex128) {
+	bit := 1 << uint(q)
+	half := len(s.amp) >> 1
+	if !s.sharded() {
+		collapseSpan(s.amp, bit, 0, half, outcome, scale)
+		return
+	}
+	s.shardSpans(half, func(lo, hi int) {
+		collapseSpan(s.amp, bit, lo, hi, outcome, scale)
+	})
+}
+
+// scaleAll multiplies every amplitude by f.
+func (s *State) scaleAll(f complex128) {
+	if !s.sharded() {
+		amp := s.amp
+		for i := range amp {
+			amp[i] *= f
+		}
+		return
+	}
+	s.shardSpans(len(s.amp), func(lo, hi int) {
+		amp := s.amp
+		for i := lo; i < hi; i++ {
+			amp[i] *= f
+		}
+	})
+}

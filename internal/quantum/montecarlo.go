@@ -66,25 +66,36 @@ func (nm *NoiseModel) MonteCarloFidelity(sched *schedule.Schedule, nQubits int, 
 		}
 	}
 
-	// Each trajectory owns a state vector and an RNG stream derived
-	// from (Seed, trajectory index), so trajectories are independent
-	// tasks: the model is only read, and the per-index fidelity slots
-	// are summed in index order afterwards for bit-identical results at
-	// any worker count.
+	// Each trajectory draws from an RNG stream derived from (Seed,
+	// trajectory index) and runs on a per-worker scratch state vector:
+	// a worker executes its trajectories strictly sequentially, and
+	// Reset at task entry restores the exact |0...0> a freshly
+	// allocated register would hold, so reusing the buffer changes
+	// nothing except the allocation count — O(workers) registers
+	// instead of O(trajectories). The model is only read, and the
+	// per-index fidelity slots are summed in index order afterwards for
+	// bit-identical results at any worker count.
 	t1Ns := nm.T1Us * 1000
-	fids := make([]float64, cfg.Trajectories)
-	err = parallel.ForEachErr(cfg.Workers, cfg.Trajectories, func(tr int) error {
-		rng := parallel.TaskRand(cfg.Seed, uint64(tr))
-		noisy, err := NewState(nQubits)
+	nWorkers := parallel.Resolve(cfg.Workers, cfg.Trajectories)
+	scratch := make([]*trajScratch, nWorkers)
+	for w := range scratch {
+		st, err := NewState(nQubits)
 		if err != nil {
-			return err
+			return 0, err
 		}
+		scratch[w] = &trajScratch{state: st}
+	}
+	fids := make([]float64, cfg.Trajectories)
+	err = parallel.ForEachErrWorker(cfg.Workers, cfg.Trajectories, func(worker, tr int) error {
+		rng := parallel.TaskRand(cfg.Seed, uint64(tr))
+		sc := scratch[worker]
+		sc.state.Reset()
 		for _, slot := range sched.Slots {
-			if err := nm.applyNoisySlot(noisy, slot, t1Ns, rng); err != nil {
+			if err := nm.applyNoisySlot(sc, slot, t1Ns, rng); err != nil {
 				return err
 			}
 		}
-		f, err := ideal.Overlap(noisy)
+		f, err := ideal.Overlap(sc.state)
 		if err != nil {
 			return err
 		}
@@ -101,13 +112,25 @@ func (nm *NoiseModel) MonteCarloFidelity(sched *schedule.Schedule, nQubits int, 
 	return sum / float64(cfg.Trajectories), nil
 }
 
-func (nm *NoiseModel) applyNoisySlot(s *State, slot schedule.Slot, t1Ns float64, rng *rand.Rand) error {
-	type drive struct {
-		q        int
-		spectral bool
-		gate     int
-	}
-	var drives []drive
+// drive records one driven qubit of a slot for crosstalk pairing.
+type drive struct {
+	q        int
+	spectral bool
+	gate     int
+}
+
+// trajScratch is the per-worker working set of the trajectory loop: the
+// reusable state register and the drive list rebuilt every slot. Owned
+// by one worker at a time; the state is Reset and the drive list
+// truncated at entry, so no information survives between tasks.
+type trajScratch struct {
+	state  *State
+	drives []drive
+}
+
+func (nm *NoiseModel) applyNoisySlot(sc *trajScratch, slot schedule.Slot, t1Ns float64, rng *rand.Rand) error {
+	s := sc.state
+	drives := sc.drives[:0]
 
 	for gi, g := range slot.Gates {
 		if g.Name == circuit.Measure {
@@ -157,18 +180,21 @@ func (nm *NoiseModel) applyNoisySlot(s *State, slot schedule.Slot, t1Ns float64,
 			s.amplitudeDampStep(q, gamma, rng)
 		}
 	}
+	sc.drives = drives // hand the (possibly regrown) backing back for reuse
 	return nil
 }
 
-// applyPauli applies X (0), Y (1) or Z (2) to qubit q.
+// applyPauli applies X (0), Y (1) or Z (2) to qubit q, through the
+// anti-diagonal/diagonal kernels — Pauli injection is the hottest gate
+// of the trajectory loop and never needs the general 2×2 kernel.
 func (s *State) applyPauli(which, q int) {
 	switch which {
 	case 0:
-		s.apply1Q(q, 0, 1, 1, 0)
+		s.applyAntiDiag1Q(q, 1, 1)
 	case 1:
-		s.apply1Q(q, 0, complex(0, -1), complex(0, 1), 0)
+		s.applyAntiDiag1Q(q, complex(0, -1), complex(0, 1))
 	default:
-		s.apply1Q(q, 1, 0, 0, -1)
+		s.applyDiag1Q(q, 1, -1)
 	}
 }
 
@@ -186,27 +212,50 @@ func (s *State) amplitudeDampStep(q int, gamma float64, rng *rand.Rand) {
 		return
 	}
 	if rng.Float64() < gamma*p1 {
-		// Jump: |1> -> |0>. Project and relabel amplitudes.
+		// Jump: |1> -> |0>. Project and relabel amplitudes with the
+		// strided pair walk instead of a branch per index.
 		bit := 1 << uint(q)
-		for i := range s.amp {
-			if i&bit == 0 {
-				s.amp[i] = s.amp[i|bit]
-			} else {
-				s.amp[i] = 0
-			}
+		half := len(s.amp) >> 1
+		if !s.sharded() {
+			jumpRelabelSpan(s.amp, bit, 0, half)
+		} else {
+			s.shardSpans(half, func(lo, hi int) {
+				jumpRelabelSpan(s.amp, bit, lo, hi)
+			})
 		}
 		s.renormalize()
 		return
 	}
 	// No jump: damp the excited amplitudes.
-	bit := 1 << uint(q)
-	f := complex(math.Sqrt(1-gamma), 0)
-	for i := range s.amp {
-		if i&bit != 0 {
-			s.amp[i] *= f
+	s.applyDiag1Q(q, 1, complex(math.Sqrt(1-gamma), 0))
+	s.renormalize()
+}
+
+// jumpRelabelSpan projects qubit bit `bit` onto |0> after a T1 jump,
+// moving each excited amplitude onto its ground partner, over pair
+// indices [lo, hi).
+func jumpRelabelSpan(amp []complex128, bit, lo, hi int) {
+	if bit == 1 {
+		for i, e := lo<<1, hi<<1; i < e; i += 2 {
+			amp[i] = amp[i+1]
+			amp[i+1] = 0
+		}
+		return
+	}
+	mask := bit - 1
+	for p := lo; p < hi; {
+		k := p & mask
+		i := ((p &^ mask) << 1) | k
+		m := bit - k
+		if m > hi-p {
+			m = hi - p
+		}
+		p += m
+		for e := i + m; i < e; i++ {
+			amp[i] = amp[i|bit]
+			amp[i|bit] = 0
 		}
 	}
-	s.renormalize()
 }
 
 func (s *State) renormalize() {
@@ -215,10 +264,7 @@ func (s *State) renormalize() {
 		s.amp[0] = 1
 		return
 	}
-	f := complex(1/math.Sqrt(n), 0)
-	for i := range s.amp {
-		s.amp[i] *= f
-	}
+	s.scaleAll(complex(1/math.Sqrt(n), 0))
 }
 
 // Purity diagnostics: global phase differences are irrelevant to all

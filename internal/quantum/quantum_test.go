@@ -250,9 +250,15 @@ func TestMeasureQubitCollapses(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(1))
-	b0 := s.MeasureQubit(0, rng)
+	b0, err := s.MeasureQubit(0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Bell state: qubit 1 must agree.
-	b1 := s.MeasureQubit(1, rng)
+	b1, err := s.MeasureQubit(1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if b0 != b1 {
 		t.Errorf("Bell measurement disagreement: %d vs %d", b0, b1)
 	}
@@ -273,7 +279,11 @@ func TestMeasureAllStatistics(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ones += s.MeasureAll(rng)[0]
+		bits, err := s.MeasureAll(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ones += bits[0]
 	}
 	if ones < trials/2-60 || ones > trials/2+60 {
 		t.Errorf("H|0> measured 1 %d/%d times", ones, trials)

@@ -1,0 +1,266 @@
+// Command benchdiff maintains the repository's benchmark-regression
+// trajectory. It has two modes:
+//
+//	benchdiff -parse -in bench.out -out BENCH_20250101-120000.json
+//	    Parse the text output of `go test -bench . -benchmem` into the
+//	    canonical JSON snapshot format.
+//
+//	benchdiff -baseline BENCH_baseline.json -current BENCH_xxx.json
+//	    Compare a snapshot against the committed baseline and exit
+//	    non-zero when any benchmark regressed by more than the threshold
+//	    (default 20%) in ns/op or allocs/op. Benchmarks present in only
+//	    one file are reported but never fail the gate, so adding or
+//	    retiring a benchmark does not break CI.
+//
+// The JSON snapshot is deliberately tiny and diff-friendly: one entry
+// per benchmark with ns/op, B/op, allocs/op and any custom
+// b.ReportMetric values.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark result line.
+type Bench struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the canonical JSON layout of one bench run.
+type Snapshot struct {
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+func main() {
+	parse := flag.Bool("parse", false, "parse `go test -bench` text into a JSON snapshot")
+	in := flag.String("in", "", "input file (default stdin for -parse)")
+	out := flag.String("out", "", "output file (default stdout for -parse)")
+	baseline := flag.String("baseline", "", "baseline snapshot JSON for comparison")
+	current := flag.String("current", "", "current snapshot JSON for comparison")
+	maxRegress := flag.Float64("max-regress", 0.20, "fractional ns/op or allocs/op regression that fails the gate")
+	flag.Parse()
+
+	switch {
+	case *parse:
+		if err := runParse(*in, *out); err != nil {
+			fatal(err)
+		}
+	case *baseline != "" && *current != "":
+		ok, report, err := runCompare(*baseline, *current, *maxRegress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(report)
+		if !ok {
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -parse [-in f] [-out f] | benchdiff -baseline a.json -current b.json [-max-regress 0.2]")
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}
+
+func runParse(in, out string) error {
+	var r io.Reader = os.Stdin
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	snap, err := Parse(r)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+// Parse reads `go test -bench` text output and extracts every benchmark
+// result line.
+func Parse(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, ok := parseLine(line)
+		if ok {
+			snap.Benchmarks = append(snap.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(snap.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found")
+	}
+	sort.Slice(snap.Benchmarks, func(i, j int) bool {
+		return snap.Benchmarks[i].Name < snap.Benchmarks[j].Name
+	})
+	return snap, nil
+}
+
+// parseLine handles one result line of the form
+//
+//	BenchmarkName-8  100  12345 ns/op  67 B/op  8 allocs/op  1.5 custom-metric
+func parseLine(line string) (Bench, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Bench{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix so snapshots from different machines
+	// compare by benchmark identity.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	name = strings.TrimPrefix(name, "Benchmark")
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Bench{}, false
+	}
+	b := Bench{Name: name, Iterations: iters}
+	// The remainder is (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Bench{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	if b.NsPerOp == 0 {
+		return Bench{}, false
+	}
+	return b, true
+}
+
+func readSnapshot(path string) (map[string]Bench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]Bench, len(snap.Benchmarks))
+	for _, b := range snap.Benchmarks {
+		m[b.Name] = b
+	}
+	return m, nil
+}
+
+// runCompare diffs current against baseline. It returns ok=false when
+// any shared benchmark regressed beyond maxRegress in time or allocs.
+func runCompare(baselinePath, currentPath string, maxRegress float64) (bool, string, error) {
+	base, err := readSnapshot(baselinePath)
+	if err != nil {
+		return false, "", err
+	}
+	cur, err := readSnapshot(currentPath)
+	if err != nil {
+		return false, "", err
+	}
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var sb strings.Builder
+	ok := true
+	fmt.Fprintf(&sb, "%-40s %14s %14s %9s %9s\n", "benchmark", "base ns/op", "cur ns/op", "time", "allocs")
+	for _, name := range names {
+		c := cur[name]
+		b, shared := base[name]
+		if !shared {
+			fmt.Fprintf(&sb, "%-40s %14s %14.0f %9s %9s\n", name, "-", c.NsPerOp, "new", "new")
+			continue
+		}
+		tr := ratio(c.NsPerOp, b.NsPerOp)
+		ar := ratio(c.AllocsPerOp, b.AllocsPerOp)
+		tFlag, aFlag := verdict(tr, maxRegress), verdict(ar, maxRegress)
+		if tFlag == "REGRESS" || aFlag == "REGRESS" {
+			ok = false
+		}
+		fmt.Fprintf(&sb, "%-40s %14.0f %14.0f %9s %9s\n", name, b.NsPerOp, c.NsPerOp, tFlag, aFlag)
+	}
+	for name := range base {
+		if _, shared := cur[name]; !shared {
+			fmt.Fprintf(&sb, "%-40s %14.0f %14s %9s %9s\n", name, base[name].NsPerOp, "-", "gone", "gone")
+		}
+	}
+	if ok {
+		sb.WriteString("benchdiff: OK, no regression beyond threshold\n")
+	} else {
+		fmt.Fprintf(&sb, "benchdiff: FAIL, regression beyond %.0f%%\n", maxRegress*100)
+	}
+	return ok, sb.String(), nil
+}
+
+// ratio returns cur/base, treating a zero base as "no data" (1.0) so
+// new allocation-free benchmarks never divide by zero.
+func ratio(cur, base float64) float64 {
+	if base == 0 {
+		return 1
+	}
+	return cur / base
+}
+
+// verdict grades a current/baseline ratio.
+func verdict(r, maxRegress float64) string {
+	switch {
+	case r > 1+maxRegress:
+		return "REGRESS"
+	case r < 0.8:
+		return fmt.Sprintf("%.1fx", 1/r)
+	default:
+		return "ok"
+	}
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkStateVector16Q-8   	      50	  22000000 ns/op	 1048600 B/op	       3 allocs/op
+BenchmarkMultiPathDistances-8	     100	   1200000 ns/op	  500000 B/op	     300 allocs/op
+BenchmarkTable1-8           	       2	 600000000 ns/op	     3.10 cost-reduction-d11	12000 B/op	      40 allocs/op
+PASS
+ok  	repro	12.3s
+`
+
+func TestParse(t *testing.T) {
+	snap, err := Parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(snap.Benchmarks))
+	}
+	byName := map[string]Bench{}
+	for _, b := range snap.Benchmarks {
+		byName[b.Name] = b
+	}
+	sv, ok := byName["StateVector16Q"]
+	if !ok {
+		t.Fatalf("StateVector16Q missing (GOMAXPROCS suffix not stripped?): %+v", snap.Benchmarks)
+	}
+	if sv.NsPerOp != 22000000 || sv.AllocsPerOp != 3 || sv.BytesPerOp != 1048600 {
+		t.Errorf("bad StateVector16Q parse: %+v", sv)
+	}
+	t1 := byName["Table1"]
+	if got := t1.Metrics["cost-reduction-d11"]; got != 3.10 {
+		t.Errorf("custom metric = %v, want 3.10", got)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok repro 1s\n")); err == nil {
+		t.Error("empty bench output accepted")
+	}
+}
+
+func writeSnap(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCompareRegressionAndImprovement(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSnap(t, dir, "base.json", `{"benchmarks":[
+		{"name":"A","iterations":10,"ns_per_op":1000,"allocs_per_op":100},
+		{"name":"B","iterations":10,"ns_per_op":1000,"allocs_per_op":100},
+		{"name":"C","iterations":10,"ns_per_op":1000,"allocs_per_op":100}]}`)
+
+	// A regresses 50% in time, B improves 2x, C regresses in allocs only.
+	cur := writeSnap(t, dir, "cur.json", `{"benchmarks":[
+		{"name":"A","iterations":10,"ns_per_op":1500,"allocs_per_op":100},
+		{"name":"B","iterations":10,"ns_per_op":500,"allocs_per_op":100},
+		{"name":"C","iterations":10,"ns_per_op":1000,"allocs_per_op":200},
+		{"name":"D","iterations":10,"ns_per_op":9999,"allocs_per_op":1}]}`)
+
+	ok, report, err := runCompare(base, cur, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("regressions not flagged; report:\n%s", report)
+	}
+	for _, want := range []string{"REGRESS", "2.0x", "new"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+
+	// Within threshold: passes.
+	ok2, _, err := runCompare(base, base, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok2 {
+		t.Error("identical snapshots flagged as regression")
+	}
+}
+
+func TestCompareNewAndGoneBenchmarksNeverFail(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSnap(t, dir, "base.json", `{"benchmarks":[{"name":"Old","iterations":1,"ns_per_op":10}]}`)
+	cur := writeSnap(t, dir, "cur.json", `{"benchmarks":[{"name":"New","iterations":1,"ns_per_op":10}]}`)
+	ok, report, err := runCompare(base, cur, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("disjoint benchmark sets should not fail the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "gone") || !strings.Contains(report, "new") {
+		t.Errorf("report should mention new/gone benchmarks:\n%s", report)
+	}
+}
