@@ -3,7 +3,9 @@ BENCHTIME ?= 0.3s
 MAXREGRESS ?= 0.20
 BENCH_STAMP := $(shell date +%Y%m%d-%H%M%S)
 
-.PHONY: build vet test race race-faults fuzz bench bench-smoke faults verify
+STAGE_COVER_FLOOR ?= 90
+
+.PHONY: build vet test race race-faults fuzz bench bench-smoke faults cover verify
 
 build:
 	$(GO) build ./...
@@ -43,6 +45,18 @@ bench:
 # a broken bench never reaches the trajectory.
 bench-smoke:
 	$(GO) test -run NONE -bench . -benchtime 1x -benchmem . > /dev/null
+
+# Coverage over the whole module, plus an enforced floor on the stage
+# engine: the artifact-key and memoization logic decides what work an
+# incremental redesign may skip, so it stays exhaustively tested.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	@$(GO) tool cover -func=cover.out | tail -n 1
+	$(GO) test -coverprofile=cover.stage.out ./internal/stage
+	@pct=$$($(GO) tool cover -func=cover.stage.out | awk '$$1=="total:"{sub(/%/,"",$$3); print $$3}'); \
+	echo "internal/stage coverage: $$pct% (floor: $(STAGE_COVER_FLOOR)%)"; \
+	awk -v p="$$pct" -v f="$(STAGE_COVER_FLOOR)" 'BEGIN{exit !(p+0 >= f+0)}' || \
+		{ echo "FAIL: internal/stage coverage $$pct% is below the $(STAGE_COVER_FLOOR)% floor"; exit 1; }
 
 # Smoke-test graceful degradation: design a small chip across a defect
 # ladder and print the wiring/fidelity table.

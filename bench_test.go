@@ -442,6 +442,48 @@ func BenchmarkPipelineSequential(b *testing.B) { benchPipeline64Q(b, 1) }
 
 func BenchmarkPipelineParallel(b *testing.B) { benchPipeline64Q(b, 4) }
 
+// BenchmarkThetaSweepCold / BenchmarkThetaSweepWarm quantify the
+// artifact cache: both design the same 8×8 chip at three TDM thresholds
+// (Theta), but Cold rebuilds everything per point while Warm reuses one
+// Designer whose characterization, partition, and frequency-plan
+// artifacts carry across the sweep — only the TDM stage re-runs. The
+// designs are bit-identical (asserted in the test suite); compare ns/op
+// for the headline speedup.
+var thetaSweepPoints = []float64{2, 4, 8}
+
+func thetaSweepOpts(theta float64) Options {
+	return Options{Seed: 1, PartitionTargetSize: 16, Theta: theta, HasTheta: true}
+}
+
+func BenchmarkThetaSweepCold(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, theta := range thetaSweepPoints {
+			if _, err := Design(NewSquareChip(8, 8), thetaSweepOpts(theta)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkThetaSweepWarm(b *testing.B) {
+	designer := NewDesigner(NewSquareChip(8, 8))
+	// Characterize once outside the timer; the timed loop is the sweep a
+	// user runs after the first design of a session.
+	if _, err := designer.Redesign(thetaSweepOpts(thetaSweepPoints[0])); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, theta := range thetaSweepPoints {
+			if _, err := designer.Redesign(thetaSweepOpts(theta)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 func BenchmarkScheduleSurfaceCycle(b *testing.B) {
 	code, err := surface.New(5)
 	if err != nil {

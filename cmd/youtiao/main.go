@@ -40,6 +40,7 @@ func main() {
 	retryBudget := flag.Int("retry-budget", 0, "calibration re-measurement attempts after a dropout (0 = default 3, negative = none)")
 	timeout := flag.Duration("timeout", 0, "abort the design after this long (0 = no limit)")
 	sweep := flag.String("sweep-defects", "", "comma-separated defect rates: run the degradation sweep instead of a single design")
+	stageTimings := flag.Bool("stage-timings", false, "print the per-stage instrumentation report (runs, cache hits/misses, wall time); with -json, embedded as \"stageReport\"")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -102,7 +103,11 @@ func main() {
 		return
 	}
 
-	design, err := youtiao.DesignCtx(ctx, ch, opts)
+	// A Designer (rather than one-shot DesignCtx) carries the per-stage
+	// instrumentation the -stage-timings report renders; a single design
+	// through it is bit-identical to DesignCtx.
+	designer := youtiao.NewDesigner(ch)
+	design, err := designer.RedesignCtx(ctx, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -112,11 +117,23 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		if *stageTimings {
+			report, err := designer.StageReport().JSON()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("{\n  \"design\": %s,\n  \"stageReport\": %s\n}\n",
+				indentBlock(string(data)), indentBlock(string(report)))
+			return
+		}
 		fmt.Println(string(data))
 		return
 	}
 	if *verbose {
 		fmt.Print(design.Report())
+		if *stageTimings {
+			fmt.Print(designer.StageReport().Text())
+		}
 		return
 	}
 	fmt.Printf("chip: %s (%d qubits, %d couplers)\n", ch.Name, ch.NumQubits(), ch.NumCouplers())
@@ -136,6 +153,15 @@ func main() {
 		design.Baseline.CoaxLines, design.Youtiao.CoaxLines, design.CoaxReduction())
 	fmt.Printf("wiring cost: $%.0fK -> $%.0fK (%.1fx)\n",
 		design.Baseline.CostUSD/1000, design.Youtiao.CostUSD/1000, design.CostReduction())
+	if *stageTimings {
+		fmt.Print(designer.StageReport().Text())
+	}
+}
+
+// indentBlock re-indents an already-rendered JSON block by two spaces
+// so it nests under the combined -json -stage-timings envelope.
+func indentBlock(s string) string {
+	return strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n  ")
 }
 
 // runSweep parses the rate list and prints the degradation table.
@@ -155,11 +181,12 @@ func runSweep(ctx context.Context, ch *youtiao.Chip, list string, opts youtiao.O
 	}
 	fmt.Printf("defect sweep on %s (%d qubits), %d rates, %s\n",
 		ch.Name, ch.NumQubits(), len(points), time.Since(start).Round(time.Millisecond))
-	fmt.Println("rate    alive  dead  brokenC  stuck  lost  XY  Z   coax  cost($K)  fidelity")
+	fmt.Println("rate    alive  dead  brokenC  stuck  lost  XY  Z   coax  cost($K)  fidelity  cache(h/m)")
 	for _, pt := range points {
-		fmt.Printf("%-7.3f %-6d %-5d %-8d %-6d %-5d %-3d %-3d %-5d %-9.1f %.6f\n",
+		fmt.Printf("%-7.3f %-6d %-5d %-8d %-6d %-5d %-3d %-3d %-5d %-9.1f %-9.6f %d/%d\n",
 			pt.Rate, pt.AliveQubits, pt.DeadQubits, pt.BrokenCouplers, pt.StuckLossy,
-			pt.Calib.LostPairs, pt.XYLines, pt.ZLines, pt.CoaxLines, pt.WiringCost/1000, pt.GateFidelity)
+			pt.Calib.LostPairs, pt.XYLines, pt.ZLines, pt.CoaxLines, pt.WiringCost/1000, pt.GateFidelity,
+			pt.CacheHits, pt.CacheMisses)
 	}
 	return nil
 }

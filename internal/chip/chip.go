@@ -81,6 +81,19 @@ func (c *Chip) NumQubits() int { return len(c.Qubits) }
 // NumCouplers returns the number of couplers.
 func (c *Chip) NumCouplers() int { return len(c.Couplers) }
 
+// Clone returns a copy of the chip with private qubit and coupler
+// slices. The connectivity graph is shared — it is immutable after
+// construction — but device fabrication (xmon.NewDevice) writes base
+// frequencies into the qubit slice, so callers fabricating several
+// devices from one prototype clone it first to keep each device's
+// frequency assignment isolated.
+func (c *Chip) Clone() *Chip {
+	d := *c
+	d.Qubits = append([]Qubit(nil), c.Qubits...)
+	d.Couplers = append([]Coupler(nil), c.Couplers...)
+	return &d
+}
+
 // Graph returns the qubit-connectivity graph (one edge per coupler).
 func (c *Chip) Graph() *graphx.Graph { return c.graph }
 

@@ -34,6 +34,12 @@ type DefectPoint struct {
 	// GateFidelity is the per-gate fidelity of Fig12Layers rounds of
 	// simultaneous 1q drives over the alive qubits.
 	GateFidelity float64
+	// CacheHits and CacheMisses count the artifact-store traffic of this
+	// point's build: hits are stages recalled from an earlier point
+	// (fabrication is shared across the whole sweep; repeated rates reuse
+	// everything), misses are stages that actually executed.
+	CacheHits   int
+	CacheMisses int
 }
 
 // DefectSweep designs the chip at each uniform defect rate and reports
@@ -42,23 +48,31 @@ type DefectPoint struct {
 // degradation contract across the rate range. Rates must be
 // non-decreasing in damage tolerance — a rate that kills the whole
 // chip aborts the sweep with the failing rate in the error.
+//
+// All points build through one Designer, so stages whose keyed inputs
+// repeat across rates (fabrication always; everything for a repeated
+// rate) are recalled from the artifact store instead of re-executed;
+// each point logs its hit/miss counts.
 func DefectSweep(ctx context.Context, c *chip.Chip, rates []float64, opts Options) ([]DefectPoint, error) {
 	if len(rates) == 0 {
 		return nil, fmt.Errorf("experiments: defect sweep needs at least one rate")
 	}
 	model := cost.DefaultModel()
+	designer := NewDesigner(c)
 	points := make([]DefectPoint, 0, len(rates))
 	for _, rate := range rates {
 		o := opts
 		o.Faults = faults.UniformSpec(rate)
-		p, err := BuildPipelineCtx(ctx, c, o)
+		before := designer.Report()
+		p, err := designer.RedesignCtx(ctx, o)
 		if err != nil {
 			return points, fmt.Errorf("experiments: defect sweep at rate %.3f: %w", rate, err)
 		}
+		delta := designer.Report().Sub(before)
 		if err := p.Validate(); err != nil {
 			return points, fmt.Errorf("experiments: defect sweep at rate %.3f: %w", rate, err)
 		}
-		plan, err := wiring.Youtiao(c, p.FDM, p.TDM)
+		plan, err := wiring.Youtiao(p.Chip, p.FDM, p.TDM)
 		if err != nil {
 			return points, fmt.Errorf("experiments: defect sweep at rate %.3f: wiring: %w", rate, err)
 		}
@@ -73,6 +87,8 @@ func DefectSweep(ctx context.Context, c *chip.Chip, rates []float64, opts Option
 			WiringCost:   model.WiringCost(plan),
 			GateFidelity: perGate(total, Fig12Layers*len(alive)),
 			Calib:        p.Calib,
+			CacheHits:    delta.Hits,
+			CacheMisses:  delta.Misses,
 		}
 		if p.Faults != nil {
 			pt.DeadQubits = len(p.Faults.DeadQubits())

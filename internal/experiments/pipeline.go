@@ -6,13 +6,16 @@
 // The package also owns the end-to-end YOUTIAO pipeline used by most
 // experiments: fabricate a synthetic Xmon device on a chip, measure
 // crosstalk, fit the characterization model, partition the chip, run
-// FDM grouping + frequency allocation and TDM grouping.
+// FDM grouping + frequency allocation and TDM grouping. The flow is
+// decomposed into keyed stages (see designer.go and the stage_*.go
+// files) executed through an internal/stage artifact store; BuildPipeline*
+// are thin one-shot compositions over it, and Designer reuses the store
+// across calls for incremental redesigns.
 package experiments
 
 import (
 	"context"
 	"fmt"
-	"math/rand"
 
 	"repro/internal/chip"
 	"repro/internal/circuit"
@@ -23,6 +26,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/partition"
 	"repro/internal/schedule"
+	"repro/internal/stage"
 	"repro/internal/tdm"
 	"repro/internal/xmon"
 )
@@ -73,7 +77,8 @@ type Options struct {
 	// <= 0 selects runtime.NumCPU(); 1 runs fully sequentially. The
 	// designed system is bit-identical for every value — randomness is
 	// split per task from Seed, never shared across workers (see
-	// internal/parallel).
+	// internal/parallel). Workers is therefore excluded from every
+	// artifact key: a cached stage output is valid at any parallelism.
 	Workers int
 	// Faults injects a deterministic device-defect and calibration
 	// fault plan into the build (see internal/faults). The zero value
@@ -87,6 +92,11 @@ type Options struct {
 	RetryBudget int
 }
 
+// normalized completes the zero value with defaults. It is applied
+// exactly once, at the public entry points (Build* and
+// Designer.RedesignCtx) — it is not idempotent (RetryBudget folds
+// negative to 0 and 0 to 3), and artifact keys digest normalized
+// fields, so double application would corrupt both semantics and keys.
 func (o Options) normalized() Options {
 	if o.Seed == 0 {
 		o.Seed = 1
@@ -187,74 +197,29 @@ func BuildPipeline(c *chip.Chip, opts Options) (*Pipeline, error) {
 // calibration campaign, model grid search and per-region grouping all
 // check ctx and return its error (wrapped in a *DesignError) once it
 // fires.
+//
+// The one-shot build runs the stage flow through a private, discarded
+// artifact store. Fabrication assigns base frequencies into the
+// caller's chip (experiments read them back); use a Designer to keep
+// the chip pristine and to reuse artifacts across builds.
 func BuildPipelineCtx(ctx context.Context, c *chip.Chip, opts Options) (*Pipeline, error) {
 	opts = opts.normalized()
-	// Fabrication keeps its own sequential stream at the raw seed so a
-	// given (chip, seed) always yields the same device.
-	rng := rand.New(rand.NewSource(opts.Seed))
-	dev := xmon.NewDevice(c, xmon.DefaultParams(), rng)
-	return buildOnDevice(ctx, dev, opts, opts.Seed)
+	return buildStaged(ctx, stage.NewStore(),
+		buildTarget{chip: c, chipKey: chipFingerprint(c)}, opts, opts.Seed)
 }
 
 // BuildPipelineOnDevice designs the system for an already-fabricated
 // device (used by the model-transfer experiments).
 func BuildPipelineOnDevice(dev *xmon.Device, opts Options) (*Pipeline, error) {
-	opts = opts.normalized()
-	return buildOnDevice(context.Background(), dev, opts, opts.Seed+7)
+	return BuildPipelineOnDeviceCtx(context.Background(), dev, opts)
 }
 
-// buildOnDevice runs characterization and design. designSeed is the
-// master seed of every post-fabrication stage; each stage splits its
-// own stream off it, so the XY and ZZ campaigns are independent tasks
-// and the result is invariant in opts.Workers.
-func buildOnDevice(ctx context.Context, dev *xmon.Device, opts Options, designSeed int64) (*Pipeline, error) {
-	c := dev.Chip
-	p := &Pipeline{Opts: opts, Chip: c, Device: dev}
-
-	// 0. Fault plan. Drawn on its own stream so a disabled spec leaves
-	// every other stage's randomness untouched.
-	if opts.Faults.Enabled() {
-		plan, err := faults.New(c, opts.Faults, parallel.TaskSeed(designSeed, streamFaults))
-		if err != nil {
-			return nil, stageErr("faults", err)
-		}
-		p.Faults = plan
-		if len(plan.AliveQubits(c.NumQubits())) == 0 {
-			return nil, stageErr("faults", fmt.Errorf("fault plan killed all %d qubits (defect rate %.3f too high for this chip)",
-				c.NumQubits(), opts.Faults.DeadQubitRate))
-		}
-	}
-
-	// 1. Calibration campaign and crosstalk characterization. The two
-	// channels are measured and fitted concurrently; inside each fit
-	// the weight grid fans out again over the same Workers budget.
-	kinds := []struct {
-		kind                     xmon.CrosstalkKind
-		measureStream, subStream uint64
-		model                    *crosstalk.Model
-		stats                    faults.CampaignStats
-	}{
-		{kind: xmon.XY, measureStream: streamMeasureXY, subStream: streamSubsampleXY},
-		{kind: xmon.ZZ, measureStream: streamMeasureZZ, subStream: streamSubsampleZZ},
-	}
-	err := parallel.ForEachCtx(ctx, min2(opts.Workers), len(kinds), func(ki int) error {
-		k := &kinds[ki]
-		m, stats, err := fitModel(ctx, c, dev, k.kind, opts, designSeed, k.measureStream, k.subStream, p.Faults)
-		if err != nil {
-			return fmt.Errorf("%v model: %w", k.kind, err)
-		}
-		k.model, k.stats = m, stats
-		return nil
-	})
-	if err != nil {
-		return nil, stageErr("characterize", err)
-	}
-	p.ModelXY, p.ModelZZ = kinds[0].model, kinds[1].model
-	p.Calib.Add(kinds[0].stats)
-	p.Calib.Add(kinds[1].stats)
-	p.PredXY = p.ModelXY.On(c)
-	p.PredZZ = p.ModelZZ.On(c)
-	return p, p.design(ctx, parallel.TaskSeed(designSeed, streamPartition))
+// BuildPipelineOnDeviceCtx is BuildPipelineOnDevice with cooperative
+// cancellation, mirroring BuildPipelineCtx.
+func BuildPipelineOnDeviceCtx(ctx context.Context, dev *xmon.Device, opts Options) (*Pipeline, error) {
+	opts = opts.normalized()
+	return buildStaged(ctx, stage.NewStore(),
+		buildTarget{dev: dev, devKey: deviceFingerprint(dev)}, opts, opts.Seed+7)
 }
 
 // min2 caps the two-task characterization fan-out so a sequential
@@ -268,129 +233,28 @@ func min2(workers int) int {
 
 // AttachModels installs externally-trained crosstalk models (the
 // Figure 12 transfer scenario) and redesigns the groupings with them.
+// The redesign runs through a private store whose model keys digest the
+// attached models' fitted weights rather than a measurement lineage.
 func (p *Pipeline) AttachModels(xy, zz *crosstalk.Model) error {
 	p.ModelXY, p.ModelZZ = xy, zz
 	p.PredXY = xy.On(p.Chip)
 	p.PredZZ = zz.On(p.Chip)
-	return p.design(context.Background(), parallel.TaskSeed(p.Opts.Seed+13, streamPartition))
+	base := chipFingerprint(p.Chip)
+	faultsK := faultsStageKey(base, p.Opts.Faults, p.Opts.Seed)
+	xyK := attachedModelKey(base, "xy", xy)
+	zzK := attachedModelKey(base, "zz", zz)
+	return designStaged(context.Background(), stage.NewStore(), p, faultsK, xyK, zzK,
+		parallel.TaskSeed(p.Opts.Seed+13, streamPartition))
 }
 
-// design runs partition -> FDM -> allocation -> TDM with the current
-// predictors. seed drives the generative partition only; the grouping
-// stages are deterministic searches. Dead qubits and broken couplers
-// of the fault plan are excluded from every stage: the design covers
-// exactly the devices the chip can still operate.
-func (p *Pipeline) design(ctx context.Context, seed int64) error {
-	c := p.Chip
-	dist := p.PredXY.EquivDistance
-	alive := p.aliveQubits()
-
-	// 2. Generative partition (skipped for chips at or below one
-	// region).
-	if len(alive) > p.Opts.PartitionTargetSize {
-		rng := rand.New(rand.NewSource(seed))
-		cfg := partition.Config{TargetSize: p.Opts.PartitionTargetSize}
-		if p.Faults != nil {
-			cfg.Exclude = p.Faults.QubitDead
-		}
-		part, err := partition.Generate(c, dist, cfg, rng)
-		if err != nil {
-			return stageErr("partition", err)
-		}
-		p.Partition = part
-	}
-
-	// 3. FDM grouping per region — regions are disjoint after the
-	// partition stabilizes, so they fan out over the worker pool (the
-	// paper's stage-3 pipelining) and are assembled in region order to
-	// stay deterministic. The two-level allocation then runs globally.
-	regions := p.regions()
-	p.FDM = &fdm.Grouping{Capacity: p.Opts.FDMCapacity}
-	fdmResults := make([]*fdm.Grouping, len(regions))
-	err := parallel.ForEachCtx(ctx, p.Opts.Workers, len(regions), func(ri int) error {
-		var err error
-		fdmResults[ri], err = fdm.Group(regions[ri], p.Opts.FDMCapacity, dist)
-		if err != nil {
-			return fmt.Errorf("region %d: %w", ri, err)
-		}
-		return nil
-	})
-	if err != nil {
-		return stageErr("fdm", err)
-	}
-	for ri := range regions {
-		p.FDM.Groups = append(p.FDM.Groups, fdmResults[ri].Groups...)
-	}
-	plan, err := fdm.Allocate(p.FDM, p.PredXY.Predict, fdm.DefaultAllocOptions())
-	if err != nil {
-		return stageErr("allocate", err)
-	}
-	if p.Opts.AnnealSteps > 0 {
-		annealOpts := fdm.DefaultAnnealOptions()
-		annealOpts.Steps = p.Opts.AnnealSteps
-		annealOpts.Seed = p.Opts.Seed
-		refined, _, _, err := fdm.Anneal(plan, p.FDM, p.PredXY.Predict, annealOpts)
-		if err != nil {
-			return stageErr("anneal", err)
-		}
-		plan = refined
-	}
-	p.FreqPlan = plan
-
-	// 4. TDM grouping per region over qubits and couplers. A fault plan
-	// drops unusable gate sites from the parallelism analysis, removes
-	// broken/dead couplers from the device sets and forces stuck-lossy
-	// devices onto dedicated direct lines.
-	var usableGate func(chip.TwoQubitGate) bool
-	if p.Faults != nil {
-		usableGate = func(g chip.TwoQubitGate) bool { return p.Faults.GateUsable(c, g) }
-	}
-	p.Gates = tdm.AnalyzeGatesUsable(c, usableGate)
-	cfg := tdm.DefaultConfig(p.PredZZ.Predict)
-	cfg.Theta = p.Opts.Theta
-	cfg.SparseQubitZ = p.Opts.SparseQubitZ
-	if p.Opts.TDMMinLossyFraction > 0 {
-		cfg.MinLossyFraction = p.Opts.TDMMinLossyFraction
-	}
-	if p.Opts.TDMLossyLimit > 0 {
-		cfg.LossyLimit = p.Opts.TDMLossyLimit
-	}
-	if p.Faults != nil {
-		cfg.Isolate = func(dev int) bool {
-			if p.Gates.Dev.IsCoupler(dev) {
-				return p.Faults.CouplerStuckLossy(p.Gates.Dev.CouplerID(dev))
-			}
-			return p.Faults.QubitStuckLossy(dev)
-		}
-	}
-	p.TDM = &tdm.Grouping{Theta: cfg.Theta}
-	couplerRegions := p.couplerRegions()
-	regionDevs := make([][]int, len(regions))
-	for ri, region := range regions {
-		devs := append([]int(nil), region...)
-		for ci, cr := range couplerRegions {
-			if cr == ri && p.Faults.CouplerUsable(c, ci) {
-				devs = append(devs, p.Gates.Dev.CouplerDevice(ci))
-			}
-		}
-		regionDevs[ri] = devs
-	}
-	tdmResults := make([]*tdm.Grouping, len(regions))
-	err = parallel.ForEachCtx(ctx, p.Opts.Workers, len(regions), func(ri int) error {
-		var err error
-		tdmResults[ri], err = tdm.GroupDevices(p.Gates, regionDevs[ri], cfg)
-		if err != nil {
-			return fmt.Errorf("region %d: %w", ri, err)
-		}
-		return nil
-	})
-	if err != nil {
-		return stageErr("tdm", err)
-	}
-	for ri := range regions {
-		p.TDM.Groups = append(p.TDM.Groups, tdmResults[ri].Groups...)
-	}
-	return nil
+// attachedModelKey stands in for a characterize-stage key when the
+// model arrives pre-trained: it digests the model's fitted metric
+// weights and cross-validation error instead of a measurement lineage.
+func attachedModelKey(base stage.Key, channel string, m *crosstalk.Model) stage.Key {
+	return stage.NewKey("attached-model").
+		Key(base).String(channel).
+		Float64(m.Weights.WPhy).Float64(m.Weights.WTop).Float64(m.CVError).
+		Done()
 }
 
 // aliveQubits returns the qubits the fault plan left operable (all of
@@ -409,24 +273,6 @@ func (p *Pipeline) usableDevices() []int {
 		}
 	}
 	return devs
-}
-
-// regions returns the partition regions, or one whole-(alive-)chip
-// region.
-func (p *Pipeline) regions() [][]int {
-	if p.Partition != nil {
-		return p.Partition.Regions
-	}
-	return [][]int{p.aliveQubits()}
-}
-
-// couplerRegions returns the region index per coupler.
-func (p *Pipeline) couplerRegions() []int {
-	if p.Partition != nil {
-		return p.Partition.CouplerRegion(p.Chip)
-	}
-	out := make([]int, p.Chip.NumCouplers())
-	return out
 }
 
 // Validate re-checks every design invariant of a finished pipeline
@@ -505,29 +351,4 @@ func (p *Pipeline) ScheduleBenchmark(name string, qubits int) (*schedule.Schedul
 		return nil, err
 	}
 	return schedule.New(p.Chip, p.TDM, schedule.DefaultDurations()).Run(compiled.Circuit)
-}
-
-// fitModel measures one crosstalk channel and fits the characterization
-// model, subsampling large campaigns. The measurement campaign and the
-// subsample draw run on their own streams of the design seed. With a
-// nil (or disabled) fault plan the campaign is the historical
-// MeasureSeeded path, bit for bit; otherwise dropouts are retried
-// within opts.RetryBudget and surviving samples may carry injected
-// outliers (trimmed by the fit when configured).
-func fitModel(ctx context.Context, c *chip.Chip, dev *xmon.Device, kind xmon.CrosstalkKind, opts Options, designSeed int64, measureStream, subStream uint64, plan *faults.Plan) (*crosstalk.Model, faults.CampaignStats, error) {
-	samples, stats, err := faults.Measure(ctx, dev, kind, 0.05, parallel.TaskSeed(designSeed, measureStream), opts.Workers, opts.RetryBudget, plan)
-	if err != nil {
-		return nil, stats, err
-	}
-	if opts.MaxFitSamples > 0 && len(samples) > opts.MaxFitSamples {
-		rng := parallel.TaskRand(designSeed, subStream)
-		perm := rng.Perm(len(samples))[:opts.MaxFitSamples]
-		sub := make([]xmon.Sample, len(perm))
-		for i, pi := range perm {
-			sub[i] = samples[pi]
-		}
-		samples = sub
-	}
-	m, err := crosstalk.FitCtx(ctx, c, samples, opts.Fit)
-	return m, stats, err
 }

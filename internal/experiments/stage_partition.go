@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"context"
+	"math/rand"
+
+	"repro/internal/chip"
+	"repro/internal/faults"
+	"repro/internal/partition"
+	"repro/internal/stage"
+)
+
+// partitionKey keys the generative partition: fault and XY-model
+// lineage (the partition walks the equivalent-distance metric of the
+// fitted XY model), the region target and the partition seed stream.
+func partitionKey(faultsK, xyK stage.Key, targetSize int, partSeed int64) stage.Key {
+	return stage.NewKey(StagePartition).
+		Key(faultsK).Key(xyK).
+		Int(targetSize).Int64(partSeed).
+		Done()
+}
+
+// runPartitionStage generates (or recalls) the chip partition. Chips at
+// or below one region yield a nil partition — the whole-chip design
+// path.
+func runPartitionStage(ctx context.Context, store *stage.Store, key stage.Key, c *chip.Chip, plan *faults.Plan, dist func(i, j int) float64, targetSize int, partSeed int64, workers int) (*partition.Partition, error) {
+	part, _, err := stage.Do(ctx, store, StagePartition, key, workers, func(context.Context) (*partition.Partition, error) {
+		alive := plan.AliveQubits(c.NumQubits())
+		if len(alive) <= targetSize {
+			return (*partition.Partition)(nil), nil
+		}
+		rng := rand.New(rand.NewSource(partSeed))
+		cfg := partition.Config{TargetSize: targetSize}
+		if plan != nil {
+			cfg.Exclude = plan.QubitDead
+		}
+		return partition.Generate(c, dist, cfg, rng)
+	})
+	return part, err
+}
+
+// regionsOf returns the partition's regions, or one whole-(alive-)chip
+// region for a nil partition.
+func regionsOf(part *partition.Partition, alive []int) [][]int {
+	if part != nil {
+		return part.Regions
+	}
+	return [][]int{alive}
+}
+
+// couplerRegionsOf returns the region index per coupler (all zero for a
+// nil partition).
+func couplerRegionsOf(part *partition.Partition, c *chip.Chip) []int {
+	if part != nil {
+		return part.CouplerRegion(c)
+	}
+	return make([]int, c.NumCouplers())
+}

@@ -38,10 +38,16 @@ type Table2Row struct {
 // the five evaluation topologies under Google's architecture and
 // YOUTIAO.
 func Table2(opts Options) ([]Table2Row, error) {
+	return Table2Cached(opts, NewDesignCache())
+}
+
+// Table2Cached is Table2 with its per-topology pipelines built through
+// a shared artifact cache.
+func Table2Cached(opts Options, cache *DesignCache) ([]Table2Row, error) {
 	model := cost.DefaultModel()
 	var rows []Table2Row
 	for _, c := range chip.Table2Chips() {
-		p, err := BuildPipeline(c, opts)
+		p, err := cache.Designer(c).Redesign(opts)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: table2 %s: %w", c.Topology, err)
 		}
@@ -65,7 +71,7 @@ func Table2(opts Options) ([]Table2Row, error) {
 			DRCViolations:  route.CheckDRC(gRoute).SpacingViolations,
 		})
 
-		yPlan, err := wiring.Youtiao(c, p.FDM, p.TDM)
+		yPlan, err := wiring.Youtiao(p.Chip, p.FDM, p.TDM)
 		if err != nil {
 			return nil, err
 		}

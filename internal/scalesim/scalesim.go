@@ -55,6 +55,18 @@ func YoutiaoCoax(n int, zFanout float64) int {
 	return ceilDiv(n, youtiaoFDMCap) + z + ceilDiv(n, youtiaoReadoutCap)
 }
 
+// Fanout returns the average devices-per-Z-line of a designed system.
+// It is the calibration constant every sweep in this package consumes:
+// experiments measure (devices, zLines) on a real pipeline and this
+// converts them into the extrapolation parameter. Zero Z lines (a
+// degenerate grouping) calibrates to 1, i.e. no multiplexing benefit.
+func Fanout(devices, zLines int) float64 {
+	if zLines == 0 {
+		return 1
+	}
+	return float64(devices) / float64(zLines)
+}
+
 // Point is one system size in a scaling sweep.
 type Point struct {
 	Qubits      int

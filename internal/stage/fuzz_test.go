@@ -1,0 +1,61 @@
+package stage
+
+import (
+	"testing"
+)
+
+// FuzzArtifactKey probes the two properties the artifact cache depends
+// on: keys are a pure function of their component sequence, and any
+// change to any component — value, position, type tag or domain —
+// changes the key. A collision between a mutated sequence and the
+// original would silently serve a wrong cached artifact, so every
+// mutation must produce a distinct key.
+func FuzzArtifactKey(f *testing.F) {
+	f.Add("characterize-xy", int64(1), uint64(3), 0.5, true, "chip")
+	f.Add("tdm", int64(-7), uint64(0), 4.0, false, "")
+	f.Add("", int64(0), uint64(0), 0.0, false, "a\x00b")
+	f.Fuzz(func(t *testing.T, domain string, i int64, u uint64, fv float64, b bool, s string) {
+		build := func(domain string, i int64, u uint64, fv float64, b bool, s string) Key {
+			return NewKey(domain).Int64(i).Uint64(u).Float64(fv).Bool(b).String(s).
+				Floats([]float64{fv, fv + 1}).Ints([]int{int(i)}).Done()
+		}
+		base := build(domain, i, u, fv, b, s)
+		if again := build(domain, i, u, fv, b, s); again != base {
+			t.Fatalf("key is not deterministic: %s vs %s", base, again)
+		}
+
+		mutants := []Key{
+			build(domain+"x", i, u, fv, b, s),
+			build(domain, i+1, u, fv, b, s),
+			build(domain, i, u+1, fv, b, s),
+			build(domain, i, u, fv, !b, s),
+			build(domain, i, u, fv, b, s+"x"),
+		}
+		// A float mutation only changes the key if it changes the bits
+		// (fv and fv+1 can collapse at large magnitudes).
+		if fv != fv+0.5 {
+			mutants = append(mutants, build(domain, i, u, fv+0.5, b, s))
+		}
+		for mi, m := range mutants {
+			if m == base {
+				t.Fatalf("mutation %d collided with the base key", mi)
+			}
+		}
+
+		// Reordering components must change the key: the same payload
+		// written as (string, int) vs (int, string).
+		ab := NewKey(domain).String(s).Int64(i).Done()
+		ba := NewKey(domain).Int64(i).String(s).Done()
+		if ab == ba {
+			t.Fatal("component order does not affect the key")
+		}
+
+		// Chaining an upstream key must differ from inlining its bytes.
+		up := NewKey("up").String(s).Done()
+		chained := NewKey(domain).Key(up).Done()
+		inlined := NewKey(domain).String(string(up)).Done()
+		if chained == inlined {
+			t.Fatal("Key component collides with String component")
+		}
+	})
+}

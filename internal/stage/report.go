@@ -1,0 +1,72 @@
+package stage
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Report is a point-in-time snapshot of a Store's instrumentation:
+// one row per stage in first-seen order plus cache totals. It is what
+// cmd/youtiao's -stage-timings flag renders and what the sweep
+// experiments diff to log per-point cache-hit counts.
+type Report struct {
+	Stages []Stats       `json:"stages"`
+	Hits   int           `json:"hits"`
+	Misses int           `json:"misses"`
+	Wall   time.Duration `json:"wall_ns"`
+}
+
+// Report snapshots the store's instrumentation.
+func (s *Store) Report() Report {
+	r := Report{Stages: s.Stats()}
+	for _, st := range r.Stages {
+		r.Hits += st.Hits
+		r.Misses += st.Misses
+		r.Wall += st.Wall
+	}
+	return r
+}
+
+// Sub returns the delta of r over an earlier snapshot of the same
+// store: per-stage runs/hits/misses/wall accrued between the two.
+// Stages only present in r keep their full counts.
+func (r Report) Sub(earlier Report) Report {
+	prev := make(map[string]Stats, len(earlier.Stages))
+	for _, st := range earlier.Stages {
+		prev[st.Name] = st
+	}
+	out := Report{
+		Hits:   r.Hits - earlier.Hits,
+		Misses: r.Misses - earlier.Misses,
+		Wall:   r.Wall - earlier.Wall,
+	}
+	for _, st := range r.Stages {
+		p := prev[st.Name]
+		st.Runs -= p.Runs
+		st.Hits -= p.Hits
+		st.Misses -= p.Misses
+		st.Wall -= p.Wall
+		out.Stages = append(out.Stages, st)
+	}
+	return out
+}
+
+// Text renders the report as an aligned table.
+func (r Report) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %5s %5s %6s %8s %12s\n", "stage", "runs", "hits", "misses", "workers", "wall")
+	for _, st := range r.Stages {
+		fmt.Fprintf(&b, "%-16s %5d %5d %6d %8d %12s\n",
+			st.Name, st.Runs, st.Hits, st.Misses, st.Workers, st.Wall.Round(time.Microsecond))
+	}
+	fmt.Fprintf(&b, "total: %d hits, %d misses, %s executing\n",
+		r.Hits, r.Misses, r.Wall.Round(time.Microsecond))
+	return b.String()
+}
+
+// JSON renders the report as indented JSON.
+func (r Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

@@ -1,0 +1,142 @@
+// Package stage is the stage-graph execution engine of the YOUTIAO
+// design pipeline. Each pipeline step (fault-plan draw, crosstalk
+// characterization, partition, FDM grouping, frequency allocation,
+// annealing, TDM grouping) is a Stage with declared inputs, a
+// deterministic artifact Key, and per-execution instrumentation. A
+// Store memoizes stage outputs by key, so re-running the pipeline with
+// only some options changed re-executes only the stages whose keyed
+// inputs changed — the "characterize once, redesign many" access
+// pattern of parameter sweeps.
+//
+// The package is deliberately generic: it knows nothing about chips or
+// groupings. The pipeline wiring (which stages exist, what participates
+// in each key) lives in internal/experiments; the determinism contract
+// it relies on — artifacts are pure functions of their key, invariant
+// in the worker count — is the one internal/parallel establishes.
+package stage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stage declares one node of a stage graph: its name and the names of
+// the upstream stages whose artifacts it consumes. Declarations are
+// ordered: every input must name a previously-declared stage, which
+// makes any declared graph acyclic and topologically sorted by
+// construction.
+type Stage struct {
+	Name   string
+	Inputs []string
+}
+
+// Graph is a validated, topologically-ordered stage DAG. It is the
+// declarative skeleton the pipeline hangs its keyed executions on, and
+// what tests use to assert invalidation scope (Downstream).
+type Graph struct {
+	stages []Stage
+	index  map[string]int
+}
+
+// NewGraph validates the declarations: names must be unique and
+// non-empty, and inputs must reference earlier stages.
+func NewGraph(stages ...Stage) (*Graph, error) {
+	g := &Graph{index: make(map[string]int, len(stages))}
+	for i, st := range stages {
+		if st.Name == "" {
+			return nil, fmt.Errorf("stage: declaration %d has an empty name", i)
+		}
+		if _, dup := g.index[st.Name]; dup {
+			return nil, fmt.Errorf("stage: duplicate stage %q", st.Name)
+		}
+		for _, in := range st.Inputs {
+			if _, ok := g.index[in]; !ok {
+				return nil, fmt.Errorf("stage: %q input %q is not a previously declared stage", st.Name, in)
+			}
+		}
+		g.index[st.Name] = i
+		g.stages = append(g.stages, Stage{Name: st.Name, Inputs: append([]string(nil), st.Inputs...)})
+	}
+	return g, nil
+}
+
+// MustGraph is NewGraph for static declarations; it panics on invalid
+// graphs.
+func MustGraph(stages ...Stage) *Graph {
+	g, err := NewGraph(stages...)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Stages returns the declarations in topological order.
+func (g *Graph) Stages() []Stage {
+	out := make([]Stage, len(g.stages))
+	copy(out, g.stages)
+	return out
+}
+
+// Contains reports whether the graph declares the named stage.
+func (g *Graph) Contains(name string) bool {
+	_, ok := g.index[name]
+	return ok
+}
+
+// Inputs returns the declared inputs of a stage (nil for sources and
+// unknown names).
+func (g *Graph) Inputs(name string) []string {
+	i, ok := g.index[name]
+	if !ok {
+		return nil
+	}
+	return append([]string(nil), g.stages[i].Inputs...)
+}
+
+// Downstream returns every stage whose artifact (transitively) depends
+// on the named stage, in topological order — exactly the set a changed
+// input to that stage invalidates. The stage itself is not included.
+func (g *Graph) Downstream(name string) []string {
+	if _, ok := g.index[name]; !ok {
+		return nil
+	}
+	affected := map[string]bool{name: true}
+	var out []string
+	for _, st := range g.stages {
+		for _, in := range st.Inputs {
+			if affected[in] && !affected[st.Name] {
+				affected[st.Name] = true
+				out = append(out, st.Name)
+			}
+		}
+	}
+	return out
+}
+
+// Upstream returns every stage the named stage (transitively) consumes,
+// in topological order.
+func (g *Graph) Upstream(name string) []string {
+	i, ok := g.index[name]
+	if !ok {
+		return nil
+	}
+	needed := map[string]bool{}
+	var mark func(idx int)
+	mark = func(idx int) {
+		for _, in := range g.stages[idx].Inputs {
+			if !needed[in] {
+				needed[in] = true
+				mark(g.index[in])
+			}
+		}
+	}
+	mark(i)
+	var out []string
+	for _, st := range g.stages[:i] {
+		if needed[st.Name] {
+			out = append(out, st.Name)
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return g.index[out[a]] < g.index[out[b]] })
+	return out
+}

@@ -1,0 +1,180 @@
+package stage
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Stats is the accumulated instrumentation of one stage across a
+// Store's lifetime.
+type Stats struct {
+	// Name is the stage name.
+	Name string `json:"name"`
+	// Runs counts Do invocations (hits + misses + waited duplicates).
+	Runs int `json:"runs"`
+	// Hits counts invocations served from the artifact cache.
+	Hits int `json:"hits"`
+	// Misses counts invocations that executed the stage.
+	Misses int `json:"misses"`
+	// Wall is the cumulative wall time of executed (missed) runs.
+	Wall time.Duration `json:"wall_ns"`
+	// Workers is the worker budget of the most recent executed run.
+	Workers int `json:"workers"`
+}
+
+// entry is one memoized artifact. ready is closed once val/err are
+// final, so concurrent requests for the same key wait for the first
+// executor instead of duplicating work (single-flight).
+type entry struct {
+	ready chan struct{}
+	val   any
+	err   error
+}
+
+// Store memoizes stage artifacts by Key and accumulates per-stage
+// Stats. It is safe for concurrent use; concurrent Do calls with the
+// same key execute the stage once. Failed executions are not cached —
+// a later Do with the same key retries.
+//
+// Artifacts handed out by the store are shared across every pipeline
+// assembled from it, so the pipeline-side contract is that stage
+// outputs are immutable once returned (downstream stages build new
+// values instead of editing their inputs).
+type Store struct {
+	mu      sync.Mutex
+	entries map[Key]*entry
+	stats   map[string]*Stats
+	order   []string // stage names in first-seen order, for reporting
+}
+
+// NewStore returns an empty artifact store.
+func NewStore() *Store {
+	return &Store{
+		entries: make(map[Key]*entry),
+		stats:   make(map[string]*Stats),
+	}
+}
+
+// statLocked returns (creating if needed) the stats row of a stage.
+// Callers hold s.mu.
+func (s *Store) statLocked(name string) *Stats {
+	st, ok := s.stats[name]
+	if !ok {
+		st = &Stats{Name: name}
+		s.stats[name] = st
+		s.order = append(s.order, name)
+	}
+	return st
+}
+
+// Do returns the artifact for key, executing fn to produce it on a
+// cache miss. The boolean reports whether the artifact came from the
+// cache. workers is recorded as the stage's worker budget (purely
+// instrumentation — it never affects the artifact). Errors are
+// returned to every concurrent waiter but never cached.
+func (s *Store) Do(ctx context.Context, name string, key Key, workers int, fn func(context.Context) (any, error)) (any, bool, error) {
+	s.mu.Lock()
+	st := s.statLocked(name)
+	st.Runs++
+	if e, ok := s.entries[key]; ok {
+		s.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			// The executing call failed (and removed the entry); report
+			// its error without charging this waiter a hit or a miss.
+			return nil, false, e.err
+		}
+		s.mu.Lock()
+		st.Hits++
+		s.mu.Unlock()
+		return e.val, true, nil
+	}
+	e := &entry{ready: make(chan struct{})}
+	s.entries[key] = e
+	s.mu.Unlock()
+
+	start := time.Now()
+	v, err := fn(ctx)
+	e.val, e.err = v, err
+	close(e.ready)
+
+	s.mu.Lock()
+	if err != nil {
+		delete(s.entries, key) // never cache failures
+	} else {
+		st.Misses++
+		st.Wall += time.Since(start)
+		st.Workers = workers
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return nil, false, err
+	}
+	return v, false, nil
+}
+
+// Get returns a cached artifact without executing anything.
+func (s *Store) Get(key Key) (any, bool) {
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	<-e.ready
+	if e.err != nil {
+		return nil, false
+	}
+	return e.val, true
+}
+
+// Len returns the number of cached artifacts.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Stats returns a copy of the per-stage instrumentation, in first-seen
+// stage order.
+func (s *Store) Stats() []Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Stats, 0, len(s.order))
+	for _, name := range s.order {
+		out = append(out, *s.stats[name])
+	}
+	return out
+}
+
+// StatsFor returns the instrumentation row of one stage.
+func (s *Store) StatsFor(name string) (Stats, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.stats[name]
+	if !ok {
+		return Stats{}, false
+	}
+	return *st, true
+}
+
+// Do is the typed wrapper over Store.Do: it asserts the artifact to T.
+// A cached artifact always has the type its producing stage returned,
+// so the assertion only guards against two stages sharing a key domain.
+func Do[T any](ctx context.Context, s *Store, name string, key Key, workers int, fn func(context.Context) (T, error)) (T, bool, error) {
+	v, hit, err := s.Do(ctx, name, key, workers, func(ctx context.Context) (any, error) {
+		return fn(ctx)
+	})
+	if err != nil {
+		var zero T
+		return zero, hit, err
+	}
+	t, ok := v.(T)
+	if !ok {
+		var zero T
+		return zero, hit, fmt.Errorf("stage: %s artifact is %T, not %T (key domain collision)", name, v, zero)
+	}
+	return t, hit, nil
+}

@@ -42,6 +42,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/schedule"
+	"repro/internal/stage"
 	"repro/internal/tdm"
 	"repro/internal/wiring"
 	"repro/internal/xmon"
@@ -190,11 +191,77 @@ func DesignCtx(ctx context.Context, c *Chip, opts Options) (*DesignResult, error
 // DesignDevice runs the pipeline on an externally fabricated device
 // (see package internal/xmon for the synthetic model it replaces).
 func DesignDevice(dev *xmon.Device, opts Options) (*DesignResult, error) {
-	p, err := experiments.BuildPipelineOnDevice(dev, opts)
+	return DesignDeviceCtx(context.Background(), dev, opts)
+}
+
+// DesignDeviceCtx is DesignDevice with cooperative cancellation,
+// mirroring DesignCtx: pass a context with a deadline to bound the
+// design time.
+func DesignDeviceCtx(ctx context.Context, dev *xmon.Device, opts Options) (*DesignResult, error) {
+	p, err := experiments.BuildPipelineOnDeviceCtx(ctx, dev, opts)
 	if err != nil {
 		return nil, fmt.Errorf("youtiao: %w", err)
 	}
 	return fromPipeline(p)
+}
+
+// StageReport is the per-stage instrumentation snapshot of a Designer:
+// runs, cache hits/misses, worker budget and cumulative wall time per
+// pipeline stage, plus cache totals. Render it with Text() or JSON().
+type StageReport = stage.Report
+
+// StageStats is one stage's row of a StageReport.
+type StageStats = stage.Stats
+
+// Designer characterizes a chip once and redesigns it many times: it
+// keeps an artifact store of every pipeline stage (fabrication, fault
+// plan, fitted crosstalk models, partition, groupings), keyed by the
+// inputs the stage consumes, and Redesign re-executes only the stages
+// whose keyed inputs changed. Sweeping Options.Theta, for example,
+// re-runs the TDM grouping alone — zero re-measurements, zero re-fits —
+// and each result is bit-identical to a cold Design at those options.
+//
+// Unlike the one-shot Design, a Designer never mutates the chip you
+// hand it (fabrication happens on internal per-seed clones), so
+// DesignResult.Chip points at the fabricated clone rather than the
+// prototype.
+type Designer struct {
+	d *experiments.Designer
+}
+
+// NewDesigner returns an incremental designer over a chip prototype.
+func NewDesigner(c *Chip) *Designer {
+	return &Designer{d: experiments.NewDesigner(c)}
+}
+
+// NewDesignerForDevice returns an incremental designer over an
+// externally fabricated device, the cached counterpart of DesignDevice.
+func NewDesignerForDevice(dev *xmon.Device) *Designer {
+	return &Designer{d: experiments.NewDesignerOnDevice(dev)}
+}
+
+// Redesign designs the system for opts, reusing every cached stage
+// whose inputs are unchanged since earlier calls.
+func (d *Designer) Redesign(opts Options) (*DesignResult, error) {
+	return d.RedesignCtx(context.Background(), opts)
+}
+
+// RedesignCtx is Redesign with cooperative cancellation.
+func (d *Designer) RedesignCtx(ctx context.Context, opts Options) (*DesignResult, error) {
+	p, err := d.d.RedesignCtx(ctx, opts)
+	if err != nil {
+		return nil, fmt.Errorf("youtiao: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("youtiao: %w", err)
+	}
+	return fromPipeline(p)
+}
+
+// StageReport snapshots the designer's per-stage instrumentation since
+// construction. Diff two snapshots with Sub to isolate one Redesign.
+func (d *Designer) StageReport() StageReport {
+	return d.d.Report()
 }
 
 func fromPipeline(p *experiments.Pipeline) (*DesignResult, error) {
