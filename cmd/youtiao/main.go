@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -41,6 +43,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the design after this long (0 = no limit)")
 	sweep := flag.String("sweep-defects", "", "comma-separated defect rates: run the degradation sweep instead of a single design")
 	stageTimings := flag.Bool("stage-timings", false, "print the per-stage instrumentation report (runs, cache hits/misses, wall time); with -json, embedded as \"stageReport\"")
+	manifestPath := flag.String("manifest", "", "write a run manifest (options digest, seed, git revision, env, stage report, metrics snapshot) as JSON to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -97,10 +100,23 @@ func main() {
 	}
 
 	if *sweep != "" {
+		if *manifestPath != "" {
+			log.Fatal("-manifest records a single design; it cannot be combined with -sweep-defects")
+		}
 		if err := runSweep(ctx, ch, *sweep, opts); err != nil {
 			log.Fatal(err)
 		}
 		return
+	}
+
+	// The manifest needs the full observability capture: a per-build
+	// registry on Options.Obs plus the process-global subsystem
+	// counters routed into it.
+	var reg *youtiao.ObsRegistry
+	if *manifestPath != "" {
+		reg = youtiao.NewObservability()
+		youtiao.Observe(reg)
+		opts.Obs = reg
 	}
 
 	// A Designer (rather than one-shot DesignCtx) carries the per-stage
@@ -110,6 +126,12 @@ func main() {
 	design, err := designer.RedesignCtx(ctx, opts)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *manifestPath != "" {
+		if err := writeManifest(*manifestPath, design, opts, reg, designer.StageReport()); err != nil {
+			log.Fatalf("-manifest: %v", err)
+		}
 	}
 
 	if *asJSON {
@@ -162,6 +184,37 @@ func main() {
 // so it nests under the combined -json -stage-timings envelope.
 func indentBlock(s string) string {
 	return strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n  ")
+}
+
+// writeManifest assembles and writes the run manifest, creating the
+// target directory if needed.
+func writeManifest(path string, design *youtiao.DesignResult, opts youtiao.Options, reg *youtiao.ObsRegistry, report youtiao.StageReport) error {
+	m := youtiao.NewManifest(design, opts)
+	m.CreatedAt = time.Now().UTC().Format(time.RFC3339Nano)
+	m.Git = gitDescribe()
+	m.Stages = &report
+	snap := reg.Snapshot()
+	m.Obs = &snap
+	data, err := m.JSON()
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// gitDescribe best-effort identifies the producing tree; an empty
+// string (no git, not a repository) just omits the field.
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // runSweep parses the rate list and prints the degradation table.

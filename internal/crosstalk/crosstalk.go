@@ -136,6 +136,10 @@ func FitCtx(ctx context.Context, c *chip.Chip, samples []xmon.Sample, cfg FitCon
 			cands = append(cands, candidate{wp, wt})
 		}
 	}
+	if o := observer.Load(); o != nil {
+		o.fits.Inc()
+		o.candidates.Add(int64(len(cands)))
+	}
 	mses := make([]float64, len(cands))
 	err = parallel.ForEachCtx(ctx, cfg.Workers, len(cands), func(ci int) error {
 		cand := cands[ci]
@@ -221,6 +225,9 @@ func trimOutliers(samples []xmon.Sample, fraction float64) ([]xmon.Sample, error
 			kept = append(kept, s)
 		}
 	}
+	if o := observer.Load(); o != nil {
+		o.trimmed.Add(int64(drop))
+	}
 	return kept, nil
 }
 
@@ -232,6 +239,9 @@ func (m *Model) PredictDistance(dEquiv float64) float64 {
 	}
 	p := m.forest.Predict([]float64{dEquiv})
 	m.predCache.Store(dEquiv, p)
+	if o := observer.Load(); o != nil {
+		o.forestWalks.Add(1)
+	}
 	return p
 }
 
@@ -266,6 +276,9 @@ func (p *Predictor) EquivDistance(i, j int) float64 {
 func (p *Predictor) Predict(i, j int) float64 {
 	if i == j {
 		return 0
+	}
+	if o := observer.Load(); o != nil {
+		o.predictions.Inc()
 	}
 	return p.Model.PredictDistance(p.EquivDistance(i, j))
 }

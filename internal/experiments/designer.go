@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/chip"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/stage"
 	"repro/internal/xmon"
@@ -107,9 +108,17 @@ type buildTarget struct {
 // invariant in opts.Workers — which is also why Workers appears in no
 // artifact key.
 func buildStaged(ctx context.Context, store *stage.Store, tgt buildTarget, opts Options, designSeed int64) (*Pipeline, error) {
+	// Per-build instrumentation: route the store's cache counters into
+	// the registry and open the design span tree. Every obs call below
+	// is nil-safe, so the disabled path costs a handful of nil checks.
+	store.Observe(opts.Obs)
+	root := opts.Obs.StartSpan("design")
+	defer root.End()
+
 	dev, devKey := tgt.dev, tgt.devKey
 	if dev == nil {
 		devKey = fabricateKey(tgt.chipKey, opts.Seed)
+		fabSpan := root.Child(StageFabricate)
 		var err error
 		dev, _, err = stage.Do(ctx, store, StageFabricate, devKey, 1, func(context.Context) (*xmon.Device, error) {
 			target := tgt.chip
@@ -122,6 +131,7 @@ func buildStaged(ctx context.Context, store *stage.Store, tgt buildTarget, opts 
 			rng := rand.New(rand.NewSource(opts.Seed))
 			return xmon.NewDevice(target, xmon.DefaultParams(), rng), nil
 		})
+		fabSpan.End()
 		if err != nil {
 			return nil, stageErr(StageFabricate, err)
 		}
@@ -130,7 +140,9 @@ func buildStaged(ctx context.Context, store *stage.Store, tgt buildTarget, opts 
 	p := &Pipeline{Opts: opts, Chip: c, Device: dev}
 
 	faultsK := faultsStageKey(devKey, opts.Faults, designSeed)
+	faultSpan := root.Child(StageFaults)
 	plan, err := runFaultsStage(ctx, store, faultsK, c, opts, designSeed)
+	faultSpan.End()
 	if err != nil {
 		return nil, stageErr(StageFaults, err)
 	}
@@ -153,6 +165,8 @@ func buildStaged(ctx context.Context, store *stage.Store, tgt buildTarget, opts 
 	chars := make([]*characterization, len(specs))
 	err = parallel.ForEachCtx(ctx, min2(opts.Workers), len(specs), func(i int) error {
 		sp := specs[i]
+		span := root.Child(sp.name)
+		defer span.End()
 		ch, err := runCharacterize(ctx, store, sp.name, sp.key, dev, sp.kind, opts, designSeed, sp.measureStream, sp.subStream, plan)
 		if err != nil {
 			return fmt.Errorf("%v model: %w", sp.kind, err)
@@ -167,7 +181,7 @@ func buildStaged(ctx context.Context, store *stage.Store, tgt buildTarget, opts 
 	p.Calib.Add(chars[0].Stats)
 	p.Calib.Add(chars[1].Stats)
 	p.PredXY, p.PredZZ = chars[0].Pred, chars[1].Pred
-	return p, designStaged(ctx, store, p, faultsK, xyK, zzK, parallel.TaskSeed(designSeed, streamPartition))
+	return p, designStaged(ctx, store, p, root, faultsK, xyK, zzK, parallel.TaskSeed(designSeed, streamPartition))
 }
 
 // designStaged runs partition → FDM → allocation → TDM through the
@@ -176,13 +190,15 @@ func buildStaged(ctx context.Context, store *stage.Store, tgt buildTarget, opts 
 // searches. Dead qubits and broken couplers of the fault plan are
 // excluded from every stage: the design covers exactly the devices the
 // chip can still operate.
-func designStaged(ctx context.Context, store *stage.Store, p *Pipeline, faultsK, xyK, zzK stage.Key, partSeed int64) error {
+func designStaged(ctx context.Context, store *stage.Store, p *Pipeline, root *obs.Span, faultsK, xyK, zzK stage.Key, partSeed int64) error {
 	c := p.Chip
 	opts := p.Opts
 	dist := p.PredXY.EquivDistance
 
 	partK := partitionKey(faultsK, xyK, opts.PartitionTargetSize, partSeed)
+	span := root.Child(StagePartition)
 	part, err := runPartitionStage(ctx, store, partK, c, p.Faults, dist, opts.PartitionTargetSize, partSeed, 1)
+	span.End()
 	if err != nil {
 		return stageErr(StagePartition, err)
 	}
@@ -190,20 +206,26 @@ func designStaged(ctx context.Context, store *stage.Store, p *Pipeline, faultsK,
 
 	regions := regionsOf(part, p.aliveQubits())
 	fdmK := fdmGroupKey(partK, xyK, opts.FDMCapacity)
+	span = root.Child(StageFDMGroup)
 	grouping, err := runFDMGroupStage(ctx, store, fdmK, regions, opts.FDMCapacity, dist, opts.Workers)
+	span.End()
 	if err != nil {
 		return stageErr("fdm", err)
 	}
 	p.FDM = grouping
 
 	allocK := allocateKey(fdmK, xyK)
+	span = root.Child(StageAllocate)
 	plan, err := runAllocateStage(ctx, store, allocK, grouping, p.PredXY.Predict)
+	span.End()
 	if err != nil {
 		return stageErr(StageAllocate, err)
 	}
 	if opts.AnnealSteps > 0 {
 		annealK := annealKey(allocK, opts.AnnealSteps, opts.Seed)
+		span = root.Child(StageAnneal)
 		plan, err = runAnnealStage(ctx, store, annealK, plan, grouping, p.PredXY.Predict, opts.AnnealSteps, opts.Seed)
+		span.End()
 		if err != nil {
 			return stageErr(StageAnneal, err)
 		}
@@ -211,7 +233,9 @@ func designStaged(ctx context.Context, store *stage.Store, p *Pipeline, faultsK,
 	p.FreqPlan = plan
 
 	tdmK := tdmKey(faultsK, partK, zzK, opts)
+	span = root.Child(StageTDM)
 	td, err := runTDMStage(ctx, store, tdmK, c, p.Faults, part, p.PredZZ.Predict, opts)
+	span.End()
 	if err != nil {
 		return stageErr(StageTDM, err)
 	}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/fdm"
 	"repro/internal/mlfit"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/partition"
 	"repro/internal/schedule"
@@ -90,6 +91,15 @@ type Options struct {
 	// stream deterministically; there is no wall-clock backoff).
 	// 0 selects the default (3); negative disables retries.
 	RetryBudget int
+	// Obs, when non-nil, receives this build's instrumentation: stage
+	// cache hit/miss counters, per-stage latency histograms and the
+	// design span tree. It is pure observation — normalized() leaves it
+	// untouched, no artifact key digests it (Digest excludes it
+	// alongside Workers), and the designed system is bit-identical with
+	// or without it. Package-level counters (worker pool, calibration
+	// faults, fit, simulators) are process-global; route them into the
+	// same registry with Observe.
+	Obs *obs.Registry
 }
 
 // normalized completes the zero value with defaults. It is applied
@@ -243,7 +253,11 @@ func (p *Pipeline) AttachModels(xy, zz *crosstalk.Model) error {
 	faultsK := faultsStageKey(base, p.Opts.Faults, p.Opts.Seed)
 	xyK := attachedModelKey(base, "xy", xy)
 	zzK := attachedModelKey(base, "zz", zz)
-	return designStaged(context.Background(), stage.NewStore(), p, faultsK, xyK, zzK,
+	store := stage.NewStore()
+	store.Observe(p.Opts.Obs)
+	root := p.Opts.Obs.StartSpan("attach-models")
+	defer root.End()
+	return designStaged(context.Background(), store, p, root, faultsK, xyK, zzK,
 		parallel.TaskSeed(p.Opts.Seed+13, streamPartition))
 }
 

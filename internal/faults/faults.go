@@ -342,6 +342,7 @@ func Measure(ctx context.Context, dev *xmon.Device, kind xmon.CrosstalkKind, noi
 	if plan == nil || !plan.Spec.Enabled() {
 		samples := dev.MeasureSeeded(kind, noiseRel, seed, workers)
 		stats.Pairs = len(samples)
+		obsRecord(stats)
 		return samples, stats, ctx.Err()
 	}
 
@@ -424,5 +425,6 @@ func Measure(ctx context.Context, dev *xmon.Device, kind xmon.CrosstalkKind, noi
 		return nil, stats, fmt.Errorf("faults: calibration campaign lost all %d pairs to dropouts (retry budget %d)",
 			len(tasks), retryBudget)
 	}
+	obsRecord(stats)
 	return samples, stats, nil
 }

@@ -1,0 +1,54 @@
+package faults
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// campaignObs caches the resolved calibration-campaign counters. All of
+// them mirror CampaignStats fields, which are deterministic in (chip,
+// Spec, seed) and invariant in the worker count — so they satisfy obs's
+// counter contract and survive manifest diffs.
+type campaignObs struct {
+	pairs       *obs.Counter
+	skippedDead *obs.Counter
+	dropouts    *obs.Counter
+	retried     *obs.Counter
+	lostPairs   *obs.Counter
+	outliers    *obs.Counter
+}
+
+var observer atomic.Pointer[campaignObs]
+
+// Observe routes campaign accounting into r; nil disables it. Process-
+// global, like parallel.Observe: Measure is called deep inside keyed
+// stages with no registry in scope.
+func Observe(r *obs.Registry) {
+	if r == nil {
+		observer.Store(nil)
+		return
+	}
+	observer.Store(&campaignObs{
+		pairs:       r.Counter("faults/pairs"),
+		skippedDead: r.Counter("faults/skipped_dead"),
+		dropouts:    r.Counter("faults/dropouts"),
+		retried:     r.Counter("faults/retried"),
+		lostPairs:   r.Counter("faults/lost_pairs"),
+		outliers:    r.Counter("faults/outliers"),
+	})
+}
+
+// record folds one finished campaign's stats into the counters.
+func obsRecord(s CampaignStats) {
+	o := observer.Load()
+	if o == nil {
+		return
+	}
+	o.pairs.Add(int64(s.Pairs))
+	o.skippedDead.Add(int64(s.SkippedDead))
+	o.dropouts.Add(int64(s.Dropouts))
+	o.retried.Add(int64(s.Retried))
+	o.lostPairs.Add(int64(s.LostPairs))
+	o.outliers.Add(int64(s.Outliers))
+}

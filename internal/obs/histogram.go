@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the fixed bucket count of every latency histogram:
+// bucket 0 holds zero-duration observations and bucket i (i >= 1) holds
+// durations d with bits.Len64(d) == i, i.e. d in [2^(i-1), 2^i). 63
+// value buckets cover every positive int64 nanosecond count, so the
+// histogram never saturates and needs no configuration — the property
+// that lets hot paths share one histogram type with zero setup.
+const histBuckets = 64
+
+// Histogram is a fixed-bucket latency histogram with power-of-two
+// bucket boundaries. Observations and quantile reads are lock-free and
+// safe for concurrent use; the nil Histogram is a valid no-op.
+//
+// The bucket layout trades resolution for speed: a quantile estimate is
+// exact at bucket boundaries and linearly interpolated inside a bucket,
+// so the estimate is always within a factor of 2 of the true rank
+// statistic (histogram_test.go pins this against a sorted reference).
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+// bucketOf maps a non-negative nanosecond count to its bucket index.
+func bucketOf(v int64) int { return bits.Len64(uint64(v)) }
+
+// Observe records one duration. Negative durations clamp to zero.
+// No-op on a nil receiver.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the cumulative observed duration.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) of the observed
+// durations: it locates the bucket holding the target rank and
+// interpolates linearly inside it. Returns 0 with no observations or on
+// a nil receiver.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.n.Load()
+	if total <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target observation, 1-based; q=0 is the minimum and
+	// q=1 the maximum of the recorded sample.
+	rank := int64(q*float64(total-1)) + 1
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cnt := h.counts[i].Load()
+		if cnt == 0 {
+			continue
+		}
+		cum += cnt
+		if cum < rank {
+			continue
+		}
+		lo, hi := bucketBounds(i)
+		// Position of the target rank inside this bucket, in (0,1].
+		frac := float64(rank-(cum-cnt)) / float64(cnt)
+		return time.Duration(float64(lo) + frac*float64(hi-lo))
+	}
+	return 0
+}
+
+// bucketBounds returns the inclusive value range of bucket i.
+func bucketBounds(i int) (lo, hi int64) {
+	if i == 0 {
+		return 0, 0
+	}
+	lo = int64(1) << (i - 1)
+	if i >= 63 {
+		return lo, int64(^uint64(0) >> 1)
+	}
+	hi = (int64(1) << i) - 1
+	return lo, hi
+}

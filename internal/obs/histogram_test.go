@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// refQuantile is the reference rank statistic the histogram
+// approximates: the value at 1-based rank floor(q*(n-1))+1 of the
+// sorted sample.
+func refQuantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted)-1)) + 1
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// The histogram's power-of-two buckets guarantee any quantile estimate
+// lands in the same bucket as the true rank statistic, so the estimate
+// is within a factor of 2 (and never below half) of the reference.
+func TestQuantileAgainstReference(t *testing.T) {
+	distributions := map[string]func(rng *rand.Rand) int64{
+		"uniform":   func(rng *rand.Rand) int64 { return rng.Int63n(1_000_000) },
+		"lognormal": func(rng *rand.Rand) int64 { return int64(1000 * (1 + rng.ExpFloat64()*500)) },
+		"bimodal": func(rng *rand.Rand) int64 {
+			if rng.Intn(2) == 0 {
+				return 100 + rng.Int63n(50)
+			}
+			return 1_000_000 + rng.Int63n(500_000)
+		},
+	}
+	for name, draw := range distributions {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			h := &Histogram{}
+			vals := make([]int64, 5000)
+			for i := range vals {
+				vals[i] = draw(rng)
+				h.Observe(time.Duration(vals[i]))
+			}
+			sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+			for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+				got := int64(h.Quantile(q))
+				want := refQuantile(vals, q)
+				lo, hi := bucketBounds(bucketOf(want))
+				if got < lo || got > hi {
+					t.Errorf("q=%.2f: estimate %d outside true-rank bucket [%d,%d] (ref %d)",
+						q, got, lo, hi, want)
+				}
+			}
+		})
+	}
+}
+
+func TestQuantileExactAtSmallCounts(t *testing.T) {
+	h := &Histogram{}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	h.Observe(0)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("single zero observation: p50 = %v, want 0", got)
+	}
+	h2 := &Histogram{}
+	h2.Observe(time.Duration(1)) // bucket 1 is exactly [1,1]
+	if got := h2.Quantile(1); got != 1 {
+		t.Fatalf("p100 of {1ns} = %v, want 1ns", got)
+	}
+}
+
+func TestObserveNegativeClampsToZero(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(-time.Second)
+	if h.Count() != 1 || h.Sum() != 0 {
+		t.Fatalf("negative observe: count=%d sum=%v", h.Count(), h.Sum())
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("negative observation not clamped to bucket 0")
+	}
+}
+
+func TestBucketBoundsCoverInt64(t *testing.T) {
+	for i := 0; i < histBuckets; i++ {
+		lo, hi := bucketBounds(i)
+		if lo > hi {
+			t.Fatalf("bucket %d: lo %d > hi %d", i, lo, hi)
+		}
+		if bucketOf(lo) != i || (hi > 0 && bucketOf(hi) != i) {
+			t.Fatalf("bucket %d bounds [%d,%d] do not map back", i, lo, hi)
+		}
+	}
+	if bucketOf(int64(^uint64(0)>>1)) != 63 {
+		t.Fatal("max int64 does not land in the last bucket")
+	}
+}

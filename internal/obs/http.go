@@ -1,0 +1,27 @@
+package obs
+
+import (
+	"net/http"
+)
+
+// Handler returns an expvar-style HTTP handler serving the registry's
+// current Snapshot as indented JSON. Mount it wherever the process
+// exposes debug endpoints, conventionally:
+//
+//	http.Handle("/debug/youtiao", reg.Handler())
+//
+// The handler is read-only and safe for concurrent use with live
+// instrumentation; each request renders a fresh snapshot. A nil
+// registry serves the stable empty snapshot, so wiring the endpoint
+// unconditionally is safe.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		data, err := r.Snapshot().JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Write(append(data, '\n'))
+	})
+}

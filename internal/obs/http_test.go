@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// Golden test of the /debug/youtiao payload: a registry with known,
+// deterministic contents must serve byte-identical JSON. Histogram
+// quantiles are deterministic here because the observed durations are
+// fixed values, not measured time.
+func TestHandlerGolden(t *testing.T) {
+	r := New()
+	r.Counter("stage/hits").Add(3)
+	r.Counter("stage/misses").Add(9)
+	r.Gauge("parallel/max_workers").Set(4)
+	h := r.Histogram("stage/tdm")
+	h.Observe(1024 * time.Nanosecond) // bucket [1024,2047], sole entry
+	h.Observe(1024 * time.Nanosecond)
+
+	req := httptest.NewRequest("GET", "/debug/youtiao", nil)
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, req)
+
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	const golden = `{
+  "counters": {
+    "stage/hits": 3,
+    "stage/misses": 9
+  },
+  "gauges": {
+    "parallel/max_workers": 4
+  },
+  "histograms": {
+    "stage/tdm": {
+      "count": 2,
+      "sum_ns": 2048,
+      "p50_ns": 1535,
+      "p95_ns": 1535,
+      "p99_ns": 1535
+    }
+  }
+}
+`
+	if got := rec.Body.String(); got != golden {
+		t.Fatalf("handler body mismatch:\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+}
+
+func TestHandlerNilRegistry(t *testing.T) {
+	var r *Registry
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/youtiao", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	const want = `{
+  "counters": {}
+}
+`
+	if got := rec.Body.String(); got != want {
+		t.Fatalf("nil-registry body = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// HistogramSnapshot is the point-in-time summary of one latency
+// histogram. Count is deterministic (it counts events, not time); the
+// *_ns fields are timing and are zeroed by StripTimings.
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	SumNs int64 `json:"sum_ns"`
+	P50Ns int64 `json:"p50_ns"`
+	P95Ns int64 `json:"p95_ns"`
+	P99Ns int64 `json:"p99_ns"`
+}
+
+// SpanSnapshot is the aggregate of one span path. Paths encode the
+// parent/child tree ("design/characterize-xy" nests under "design") and
+// sort lexically, which places every parent immediately before its
+// children — the deterministic ordering the span section relies on.
+type SpanSnapshot struct {
+	Path   string `json:"path"`
+	Count  int64  `json:"count"`
+	WallNs int64  `json:"wall_ns"`
+}
+
+// Snapshot is a stable-JSON view of a registry at one instant. Map keys
+// marshal sorted (encoding/json) and spans are emitted in path order,
+// so two snapshots of identical registries render byte-identical JSON.
+//
+// The determinism contract splits the fields in two: Counters,
+// histogram Counts and span Counts are pure functions of the work
+// performed; Gauges and every *_ns field measure the execution itself.
+// StripTimings keeps exactly the first group.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Spans      []SpanSnapshot               `json:"spans,omitempty"`
+}
+
+// Snapshot captures the registry's current state. A nil registry
+// snapshots to the zero Snapshot (with a non-nil, empty counter map so
+// the JSON schema is stable either way).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{Counters: map[string]int64{}}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Load()
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Load()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			s.Histograms[name] = HistogramSnapshot{
+				Count: h.Count(),
+				SumNs: int64(h.Sum()),
+				P50Ns: int64(h.Quantile(0.50)),
+				P95Ns: int64(h.Quantile(0.95)),
+				P99Ns: int64(h.Quantile(0.99)),
+			}
+		}
+	}
+	for path, st := range r.spans {
+		s.Spans = append(s.Spans, SpanSnapshot{Path: path, Count: st.count, WallNs: int64(st.wall)})
+	}
+	sort.Slice(s.Spans, func(a, b int) bool { return s.Spans[a].Path < s.Spans[b].Path })
+	return s
+}
+
+// StripTimings returns a copy of the snapshot with every
+// non-deterministic field removed: gauges are dropped, histogram and
+// span *_ns fields are zeroed, counters and counts are kept. Two runs
+// at identical options and seed produce equal stripped snapshots for
+// any worker count — the property the manifest diff and the
+// determinism tests assert.
+func (s Snapshot) StripTimings() Snapshot {
+	out := Snapshot{Counters: make(map[string]int64, len(s.Counters))}
+	for name, v := range s.Counters {
+		out.Counters[name] = v
+	}
+	if len(s.Histograms) > 0 {
+		out.Histograms = make(map[string]HistogramSnapshot, len(s.Histograms))
+		for name, h := range s.Histograms {
+			out.Histograms[name] = HistogramSnapshot{Count: h.Count}
+		}
+	}
+	for _, sp := range s.Spans {
+		out.Spans = append(out.Spans, SpanSnapshot{Path: sp.Path, Count: sp.Count})
+	}
+	return out
+}
+
+// JSON renders the snapshot as indented, key-sorted JSON.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"time"
+)
+
+// spanStat is the accumulated record of one span path: how many times
+// the span ran and its cumulative wall time. Spans aggregate by path
+// rather than listing individual executions, so the snapshot's span
+// section has a deterministic shape — the set of paths and their counts
+// are pure functions of the work performed, only the wall fields carry
+// timing (see Snapshot.StripTimings).
+type spanStat struct {
+	count int64
+	wall  time.Duration
+}
+
+// Span is one in-flight timed region. Spans form a tree: Child derives
+// a span whose path is "parent/name", so the recorded paths encode the
+// parent/child structure ("design/characterize-xy") without any
+// per-span allocation surviving past End. The nil Span is a valid
+// no-op parent — StartSpan on a nil registry returns nil, and nil.Child
+// returns nil — so span-annotated code needs no enabled-check.
+//
+// A Span is owned by one goroutine; concurrent children of one parent
+// are fine (Child only reads the parent), and End aggregates under the
+// registry lock.
+type Span struct {
+	r     *Registry
+	path  string
+	start time.Time
+}
+
+// StartSpan opens a root span. Returns nil (a no-op span) on a nil
+// registry.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{r: r, path: name, start: time.Now()}
+}
+
+// Child opens a sub-span whose path nests under the receiver's. Returns
+// nil on a nil receiver.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{r: s.r, path: s.path + "/" + name, start: time.Now()}
+}
+
+// End closes the span, accumulating its wall time under its path. A
+// span may be ended exactly once; End on a nil receiver is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.r.recordSpan(s.path, time.Since(s.start))
+}
+
+// recordSpan folds one finished span into the per-path aggregate.
+func (r *Registry) recordSpan(path string, d time.Duration) {
+	r.mu.Lock()
+	st, ok := r.spans[path]
+	if !ok {
+		st = &spanStat{}
+		r.spans[path] = st
+	}
+	st.count++
+	st.wall += d
+	r.mu.Unlock()
+}

@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Workers resolves a worker-count option: any value <= 0 selects
@@ -47,10 +48,13 @@ func ForEach(workers, n int, fn func(i int)) {
 	if w > n {
 		w = n
 	}
+	o, start := obsBegin(n, w)
 	if w <= 1 {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
+		o.busy(start)
+		o.end(start)
 		return
 	}
 	var next atomic.Int64
@@ -59,6 +63,10 @@ func ForEach(workers, n int, fn func(i int)) {
 	for g := 0; g < w; g++ {
 		go func() {
 			defer wg.Done()
+			if o != nil {
+				ws := time.Now()
+				defer o.busy(ws)
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
@@ -69,6 +77,7 @@ func ForEach(workers, n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+	o.end(start)
 }
 
 // Resolve returns the worker count ForEach and friends actually use
@@ -100,10 +109,13 @@ func ForEachWorker(workers, n int, fn func(worker, i int)) {
 		return
 	}
 	w := Resolve(workers, n)
+	o, start := obsBegin(n, w)
 	if w <= 1 {
 		for i := 0; i < n; i++ {
 			fn(0, i)
 		}
+		o.busy(start)
+		o.end(start)
 		return
 	}
 	var next atomic.Int64
@@ -112,6 +124,10 @@ func ForEachWorker(workers, n int, fn func(worker, i int)) {
 	for g := 0; g < w; g++ {
 		go func(worker int) {
 			defer wg.Done()
+			if o != nil {
+				ws := time.Now()
+				defer o.busy(ws)
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
@@ -122,6 +138,7 @@ func ForEachWorker(workers, n int, fn func(worker, i int)) {
 		}(g)
 	}
 	wg.Wait()
+	o.end(start)
 }
 
 // ForEachErrWorker is ForEachWorker for fallible tasks, with the same
@@ -183,14 +200,18 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error
 	if w > n {
 		w = n
 	}
+	o, start := obsBegin(n, w)
 	errs := make([]error, n)
 	if w <= 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
+				o.end(start)
 				return err
 			}
 			errs[i] = fn(i)
 		}
+		o.busy(start)
+		o.end(start)
 	} else {
 		var next atomic.Int64
 		var wg sync.WaitGroup
@@ -199,6 +220,10 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error
 		for g := 0; g < w; g++ {
 			go func() {
 				defer wg.Done()
+				if o != nil {
+					ws := time.Now()
+					defer o.busy(ws)
+				}
 				for {
 					select {
 					case <-done:
@@ -214,6 +239,7 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error
 			}()
 		}
 		wg.Wait()
+		o.end(start)
 		if err := ctx.Err(); err != nil {
 			return err
 		}

@@ -1,0 +1,62 @@
+package quantum
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// simObs caches the resolved simulation counters. All three are
+// deterministic in the circuit, schedule and seed: the gates a
+// trajectory applies (including RNG-driven Pauli injections) come from
+// per-trajectory SplitMix64 streams, so the totals are invariant in the
+// worker count.
+type simObs struct {
+	// gateOps counts state-vector gate applications: Apply dispatches
+	// plus the trajectory loop's direct Pauli injections.
+	gateOps *obs.Counter
+	// trajectories counts Monte Carlo trajectories run to completion.
+	trajectories *obs.Counter
+	// measurements counts measurement collapses (per qubit for
+	// MeasureQubit, per register for MeasureAll).
+	measurements *obs.Counter
+}
+
+var observer atomic.Pointer[simObs]
+
+// Observe routes simulation instrumentation into r; nil disables it.
+// Process-global, like parallel.Observe. The hot-path cost with no
+// observer is one atomic load and a branch per gate — the state-vector
+// kernels stay zero-alloc either way (obs_test asserts it).
+func Observe(r *obs.Registry) {
+	if r == nil {
+		observer.Store(nil)
+		return
+	}
+	observer.Store(&simObs{
+		gateOps:      r.Counter("quantum/gate_ops"),
+		trajectories: r.Counter("quantum/trajectories"),
+		measurements: r.Counter("quantum/measurements"),
+	})
+}
+
+// obsGateOp records one gate application.
+func obsGateOp() {
+	if o := observer.Load(); o != nil {
+		o.gateOps.Inc()
+	}
+}
+
+// obsMeasurement records one measurement collapse.
+func obsMeasurement() {
+	if o := observer.Load(); o != nil {
+		o.measurements.Inc()
+	}
+}
+
+// obsTrajectories records n completed Monte Carlo trajectories.
+func obsTrajectories(n int) {
+	if o := observer.Load(); o != nil {
+		o.trajectories.Add(int64(n))
+	}
+}

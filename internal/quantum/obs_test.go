@@ -1,0 +1,70 @@
+package quantum
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/obs"
+)
+
+// mcCounters runs one fixed noisy Monte Carlo estimate at the given
+// worker count and returns the stripped snapshot of its counters.
+func mcCounters(t *testing.T, workers int) obs.Snapshot {
+	t.Helper()
+	sched := mcSchedule(t, func(c *circuit.Circuit) {
+		_ = c.Append(circuit.H, 0, 0)
+		_ = c.Append(circuit.CX, 0, 0, 1)
+		_ = c.Append(circuit.CZ, 0, 2, 3)
+	})
+	nm := NewNoiseModel(nil, nil)
+	nm.Rates = ErrorRates{OneQubit: 0.05, TwoQubit: 0.1}
+	nm.T1Us = 100
+	reg := obs.New()
+	Observe(reg)
+	defer Observe(nil)
+	if _, err := nm.MonteCarloFidelity(sched, 4, TrajectoryConfig{Trajectories: 64, Seed: 7, Workers: workers}); err != nil {
+		t.Fatal(err)
+	}
+	return reg.Snapshot().StripTimings()
+}
+
+// The simulation counters are a pure function of (schedule, config,
+// seed): gate applications include RNG-driven Pauli injections, but
+// every trajectory draws from its own seed-split stream, so the totals
+// cannot depend on the worker count.
+func TestSimCountersWorkerInvariant(t *testing.T) {
+	seq := mcCounters(t, 1)
+	par := mcCounters(t, 4)
+	for name, v := range seq.Counters {
+		if par.Counters[name] != v {
+			t.Errorf("counter %s: %d sequential vs %d at 4 workers", name, v, par.Counters[name])
+		}
+	}
+	if seq.Counters["quantum/trajectories"] != 64 {
+		t.Errorf("trajectories counter = %d, want 64", seq.Counters["quantum/trajectories"])
+	}
+	if seq.Counters["quantum/gate_ops"] == 0 {
+		t.Error("gate_ops counter stayed 0 across a noisy MC run")
+	}
+}
+
+// With no observer installed the instrumented hot paths — gate
+// application and Pauli injection — must stay zero-alloc: the
+// disabled cost is one atomic load and a branch.
+func TestDisabledObserverKernelsZeroAlloc(t *testing.T) {
+	Observe(nil)
+	s, err := NewState(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := circuit.Gate{Name: circuit.RX, Qubits: []int{2}, Param: 0.3}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := s.Apply(g); err != nil {
+			t.Fatal(err)
+		}
+		s.applyPauli(0, 1)
+		s.applyPauli(2, 3)
+	}); allocs != 0 {
+		t.Errorf("disabled-observer gate path allocates %.1f per run, want 0", allocs)
+	}
+}

@@ -4,7 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Stats is the accumulated instrumentation of one stage across a
@@ -47,6 +50,11 @@ type Store struct {
 	entries map[Key]*entry
 	stats   map[string]*Stats
 	order   []string // stage names in first-seen order, for reporting
+
+	// obsv is the optional observability registry. Swapped atomically
+	// so Observe is safe concurrently with in-flight Do calls; a nil
+	// registry (the default) disables emission at zero cost.
+	obsv atomic.Pointer[obs.Registry]
 }
 
 // NewStore returns an empty artifact store.
@@ -55,6 +63,23 @@ func NewStore() *Store {
 		entries: make(map[Key]*entry),
 		stats:   make(map[string]*Stats),
 	}
+}
+
+// Observe routes the store's cache instrumentation into r: the
+// "stage/hits", "stage/misses", "stage/errors" and
+// "stage/singleflight_waits" counters and a per-stage execution-latency
+// histogram ("stage/<name>"). Pass nil to disable. Counters except
+// singleflight_waits are deterministic for sequential pipelines;
+// singleflight_waits counts scheduling-dependent concurrent-duplicate
+// suppression and is only non-zero under concurrent same-key Do calls.
+func (s *Store) Observe(r *obs.Registry) {
+	// Pre-register the counters so every snapshot carries the full
+	// set at 0 — the schema does not depend on which events occurred.
+	r.Counter("stage/hits")
+	r.Counter("stage/misses")
+	r.Counter("stage/errors")
+	r.Counter("stage/singleflight_waits")
+	s.obsv.Store(r)
 }
 
 // statLocked returns (creating if needed) the stats row of a stage.
@@ -75,11 +100,19 @@ func (s *Store) statLocked(name string) *Stats {
 // instrumentation — it never affects the artifact). Errors are
 // returned to every concurrent waiter but never cached.
 func (s *Store) Do(ctx context.Context, name string, key Key, workers int, fn func(context.Context) (any, error)) (any, bool, error) {
+	r := s.obsv.Load()
 	s.mu.Lock()
 	st := s.statLocked(name)
 	st.Runs++
 	if e, ok := s.entries[key]; ok {
 		s.mu.Unlock()
+		if r != nil {
+			select {
+			case <-e.ready:
+			default:
+				r.Counter("stage/singleflight_waits").Inc()
+			}
+		}
 		<-e.ready
 		if e.err != nil {
 			// The executing call failed (and removed the entry); report
@@ -89,6 +122,7 @@ func (s *Store) Do(ctx context.Context, name string, key Key, workers int, fn fu
 		s.mu.Lock()
 		st.Hits++
 		s.mu.Unlock()
+		r.Counter("stage/hits").Inc()
 		return e.val, true, nil
 	}
 	e := &entry{ready: make(chan struct{})}
@@ -97,6 +131,7 @@ func (s *Store) Do(ctx context.Context, name string, key Key, workers int, fn fu
 
 	start := time.Now()
 	v, err := fn(ctx)
+	dur := time.Since(start)
 	e.val, e.err = v, err
 	close(e.ready)
 
@@ -105,13 +140,16 @@ func (s *Store) Do(ctx context.Context, name string, key Key, workers int, fn fu
 		delete(s.entries, key) // never cache failures
 	} else {
 		st.Misses++
-		st.Wall += time.Since(start)
+		st.Wall += dur
 		st.Workers = workers
 	}
 	s.mu.Unlock()
 	if err != nil {
+		r.Counter("stage/errors").Inc()
 		return nil, false, err
 	}
+	r.Counter("stage/misses").Inc()
+	r.Histogram("stage/" + name).Observe(dur)
 	return v, false, nil
 }
 

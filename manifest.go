@@ -1,0 +1,120 @@
+package youtiao
+
+import (
+	"encoding/json"
+	"runtime"
+)
+
+// ManifestSchema versions the manifest JSON layout; bump it on any
+// field change so downstream tooling can reject shapes it does not
+// understand.
+const ManifestSchema = 1
+
+// ManifestEnv records the bench-relevant execution environment of a
+// run: identical designs measured under different toolchains or CPU
+// budgets are not comparable as benchmarks, and the manifest is where
+// that difference is visible.
+type ManifestEnv struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Workers is the pipeline worker budget the run requested (0 =
+	// NumCPU). Recorded for bench comparability only — the designed
+	// system is invariant in it.
+	Workers int `json:"workers"`
+}
+
+// ManifestChip identifies the designed chip.
+type ManifestChip struct {
+	Name     string `json:"name"`
+	Topology string `json:"topology"`
+	Qubits   int    `json:"qubits"`
+	Couplers int    `json:"couplers"`
+}
+
+// Manifest is the reproducibility record of one design run: what was
+// designed (options digest, seed, chip), where (environment, git
+// revision), and how it went (stage report, observability snapshot).
+// Two runs at identical options and seed produce manifests whose
+// StripTimings() forms are byte-identical on the same machine; the
+// full forms differ only in CreatedAt, wall times and histogram
+// quantiles.
+type Manifest struct {
+	Schema int `json:"schema"`
+	// CreatedAt is an RFC 3339 timestamp, set by the caller (timing —
+	// stripped by StripTimings).
+	CreatedAt string `json:"created_at,omitempty"`
+	// Git is the producing tree's `git describe --always --dirty`
+	// output when available.
+	Git string `json:"git,omitempty"`
+	// OptionsDigest is Options.Digest(): a stable hash of every
+	// design-relevant option after normalization, excluding Workers
+	// and Obs.
+	OptionsDigest string       `json:"options_digest"`
+	Seed          int64        `json:"seed"`
+	Chip          ManifestChip `json:"chip"`
+	Env           ManifestEnv  `json:"env"`
+	// Stages is the designer's per-stage cache report (runs, hits,
+	// misses and wall time per stage).
+	Stages *StageReport `json:"stages,omitempty"`
+	// Obs is the run's observability snapshot when a registry was
+	// attached.
+	Obs *ObsSnapshot `json:"obs,omitempty"`
+}
+
+// NewManifest assembles the manifest of a finished design. CreatedAt,
+// Git, Stages and Obs start empty; fill them from the caller's clock,
+// VCS and registry.
+func NewManifest(res *DesignResult, opts Options) *Manifest {
+	return &Manifest{
+		Schema:        ManifestSchema,
+		OptionsDigest: opts.Digest(),
+		Seed:          opts.Seed,
+		Chip: ManifestChip{
+			Name:     res.Chip.Name,
+			Topology: res.Chip.Topology,
+			Qubits:   res.Chip.NumQubits(),
+			Couplers: res.Chip.NumCouplers(),
+		},
+		Env: ManifestEnv{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Workers:    opts.Workers,
+		},
+	}
+}
+
+// JSON renders the manifest as stable, indented JSON.
+func (m *Manifest) JSON() ([]byte, error) {
+	return json.MarshalIndent(m, "", "  ")
+}
+
+// StripTimings returns a copy with every timing field removed:
+// CreatedAt cleared, stage wall times zeroed and the observability
+// snapshot reduced to its deterministic subset. What remains is a
+// pure function of (chip, options, seed) on a fixed toolchain, so two
+// runs at identical inputs strip to byte-identical JSON — the
+// reproducibility check `cmd/youtiao -manifest` enables.
+func (m *Manifest) StripTimings() *Manifest {
+	out := *m
+	out.CreatedAt = ""
+	if m.Stages != nil {
+		st := *m.Stages
+		st.Wall = 0
+		st.Stages = append([]StageStats(nil), m.Stages.Stages...)
+		for i := range st.Stages {
+			st.Stages[i].Wall = 0
+		}
+		out.Stages = &st
+	}
+	if m.Obs != nil {
+		stripped := m.Obs.StripTimings()
+		out.Obs = &stripped
+	}
+	return &out
+}

@@ -109,3 +109,36 @@ func TestCompareNewAndGoneBenchmarksNeverFail(t *testing.T) {
 		t.Errorf("report should mention new/gone benchmarks:\n%s", report)
 	}
 }
+
+// -count=N output repeats each benchmark; the snapshot must keep the
+// per-field minimum so one noisy sample cannot trip the gate.
+func TestParseMergesRepeatedRuns(t *testing.T) {
+	const repeated = `goos: linux
+BenchmarkNoisy-8	10	300 ns/op	128 B/op	4 allocs/op
+BenchmarkNoisy-8	12	 90 ns/op	160 B/op	2 allocs/op
+BenchmarkNoisy-8	11	210 ns/op	 96 B/op	3 allocs/op
+BenchmarkSteady-8	 5	 50 ns/op	  8 B/op	1 allocs/op
+PASS
+`
+	snap, err := Parse(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 2 {
+		t.Fatalf("merged to %d rows, want 2: %+v", len(snap.Benchmarks), snap.Benchmarks)
+	}
+	byName := map[string]Bench{}
+	for _, b := range snap.Benchmarks {
+		byName[b.Name] = b
+	}
+	n := byName["Noisy"]
+	if n.NsPerOp != 90 || n.BytesPerOp != 96 || n.AllocsPerOp != 2 {
+		t.Errorf("merged Noisy = %+v, want per-field minima (90 ns, 96 B, 2 allocs)", n)
+	}
+	if n.Iterations != 12 {
+		t.Errorf("merged Noisy iterations = %d, want the fastest run's 12", n.Iterations)
+	}
+	if s := byName["Steady"]; s.NsPerOp != 50 {
+		t.Errorf("singleton Steady altered: %+v", s)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/experiments"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/schedule"
 	"repro/internal/stage"
 	"repro/internal/tdm"
@@ -204,6 +205,33 @@ func DesignDeviceCtx(ctx context.Context, dev *xmon.Device, opts Options) (*Desi
 	}
 	return fromPipeline(p)
 }
+
+// ObsRegistry collects metrics, latency histograms and design spans.
+// Create one with NewObservability, set it as Options.Obs to capture a
+// build's stage instrumentation, and pass it to Observe to also route
+// the process-global subsystem counters (worker pool, calibration
+// faults, model fit, simulators) into it. Registry.Snapshot() returns
+// a stable-schema ObsSnapshot; Registry.Handler() serves it over HTTP
+// (mount it at /debug/youtiao). A nil registry disables everything at
+// zero cost.
+type ObsRegistry = obs.Registry
+
+// ObsSnapshot is a point-in-time export of an ObsRegistry: counters,
+// gauges, histogram quantiles and the design span tree, in a stable
+// JSON schema. StripTimings() reduces it to the deterministic subset —
+// two snapshots of identical designs at identical seeds strip to equal
+// values regardless of Workers or machine speed.
+type ObsSnapshot = obs.Snapshot
+
+// NewObservability returns an empty metrics registry.
+func NewObservability() *ObsRegistry { return obs.New() }
+
+// Observe installs r as the process-global observer of the pipeline's
+// subsystems (worker pool, calibration fault accounting, crosstalk
+// fit, quantum simulators). Pass nil to uninstall. Per-build stage
+// metrics flow through Options.Obs instead, so concurrent builds can
+// keep separate registries while sharing the process-global one.
+func Observe(r *ObsRegistry) { experiments.Observe(r) }
 
 // StageReport is the per-stage instrumentation snapshot of a Designer:
 // runs, cache hits/misses, worker budget and cumulative wall time per
