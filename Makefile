@@ -6,9 +6,13 @@ FUZZTIME ?= 30s
 OUT ?= out
 BENCH_STAMP := $(shell date +%Y%m%d-%H%M%S)
 
-STAGE_COVER_FLOOR ?= 90
+# Per-package coverage floors enforced by `make cover`, as
+# package:percent pairs. The stage engine decides what work an
+# incremental redesign may skip; obs and faults feed the manifests and
+# degradation accounting; hypo decides experiment verdicts.
+COVER_FLOORS ?= internal/stage:90 internal/obs:85 internal/faults:85 internal/hypo:85
 
-.PHONY: build vet fmt-check lint test race race-faults fuzz bench bench-smoke faults cover verify
+.PHONY: build vet fmt-check lint test race race-faults fuzz bench bench-smoke faults cover verify experiments experiments-smoke experiments-full
 
 # Generated run products (bench logs, coverage profiles, manifests) all
 # land under $(OUT), which is ignored wholesale; the committed
@@ -51,6 +55,7 @@ fuzz:
 	$(GO) test ./internal/fdm -run NONE -fuzz FuzzGroupAllocate -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/faults -run NONE -fuzz FuzzPlanExclusion -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/stage -run NONE -fuzz FuzzArtifactKey -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/hypo -run NONE -fuzz FuzzExperimentSpec -fuzztime $(FUZZTIME)
 
 # The benchmark-regression trajectory: run the full suite with
 # allocation reporting, snapshot it as $(OUT)/BENCH_<stamp>.json, and
@@ -71,21 +76,42 @@ bench: | $(OUT)
 bench-smoke:
 	$(GO) test -run NONE -bench . -benchtime 1x -benchmem . > /dev/null
 
-# Coverage over the whole module, plus an enforced floor on the stage
-# engine: the artifact-key and memoization logic decides what work an
-# incremental redesign may skip, so it stays exhaustively tested.
+# Coverage over the whole module, plus enforced per-package floors (see
+# COVER_FLOORS above): any listed package dropping below its floor
+# fails the target.
 cover: | $(OUT)
 	$(GO) test -coverprofile=$(OUT)/cover.out ./...
 	@$(GO) tool cover -func=$(OUT)/cover.out | tail -n 1
-	$(GO) test -coverprofile=$(OUT)/cover.stage.out ./internal/stage
-	@pct=$$($(GO) tool cover -func=$(OUT)/cover.stage.out | awk '$$1=="total:"{sub(/%/,"",$$3); print $$3}'); \
-	echo "internal/stage coverage: $$pct% (floor: $(STAGE_COVER_FLOOR)%)"; \
-	awk -v p="$$pct" -v f="$(STAGE_COVER_FLOOR)" 'BEGIN{exit !(p+0 >= f+0)}' || \
-		{ echo "FAIL: internal/stage coverage $$pct% is below the $(STAGE_COVER_FLOOR)% floor"; exit 1; }
+	@fail=0; for entry in $(COVER_FLOORS); do \
+		pkg=$${entry%:*}; floor=$${entry#*:}; \
+		prof=$(OUT)/cover.$$(echo $$pkg | tr / .).out; \
+		$(GO) test -coverprofile=$$prof ./$$pkg > /dev/null || { fail=1; continue; }; \
+		pct=$$($(GO) tool cover -func=$$prof | awk '$$1=="total:"{sub(/%/,"",$$3); print $$3}'); \
+		echo "$$pkg coverage: $$pct% (floor: $$floor%)"; \
+		awk -v p="$$pct" -v f="$$floor" 'BEGIN{exit !(p+0 >= f+0)}' || \
+			{ echo "FAIL: $$pkg coverage $$pct% is below the $$floor% floor"; fail=1; }; \
+	done; exit $$fail
 
 # Smoke-test graceful degradation: design a small chip across a defect
 # ladder and print the wiring/fidelity table.
 faults:
 	$(GO) run ./cmd/youtiao -qubits 25 -sweep-defects 0,0.01,0.02,0.05 -retry-budget 3
+
+# The hypothesis-experiment harness (cmd/hypo): each registered
+# experiment states a claim, runs it under the verdict rules of
+# internal/hypo, and records FINDINGS.json / FINDINGS.md under
+# hypotheses/<id>/. `experiments` runs the full registry at default
+# seeds; `experiments-smoke` runs only the deterministic tier (the CI
+# gate — fast and byte-reproducible); `experiments-full` re-runs the
+# statistical tier on an extended seed set.
+experiments:
+	$(GO) run ./cmd/hypo -run all -out hypotheses
+
+experiments-smoke:
+	$(GO) run ./cmd/hypo -run deterministic -out hypotheses
+
+experiments-full:
+	$(GO) run ./cmd/hypo -run deterministic -out hypotheses
+	$(GO) run ./cmd/hypo -run statistical -seeds 1,2,3,4,5 -out hypotheses
 
 verify: build vet test bench-smoke

@@ -1,0 +1,135 @@
+// Command hypo runs the repository's hypothesis experiments: declared
+// claims about the wiring pipeline (warm-redesign speedup, worker-count
+// invariance, trim recovery, cache hit rates, manifest reproducibility)
+// executed under the verdict rules of internal/hypo and recorded as
+// FINDINGS.json / FINDINGS.md artifacts.
+//
+// Usage:
+//
+//	hypo -list
+//	hypo -run deterministic
+//	hypo -run all -out hypotheses
+//	hypo -run H3-trim-recovery?seeds=7:8:9 -json
+//	hypo -run statistical -seeds 1,2,3,4,5
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"repro/internal/hypo"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hypo: ")
+	list := flag.Bool("list", false, "list the registered experiments and exit")
+	run := flag.String("run", "", "run spec: experiment id(s) or tier (all, deterministic, statistical); comma-separated, per-item overrides as id?seeds=1:2:3&min_effect=0.25")
+	seeds := flag.String("seeds", "", "comma-separated seed override applied to every selected experiment (per-item ?seeds= wins)")
+	out := flag.String("out", "hypotheses", "directory for FINDINGS.json/FINDINGS.md artifacts (empty = don't write)")
+	asJSON := flag.Bool("json", false, "print each findings record as JSON instead of the summary table")
+	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+	flag.Parse()
+
+	reg := hypo.Builtin()
+	if *list {
+		printList(reg)
+		return
+	}
+	if *run == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	specs, err := hypo.ParseSpecs(*run)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var globalSeeds []int64
+	if *seeds != "" {
+		if globalSeeds, err = hypo.ParseSeeds(*seeds); err != nil {
+			log.Fatalf("-seeds: %v", err)
+		}
+	}
+	selections, err := reg.Select(specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(selections) == 0 {
+		log.Fatal("run spec selected no experiments")
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	git := gitDescribe()
+	failed := 0
+	for _, sel := range selections {
+		if sel.Seeds == nil && globalSeeds != nil {
+			sel.Seeds = globalSeeds
+		}
+		f, err := sel.Execute(ctx)
+		if err != nil {
+			log.Fatalf("%s: %v", sel.Experiment.ID, err)
+		}
+		f.Manifest.CreatedAt = time.Now().UTC().Format(time.RFC3339Nano)
+		f.Manifest.Git = git
+		if *out != "" {
+			dir, err := f.Write(*out)
+			if err != nil {
+				log.Fatalf("%s: %v", f.ID, err)
+			}
+			fmt.Fprintf(os.Stderr, "hypo: wrote %s\n", dir)
+		}
+		if *asJSON {
+			data, err := f.JSON()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(string(data))
+		} else {
+			fmt.Printf("%-22s %-13s %-12s %s\n", f.ID, f.Class, strings.ToUpper(string(f.Verdict)), f.Reason)
+		}
+		if f.Verdict != hypo.Confirmed {
+			failed++
+		}
+	}
+	if failed > 0 {
+		log.Fatalf("%d of %d experiments did not confirm", failed, len(selections))
+	}
+}
+
+// printList renders the registry as an id / class / claim table.
+func printList(reg *hypo.Registry) {
+	for _, e := range reg.List() {
+		seeds := e.Seeds
+		if seeds == nil {
+			seeds = hypo.DefaultSeeds(e.Class)
+		}
+		parts := make([]string, len(seeds))
+		for i, s := range seeds {
+			parts[i] = fmt.Sprintf("%d", s)
+		}
+		fmt.Printf("%-22s %-13s seeds=%-8s %s\n", e.ID, e.Class, strings.Join(parts, ","), e.Claim)
+	}
+}
+
+// gitDescribe best-effort identifies the producing tree; an empty
+// string (no git, not a repository) just omits the manifest field.
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/chip"
+	"repro/internal/hypo/testkit"
 	"repro/internal/xmon"
 )
 
@@ -15,33 +16,32 @@ import (
 // order, so worker scheduling cannot leak into the result.
 func TestFitWorkerCountInvariant(t *testing.T) {
 	c := chip.Square(4, 4)
-	for _, seed := range []int64{1, 2, 3} {
+	// The invariance compares everything selection depends on: the
+	// chosen weights, the model's CV error, and the full prediction row
+	// from qubit 0 (forest behaviour, not just grid choice).
+	type fitResult struct {
+		Weights chip.EquivWeights
+		CVError float64
+		Preds   []float64
+	}
+	testkit.SeedMatrix(t, []int64{1, 2, 3}, func(t *testing.T, seed int64) {
 		rng := rand.New(rand.NewSource(seed))
 		dev := xmon.NewDevice(c, xmon.DefaultParams(), rng)
 		samples := dev.MeasureSeeded(xmon.XY, 0.05, seed, 1)
 
-		var models [2]*Model
-		for wi, workers := range []int{1, 4} {
+		testkit.WorkerInvariant(t, 1, []int{4}, func(workers int) fitResult {
 			cfg := fastFitConfig()
 			cfg.Workers = workers
 			m, err := Fit(c, samples, cfg)
 			if err != nil {
-				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+				t.Fatalf("workers %d: %v", workers, err)
 			}
-			models[wi] = m
-		}
-		seq, par := models[0], models[1]
-		if seq.Weights != par.Weights {
-			t.Errorf("seed %d: weights %+v (Workers=1) vs %+v (Workers=4)", seed, seq.Weights, par.Weights)
-		}
-		if seq.CVError != par.CVError {
-			t.Errorf("seed %d: CV error %v vs %v", seed, seq.CVError, par.CVError)
-		}
-		ps, pp := seq.On(c), par.On(c)
-		for i := 1; i < c.NumQubits(); i++ {
-			if ps.Predict(0, i) != pp.Predict(0, i) {
-				t.Fatalf("seed %d: prediction (0,%d) differs across worker counts", seed, i)
+			p := m.On(c)
+			preds := make([]float64, 0, c.NumQubits()-1)
+			for i := 1; i < c.NumQubits(); i++ {
+				preds = append(preds, p.Predict(0, i))
 			}
-		}
-	}
+			return fitResult{Weights: m.Weights, CVError: m.CVError, Preds: preds}
+		})
+	})
 }

@@ -1,0 +1,400 @@
+package hypo
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"time"
+
+	youtiao "repro"
+	"repro/internal/chip"
+	"repro/internal/crosstalk"
+	"repro/internal/experiments"
+	"repro/internal/faults"
+	"repro/internal/mlfit"
+	"repro/internal/obs"
+	"repro/internal/scalesim"
+	"repro/internal/xmon"
+)
+
+// Builtin experiment parameters. The chips are deliberately moderate —
+// the claims under test are about structure (cache reuse, determinism,
+// robust fitting), not absolute scale, and the deterministic tier runs
+// on every CI push.
+const (
+	builtinChipSide = 5 // 25 qubits, 40 couplers
+	// h1ChipSide is larger than the shared chip: the warm side re-runs
+	// only the tdm stage, whose cost grows far slower than the full
+	// pipeline's, so a bigger chip widens the cold/warm ratio and keeps
+	// the measurement comfortably clear of its floor under timer noise.
+	h1ChipSide = 7 // 49 qubits, 84 couplers
+	// h1MinSpeedup is H1's predicted direction: the claim folklore says
+	// ~1850x, the hypothesis requires >= 100x so the experiment stays
+	// meaningful on slow shared runners.
+	h1MinSpeedup = 100.0
+	// h3Tolerance: the trimmed fit must land within 20% of the
+	// fault-free CV error.
+	h3Tolerance = 0.20
+	// h4HitRateFloor is the stated stage-cache hit-rate floor under the
+	// defect sweep (repeated rates re-use whole builds; distinct rates
+	// share fabrication).
+	h4HitRateFloor = 0.30
+)
+
+func builtinChip() *chip.Chip { return chip.Square(builtinChipSide, builtinChipSide) }
+
+// builtinFitConfig mirrors the pipeline's fast default fit (see
+// experiments.Options.normalized) so H3 measures the configuration the
+// design flow actually uses.
+func builtinFitConfig() crosstalk.FitConfig {
+	return crosstalk.FitConfig{
+		WeightGrid: []float64{0, 0.25, 0.5, 1.0},
+		Folds:      5,
+		Forest: mlfit.ForestConfig{
+			NumTrees: 12,
+			Tree:     mlfit.TreeConfig{MaxDepth: 10, MinLeafSize: 4},
+			Seed:     1,
+		},
+		Workers: 1,
+	}
+}
+
+// Builtin returns the repository's experiment registry: the claims the
+// codebase already makes (CHANGES.md PRs 1-5, EXPERIMENTS.md) turned
+// into checked hypotheses.
+func Builtin() *Registry {
+	r := NewRegistry()
+	r.MustRegister(&Experiment{
+		ID:    "H1-warm-redesign",
+		Claim: fmt.Sprintf("A warm Theta-only Redesign is >= %.0fx faster than a cold build at the same options and returns a bit-identical design.", h1MinSpeedup),
+		Class: Statistical,
+		Run:   runWarmRedesign,
+	})
+	r.MustRegister(&Experiment{
+		ID:    "H2-worker-invariance",
+		Claim: "The designed system and its stripped observability snapshot are bit-identical for Workers in {1, 4, 8}, and the scalesim sweep is slice-identical up to 1M qubits for any worker count.",
+		Class: Deterministic,
+		Run:   runWorkerInvariance,
+	})
+	r.MustRegister(&Experiment{
+		ID:    "H3-trim-recovery",
+		Claim: fmt.Sprintf("Under heavy-tailed outlier injection, TrimOutlierFraction recovers the crosstalk fit to within %.0f%% of the fault-free CV error.", h3Tolerance*100),
+		Class: Statistical,
+		Run:   runTrimRecovery,
+	})
+	r.MustRegister(&Experiment{
+		ID:    "H4-cache-hit-rate",
+		Claim: fmt.Sprintf("Across a defect sweep with repeated rates, the stage-cache hit rate measured from obs counters exceeds %.0f%%.", h4HitRateFloor*100),
+		Class: Statistical,
+		Run:   runCacheHitRate,
+	})
+	r.MustRegister(&Experiment{
+		ID:    "H5-manifest-strip",
+		Claim: "Manifest.StripTimings() of two independent, identically-configured runs is byte-identical, including stage report and observability snapshot.",
+		Class: Deterministic,
+		Run:   runManifestStrip,
+	})
+	return r
+}
+
+// runWarmRedesign measures H1. Both designers see the same chip
+// structure; the warm one is primed at Theta=4 so each swept redesign
+// re-executes only the tdm stage, while the cold one builds everything.
+// Both sides are timed min-of-N — the bench gate's policy: every
+// scheduling disturbance inflates a sample, so the minimum is the
+// noise-robust estimate of the true cost. Each warm sample uses a
+// fresh Theta so the tdm stage genuinely re-runs instead of hitting
+// the artifact cache.
+func runWarmRedesign(ctx context.Context, seed int64) (Measurement, error) {
+	var m Measurement
+	base := youtiao.Options{Seed: seed, Workers: 1, Theta: 4, HasTheta: true}
+	swept := base
+	swept.Theta = 6
+
+	h1Chip := func() *chip.Chip { return chip.Square(h1ChipSide, h1ChipSide) }
+	warmD := youtiao.NewDesigner(h1Chip())
+	if _, err := warmD.RedesignCtx(ctx, base); err != nil {
+		return m, fmt.Errorf("priming build: %w", err)
+	}
+
+	coldNs := int64(0)
+	var coldRes *youtiao.DesignResult
+	for i := 0; i < 2; i++ {
+		coldD := youtiao.NewDesigner(h1Chip())
+		start := time.Now()
+		res, err := coldD.RedesignCtx(ctx, swept)
+		elapsed := time.Since(start).Nanoseconds()
+		if err != nil {
+			return m, fmt.Errorf("cold build: %w", err)
+		}
+		if coldRes == nil || elapsed < coldNs {
+			coldNs = elapsed
+		}
+		if coldRes == nil {
+			coldRes = res
+		}
+	}
+
+	// The first warm sample (Theta=6) is the one compared bit-for-bit
+	// against the cold build; the extra Thetas only tighten the timing.
+	warmNs := int64(0)
+	var warmRes *youtiao.DesignResult
+	for i, theta := range []float64{6, 7, 8} {
+		opts := swept
+		opts.Theta = theta
+		start := time.Now()
+		res, err := warmD.RedesignCtx(ctx, opts)
+		elapsed := time.Since(start).Nanoseconds()
+		if err != nil {
+			return m, fmt.Errorf("warm redesign (theta %g): %w", theta, err)
+		}
+		if i == 0 {
+			warmRes = res
+		}
+		if i == 0 || elapsed < warmNs {
+			warmNs = elapsed
+		}
+	}
+
+	coldJSON, err := coldRes.ExportJSON()
+	if err != nil {
+		return m, err
+	}
+	warmJSON, err := warmRes.ExportJSON()
+	if err != nil {
+		return m, err
+	}
+	identical := bytes.Equal(coldJSON, warmJSON)
+	speedup := float64(coldNs) / float64(warmNs)
+
+	m.Holds = identical && speedup >= h1MinSpeedup
+	// Effect is the fraction of cold work the warm path avoided
+	// (timing-derived, as the claim itself is about time).
+	m.Effect = 1 - float64(warmNs)/float64(coldNs)
+	m.Values = map[string]float64{
+		"identical": b2f(identical),
+		"qubits":    float64(h1ChipSide * h1ChipSide),
+	}
+	m.Timings = map[string]float64{
+		"cold_ns":   float64(coldNs),
+		"warm_ns":   float64(warmNs),
+		"speedup_x": speedup,
+	}
+	if !identical {
+		m.Note = "warm redesign diverged from cold build"
+	} else {
+		m.Note = fmt.Sprintf("%.0fx warm speedup", speedup)
+	}
+	return m, nil
+}
+
+// runWorkerInvariance measures H2: the full design at Workers 1/4/8
+// must export identical JSON, identical options digests and identical
+// stripped observability snapshots, and the scalesim sweep must be
+// slice-identical across worker counts at up-to-1M-qubit scale.
+func runWorkerInvariance(ctx context.Context, seed int64) (Measurement, error) {
+	var m Measurement
+	workerSet := []int{1, 4, 8}
+	mismatches := 0
+	var refDesign, refObs []byte
+	var refDigest string
+	for i, w := range workerSet {
+		reg := obs.New()
+		opts := youtiao.Options{Seed: seed, Workers: w, Obs: reg}
+		res, err := youtiao.DesignCtx(ctx, builtinChip(), opts)
+		if err != nil {
+			return m, fmt.Errorf("workers=%d: %w", w, err)
+		}
+		design, err := res.ExportJSON()
+		if err != nil {
+			return m, err
+		}
+		snap := reg.Snapshot().StripTimings()
+		obsJSON, err := snap.JSON()
+		if err != nil {
+			return m, err
+		}
+		digest := opts.Digest()
+		if i == 0 {
+			refDesign, refObs, refDigest = design, obsJSON, digest
+			continue
+		}
+		if !bytes.Equal(design, refDesign) {
+			mismatches++
+			m.Note = joinNote(m.Note, fmt.Sprintf("design differs at workers=%d", w))
+		}
+		if !bytes.Equal(obsJSON, refObs) {
+			mismatches++
+			m.Note = joinNote(m.Note, fmt.Sprintf("stripped obs snapshot differs at workers=%d", w))
+		}
+		if digest != refDigest {
+			mismatches++
+			m.Note = joinNote(m.Note, fmt.Sprintf("options digest differs at workers=%d", w))
+		}
+	}
+
+	counts := []int{100, 5000, 100000, 1000000}
+	want := scalesim.SweepWorkers(counts, 3.3, 1)
+	sweepChecks := 0
+	for _, w := range []int{4, 16} {
+		sweepChecks++
+		if !reflect.DeepEqual(scalesim.SweepWorkers(counts, 3.3, w), want) {
+			mismatches++
+			m.Note = joinNote(m.Note, fmt.Sprintf("scalesim sweep differs at workers=%d", w))
+		}
+	}
+
+	m.Holds = mismatches == 0
+	m.Effect = 1
+	m.Values = map[string]float64{
+		"worker_counts":   float64(len(workerSet)),
+		"scalesim_points": float64(len(counts) * sweepChecks),
+		"mismatches":      float64(mismatches),
+	}
+	if m.Note == "" {
+		m.Note = fmt.Sprintf("identical across workers %v and %d scalesim worker counts", workerSet, sweepChecks)
+	}
+	return m, nil
+}
+
+// runTrimRecovery measures H3: a fault-injected calibration campaign
+// (heavy-tailed outliers via faults.Measure) is fitted clean, dirty and
+// trimmed; the trimmed CV error must land within h3Tolerance of the
+// fault-free baseline, and the effect size is the fraction of the
+// outlier damage the trim removed.
+func runTrimRecovery(ctx context.Context, seed int64) (Measurement, error) {
+	var m Measurement
+	c := chip.Square(4, 4)
+	dev := xmon.NewDevice(c, xmon.DefaultParams(), rand.New(rand.NewSource(seed)))
+	clean := dev.MeasureSeeded(xmon.XY, 0.02, seed, 1)
+
+	spec := faults.Spec{OutlierRate: 0.05}
+	plan, err := faults.New(c, spec, seed)
+	if err != nil {
+		return m, err
+	}
+	corrupted, stats, err := faults.Measure(ctx, dev, xmon.XY, 0.02, seed, 1, 0, plan)
+	if err != nil {
+		return m, err
+	}
+
+	cfg := builtinFitConfig()
+	cleanModel, err := crosstalk.FitCtx(ctx, c, clean, cfg)
+	if err != nil {
+		return m, fmt.Errorf("clean fit: %w", err)
+	}
+	dirtyModel, err := crosstalk.FitCtx(ctx, c, corrupted, cfg)
+	if err != nil {
+		return m, fmt.Errorf("dirty fit: %w", err)
+	}
+	trimCfg := cfg
+	// The pipeline's own defense: trim twice the injection rate.
+	trimCfg.TrimOutlierFraction = 2 * spec.OutlierRate
+	trimmedModel, err := crosstalk.FitCtx(ctx, c, corrupted, trimCfg)
+	if err != nil {
+		return m, fmt.Errorf("trimmed fit: %w", err)
+	}
+
+	cvClean, cvDirty, cvTrimmed := cleanModel.CVError, dirtyModel.CVError, trimmedModel.CVError
+	m.Holds = cvTrimmed <= cvClean*(1+h3Tolerance)
+	if cvDirty > 0 {
+		m.Effect = (cvDirty - cvTrimmed) / cvDirty
+	}
+	m.Values = map[string]float64{
+		"cv_clean":          cvClean,
+		"cv_dirty":          cvDirty,
+		"cv_trimmed":        cvTrimmed,
+		"outliers_injected": float64(stats.Outliers),
+	}
+	m.Note = fmt.Sprintf("trimmed/clean = %.3f (tolerance %.2f)", cvTrimmed/cvClean, 1+h3Tolerance)
+	return m, nil
+}
+
+// runCacheHitRate measures H4: a defect sweep with repeated rates
+// through one Designer must recall enough stages from the artifact
+// store that the obs-counted hit rate clears the stated floor.
+func runCacheHitRate(ctx context.Context, seed int64) (Measurement, error) {
+	var m Measurement
+	reg := obs.New()
+	opts := youtiao.Options{Seed: seed, Workers: 1, Obs: reg}
+	rates := []float64{0, 0.01, 0.01, 0.02, 0.02}
+	points, err := experiments.DefectSweep(ctx, builtinChip(), rates, opts)
+	if err != nil {
+		return m, err
+	}
+	snap := reg.Snapshot()
+	hits := float64(snap.Counters["stage/hits"])
+	misses := float64(snap.Counters["stage/misses"])
+	if hits+misses == 0 {
+		return m, fmt.Errorf("no stage-cache traffic recorded")
+	}
+	rate := hits / (hits + misses)
+
+	m.Holds = rate >= h4HitRateFloor
+	m.Effect = (rate - h4HitRateFloor) / h4HitRateFloor
+	m.Values = map[string]float64{
+		"hits":     hits,
+		"misses":   misses,
+		"hit_rate": rate,
+		"points":   float64(len(points)),
+	}
+	m.Note = fmt.Sprintf("hit rate %.2f over %d sweep points (floor %.2f)", rate, len(points), h4HitRateFloor)
+	return m, nil
+}
+
+// runManifestStrip measures H5: two fully independent runs — fresh
+// designer, fresh registry, process-global observation rerouted — at
+// identical options must strip to byte-identical manifests even though
+// their CreatedAt, wall times and latency quantiles differ.
+func runManifestStrip(ctx context.Context, seed int64) (Measurement, error) {
+	var m Measurement
+	var blobs [][]byte
+	for run := 0; run < 2; run++ {
+		reg := youtiao.NewObservability()
+		youtiao.Observe(reg)
+		opts := youtiao.Options{Seed: seed, Workers: 1, Obs: reg, Faults: youtiao.UniformFaults(0.02)}
+		designer := youtiao.NewDesigner(builtinChip())
+		res, err := designer.RedesignCtx(ctx, opts)
+		youtiao.Observe(nil)
+		if err != nil {
+			return m, fmt.Errorf("run %d: %w", run, err)
+		}
+		man := youtiao.NewManifest(res, opts)
+		// Deliberately divergent timing fields: StripTimings must erase
+		// exactly these.
+		man.CreatedAt = time.Now().UTC().Format(time.RFC3339Nano)
+		report := designer.StageReport()
+		man.Stages = &report
+		snap := reg.Snapshot()
+		man.Obs = &snap
+		blob, err := man.StripTimings().JSON()
+		if err != nil {
+			return m, err
+		}
+		blobs = append(blobs, blob)
+	}
+	identical := bytes.Equal(blobs[0], blobs[1])
+
+	m.Holds = identical
+	m.Effect = 1
+	m.Values = map[string]float64{
+		"runs":           2,
+		"manifest_bytes": float64(len(blobs[0])),
+		"identical":      b2f(identical),
+	}
+	if identical {
+		m.Note = fmt.Sprintf("stripped manifests byte-identical (%d bytes)", len(blobs[0]))
+	} else {
+		m.Note = "stripped manifests differ between identical runs"
+	}
+	return m, nil
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

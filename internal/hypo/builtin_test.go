@@ -1,0 +1,88 @@
+package hypo
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// TestBuiltinRegistryShape: the shipped registry must hold at least
+// five experiments, at least two deterministic and three statistical —
+// the floor the `make experiments` target documents.
+func TestBuiltinRegistryShape(t *testing.T) {
+	r := Builtin()
+	all := r.List()
+	if len(all) < 5 {
+		t.Fatalf("builtin registry has %d experiments, want >= 5", len(all))
+	}
+	if det := r.Tier(Deterministic); len(det) < 2 {
+		t.Errorf("deterministic tier has %d experiments, want >= 2", len(det))
+	}
+	if st := r.Tier(Statistical); len(st) < 3 {
+		t.Errorf("statistical tier has %d experiments, want >= 3", len(st))
+	}
+	for _, e := range all {
+		if err := e.Validate(); err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+		}
+	}
+}
+
+// TestDeterministicTierConfirms: the deterministic experiments are the
+// CI tier — they must confirm, and re-running them must produce
+// byte-identical stripped findings (the reproducibility property the
+// FINDINGS artifacts advertise).
+func TestDeterministicTierConfirms(t *testing.T) {
+	r := Builtin()
+	for _, e := range r.Tier(Deterministic) {
+		first, err := e.Execute(context.Background(), nil)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if first.Verdict != Confirmed {
+			t.Fatalf("%s: verdict %s (%s), want confirmed", e.ID, first.Verdict, first.Reason)
+		}
+		second, err := e.Execute(context.Background(), nil)
+		if err != nil {
+			t.Fatalf("%s rerun: %v", e.ID, err)
+		}
+		a, err := first.StripTimings().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := second.StripTimings().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("%s: stripped findings differ across reruns:\n%s\n---\n%s", e.ID, a, b)
+		}
+	}
+}
+
+// TestStatisticalTierConfirms runs the statistical tier at its default
+// seeds and requires every claim to confirm — these are the claims the
+// repository's documentation already asserts.
+func TestStatisticalTierConfirms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical tier is slow; run without -short")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation skews the warm/cold timing ratios the statistical tier measures")
+	}
+	r := Builtin()
+	for _, e := range r.Tier(Statistical) {
+		f, err := e.Execute(context.Background(), nil)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		data, _ := json.Marshal(f.Measurements)
+		if f.Verdict != Confirmed {
+			t.Errorf("%s: verdict %s (%s)\nmeasurements: %s", e.ID, f.Verdict, f.Reason, data)
+		}
+		if len(f.Measurements) < MinStatisticalSeeds {
+			t.Errorf("%s: %d measurements, want >= %d", e.ID, len(f.Measurements), MinStatisticalSeeds)
+		}
+		t.Logf("%s: %s — %s", e.ID, f.Verdict, f.Reason)
+	}
+}

@@ -1,0 +1,147 @@
+package hypo
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// FindingsSchema versions the FINDINGS.json layout.
+const FindingsSchema = 1
+
+// Findings is the recorded outcome of one experiment execution: the
+// claim, the verdict under the class's rules, every per-seed
+// measurement, and the run manifest. It is what lands in
+// hypotheses/<id>/FINDINGS.json (and, rendered, FINDINGS.md).
+type Findings struct {
+	Schema  int     `json:"schema"`
+	ID      string  `json:"id"`
+	Claim   string  `json:"claim"`
+	Class   Class   `json:"class"`
+	Verdict Verdict `json:"verdict"`
+	// Reason is the one-line justification of the verdict.
+	Reason string `json:"reason"`
+	// MinEffect is the consistency floor the verdict applied
+	// (statistical only; 0 for deterministic experiments).
+	MinEffect    float64       `json:"min_effect,omitempty"`
+	Seeds        []int64       `json:"seeds"`
+	Measurements []Measurement `json:"measurements"`
+	Manifest     *Manifest     `json:"manifest"`
+}
+
+// JSON renders the findings as stable, indented JSON (map keys sort,
+// measurements keep seed order).
+func (f *Findings) JSON() ([]byte, error) {
+	return json.MarshalIndent(f, "", "  ")
+}
+
+// StripTimings returns a copy with every timing field removed: the
+// manifest's clock and wall time, per-measurement wall times and
+// Timings maps. Values, Holds, Effect and the verdict survive, so for
+// a deterministic experiment (whose measurements derive those from
+// deterministic data only) two executions strip to byte-identical
+// JSON — the reproducibility property `make experiments` re-checks.
+func (f *Findings) StripTimings() *Findings {
+	out := *f
+	out.Manifest = f.Manifest.StripTimings()
+	out.Measurements = append([]Measurement(nil), f.Measurements...)
+	for i := range out.Measurements {
+		out.Measurements[i].WallNs = 0
+		out.Measurements[i].Timings = nil
+	}
+	return &out
+}
+
+// Markdown renders the findings as a human-readable report.
+func (f *Findings) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n\n", f.ID, strings.ToUpper(string(f.Verdict)))
+	fmt.Fprintf(&b, "**Claim.** %s\n\n", f.Claim)
+	fmt.Fprintf(&b, "**Class.** %s", f.Class)
+	if f.Class == Statistical {
+		fmt.Fprintf(&b, " (%d seeds, consistency floor %.0f%%)", len(f.Seeds), f.MinEffect*100)
+	}
+	b.WriteString("\n\n")
+	fmt.Fprintf(&b, "**Verdict.** %s — %s\n\n", f.Verdict, f.Reason)
+
+	b.WriteString("| seed | holds | effect | observations |\n")
+	b.WriteString("|---:|:---:|---:|:---|\n")
+	for _, m := range f.Measurements {
+		fmt.Fprintf(&b, "| %d | %v | %.3f | %s |\n", m.Seed, m.Holds, m.Effect, m.describe())
+	}
+	b.WriteString("\n")
+
+	if m := f.Manifest; m != nil {
+		fmt.Fprintf(&b, "Run manifest: schema %d", m.Schema)
+		if m.Git != "" {
+			fmt.Fprintf(&b, ", git %s", m.Git)
+		}
+		fmt.Fprintf(&b, ", %s %s/%s, %d CPUs", m.Env.GoVersion, m.Env.GOOS, m.Env.GOARCH, m.Env.NumCPU)
+		if m.CreatedAt != "" {
+			fmt.Fprintf(&b, ", %s", m.CreatedAt)
+		}
+		b.WriteString(".\n")
+	}
+	return b.String()
+}
+
+// describe renders a measurement's values (sorted by key, deterministic
+// first) plus its note.
+func (m Measurement) describe() string {
+	var parts []string
+	for _, kv := range sortedKeys(m.Values) {
+		parts = append(parts, fmt.Sprintf("%s=%g", kv, m.Values[kv]))
+	}
+	for _, kv := range sortedKeys(m.Timings) {
+		// Only *_ns keys are nanosecond quantities; derived timing
+		// values (ratios like speedup_x) print bare.
+		if strings.HasSuffix(kv, "_ns") {
+			parts = append(parts, fmt.Sprintf("%s=%.0fns", kv, m.Timings[kv]))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s=%g", kv, m.Timings[kv]))
+		}
+	}
+	if m.Note != "" {
+		parts = append(parts, m.Note)
+	}
+	if len(parts) == 0 {
+		return "—"
+	}
+	return strings.Join(parts, ", ")
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Write stores the findings under dir/<id>/ as FINDINGS.json and
+// FINDINGS.md, creating directories as needed, and returns the
+// directory it wrote.
+func (f *Findings) Write(dir string) (string, error) {
+	if !ValidID(f.ID) {
+		return "", fmt.Errorf("hypo: refusing to write findings with invalid id %q", f.ID)
+	}
+	sub := filepath.Join(dir, f.ID)
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		return "", err
+	}
+	data, err := f.JSON()
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(sub, "FINDINGS.json"), append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(sub, "FINDINGS.md"), []byte(f.Markdown()), 0o644); err != nil {
+		return "", err
+	}
+	return sub, nil
+}

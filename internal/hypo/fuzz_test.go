@@ -1,0 +1,93 @@
+package hypo
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzExperimentSpec drives ParseSpecs with arbitrary input: it must
+// never panic, and any spec it accepts must survive a String() →
+// reparse round trip unchanged (the property cmd/hypo relies on when
+// echoing resolved specs back to the user).
+func FuzzExperimentSpec(f *testing.F) {
+	f.Add("all")
+	f.Add("deterministic,statistical")
+	f.Add("H1-warm-redesign?seeds=1:2:3")
+	f.Add("H3-trim-recovery?seeds=7:8:9&min_effect=0.25")
+	f.Add("a?min_effect=1e-9")
+	f.Add("x?seeds=-1:0:9223372036854775807")
+	f.Add(" spaced , list ")
+	f.Add("bad id?seeds=1:1")
+	f.Add("a?seeds=&min_effect=")
+	f.Add("a??b")
+	f.Fuzz(func(t *testing.T, in string) {
+		specs, err := ParseSpecs(in)
+		if err != nil {
+			return
+		}
+		if len(specs) == 0 {
+			t.Fatalf("ParseSpecs(%q) accepted input but returned no specs", in)
+		}
+		for _, sp := range specs {
+			if !ValidID(sp.Sel) {
+				t.Fatalf("ParseSpecs(%q) accepted invalid selector %q", in, sp.Sel)
+			}
+			if sp.MinEffect < 0 || sp.MinEffect != sp.MinEffect {
+				t.Fatalf("ParseSpecs(%q) accepted min_effect %v", in, sp.MinEffect)
+			}
+			seen := make(map[int64]bool, len(sp.Seeds))
+			for _, s := range sp.Seeds {
+				if seen[s] {
+					t.Fatalf("ParseSpecs(%q) accepted duplicate seed %d", in, s)
+				}
+				seen[s] = true
+			}
+			back, err := ParseSpecs(sp.String())
+			if err != nil {
+				t.Fatalf("round trip of %q (from %q) failed to parse: %v", sp.String(), in, err)
+			}
+			if len(back) != 1 || !reflect.DeepEqual(back[0], sp) {
+				t.Fatalf("round trip of %q changed the spec: %+v -> %+v", in, sp, back)
+			}
+		}
+	})
+}
+
+// FuzzValidID checks the id predicate against the documented grammar —
+// first rune a letter, then up to 63 of [A-Za-z0-9._-].
+func FuzzValidID(f *testing.F) {
+	f.Add("H1-warm-redesign")
+	f.Add("a")
+	f.Add("")
+	f.Add("1abc")
+	f.Add("a/b")
+	f.Add("café")
+	f.Fuzz(func(t *testing.T, in string) {
+		got := ValidID(in)
+		want := refValidID(in)
+		if got != want {
+			t.Fatalf("ValidID(%q) = %v, reference grammar says %v", in, got, want)
+		}
+	})
+}
+
+// refValidID is an independent re-statement of the id grammar.
+func refValidID(s string) bool {
+	if len(s) == 0 || len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		letter := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if i == 0 {
+			if !letter {
+				return false
+			}
+			continue
+		}
+		if !letter && !(c >= '0' && c <= '9') && c != '.' && c != '_' && c != '-' {
+			return false
+		}
+	}
+	return true
+}

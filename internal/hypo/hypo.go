@@ -1,0 +1,285 @@
+// Package hypo is the hypothesis-driven experiment engine of the
+// repository: it turns the performance and determinism claims the
+// codebase makes in benchmarks, comments and CHANGES.md into
+// first-class, reproducible experiments with recorded verdicts.
+//
+// The discipline follows the BLIS experiment standard: every claim is
+// classified before it is measured.
+//
+//   - Deterministic claims are invariants. They run on a single seed
+//     and any violation is a bug: the verdict is confirmed or refuted,
+//     never "noisy". Re-running a deterministic experiment at the same
+//     toolchain yields byte-identical stripped findings.
+//
+//   - Statistical claims describe a direction and a magnitude. They run
+//     on at least three seeds, and the verdict is confirmed only when
+//     the predicted direction holds on every seed with a consistent
+//     effect size of at least MinEffect (default 20%). A direction
+//     failure on any seed refutes the claim; direction holding with a
+//     sub-threshold effect is inconclusive, not confirmed.
+//
+// An Experiment's Run callback measures one seed and reports a
+// Measurement; Execute applies the classification rules and assembles
+// Findings — verdict, per-seed measurements and a run Manifest — which
+// callers serialize under hypotheses/<id>/ as FINDINGS.json plus a
+// rendered FINDINGS.md (see findings.go and cmd/hypo).
+package hypo
+
+import (
+	"context"
+	"fmt"
+	"regexp"
+	"time"
+)
+
+// Class classifies a claim before it is measured.
+type Class string
+
+const (
+	// Deterministic marks an invariant: one seed, one violation = bug.
+	Deterministic Class = "deterministic"
+	// Statistical marks a directional claim measured across seeds.
+	Statistical Class = "statistical"
+)
+
+// valid reports whether c is a known class.
+func (c Class) valid() bool { return c == Deterministic || c == Statistical }
+
+// Verdict is the recorded outcome of one experiment execution.
+type Verdict string
+
+const (
+	// Confirmed: the claim held under the class's rules.
+	Confirmed Verdict = "confirmed"
+	// Refuted: the predicted direction failed on at least one seed (or
+	// the invariant was violated).
+	Refuted Verdict = "refuted"
+	// Inconclusive: the run could not decide — a seed errored, or the
+	// direction held everywhere but the effect size fell below the
+	// consistency threshold.
+	Inconclusive Verdict = "inconclusive"
+)
+
+// DefaultMinEffect is the consistency floor of statistical claims: the
+// per-seed relative effect size must reach 20% on every seed before a
+// directional result counts as confirmed.
+const DefaultMinEffect = 0.20
+
+// MinStatisticalSeeds is the smallest seed set a statistical experiment
+// may run on.
+const MinStatisticalSeeds = 3
+
+// Measurement is one seed's observation of an experiment.
+//
+// The determinism split mirrors the observability contract
+// (internal/obs): Values holds quantities that are pure functions of
+// (inputs, seed) — counts, errors, byte lengths — while Timings holds
+// wall-clock measurements that differ run to run. Findings.StripTimings
+// zeroes Timings and WallNs but keeps Values, Holds and Effect, so a
+// deterministic experiment must derive those three exclusively from
+// deterministic data.
+type Measurement struct {
+	Seed int64 `json:"seed"`
+	// Holds reports whether the predicted direction held at this seed.
+	Holds bool `json:"holds"`
+	// Effect is the relative effect size observed at this seed
+	// (non-negative; the experiment defines the ratio). Statistical
+	// confirmation requires Effect >= MinEffect on every seed.
+	Effect float64 `json:"effect"`
+	// Values are deterministic observations (kept by StripTimings).
+	Values map[string]float64 `json:"values,omitempty"`
+	// Timings are wall-clock observations in nanoseconds (stripped).
+	Timings map[string]float64 `json:"timings_ns,omitempty"`
+	// Note carries a short human-readable account of the observation.
+	Note string `json:"note,omitempty"`
+	// WallNs is the seed run's wall time (stripped).
+	WallNs int64 `json:"wall_ns,omitempty"`
+}
+
+// Experiment is one registered hypothesis: a claim, its class, and the
+// measurement procedure.
+type Experiment struct {
+	// ID names the experiment ("H2-worker-invariance"). It must match
+	// IDPattern — it becomes the hypotheses/<id>/ directory name.
+	ID string
+	// Claim is the one-sentence hypothesis under test.
+	Claim string
+	// Class selects the verdict rules.
+	Class Class
+	// Seeds are the default seeds. Deterministic experiments use the
+	// first seed only; statistical experiments need at least
+	// MinStatisticalSeeds. Empty selects DefaultSeeds(Class).
+	Seeds []int64
+	// MinEffect overrides DefaultMinEffect when positive (statistical
+	// only).
+	MinEffect float64
+	// Run measures one seed. Errors mark the execution inconclusive;
+	// they do not abort sibling seeds.
+	Run func(ctx context.Context, seed int64) (Measurement, error)
+}
+
+// idPattern constrains experiment ids to path- and flag-safe names.
+const idPatternSrc = `^[A-Za-z][A-Za-z0-9._-]{0,63}$`
+
+var idPattern = regexp.MustCompile(idPatternSrc)
+
+// ValidID reports whether s is a legal experiment id.
+func ValidID(s string) bool { return idPattern.MatchString(s) }
+
+// DefaultSeeds returns the class's default seed set: one seed for an
+// invariant, MinStatisticalSeeds for a directional claim.
+func DefaultSeeds(c Class) []int64 {
+	if c == Deterministic {
+		return []int64{1}
+	}
+	return []int64{1, 2, 3}
+}
+
+// Validate checks the experiment is well-formed.
+func (e *Experiment) Validate() error {
+	if e == nil {
+		return fmt.Errorf("hypo: nil experiment")
+	}
+	if !ValidID(e.ID) {
+		return fmt.Errorf("hypo: experiment id %q does not match %s", e.ID, idPatternSrc)
+	}
+	if e.Claim == "" {
+		return fmt.Errorf("hypo: experiment %s has no claim", e.ID)
+	}
+	if !e.Class.valid() {
+		return fmt.Errorf("hypo: experiment %s has unknown class %q", e.ID, e.Class)
+	}
+	if e.Run == nil {
+		return fmt.Errorf("hypo: experiment %s has no Run", e.ID)
+	}
+	if e.MinEffect < 0 {
+		return fmt.Errorf("hypo: experiment %s MinEffect %g must be >= 0", e.ID, e.MinEffect)
+	}
+	if len(e.Seeds) > 0 && e.Class == Statistical && len(e.Seeds) < MinStatisticalSeeds {
+		return fmt.Errorf("hypo: statistical experiment %s declares %d seeds, needs >= %d",
+			e.ID, len(e.Seeds), MinStatisticalSeeds)
+	}
+	return nil
+}
+
+// minEffect returns the experiment's effective consistency floor.
+func (e *Experiment) minEffect() float64 {
+	if e.MinEffect > 0 {
+		return e.MinEffect
+	}
+	return DefaultMinEffect
+}
+
+// seedsFor resolves the seed set of one execution: the override when
+// given, the experiment's declared seeds otherwise, the class default
+// as a last resort. Deterministic experiments always collapse to one
+// seed; statistical seed sets below MinStatisticalSeeds are an error.
+func (e *Experiment) seedsFor(override []int64) ([]int64, error) {
+	seeds := override
+	if len(seeds) == 0 {
+		seeds = e.Seeds
+	}
+	if len(seeds) == 0 {
+		seeds = DefaultSeeds(e.Class)
+	}
+	if e.Class == Deterministic {
+		return seeds[:1], nil
+	}
+	if len(seeds) < MinStatisticalSeeds {
+		return nil, fmt.Errorf("hypo: statistical experiment %s needs >= %d seeds, got %d",
+			e.ID, MinStatisticalSeeds, len(seeds))
+	}
+	return seeds, nil
+}
+
+// Execute runs the experiment on its seeds (or the non-nil override)
+// and applies the class's verdict rules. Harness-level problems — an
+// invalid experiment or seed set — return an error; a failing or
+// erroring measurement is a result, folded into the Findings verdict.
+func (e *Experiment) Execute(ctx context.Context, seedOverride []int64) (*Findings, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	seeds, err := e.seedsFor(seedOverride)
+	if err != nil {
+		return nil, err
+	}
+
+	f := &Findings{
+		Schema:    FindingsSchema,
+		ID:        e.ID,
+		Claim:     e.Claim,
+		Class:     e.Class,
+		Seeds:     seeds,
+		MinEffect: 0,
+	}
+	if e.Class == Statistical {
+		f.MinEffect = e.minEffect()
+	}
+
+	start := time.Now()
+	var runErrs []string
+	for _, seed := range seeds {
+		if err := ctx.Err(); err != nil {
+			runErrs = append(runErrs, fmt.Sprintf("seed %d: %v", seed, err))
+			break
+		}
+		seedStart := time.Now()
+		m, err := e.Run(ctx, seed)
+		m.Seed = seed
+		m.WallNs = time.Since(seedStart).Nanoseconds()
+		if err != nil {
+			m.Note = joinNote(m.Note, err.Error())
+			runErrs = append(runErrs, fmt.Sprintf("seed %d: %v", seed, err))
+		}
+		f.Measurements = append(f.Measurements, m)
+	}
+	f.Verdict, f.Reason = e.judge(f.Measurements, seeds, runErrs)
+	f.Manifest = NewManifest(e, seeds)
+	f.Manifest.WallNs = time.Since(start).Nanoseconds()
+	return f, nil
+}
+
+// judge applies the classification rules to a finished seed set.
+func (e *Experiment) judge(ms []Measurement, seeds []int64, runErrs []string) (Verdict, string) {
+	if len(runErrs) > 0 {
+		return Inconclusive, fmt.Sprintf("run errors: %s", runErrs[0])
+	}
+	if len(ms) != len(seeds) {
+		return Inconclusive, fmt.Sprintf("measured %d of %d seeds", len(ms), len(seeds))
+	}
+	if e.Class == Deterministic {
+		m := ms[0]
+		if !m.Holds {
+			return Refuted, fmt.Sprintf("invariant violated at seed %d: %s", m.Seed, m.Note)
+		}
+		return Confirmed, "invariant held"
+	}
+	minEff := e.minEffect()
+	weak := -1
+	for i, m := range ms {
+		if !m.Holds {
+			return Refuted, fmt.Sprintf("direction failed at seed %d: %s", m.Seed, m.Note)
+		}
+		if m.Effect < minEff && weak < 0 {
+			weak = i
+		}
+	}
+	if weak >= 0 {
+		return Inconclusive, fmt.Sprintf("direction held on all %d seeds but effect %.3f at seed %d is below the %.0f%% consistency floor",
+			len(ms), ms[weak].Effect, ms[weak].Seed, minEff*100)
+	}
+	return Confirmed, fmt.Sprintf("direction held on all %d seeds with effect >= %.0f%%", len(ms), minEff*100)
+}
+
+// joinNote appends b to a with a separator, tolerating empties.
+func joinNote(a, b string) string {
+	switch {
+	case a == "":
+		return b
+	case b == "":
+		return a
+	default:
+		return a + "; " + b
+	}
+}

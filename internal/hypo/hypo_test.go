@@ -1,0 +1,366 @@
+package hypo
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fixedExp returns a statistical experiment whose per-seed measurements
+// are scripted by ms (keyed by seed).
+func fixedExp(class Class, ms map[int64]Measurement) *Experiment {
+	return &Experiment{
+		ID:    "T-fixed",
+		Claim: "scripted measurements behave as declared",
+		Class: class,
+		Run: func(_ context.Context, seed int64) (Measurement, error) {
+			m, ok := ms[seed]
+			if !ok {
+				return Measurement{}, fmt.Errorf("no script for seed %d", seed)
+			}
+			return m, nil
+		},
+	}
+}
+
+func TestVerdictRulesStatistical(t *testing.T) {
+	cases := []struct {
+		name    string
+		ms      map[int64]Measurement
+		verdict Verdict
+	}{
+		{
+			name: "confirmed when direction and effect hold everywhere",
+			ms: map[int64]Measurement{
+				1: {Holds: true, Effect: 0.5},
+				2: {Holds: true, Effect: 0.9},
+				3: {Holds: true, Effect: 0.21},
+			},
+			verdict: Confirmed,
+		},
+		{
+			name: "refuted on any direction failure",
+			ms: map[int64]Measurement{
+				1: {Holds: true, Effect: 0.5},
+				2: {Holds: false, Effect: 0.5},
+				3: {Holds: true, Effect: 0.5},
+			},
+			verdict: Refuted,
+		},
+		{
+			name: "inconclusive when effect falls below the floor",
+			ms: map[int64]Measurement{
+				1: {Holds: true, Effect: 0.5},
+				2: {Holds: true, Effect: 0.05},
+				3: {Holds: true, Effect: 0.5},
+			},
+			verdict: Inconclusive,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := fixedExp(Statistical, tc.ms).Execute(context.Background(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.Verdict != tc.verdict {
+				t.Errorf("verdict %s (%s), want %s", f.Verdict, f.Reason, tc.verdict)
+			}
+			if len(f.Measurements) != 3 {
+				t.Errorf("%d measurements, want 3", len(f.Measurements))
+			}
+		})
+	}
+}
+
+func TestVerdictRulesDeterministic(t *testing.T) {
+	ok := fixedExp(Deterministic, map[int64]Measurement{1: {Holds: true, Effect: 1}})
+	f, err := ok.Execute(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Verdict != Confirmed {
+		t.Errorf("verdict %s, want confirmed", f.Verdict)
+	}
+	if len(f.Measurements) != 1 {
+		t.Errorf("deterministic experiment measured %d seeds, want exactly 1", len(f.Measurements))
+	}
+	if f.MinEffect != 0 {
+		t.Errorf("deterministic findings carry MinEffect %g, want 0", f.MinEffect)
+	}
+
+	bad := fixedExp(Deterministic, map[int64]Measurement{1: {Holds: false, Note: "boom"}})
+	f, err = bad.Execute(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Verdict != Refuted {
+		t.Errorf("violated invariant: verdict %s, want refuted", f.Verdict)
+	}
+	if !strings.Contains(f.Reason, "boom") {
+		t.Errorf("reason %q does not carry the measurement note", f.Reason)
+	}
+}
+
+func TestRunErrorIsInconclusive(t *testing.T) {
+	e := &Experiment{
+		ID:    "T-err",
+		Claim: "errors mark the execution inconclusive",
+		Class: Statistical,
+		Run: func(_ context.Context, seed int64) (Measurement, error) {
+			if seed == 2 {
+				return Measurement{}, errors.New("instrument offline")
+			}
+			return Measurement{Holds: true, Effect: 1}, nil
+		},
+	}
+	f, err := e.Execute(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Verdict != Inconclusive {
+		t.Errorf("verdict %s (%s), want inconclusive", f.Verdict, f.Reason)
+	}
+	if !strings.Contains(f.Reason, "instrument offline") {
+		t.Errorf("reason %q does not name the failure", f.Reason)
+	}
+}
+
+func TestCancelledContextIsInconclusive(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := fixedExp(Statistical, map[int64]Measurement{1: {Holds: true, Effect: 1}})
+	e.Run = func(ctx context.Context, seed int64) (Measurement, error) {
+		return Measurement{Holds: true, Effect: 1}, ctx.Err()
+	}
+	f, err := e.Execute(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Verdict != Inconclusive {
+		t.Errorf("verdict %s, want inconclusive under a cancelled context", f.Verdict)
+	}
+}
+
+func TestSeedPolicy(t *testing.T) {
+	stat := fixedExp(Statistical, map[int64]Measurement{
+		4: {Holds: true, Effect: 1}, 5: {Holds: true, Effect: 1}, 6: {Holds: true, Effect: 1},
+	})
+	// Too few seeds for a statistical claim.
+	if _, err := stat.Execute(context.Background(), []int64{4, 5}); err == nil {
+		t.Error("2-seed statistical execution accepted")
+	}
+	f, err := stat.Execute(context.Background(), []int64{4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f.Seeds, []int64{4, 5, 6}) {
+		t.Errorf("seeds %v, want the override", f.Seeds)
+	}
+
+	det := fixedExp(Deterministic, map[int64]Measurement{9: {Holds: true}})
+	f, err = det.Execute(context.Background(), []int64{9, 10, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Seeds) != 1 || f.Seeds[0] != 9 {
+		t.Errorf("deterministic override seeds %v, want [9]", f.Seeds)
+	}
+}
+
+func TestExperimentValidate(t *testing.T) {
+	run := func(context.Context, int64) (Measurement, error) { return Measurement{}, nil }
+	valid := &Experiment{ID: "X1", Claim: "c", Class: Deterministic, Run: run}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid experiment rejected: %v", err)
+	}
+	bad := []*Experiment{
+		nil,
+		{ID: "", Claim: "c", Class: Deterministic, Run: run},
+		{ID: "bad id", Claim: "c", Class: Deterministic, Run: run},
+		{ID: "X1", Claim: "", Class: Deterministic, Run: run},
+		{ID: "X1", Claim: "c", Class: "fuzzy", Run: run},
+		{ID: "X1", Claim: "c", Class: Deterministic},
+		{ID: "X1", Claim: "c", Class: Deterministic, Run: run, MinEffect: -1},
+		{ID: "X1", Claim: "c", Class: Statistical, Run: run, Seeds: []int64{1, 2}},
+	}
+	for i, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("invalid experiment %d accepted", i)
+		}
+	}
+}
+
+func TestFindingsWriteAndStrip(t *testing.T) {
+	e := fixedExp(Deterministic, map[int64]Measurement{1: {
+		Holds:   true,
+		Effect:  1,
+		Values:  map[string]float64{"checks": 3},
+		Timings: map[string]float64{"run_ns": 12345},
+		Note:    "all good",
+	}})
+	f, err := e.Execute(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Manifest.CreatedAt = "2026-08-07T00:00:00Z"
+	f.Manifest.Git = "abc123"
+
+	dir := t.TempDir()
+	sub, err := f.Write(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub != filepath.Join(dir, e.ID) {
+		t.Errorf("wrote to %s, want %s", sub, filepath.Join(dir, e.ID))
+	}
+	data, err := os.ReadFile(filepath.Join(sub, "FINDINGS.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Findings
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("FINDINGS.json does not round-trip: %v", err)
+	}
+	if back.Verdict != Confirmed || back.ID != e.ID || back.Manifest == nil {
+		t.Errorf("round-tripped findings lost fields: %+v", back)
+	}
+	md, err := os.ReadFile(filepath.Join(sub, "FINDINGS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"CONFIRMED", e.Claim, "| 1 | true |", "abc123"} {
+		if !strings.Contains(string(md), want) {
+			t.Errorf("FINDINGS.md missing %q:\n%s", want, md)
+		}
+	}
+
+	stripped := f.StripTimings()
+	if stripped.Manifest.CreatedAt != "" || stripped.Manifest.WallNs != 0 {
+		t.Error("manifest timings survived StripTimings")
+	}
+	for _, m := range stripped.Measurements {
+		if m.WallNs != 0 || m.Timings != nil {
+			t.Errorf("measurement timings survived StripTimings: %+v", m)
+		}
+		if m.Values["checks"] != 3 {
+			t.Error("deterministic values did not survive StripTimings")
+		}
+	}
+	// The original must be untouched (StripTimings copies).
+	if f.Measurements[0].Timings == nil || f.Manifest.CreatedAt == "" {
+		t.Error("StripTimings mutated the original findings")
+	}
+
+	// Invalid ids never touch the filesystem.
+	f.ID = "../escape"
+	if _, err := f.Write(dir); err == nil {
+		t.Error("findings with a path-escaping id written")
+	}
+}
+
+func TestRegistrySelect(t *testing.T) {
+	run := func(context.Context, int64) (Measurement, error) { return Measurement{Holds: true, Effect: 1}, nil }
+	r := NewRegistry()
+	for _, e := range []*Experiment{
+		{ID: "D1", Claim: "c", Class: Deterministic, Run: run},
+		{ID: "S1", Claim: "c", Class: Statistical, Run: run},
+		{ID: "S2", Claim: "c", Class: Statistical, Run: run},
+	} {
+		if err := r.Register(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Register(&Experiment{ID: "D1", Claim: "c", Class: Deterministic, Run: run}); err == nil {
+		t.Error("duplicate id registered")
+	}
+	if err := r.Register(&Experiment{ID: "all", Claim: "c", Class: Deterministic, Run: run}); err == nil {
+		t.Error("tier-selector id registered")
+	}
+
+	sel := func(spec string) []string {
+		t.Helper()
+		specs, err := ParseSpecs(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		picked, err := r.Select(specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ids []string
+		for _, s := range picked {
+			ids = append(ids, s.Experiment.ID)
+		}
+		return ids
+	}
+	if got := sel("all"); !reflect.DeepEqual(got, []string{"D1", "S1", "S2"}) {
+		t.Errorf("all -> %v", got)
+	}
+	if got := sel("deterministic"); !reflect.DeepEqual(got, []string{"D1"}) {
+		t.Errorf("deterministic -> %v", got)
+	}
+	if got := sel("statistical"); !reflect.DeepEqual(got, []string{"S1", "S2"}) {
+		t.Errorf("statistical -> %v", got)
+	}
+	if got := sel("S2,D1"); !reflect.DeepEqual(got, []string{"S2", "D1"}) {
+		t.Errorf("explicit list -> %v", got)
+	}
+	// First mention wins: the override sticks, `all` fills the rest.
+	specs, err := ParseSpecs("S1?seeds=7:8:9,all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	picked, err := r.Select(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picked) != 3 || picked[0].Experiment.ID != "S1" || len(picked[0].Seeds) != 3 {
+		t.Errorf("override+all selection wrong: %+v", picked)
+	}
+	for _, s := range picked[1:] {
+		if s.Seeds != nil {
+			t.Errorf("override leaked to %s", s.Experiment.ID)
+		}
+	}
+
+	if _, err := r.Select([]Spec{{Sel: "NOPE"}}); err == nil {
+		t.Error("unknown experiment selected")
+	}
+}
+
+func TestSelectionMinEffectOverride(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(&Experiment{
+		ID: "S1", Claim: "c", Class: Statistical,
+		Run: func(context.Context, int64) (Measurement, error) {
+			return Measurement{Holds: true, Effect: 0.3}, nil
+		},
+	})
+	e, _ := r.Get("S1")
+	// Effect 0.3 confirms at the default 0.2 floor...
+	f, err := Selection{Experiment: e}.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Verdict != Confirmed {
+		t.Fatalf("default floor: verdict %s", f.Verdict)
+	}
+	// ...but is inconclusive at a 0.5 floor, without mutating the registry.
+	f, err = Selection{Experiment: e, MinEffect: 0.5}.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Verdict != Inconclusive {
+		t.Errorf("raised floor: verdict %s, want inconclusive", f.Verdict)
+	}
+	if e.MinEffect != 0 {
+		t.Errorf("selection override mutated the registered experiment (MinEffect %g)", e.MinEffect)
+	}
+}

@@ -1,0 +1,66 @@
+package hypo
+
+import (
+	"runtime"
+
+	youtiao "repro"
+)
+
+// ManifestSchema versions the experiment run-manifest layout.
+const ManifestSchema = 1
+
+// Manifest is the reproducibility record of one experiment execution,
+// the hypothesis-level counterpart of the design-run manifest
+// (youtiao.Manifest): what ran (experiment id, class, seeds), where
+// (toolchain and machine, reusing youtiao.ManifestEnv), when and from
+// which tree. Two executions of a deterministic experiment on one
+// machine produce manifests whose StripTimings forms are byte-identical.
+type Manifest struct {
+	Schema int `json:"schema"`
+	// CreatedAt is an RFC 3339 timestamp, set by the harness (timing —
+	// stripped by StripTimings).
+	CreatedAt string `json:"created_at,omitempty"`
+	// Git is the producing tree's `git describe --always --dirty`
+	// output when the harness could resolve it.
+	Git string `json:"git,omitempty"`
+	// Experiment and Class identify the hypothesis.
+	Experiment string `json:"experiment"`
+	Class      Class  `json:"class"`
+	// Seeds is the executed seed set, in run order.
+	Seeds []int64 `json:"seeds"`
+	// Env is the execution environment (shared schema with the design
+	// manifest; Workers is not meaningful here and stays 0).
+	Env youtiao.ManifestEnv `json:"env"`
+	// WallNs is the execution's total wall time (stripped).
+	WallNs int64 `json:"wall_ns,omitempty"`
+}
+
+// NewManifest assembles the manifest of one execution. CreatedAt, Git
+// and WallNs start empty; Execute fills WallNs and the harness fills
+// the clock and VCS fields.
+func NewManifest(e *Experiment, seeds []int64) *Manifest {
+	return &Manifest{
+		Schema:     ManifestSchema,
+		Experiment: e.ID,
+		Class:      e.Class,
+		Seeds:      append([]int64(nil), seeds...),
+		Env: youtiao.ManifestEnv{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+	}
+}
+
+// StripTimings returns a copy with the timing fields cleared.
+func (m *Manifest) StripTimings() *Manifest {
+	if m == nil {
+		return nil
+	}
+	out := *m
+	out.CreatedAt = ""
+	out.WallNs = 0
+	return &out
+}

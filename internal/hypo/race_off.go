@@ -1,0 +1,5 @@
+//go:build !race
+
+package hypo
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package hypo
+
+// raceEnabled reports whether this binary was built with the race
+// detector. Its instrumentation slows code unevenly (small hot paths
+// pay proportionally more), so timing-based statistical experiments
+// are skipped under it.
+const raceEnabled = true

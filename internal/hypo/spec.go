@@ -1,0 +1,271 @@
+package hypo
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Tier selectors accepted wherever an experiment id is: they expand to
+// every registered experiment of the class (or all of them).
+const (
+	SelAll           = "all"
+	SelDeterministic = "deterministic"
+	SelStatistical   = "statistical"
+)
+
+// Spec is one parsed run selector: which experiment(s) to run and the
+// per-run overrides. The textual form (cmd/hypo's -run flag) is
+//
+//	sel[?seeds=S1:S2:...][&min_effect=F]
+//
+// where sel is an experiment id or a tier selector (all,
+// deterministic, statistical); comma separates multiple specs. Example:
+//
+//	deterministic,H3-trim-recovery?seeds=7:8:9&min_effect=0.25
+type Spec struct {
+	// Sel is the experiment id or tier selector.
+	Sel string
+	// Seeds overrides the experiment's seed set when non-empty.
+	Seeds []int64
+	// MinEffect overrides the experiment's consistency floor when
+	// positive.
+	MinEffect float64
+}
+
+// IsTier reports whether the spec selects by tier rather than by id.
+func (s Spec) IsTier() bool {
+	return s.Sel == SelAll || s.Sel == SelDeterministic || s.Sel == SelStatistical
+}
+
+// String renders the spec in the form ParseSpecs accepts; parsing the
+// result yields an equal Spec.
+func (s Spec) String() string {
+	var b strings.Builder
+	b.WriteString(s.Sel)
+	sep := byte('?')
+	if len(s.Seeds) > 0 {
+		parts := make([]string, len(s.Seeds))
+		for i, v := range s.Seeds {
+			parts[i] = strconv.FormatInt(v, 10)
+		}
+		b.WriteByte(sep)
+		sep = '&'
+		b.WriteString("seeds=" + strings.Join(parts, ":"))
+	}
+	if s.MinEffect > 0 {
+		b.WriteByte(sep)
+		b.WriteString("min_effect=" + strconv.FormatFloat(s.MinEffect, 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// ParseSpecs parses a comma-separated run-spec list. Empty input and
+// empty list items are errors; so are unknown parameters, malformed
+// numbers, and selectors that are neither a valid id nor a tier.
+func ParseSpecs(in string) ([]Spec, error) {
+	if strings.TrimSpace(in) == "" {
+		return nil, fmt.Errorf("hypo: empty run spec")
+	}
+	var out []Spec
+	for _, item := range strings.Split(in, ",") {
+		sp, err := parseSpec(strings.TrimSpace(item))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sp)
+	}
+	return out, nil
+}
+
+func parseSpec(item string) (Spec, error) {
+	var sp Spec
+	if item == "" {
+		return sp, fmt.Errorf("hypo: empty spec item")
+	}
+	sel, params, hasParams := strings.Cut(item, "?")
+	sp.Sel = sel
+	if !ValidID(sel) {
+		return sp, fmt.Errorf("hypo: bad selector %q (want an experiment id or all/deterministic/statistical)", sel)
+	}
+	if !hasParams {
+		return sp, nil
+	}
+	if params == "" {
+		return sp, fmt.Errorf("hypo: %q has an empty parameter list", item)
+	}
+	for _, p := range strings.Split(params, "&") {
+		key, val, ok := strings.Cut(p, "=")
+		if !ok || val == "" {
+			return sp, fmt.Errorf("hypo: malformed parameter %q in %q", p, item)
+		}
+		switch key {
+		case "seeds":
+			seeds, err := ParseSeeds(val)
+			if err != nil {
+				return sp, fmt.Errorf("hypo: %q: %w", item, err)
+			}
+			sp.Seeds = seeds
+		case "min_effect":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f <= 0 || f != f {
+				return sp, fmt.Errorf("hypo: %q: min_effect %q must be a positive number", item, val)
+			}
+			sp.MinEffect = f
+		default:
+			return sp, fmt.Errorf("hypo: unknown parameter %q in %q", key, item)
+		}
+	}
+	return sp, nil
+}
+
+// ParseSeeds parses a seed list separated by ':' (the in-spec form) or
+// ',' (the -seeds flag form). Duplicate seeds are rejected — a
+// statistical verdict over repeated seeds would double-count evidence.
+func ParseSeeds(s string) ([]int64, error) {
+	sep := ":"
+	if strings.Contains(s, ",") {
+		sep = ","
+	}
+	parts := strings.Split(s, sep)
+	seeds := make([]int64, 0, len(parts))
+	seen := make(map[int64]bool, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q", p)
+		}
+		if seen[v] {
+			return nil, fmt.Errorf("duplicate seed %d", v)
+		}
+		seen[v] = true
+		seeds = append(seeds, v)
+	}
+	return seeds, nil
+}
+
+// Registry holds named experiments in registration order.
+type Registry struct {
+	byID map[string]*Experiment
+	exps []*Experiment
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: make(map[string]*Experiment)}
+}
+
+// Register validates and adds an experiment. Tier selectors and
+// duplicate ids are rejected.
+func (r *Registry) Register(e *Experiment) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	if (Spec{Sel: e.ID}).IsTier() {
+		return fmt.Errorf("hypo: experiment id %q collides with a tier selector", e.ID)
+	}
+	if _, dup := r.byID[e.ID]; dup {
+		return fmt.Errorf("hypo: duplicate experiment id %q", e.ID)
+	}
+	r.byID[e.ID] = e
+	r.exps = append(r.exps, e)
+	return nil
+}
+
+// MustRegister is Register that panics on error (registry seeding).
+func (r *Registry) MustRegister(e *Experiment) {
+	if err := r.Register(e); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns the experiment with the given id.
+func (r *Registry) Get(id string) (*Experiment, bool) {
+	e, ok := r.byID[id]
+	return e, ok
+}
+
+// List returns every experiment in registration order.
+func (r *Registry) List() []*Experiment {
+	return append([]*Experiment(nil), r.exps...)
+}
+
+// Tier returns the experiments of one class, in registration order.
+func (r *Registry) Tier(c Class) []*Experiment {
+	var out []*Experiment
+	for _, e := range r.exps {
+		if e.Class == c {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Select resolves parsed specs against the registry into (experiment,
+// override) pairs, deduplicating by id: the first spec mentioning an
+// experiment wins, so `H3?seeds=7:8:9,all` runs H3 with the override
+// and the rest with their defaults.
+func (r *Registry) Select(specs []Spec) ([]Selection, error) {
+	var out []Selection
+	seen := make(map[string]bool)
+	add := func(e *Experiment, sp Spec) {
+		if seen[e.ID] {
+			return
+		}
+		seen[e.ID] = true
+		out = append(out, Selection{Experiment: e, Seeds: sp.Seeds, MinEffect: sp.MinEffect})
+	}
+	for _, sp := range specs {
+		switch sp.Sel {
+		case SelAll:
+			for _, e := range r.exps {
+				add(e, sp)
+			}
+		case SelDeterministic, SelStatistical:
+			class := Deterministic
+			if sp.Sel == SelStatistical {
+				class = Statistical
+			}
+			for _, e := range r.Tier(class) {
+				add(e, sp)
+			}
+		default:
+			e, ok := r.Get(sp.Sel)
+			if !ok {
+				return nil, fmt.Errorf("hypo: unknown experiment %q (have: %s)", sp.Sel, strings.Join(r.ids(), ", "))
+			}
+			add(e, sp)
+		}
+	}
+	return out, nil
+}
+
+// Selection is one resolved (experiment, overrides) pair.
+type Selection struct {
+	Experiment *Experiment
+	Seeds      []int64
+	MinEffect  float64
+}
+
+// Execute runs the selection: the experiment under its overrides.
+func (s Selection) Execute(ctx context.Context) (*Findings, error) {
+	e := s.Experiment
+	if s.MinEffect > 0 {
+		// Copy so a per-run floor never leaks into the registry.
+		cp := *e
+		cp.MinEffect = s.MinEffect
+		e = &cp
+	}
+	return e.Execute(ctx, s.Seeds)
+}
+
+func (r *Registry) ids() []string {
+	ids := make([]string, 0, len(r.exps))
+	for _, e := range r.exps {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}

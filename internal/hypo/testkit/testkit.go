@@ -1,0 +1,64 @@
+// Package testkit provides the worker-invariance test matrix shared by
+// the determinism tests in xmon, crosstalk and scalesim: evaluate the
+// same computation at a baseline worker count and at several variants,
+// over a seed matrix, and require deeply-equal results. It is a test
+// helper library — it imports nothing from the repository, so any
+// package (including the pipeline roots) can use it without cycles.
+package testkit
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// SeedMatrix runs body once per seed as a named subtest, giving every
+// cell of an invariance matrix its own failure line.
+func SeedMatrix(t *testing.T, seeds []int64, body func(t *testing.T, seed int64)) {
+	t.Helper()
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			body(t, seed)
+		})
+	}
+}
+
+// WorkerInvariant evaluates produce at the baseline worker count and at
+// every variant, failing the test when a variant's result is not deeply
+// equal to the baseline's. The baseline result is returned so callers
+// can chain further checks (e.g. compare against a reference
+// implementation).
+func WorkerInvariant[T any](t testing.TB, baseline int, variants []int, produce func(workers int) T) T {
+	t.Helper()
+	want := produce(baseline)
+	for _, w := range variants {
+		got := produce(w)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d diverges from workers=%d baseline: %s", w, baseline, Diff(got, want))
+		}
+	}
+	return want
+}
+
+// Diff renders a short description of where two values diverge. For
+// slices it names the first differing index (or the length mismatch);
+// for anything else it prints both values.
+func Diff(got, want any) string {
+	gv, wv := reflect.ValueOf(got), reflect.ValueOf(want)
+	if gv.Kind() == reflect.Slice && wv.Kind() == reflect.Slice && gv.Type() == wv.Type() {
+		if gv.Len() != wv.Len() {
+			return fmt.Sprintf("length %d vs %d", gv.Len(), wv.Len())
+		}
+		for i := 0; i < gv.Len(); i++ {
+			a, b := gv.Index(i).Interface(), wv.Index(i).Interface()
+			if !reflect.DeepEqual(a, b) {
+				return fmt.Sprintf("first divergence at index %d: %+v vs %+v", i, a, b)
+			}
+		}
+		return "equal"
+	}
+	if reflect.DeepEqual(got, want) {
+		return "equal"
+	}
+	return fmt.Sprintf("%+v vs %+v", got, want)
+}

@@ -1,0 +1,73 @@
+package testkit
+
+import (
+	"strings"
+	"testing"
+)
+
+// recordTB captures Errorf calls so the failure path of the helpers can
+// be exercised without failing this test.
+type recordTB struct {
+	testing.TB
+	errs []string
+}
+
+func (r *recordTB) Helper() {}
+func (r *recordTB) Errorf(format string, args ...any) {
+	r.errs = append(r.errs, strings.TrimSpace(format))
+}
+
+func TestWorkerInvariantPasses(t *testing.T) {
+	calls := 0
+	got := WorkerInvariant(t, 1, []int{2, 4}, func(workers int) []int {
+		calls++
+		return []int{10, 20, 30}
+	})
+	if calls != 3 {
+		t.Errorf("produce called %d times, want 3 (baseline + 2 variants)", calls)
+	}
+	if len(got) != 3 || got[0] != 10 {
+		t.Errorf("baseline result not returned: %v", got)
+	}
+}
+
+func TestWorkerInvariantFlagsDivergence(t *testing.T) {
+	rec := &recordTB{TB: t}
+	WorkerInvariant(rec, 1, []int{2, 4}, func(workers int) []int {
+		if workers == 4 {
+			return []int{10, 99, 30}
+		}
+		return []int{10, 20, 30}
+	})
+	if len(rec.errs) != 1 {
+		t.Fatalf("%d errors recorded, want exactly 1 (only workers=4 diverges): %v", len(rec.errs), rec.errs)
+	}
+}
+
+func TestSeedMatrixVisitsEverySeed(t *testing.T) {
+	var visited []int64
+	SeedMatrix(t, []int64{3, 1, 2}, func(t *testing.T, seed int64) {
+		visited = append(visited, seed)
+	})
+	if len(visited) != 3 || visited[0] != 3 || visited[1] != 1 || visited[2] != 2 {
+		t.Errorf("visited %v, want [3 1 2] in order", visited)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	cases := []struct {
+		got, want any
+		contains  string
+	}{
+		{[]int{1, 2, 3}, []int{1, 9, 3}, "index 1"},
+		{[]int{1}, []int{1, 2}, "length 1 vs 2"},
+		{[]int{1, 2}, []int{1, 2}, "equal"},
+		{"a", "b", "a vs b"},
+		{5, 5, "equal"},
+	}
+	for _, tc := range cases {
+		if got := Diff(tc.got, tc.want); !strings.Contains(got, tc.contains) {
+			t.Errorf("Diff(%v, %v) = %q, want it to mention %q", tc.got, tc.want, got, tc.contains)
+		}
+	}
+}

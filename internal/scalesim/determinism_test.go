@@ -3,6 +3,8 @@ package scalesim
 import (
 	"reflect"
 	"testing"
+
+	"repro/internal/hypo/testkit"
 )
 
 // TestSweepWorkerCountInvariant: the parallel sweep writes each size
@@ -10,13 +12,9 @@ import (
 func TestSweepWorkerCountInvariant(t *testing.T) {
 	counts := []int{10, 100, 1000, 10000, 100000, 54, 321, 9999}
 	for _, zFanout := range []float64{1, 2.5, 3.3} {
-		want := SweepWorkers(counts, zFanout, 1)
-		for _, workers := range []int{2, 4, 16} {
-			got := SweepWorkers(counts, zFanout, workers)
-			if !reflect.DeepEqual(got, want) {
-				t.Fatalf("zFanout %.1f workers %d: sweep differs", zFanout, workers)
-			}
-		}
+		want := testkit.WorkerInvariant(t, 1, []int{2, 4, 16}, func(workers int) []Point {
+			return SweepWorkers(counts, zFanout, workers)
+		})
 		if got := Sweep(counts, zFanout); !reflect.DeepEqual(got, want) {
 			t.Fatalf("Sweep and SweepWorkers(…, 1) disagree at fan-out %.1f", zFanout)
 		}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/chip"
+	"repro/internal/hypo/testkit"
 )
 
 // TestMeasureSeededWorkerCountInvariant: the parallel calibration
@@ -13,21 +14,13 @@ import (
 // own split stream, never from a shared generator.
 func TestMeasureSeededWorkerCountInvariant(t *testing.T) {
 	d := NewDevice(chip.Square(5, 5), DefaultParams(), rand.New(rand.NewSource(1)))
-	for _, seed := range []int64{1, 2, 3} {
+	testkit.SeedMatrix(t, []int64{1, 2, 3}, func(t *testing.T, seed int64) {
 		for _, kind := range []CrosstalkKind{XY, ZZ} {
-			seq := d.MeasureSeeded(kind, 0.05, seed, 1)
-			par := d.MeasureSeeded(kind, 0.05, seed, 4)
-			if len(seq) != len(par) {
-				t.Fatalf("seed %d %v: %d vs %d samples", seed, kind, len(seq), len(par))
-			}
-			for p := range seq {
-				if seq[p] != par[p] {
-					t.Fatalf("seed %d %v: sample %d differs: %+v vs %+v",
-						seed, kind, p, seq[p], par[p])
-				}
-			}
+			testkit.WorkerInvariant(t, 1, []int{4}, func(workers int) []Sample {
+				return d.MeasureSeeded(kind, 0.05, seed, workers)
+			})
 		}
-	}
+	})
 }
 
 // TestMeasureSeededPairOrderMatchesMeasure: the parallel campaign must

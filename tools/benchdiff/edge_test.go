@@ -1,0 +1,170 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeBenches writes a snapshot JSON file for runCompare tests.
+func writeBenches(t *testing.T, dir, name string, benches ...Bench) string {
+	t.Helper()
+	data, err := json.Marshal(Snapshot{Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestMergeRunsMismatchedSets: -count=N output where some benchmarks
+// appear more often than others (one was added mid-matrix, another is
+// gated behind -short). Every name must survive, first-seen order must
+// hold, and each row must carry its own per-field minimum.
+func TestMergeRunsMismatchedSets(t *testing.T) {
+	got := mergeRuns([]Bench{
+		{Name: "A", Iterations: 10, NsPerOp: 100, BytesPerOp: 64, AllocsPerOp: 4},
+		{Name: "B", Iterations: 10, NsPerOp: 50, BytesPerOp: 32, AllocsPerOp: 2},
+		{Name: "A", Iterations: 20, NsPerOp: 90, BytesPerOp: 80, AllocsPerOp: 3},
+		{Name: "C", Iterations: 5, NsPerOp: 7},
+		{Name: "A", Iterations: 30, NsPerOp: 110, BytesPerOp: 48, AllocsPerOp: 5},
+	})
+	if len(got) != 3 {
+		t.Fatalf("%d merged rows, want 3: %+v", len(got), got)
+	}
+	if got[0].Name != "A" || got[1].Name != "B" || got[2].Name != "C" {
+		t.Fatalf("order %s,%s,%s, want first-seen A,B,C", got[0].Name, got[1].Name, got[2].Name)
+	}
+	a := got[0]
+	// Minima are taken per field, not per run: ns/op from the second
+	// run, B/op from the third, allocs/op from the second.
+	if a.NsPerOp != 90 || a.BytesPerOp != 48 || a.AllocsPerOp != 3 {
+		t.Errorf("A merged to ns=%g B=%g allocs=%g, want per-field minima 90/48/3", a.NsPerOp, a.BytesPerOp, a.AllocsPerOp)
+	}
+	if a.Iterations != 20 {
+		t.Errorf("A iterations %d, want 20 (from the fastest run)", a.Iterations)
+	}
+	if got[1].NsPerOp != 50 || got[2].NsPerOp != 7 {
+		t.Errorf("single-run rows changed: B=%g C=%g", got[1].NsPerOp, got[2].NsPerOp)
+	}
+}
+
+// TestMergeRunsSingleCount: with -count=1 every benchmark appears once;
+// merging must be the identity.
+func TestMergeRunsSingleCount(t *testing.T) {
+	in := []Bench{
+		{Name: "X", Iterations: 1, NsPerOp: 11, Metrics: map[string]float64{"m": 1}},
+		{Name: "Y", Iterations: 2, NsPerOp: 22},
+	}
+	got := mergeRuns(in)
+	if len(got) != 2 || got[0].Name != "X" || got[1].Name != "Y" {
+		t.Fatalf("single-count merge changed the rows: %+v", got)
+	}
+	if got[0].NsPerOp != 11 || got[0].Metrics["m"] != 1 || got[1].NsPerOp != 22 {
+		t.Errorf("single-count merge lost fields: %+v", got)
+	}
+}
+
+// TestMergeRunsZeroValuedFields: a benchmark without -benchmem fields
+// parses with zero B/op and allocs/op; merging with a later richer run
+// must keep the zero (min) rather than resurrect the larger value, and
+// a faster zero-alloc run must win the allocs minimum.
+func TestMergeRunsZeroValuedFields(t *testing.T) {
+	got := mergeRuns([]Bench{
+		{Name: "Z", Iterations: 10, NsPerOp: 100}, // no -benchmem fields
+		{Name: "Z", Iterations: 10, NsPerOp: 95, BytesPerOp: 16, AllocsPerOp: 1},
+	})
+	if len(got) != 1 {
+		t.Fatalf("%d rows, want 1", len(got))
+	}
+	if got[0].NsPerOp != 95 || got[0].BytesPerOp != 0 || got[0].AllocsPerOp != 0 {
+		t.Errorf("zero-field merge: %+v, want ns=95 with B/op and allocs/op held at 0", got[0])
+	}
+}
+
+// TestCompareZeroAllocBaselines: alloc ratios with a zero on either
+// side must never fail the gate or print an infinity.
+func TestCompareZeroAllocBaselines(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBenches(t, dir, "base.json",
+		Bench{Name: "GainedAllocs", NsPerOp: 100, AllocsPerOp: 0},
+		Bench{Name: "LostAllocs", NsPerOp: 100, AllocsPerOp: 8},
+		Bench{Name: "Steady", NsPerOp: 100, AllocsPerOp: 3},
+	)
+	cur := writeBenches(t, dir, "cur.json",
+		// Baseline had no allocations, current has many: base==0 is "no
+		// data", never a regression.
+		Bench{Name: "GainedAllocs", NsPerOp: 100, AllocsPerOp: 50},
+		// Allocations eliminated: ratio 0 must render a capped speedup,
+		// not +Infx.
+		Bench{Name: "LostAllocs", NsPerOp: 100, AllocsPerOp: 0},
+		Bench{Name: "Steady", NsPerOp: 100, AllocsPerOp: 3},
+	)
+	ok, report, err := runCompare(base, cur, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("zero-alloc edge cases failed the gate:\n%s", report)
+	}
+	if strings.Contains(report, "Inf") || strings.Contains(report, "NaN") {
+		t.Errorf("report renders a non-finite ratio:\n%s", report)
+	}
+	if !strings.Contains(report, ">99x") {
+		t.Errorf("eliminated allocations not rendered as a capped speedup:\n%s", report)
+	}
+}
+
+// TestCompareMismatchedSetsReportOnly: benchmarks present in only one
+// snapshot are reported as new/gone and never fail the gate, even
+// alongside a genuine regression check.
+func TestCompareMismatchedSetsReportOnly(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBenches(t, dir, "base.json",
+		Bench{Name: "Shared", NsPerOp: 100, AllocsPerOp: 1},
+		Bench{Name: "Retired", NsPerOp: 42, AllocsPerOp: 1},
+	)
+	cur := writeBenches(t, dir, "cur.json",
+		Bench{Name: "Shared", NsPerOp: 105, AllocsPerOp: 1},
+		Bench{Name: "Added", NsPerOp: 9999999, AllocsPerOp: 9999},
+	)
+	ok, report, err := runCompare(base, cur, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("mismatched sets failed the gate:\n%s", report)
+	}
+	for _, want := range []string{"new", "gone", "Retired", "Added"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+// TestVerdictEdges pins the grading boundaries, including the
+// divide-by-zero display cap.
+func TestVerdictEdges(t *testing.T) {
+	cases := []struct {
+		r    float64
+		want string
+	}{
+		{1.0, "ok"},
+		{1.2, "ok"}, // exactly at threshold: not a regression
+		{1.21, "REGRESS"},
+		{0.8, "ok"}, // boundary: not yet an improvement label
+		{0.5, "2.0x"},
+		{0.01, ">99x"},
+		{0.0, ">99x"}, // current dropped to zero
+	}
+	for _, tc := range cases {
+		if got := verdict(tc.r, 0.20); got != tc.want {
+			t.Errorf("verdict(%g) = %q, want %q", tc.r, got, tc.want)
+		}
+	}
+}

@@ -296,7 +296,12 @@ func verdict(r, maxRegress float64) string {
 	case r > 1+maxRegress:
 		return "REGRESS"
 	case r < 0.8:
-		return fmt.Sprintf("%.1fx", 1/r)
+		// A current value of 0 (e.g. allocations eliminated entirely)
+		// would print as +Infx; cap the label instead.
+		if s := 1 / r; s <= 99 {
+			return fmt.Sprintf("%.1fx", s)
+		}
+		return ">99x"
 	default:
 		return "ok"
 	}
