@@ -9,10 +9,11 @@ BENCH_STAMP := $(shell date +%Y%m%d-%H%M%S)
 # Per-package coverage floors enforced by `make cover`, as
 # package:percent pairs. The stage engine decides what work an
 # incremental redesign may skip; obs and faults feed the manifests and
-# degradation accounting; hypo decides experiment verdicts.
-COVER_FLOORS ?= internal/stage:90 internal/obs:85 internal/faults:85 internal/hypo:85
+# degradation accounting; hypo decides experiment verdicts; serve is
+# the overload/degradation surface exposed to clients.
+COVER_FLOORS ?= internal/stage:90 internal/obs:85 internal/faults:85 internal/hypo:85 internal/serve:85
 
-.PHONY: build vet fmt-check lint test race race-faults fuzz bench bench-smoke faults cover verify experiments experiments-smoke experiments-full
+.PHONY: build vet fmt-check lint test race race-faults fuzz bench bench-smoke faults cover verify serve-smoke experiments experiments-smoke experiments-full
 
 # Generated run products (bench logs, coverage profiles, manifests) all
 # land under $(OUT), which is ignored wholesale; the committed
@@ -96,6 +97,13 @@ cover: | $(OUT)
 # ladder and print the wiring/fidelity table.
 faults:
 	$(GO) run ./cmd/youtiao -qubits 25 -sweep-defects 0,0.01,0.02,0.05 -retry-budget 3
+
+# End-to-end smoke of the real youtiao-serve binary (race-enabled
+# build): probes, a design request, an overload burst that must shed
+# with 429 + Retry-After, a /metrics scrape, and a SIGTERM drain that
+# must exit cleanly. See DESIGN.md, "The serving contract".
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # The hypothesis-experiment harness (cmd/hypo): each registered
 # experiment states a claim, runs it under the verdict rules of

@@ -1,0 +1,131 @@
+// Command youtiao-serve exposes the YOUTIAO designer as a long-running
+// HTTP service with bounded memory and graceful overload behavior.
+//
+// Usage:
+//
+//	youtiao-serve [-addr :8080] [-max-inflight 2] [-max-queue 4] \
+//	    [-queue-wait 10s] [-request-timeout 120s] [-max-qubits 512] \
+//	    [-cache-mb 256] [-cache-shards 8]
+//
+// Endpoints:
+//
+//	POST /v1/design   design a chip (JSON in, JSON out)
+//	GET  /healthz     liveness (200 while the process runs)
+//	GET  /readyz      readiness (503 while draining)
+//	GET  /metrics     observability snapshot (counters, gauges, latencies)
+//
+// On SIGINT/SIGTERM the server stops admitting work, finishes in-flight
+// designs and exits 0 — or exits 1 if the drain exceeds -drain-timeout.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// settings is the parsed flag set of one invocation.
+type settings struct {
+	addr         string
+	drainTimeout time.Duration
+	cfg          serve.Config
+}
+
+// parseFlags maps the command line onto server settings; kept separate
+// from main so tests can exercise it without starting a listener.
+func parseFlags(args []string) (*settings, error) {
+	fs := flag.NewFlagSet("youtiao-serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	maxInFlight := fs.Int("max-inflight", 2, "concurrently executing designs")
+	maxQueue := fs.Int("max-queue", 0, "designs waiting for a slot before shedding (0 = 2x max-inflight)")
+	queueWait := fs.Duration("queue-wait", 10*time.Second, "longest a queued request waits before a 429")
+	requestTimeout := fs.Duration("request-timeout", 120*time.Second, "hard deadline per design request")
+	maxQubits := fs.Int("max-qubits", 512, "largest chip accepted")
+	cacheMB := fs.Int64("cache-mb", 256, "artifact cache budget in MiB (-1 = unbounded)")
+	cacheShards := fs.Int("cache-shards", 0, "cache lock shards (0 = default)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "longest to wait for in-flight designs on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	cacheBytes := *cacheMB << 20
+	if *cacheMB < 0 {
+		cacheBytes = -1
+	}
+	return &settings{
+		addr:         *addr,
+		drainTimeout: *drainTimeout,
+		cfg: serve.Config{
+			MaxInFlight:    *maxInFlight,
+			MaxQueue:       *maxQueue,
+			QueueWait:      *queueWait,
+			RequestTimeout: *requestTimeout,
+			MaxQubits:      *maxQubits,
+			CacheBytes:     cacheBytes,
+			CacheShards:    *cacheShards,
+		},
+	}, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("youtiao-serve: ")
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	st, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	srv := serve.New(st.cfg)
+	httpServer := &http.Server{
+		Addr:              st.addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", st.addr)
+		errc <- httpServer.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return fmt.Errorf("listen: %w", err)
+	case <-sigCtx.Done():
+	}
+
+	log.Printf("signal received; draining (timeout %s)", st.drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), st.drainTimeout)
+	defer cancel()
+	// Drain order: the app layer first (stop admitting designs, wait for
+	// in-flight ones), then the HTTP layer (close idle connections and
+	// wait for handlers to return).
+	drainErr := srv.Shutdown(ctx)
+	if err := httpServer.Shutdown(ctx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) && drainErr == nil {
+		drainErr = serveErr
+	}
+	if drainErr != nil {
+		return fmt.Errorf("shutdown: %w", drainErr)
+	}
+	log.Printf("drained cleanly")
+	return nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestParseFlags: the flag surface maps onto the server config,
+// including the unbounded-cache sentinel.
+func TestParseFlags(t *testing.T) {
+	st, err := parseFlags([]string{
+		"-addr", "127.0.0.1:9999",
+		"-max-inflight", "4",
+		"-max-queue", "16",
+		"-queue-wait", "2s",
+		"-request-timeout", "30s",
+		"-max-qubits", "100",
+		"-cache-mb", "64",
+		"-cache-shards", "2",
+		"-drain-timeout", "5s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.addr != "127.0.0.1:9999" || st.drainTimeout != 5*time.Second {
+		t.Fatalf("settings = %+v", st)
+	}
+	c := st.cfg
+	if c.MaxInFlight != 4 || c.MaxQueue != 16 || c.QueueWait != 2*time.Second ||
+		c.RequestTimeout != 30*time.Second || c.MaxQubits != 100 ||
+		c.CacheBytes != 64<<20 || c.CacheShards != 2 {
+		t.Fatalf("config = %+v", c)
+	}
+
+	st, err = parseFlags([]string{"-cache-mb", "-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.cfg.CacheBytes != -1 {
+		t.Fatalf("unbounded cache sentinel = %d, want -1", st.cfg.CacheBytes)
+	}
+
+	if _, err := parseFlags([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

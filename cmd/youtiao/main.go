@@ -13,6 +13,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/exec"
@@ -30,52 +31,71 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("youtiao: ")
-	topology := flag.String("topology", "square", "chip topology: square, hexagon, heavy-square, heavy-hexagon, low-density")
-	qubits := flag.Int("qubits", 36, "approximate qubit count")
-	seed := flag.Int64("seed", 1, "device fabrication / design seed")
-	theta := flag.Float64("theta", 4, "TDM parallelism threshold")
-	fdmCap := flag.Int("fdm", 5, "FDM line capacity (qubits per XY line)")
-	workers := flag.Int("workers", 0, "worker goroutines for the parallel pipeline stages (0 = all CPUs, 1 = sequential; the design is identical either way)")
-	verbose := flag.Bool("verbose", false, "print the full line-by-line plan")
-	asJSON := flag.Bool("json", false, "emit the design as JSON")
-	defectRate := flag.Float64("defect-rate", 0, "uniform fault-injection rate over every defect class (0 disables; try 0.02)")
-	retryBudget := flag.Int("retry-budget", 0, "calibration re-measurement attempts after a dropout (0 = default 3, negative = none)")
-	timeout := flag.Duration("timeout", 0, "abort the design after this long (0 = no limit)")
-	sweep := flag.String("sweep-defects", "", "comma-separated defect rates: run the degradation sweep instead of a single design")
-	stageTimings := flag.Bool("stage-timings", false, "print the per-stage instrumentation report (runs, cache hits/misses, wall time); with -json, embedded as \"stageReport\"")
-	manifestPath := flag.String("manifest", "", "write a run manifest (options digest, seed, git revision, env, stage report, metrics snapshot) as JSON to this file")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
-	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the whole CLI behind a testable seam: flag parsing, the design
+// (or sweep) and rendering, with every failure returned instead of
+// exiting — main turns a non-nil error into a non-zero exit, and the
+// regression tests assert on the error chain (a -timeout expiry, for
+// example, must surface a wrapped context.DeadlineExceeded).
+func run(args []string, stdout io.Writer) (retErr error) {
+	fs := flag.NewFlagSet("youtiao", flag.ContinueOnError)
+	topology := fs.String("topology", "square", "chip topology: square, hexagon, heavy-square, heavy-hexagon, low-density")
+	qubits := fs.Int("qubits", 36, "approximate qubit count")
+	seed := fs.Int64("seed", 1, "device fabrication / design seed")
+	theta := fs.Float64("theta", 4, "TDM parallelism threshold")
+	fdmCap := fs.Int("fdm", 5, "FDM line capacity (qubits per XY line)")
+	workers := fs.Int("workers", 0, "worker goroutines for the parallel pipeline stages (0 = all CPUs, 1 = sequential; the design is identical either way)")
+	verbose := fs.Bool("verbose", false, "print the full line-by-line plan")
+	asJSON := fs.Bool("json", false, "emit the design as JSON")
+	defectRate := fs.Float64("defect-rate", 0, "uniform fault-injection rate over every defect class (0 disables; try 0.02)")
+	retryBudget := fs.Int("retry-budget", 0, "calibration re-measurement attempts after a dropout (0 = default 3, negative = none)")
+	timeout := fs.Duration("timeout", 0, "abort the design after this long (0 = no limit)")
+	sweep := fs.String("sweep-defects", "", "comma-separated defect rates: run the degradation sweep instead of a single design")
+	stageTimings := fs.Bool("stage-timings", false, "print the per-stage instrumentation report (runs, cache hits/misses, wall time); with -json, embedded as \"stageReport\"")
+	manifestPath := fs.String("manifest", "", "write a run manifest (options digest, seed, git revision, env, stage report, metrics snapshot) as JSON to this file")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
+	memProfile := fs.String("memprofile", "", "write a heap profile at exit to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			log.Fatalf("-cpuprofile: %v", err)
+			return fmt.Errorf("-cpuprofile: %w", err)
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			log.Fatalf("-cpuprofile: %v", err)
+			return fmt.Errorf("-cpuprofile: %w", err)
 		}
 		defer pprof.StopCPUProfile()
 	}
 	if *memProfile != "" {
+		// Named return: the profile is written after the run body, and a
+		// write failure must still fail the command.
 		defer func() {
 			f, err := os.Create(*memProfile)
 			if err != nil {
-				log.Fatalf("-memprofile: %v", err)
+				if retErr == nil {
+					retErr = fmt.Errorf("-memprofile: %w", err)
+				}
+				return
 			}
 			defer f.Close()
 			runtime.GC() // settle the heap so the profile shows live objects
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				log.Fatalf("-memprofile: %v", err)
+			if err := pprof.WriteHeapProfile(f); err != nil && retErr == nil {
+				retErr = fmt.Errorf("-memprofile: %w", err)
 			}
 		}()
 	}
 
 	ch, err := youtiao.NewChip(*topology, *qubits)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	opts := youtiao.Options{
 		Seed:        *seed,
@@ -86,7 +106,7 @@ func main() {
 		RetryBudget: *retryBudget,
 	}
 	// Distinguish an explicit `-theta 0` from the default.
-	flag.Visit(func(f *flag.Flag) {
+	fs.Visit(func(f *flag.Flag) {
 		if f.Name == "theta" {
 			opts.HasTheta = true
 		}
@@ -101,12 +121,12 @@ func main() {
 
 	if *sweep != "" {
 		if *manifestPath != "" {
-			log.Fatal("-manifest records a single design; it cannot be combined with -sweep-defects")
+			return fmt.Errorf("-manifest records a single design; it cannot be combined with -sweep-defects")
 		}
-		if err := runSweep(ctx, ch, *sweep, opts); err != nil {
-			log.Fatal(err)
+		if err := runSweep(ctx, stdout, ch, *sweep, opts); err != nil {
+			return err
 		}
-		return
+		return retErr
 	}
 
 	// The manifest needs the full observability capture: a per-build
@@ -125,59 +145,60 @@ func main() {
 	designer := youtiao.NewDesigner(ch)
 	design, err := designer.RedesignCtx(ctx, opts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	if *manifestPath != "" {
 		if err := writeManifest(*manifestPath, design, opts, reg, designer.StageReport()); err != nil {
-			log.Fatalf("-manifest: %v", err)
+			return fmt.Errorf("-manifest: %w", err)
 		}
 	}
 
 	if *asJSON {
 		data, err := design.ExportJSON()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if *stageTimings {
 			report, err := designer.StageReport().JSON()
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Printf("{\n  \"design\": %s,\n  \"stageReport\": %s\n}\n",
+			fmt.Fprintf(stdout, "{\n  \"design\": %s,\n  \"stageReport\": %s\n}\n",
 				indentBlock(string(data)), indentBlock(string(report)))
-			return
+			return retErr
 		}
-		fmt.Println(string(data))
-		return
+		fmt.Fprintln(stdout, string(data))
+		return retErr
 	}
 	if *verbose {
-		fmt.Print(design.Report())
+		fmt.Fprint(stdout, design.Report())
 		if *stageTimings {
-			fmt.Print(designer.StageReport().Text())
+			fmt.Fprint(stdout, designer.StageReport().Text())
 		}
-		return
+		return retErr
 	}
-	fmt.Printf("chip: %s (%d qubits, %d couplers)\n", ch.Name, ch.NumQubits(), ch.NumCouplers())
+	fmt.Fprintf(stdout, "chip: %s (%d qubits, %d couplers)\n", ch.Name, ch.NumQubits(), ch.NumCouplers())
 	if f := design.Faults; f != nil {
-		fmt.Printf("faults: %d dead qubits, %d broken couplers, %d stuck-lossy (calibration: %d retried, %d lost)\n",
+		fmt.Fprintf(stdout, "faults: %d dead qubits, %d broken couplers, %d stuck-lossy (calibration: %d retried, %d lost)\n",
 			len(f.DeadQubits), len(f.BrokenCouplers), f.StuckLossy, f.CalibRetried, f.CalibLostPairs)
 	}
-	fmt.Printf("crosstalk model: w_phy=%.2f w_top=%.2f\n",
+	fmt.Fprintf(stdout, "crosstalk model: w_phy=%.2f w_top=%.2f\n",
 		design.CrosstalkWeights.WPhy, design.CrosstalkWeights.WTop)
-	fmt.Printf("XY lines: %d -> %d   Z lines: %d -> %d\n",
+	fmt.Fprintf(stdout, "XY lines: %d -> %d   Z lines: %d -> %d\n",
 		design.Baseline.XYLines, design.Youtiao.XYLines,
 		design.Baseline.ZLines, design.Youtiao.ZLines)
 	d2, d4 := design.DemuxMix()
-	fmt.Printf("DEMUX mix: %d x 1:2, %d x 1:4 (+%d twisted-pair controls)\n",
+	fmt.Fprintf(stdout, "DEMUX mix: %d x 1:2, %d x 1:4 (+%d twisted-pair controls)\n",
 		d2, d4, design.Youtiao.ControlLines)
-	fmt.Printf("coax: %d -> %d (%.1fx)\n",
+	fmt.Fprintf(stdout, "coax: %d -> %d (%.1fx)\n",
 		design.Baseline.CoaxLines, design.Youtiao.CoaxLines, design.CoaxReduction())
-	fmt.Printf("wiring cost: $%.0fK -> $%.0fK (%.1fx)\n",
+	fmt.Fprintf(stdout, "wiring cost: $%.0fK -> $%.0fK (%.1fx)\n",
 		design.Baseline.CostUSD/1000, design.Youtiao.CostUSD/1000, design.CostReduction())
 	if *stageTimings {
-		fmt.Print(designer.StageReport().Text())
+		fmt.Fprint(stdout, designer.StageReport().Text())
 	}
+	return retErr
 }
 
 // indentBlock re-indents an already-rendered JSON block by two spaces
@@ -218,7 +239,7 @@ func gitDescribe() string {
 }
 
 // runSweep parses the rate list and prints the degradation table.
-func runSweep(ctx context.Context, ch *youtiao.Chip, list string, opts youtiao.Options) error {
+func runSweep(ctx context.Context, stdout io.Writer, ch *youtiao.Chip, list string, opts youtiao.Options) error {
 	var rates []float64
 	for _, part := range strings.Split(list, ",") {
 		r, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
@@ -232,11 +253,11 @@ func runSweep(ctx context.Context, ch *youtiao.Chip, list string, opts youtiao.O
 	if err != nil {
 		return err
 	}
-	fmt.Printf("defect sweep on %s (%d qubits), %d rates, %s\n",
+	fmt.Fprintf(stdout, "defect sweep on %s (%d qubits), %d rates, %s\n",
 		ch.Name, ch.NumQubits(), len(points), time.Since(start).Round(time.Millisecond))
-	fmt.Println("rate    alive  dead  brokenC  stuck  lost  XY  Z   coax  cost($K)  fidelity  cache(h/m)")
+	fmt.Fprintln(stdout, "rate    alive  dead  brokenC  stuck  lost  XY  Z   coax  cost($K)  fidelity  cache(h/m)")
 	for _, pt := range points {
-		fmt.Printf("%-7.3f %-6d %-5d %-8d %-6d %-5d %-3d %-3d %-5d %-9.1f %-9.6f %d/%d\n",
+		fmt.Fprintf(stdout, "%-7.3f %-6d %-5d %-8d %-6d %-5d %-3d %-3d %-5d %-9.1f %-9.6f %d/%d\n",
 			pt.Rate, pt.AliveQubits, pt.DeadQubits, pt.BrokenCouplers, pt.StuckLossy,
 			pt.Calib.LostPairs, pt.XYLines, pt.ZLines, pt.CoaxLines, pt.WiringCost/1000, pt.GateFidelity,
 			pt.CacheHits, pt.CacheMisses)

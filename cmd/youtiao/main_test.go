@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestRunTimeoutExpiryMidSweep: a -timeout that fires mid-sweep must
+// surface as a non-nil error (main exits non-zero) wrapping
+// context.DeadlineExceeded, with the failing rate named — a sweep that
+// "succeeds" with a truncated table would silently fake its results.
+func TestRunTimeoutExpiryMidSweep(t *testing.T) {
+	err := run([]string{"-qubits", "16", "-sweep-defects", "0,0.01,0.02", "-timeout", "1ns"}, io.Discard)
+	if err == nil {
+		t.Fatal("expired -timeout returned nil — main would exit zero on a truncated sweep")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error chain does not wrap context.DeadlineExceeded: %v", err)
+	}
+	if !strings.Contains(err.Error(), "rate") {
+		t.Fatalf("error does not name the failing sweep point: %v", err)
+	}
+}
+
+// TestRunTimeoutExpirySingleDesign: the single-design path has the same
+// contract.
+func TestRunTimeoutExpirySingleDesign(t *testing.T) {
+	err := run([]string{"-qubits", "16", "-timeout", "1ns"}, io.Discard)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error chain does not wrap context.DeadlineExceeded: %v", err)
+	}
+}
+
+// TestRunDesignsSmallChip: the happy path still renders a summary.
+func TestRunDesignsSmallChip(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-qubits", "4", "-topology", "square"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"chip:", "coax:", "wiring cost:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunRejectsBadFlags: flag and validation failures return errors
+// instead of exiting, so main's exit code reflects them.
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-topology", "klein-bottle", "-qubits", "4"}, io.Discard); err == nil {
+		t.Fatal("bad topology accepted")
+	}
+	if err := run([]string{"-sweep-defects", "0.01", "-manifest", t.TempDir() + "/m.json"}, io.Discard); err == nil {
+		t.Fatal("-sweep-defects with -manifest accepted")
+	}
+}

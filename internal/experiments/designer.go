@@ -308,33 +308,46 @@ func (d *Designer) Store() *stage.Store { return d.store }
 func (d *Designer) Report() stage.Report { return d.store.Report() }
 
 // DesignCache shares one artifact store across the Designers of many
-// chips — the sweep experiments' backbone: a sweep over defect rates,
-// Theta values or chip sizes builds every point through one cache, so
-// per-point builds stop re-fitting unchanged characterization.
+// chips — the sweep experiments' backbone and the serving layer's
+// request cache: a sweep over defect rates, Theta values or chip sizes
+// (or a stream of HTTP design requests) builds every point through one
+// cache, so per-point builds stop re-fitting unchanged
+// characterization.
 type DesignCache struct {
 	mu        sync.Mutex
 	store     *stage.Store
-	designers map[*chip.Chip]*Designer
+	designers map[stage.Key]*Designer
 }
 
-// NewDesignCache returns an empty cache.
+// NewDesignCache returns an empty cache over an unbounded store.
 func NewDesignCache() *DesignCache {
+	return NewDesignCacheWithStore(stage.NewStore())
+}
+
+// NewDesignCacheWithStore returns a cache over a caller-provided store,
+// which is how a long-running server bounds the cache: build the store
+// with stage.NewStoreWith and a byte budget, and every designer handed
+// out by the cache shares the bounded, evicting artifact set.
+func NewDesignCacheWithStore(store *stage.Store) *DesignCache {
 	return &DesignCache{
-		store:     stage.NewStore(),
-		designers: make(map[*chip.Chip]*Designer),
+		store:     store,
+		designers: make(map[stage.Key]*Designer),
 	}
 }
 
 // Designer returns the cached Designer for a chip, creating it on first
-// use. Structurally identical chips (equal fingerprints) share
-// artifacts through the common store even under distinct pointers.
+// use. Designers are keyed by chip fingerprint, not pointer, so
+// structurally identical chips (a server parsing the same request twice
+// into distinct *Chip values) share one Designer — and therefore one
+// single-flight per artifact — rather than just one store.
 func (dc *DesignCache) Designer(c *chip.Chip) *Designer {
+	fp := chipFingerprint(c)
 	dc.mu.Lock()
 	defer dc.mu.Unlock()
-	d, ok := dc.designers[c]
+	d, ok := dc.designers[fp]
 	if !ok {
-		d = newDesignerWithStore(c, dc.store)
-		dc.designers[c] = d
+		d = &Designer{chip: c, chipFP: fp, store: dc.store}
+		dc.designers[fp] = d
 	}
 	return d
 }

@@ -1,0 +1,104 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stage"
+)
+
+// ErrChaos marks a chaos-injected stage failure. Tests and the serve
+// chaos harness use errors.Is to tell injected failures from organic
+// ones.
+var ErrChaos = errors.New("faults: chaos-injected failure")
+
+// Chaos is a seeded, deterministic stage-level fault injector: wrapped
+// around a stage.Store it makes a reproducible subset of executions
+// slow, failing or panicking. The decision for one execution is a pure
+// function of (Seed, stage name, artifact key) — the same SplitMix64
+// discipline as the device fault plans — so a chaos run is replayable:
+// the same request mix against the same seed degrades identically.
+//
+// Rates are evaluated in order panic, fail, slow over one uniform draw,
+// so PanicRate+FailRate+SlowRate must be <= 1 for the rates to mean
+// marginal probabilities.
+type Chaos struct {
+	// Seed drives the per-execution decision stream.
+	Seed int64
+	// PanicRate is the fraction of executions that panic (exercising
+	// the store's panic containment and the server's 500 path).
+	PanicRate float64
+	// FailRate is the fraction of executions failing with ErrChaos.
+	FailRate float64
+	// SlowRate is the fraction of executions delayed by Delay before
+	// running (exercising deadlines, queueing and load shedding).
+	SlowRate float64
+	// Delay is the injected latency of a slow execution. The sleep is
+	// context-aware: a per-request deadline still bounds a slowed stage.
+	Delay time.Duration
+
+	slows  atomic.Int64
+	fails  atomic.Int64
+	panics atomic.Int64
+}
+
+// Counts reports how many executions were slowed, failed and panicked
+// so far.
+func (c *Chaos) Counts() (slows, fails, panics int64) {
+	return c.slows.Load(), c.fails.Load(), c.panics.Load()
+}
+
+// draw returns the uniform [0,1) decision variate of one execution.
+func (c *Chaos) draw(name string, key stage.Key) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s", c.Seed, name, key)
+	// SplitMix64 finalizer over the FNV state decorrelates the low bits.
+	z := h.Sum64()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+// Wrapper returns the stage.ExecWrapper implementing the spec. Install
+// it with Store.Wrap; a nil *Chaos yields a nil wrapper (no injection).
+func (c *Chaos) Wrapper() stage.ExecWrapper {
+	if c == nil {
+		return nil
+	}
+	return func(name string, key stage.Key, fn func(context.Context) (any, error)) func(context.Context) (any, error) {
+		u := c.draw(name, key)
+		switch {
+		case u < c.PanicRate:
+			return func(context.Context) (any, error) {
+				c.panics.Add(1)
+				panic(fmt.Sprintf("faults: chaos-injected panic in stage %s", name))
+			}
+		case u < c.PanicRate+c.FailRate:
+			return func(context.Context) (any, error) {
+				c.fails.Add(1)
+				return nil, fmt.Errorf("stage %s: %w", name, ErrChaos)
+			}
+		case u < c.PanicRate+c.FailRate+c.SlowRate:
+			return func(ctx context.Context) (any, error) {
+				c.slows.Add(1)
+				timer := time.NewTimer(c.Delay)
+				defer timer.Stop()
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+				return fn(ctx)
+			}
+		default:
+			return fn
+		}
+	}
+}

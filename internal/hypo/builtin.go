@@ -3,9 +3,13 @@ package hypo
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 	"reflect"
+	"strings"
+	"sync"
 	"time"
 
 	youtiao "repro"
@@ -16,6 +20,7 @@ import (
 	"repro/internal/mlfit"
 	"repro/internal/obs"
 	"repro/internal/scalesim"
+	"repro/internal/serve"
 	"repro/internal/xmon"
 )
 
@@ -95,6 +100,12 @@ func Builtin() *Registry {
 		Claim: "Manifest.StripTimings() of two independent, identically-configured runs is byte-identical, including stage report and observability snapshot.",
 		Class: Deterministic,
 		Run:   runManifestStrip,
+	})
+	r.MustRegister(&Experiment{
+		ID:    "H6-serve-coalescing",
+		Claim: fmt.Sprintf("%d concurrent identical design requests against youtiao-serve execute each pipeline stage exactly once and return byte-identical designs and stripped manifests.", h6Requests),
+		Class: Deterministic,
+		Run:   runServeCoalescing,
 	})
 	return r
 }
@@ -388,6 +399,101 @@ func runManifestStrip(ctx context.Context, seed int64) (Measurement, error) {
 		m.Note = fmt.Sprintf("stripped manifests byte-identical (%d bytes)", len(blobs[0]))
 	} else {
 		m.Note = "stripped manifests differ between identical runs"
+	}
+	return m, nil
+}
+
+// h6Requests is the burst width of H6: enough concurrency to exceed
+// the server's execution slots, so coalescing — not just caching — is
+// what keeps executions at one per stage.
+const h6Requests = 6
+
+// runServeCoalescing measures H6: a burst of identical requests against
+// an in-process serve.Server must coalesce onto single-flight stage
+// executions (each stage executes exactly once, counted by the shared
+// store's miss column) and every response must carry byte-identical
+// designs and stripped manifests.
+func runServeCoalescing(ctx context.Context, seed int64) (Measurement, error) {
+	var m Measurement
+	srv := serve.New(serve.Config{
+		MaxInFlight: 2,
+		MaxQueue:    h6Requests,
+		QueueWait:   time.Minute,
+		Logf:        func(string, ...any) {},
+	})
+	h := srv.Handler()
+	body := fmt.Sprintf(`{"topology": "square", "qubits": %d, "seed": %d}`,
+		builtinChipSide*builtinChipSide, seed)
+
+	recs := make([]*httptest.ResponseRecorder, h6Requests)
+	var wg sync.WaitGroup
+	for i := 0; i < h6Requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := httptest.NewRecorder()
+			req := httptest.NewRequest("POST", "/v1/design", strings.NewReader(body))
+			h.ServeHTTP(rec, req.WithContext(ctx))
+			recs[i] = rec
+		}(i)
+	}
+	wg.Wait()
+
+	mismatches := 0
+	var refDesign, refManifest []byte
+	for i, rec := range recs {
+		if rec.Code != 200 {
+			return m, fmt.Errorf("request %d: status %d (%s)", i, rec.Code, rec.Body.String())
+		}
+		var resp serve.DesignResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			return m, fmt.Errorf("request %d: %w", i, err)
+		}
+		design, err := json.Marshal(resp.Design)
+		if err != nil {
+			return m, err
+		}
+		manifest, err := resp.Manifest.StripTimings().JSON()
+		if err != nil {
+			return m, err
+		}
+		if i == 0 {
+			refDesign, refManifest = design, manifest
+			continue
+		}
+		if !bytes.Equal(design, refDesign) {
+			mismatches++
+			m.Note = joinNote(m.Note, fmt.Sprintf("design differs at request %d", i))
+		}
+		if !bytes.Equal(manifest, refManifest) {
+			mismatches++
+			m.Note = joinNote(m.Note, fmt.Sprintf("stripped manifest differs at request %d", i))
+		}
+	}
+
+	duplicateExecs := 0
+	report := srv.Cache().StageReport()
+	for _, st := range report.Stages {
+		if st.Misses != 1 {
+			duplicateExecs += st.Misses - 1
+			m.Note = joinNote(m.Note, fmt.Sprintf("stage %s executed %d times", st.Name, st.Misses))
+		}
+	}
+	if len(report.Stages) == 0 {
+		return m, fmt.Errorf("no stage executions recorded")
+	}
+
+	m.Holds = mismatches == 0 && duplicateExecs == 0
+	m.Effect = 1
+	m.Values = map[string]float64{
+		"requests":        h6Requests,
+		"stages":          float64(len(report.Stages)),
+		"mismatches":      float64(mismatches),
+		"duplicate_execs": float64(duplicateExecs),
+	}
+	if m.Note == "" {
+		m.Note = fmt.Sprintf("%d requests coalesced onto %d stage executions, responses byte-identical",
+			h6Requests, len(report.Stages))
 	}
 	return m, nil
 }

@@ -11,17 +11,31 @@ import (
 //	http.Handle("/debug/youtiao", reg.Handler())
 //
 // The handler is read-only and safe for concurrent use with live
-// instrumentation; each request renders a fresh snapshot. A nil
-// registry serves the stable empty snapshot, so wiring the endpoint
-// unconditionally is safe.
+// instrumentation; each request renders a fresh snapshot, and responses
+// are marked uncacheable so scrapers always see live counters. Only GET
+// and HEAD are accepted. A nil registry serves the stable empty
+// snapshot, so wiring the endpoint unconditionally is safe.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
 		data, err := r.Snapshot().JSON()
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		w.Write(append(data, '\n'))
+		w.Header().Set("Cache-Control", "no-store")
+		if _, err := w.Write(append(data, '\n')); err != nil {
+			// The snapshot was rendered; a failed write means the client
+			// went away mid-response. The connection is unusable either
+			// way, so there is nothing left to salvage — but the error is
+			// checked so a broken scrape is a deliberate no-op, not an
+			// ignored return value.
+			return
+		}
 	})
 }

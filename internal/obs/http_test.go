@@ -53,6 +53,39 @@ func TestHandlerGolden(t *testing.T) {
 	}
 }
 
+// TestHandlerHardening: the handler marks responses uncacheable and
+// rejects mutating methods — it is a read-only scrape endpoint, and a
+// proxy-cached snapshot would silently freeze live counters.
+func TestHandlerHardening(t *testing.T) {
+	r := New()
+	r.Counter("stage/hits").Add(1)
+	h := r.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/youtiao", nil))
+	if cc := rec.Header().Get("Cache-Control"); cc != "no-store" {
+		t.Fatalf("Cache-Control = %q, want no-store", cc)
+	}
+
+	// HEAD is allowed (net/http strips the body on real connections).
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("HEAD", "/debug/youtiao", nil))
+	if rec.Code != 200 {
+		t.Fatalf("HEAD status = %d", rec.Code)
+	}
+
+	for _, method := range []string{"POST", "PUT", "DELETE", "PATCH"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(method, "/debug/youtiao", nil))
+		if rec.Code != 405 {
+			t.Fatalf("%s status = %d, want 405", method, rec.Code)
+		}
+		if allow := rec.Header().Get("Allow"); allow != "GET, HEAD" {
+			t.Fatalf("%s Allow = %q, want \"GET, HEAD\"", method, allow)
+		}
+	}
+}
+
 func TestHandlerNilRegistry(t *testing.T) {
 	var r *Registry
 	rec := httptest.NewRecorder()

@@ -1,0 +1,275 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	youtiao "repro"
+	"repro/internal/faults"
+	"repro/internal/stage"
+)
+
+// execFn abbreviates the stage execution signature in wrappers.
+type execFn = func(context.Context) (any, error)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestChaosOverloadBurst is the acceptance scenario: a 4x-capacity
+// burst of distinct requests against a server whose stages are
+// chaos-injected (slow, failing, panicking) degrades predictably —
+// exactly the over-capacity excess is shed with 429, every admitted
+// request resolves with a defined status, the cache stays under its
+// byte budget, no goroutines leak, and the drained server still serves
+// a clean request.
+func TestChaosOverloadBurst(t *testing.T) {
+	baseGoroutines := runtime.NumGoroutine()
+
+	const (
+		inflight = 2
+		queue    = 2
+		capacity = inflight + queue
+		total    = 4 * capacity
+	)
+	cache := youtiao.NewSharedCache(youtiao.CacheConfig{MaxBytes: 1 << 16, Shards: 4})
+	srv := newTestServer(t, Config{
+		MaxInFlight: inflight,
+		MaxQueue:    queue,
+		QueueWait:   30 * time.Second,
+		Cache:       cache,
+	})
+	h := srv.Handler()
+
+	// Gate + chaos: every execution first blocks on the gate (so the
+	// burst's admission outcome is deterministic), then runs its
+	// chaos-drawn fate. The fate of each (stage, key) is a pure function
+	// of the chaos seed, so a rerun of this test degrades identically.
+	chaos := &faults.Chaos{Seed: 2025, PanicRate: 0.1, FailRate: 0.2, SlowRate: 0.3, Delay: 20 * time.Millisecond}
+	chaosW := chaos.Wrapper()
+	gate := make(chan struct{})
+	var executing atomic.Int64
+	cache.WrapExec(func(name string, key stage.Key, fn execFn) execFn {
+		inner := chaosW(name, key, fn)
+		return func(ctx context.Context) (any, error) {
+			executing.Add(1)
+			select {
+			case <-gate:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return inner(ctx)
+		}
+	})
+
+	recs := make([]*httptest.ResponseRecorder, total)
+	var wg sync.WaitGroup
+	// Fill the execution slots and the queue first so the remaining 12
+	// requests deterministically find both full.
+	for i := 0; i < capacity; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			recs[i] = post(h, "/v1/design", fmt.Sprintf(`{"topology": "square", "qubits": 4, "seed": %d}`, i+1))
+		}(i)
+	}
+	waitFor(t, "slots held", func() bool { return executing.Load() >= inflight })
+	waitFor(t, "queue full", func() bool {
+		return srv.Registry().Gauge("serve/queued").Load() >= queue
+	})
+
+	for i := capacity; i < total; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			recs[i] = post(h, "/v1/design", fmt.Sprintf(`{"topology": "square", "qubits": 4, "seed": %d}`, i+1))
+		}(i)
+	}
+	waitFor(t, "excess shed", func() bool {
+		return srv.Registry().Counter("serve/shed").Load() >= total-capacity
+	})
+	close(gate)
+	wg.Wait()
+
+	counts := map[int]int{}
+	for i, rec := range recs {
+		switch rec.Code {
+		case 200, 422, 500, 504:
+			counts[rec.Code]++
+		case 429:
+			counts[429]++
+			if rec.Header().Get("Retry-After") == "" {
+				t.Fatalf("request %d: 429 without Retry-After", i)
+			}
+		default:
+			t.Fatalf("request %d: undefined degradation status %d (body %s)", i, rec.Code, rec.Body.String())
+		}
+	}
+	if counts[429] != total-capacity {
+		t.Fatalf("shed %d of %d, want exactly the over-capacity %d (mix: %v)",
+			counts[429], total, total-capacity, counts)
+	}
+	if resolved := counts[200] + counts[422] + counts[500] + counts[504]; resolved != capacity {
+		t.Fatalf("resolved %d admitted requests, want %d (mix: %v)", resolved, capacity, counts)
+	}
+	if got := srv.Registry().Counter("serve/shed").Load(); got != int64(total-capacity) {
+		t.Fatalf("serve/shed = %d, want %d", got, total-capacity)
+	}
+
+	// The cache never exceeds its budget, chaos or not.
+	if st := cache.Stats(); st.MaxBytes > 0 && st.Bytes > st.MaxBytes {
+		t.Fatalf("cache over budget after burst: %d > %d bytes", st.Bytes, st.MaxBytes)
+	}
+
+	// The process survived every injected fate and serves clean traffic.
+	cache.WrapExec(nil)
+	rec := post(h, "/v1/design", `{"topology": "square", "qubits": 4, "seed": 100}`)
+	if rec.Code != 200 {
+		t.Fatalf("post-chaos request = %d (body %s) — server did not recover", rec.Code, rec.Body.String())
+	}
+	if st := cache.Stats(); st.MaxBytes > 0 && st.Bytes > st.MaxBytes {
+		t.Fatalf("cache over budget after recovery: %d > %d bytes", st.Bytes, st.MaxBytes)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	waitFor(t, "goroutines to settle", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= baseGoroutines+3
+	})
+}
+
+// TestChaosPanicContained: a stage that always panics fails its request
+// with a 500 naming the stage — the panic is contained in the artifact
+// store, the serving process survives, and the panic is counted.
+func TestChaosPanicContained(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	chaos := &faults.Chaos{Seed: 9, PanicRate: 1}
+	srv.Cache().WrapExec(chaos.Wrapper())
+
+	rec := post(srv.Handler(), "/v1/design", `{"topology": "square", "qubits": 4}`)
+	if rec.Code != 500 {
+		t.Fatalf("status = %d, want 500 (body %s)", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "panicked") {
+		t.Fatalf("body does not name the panic: %s", rec.Body.String())
+	}
+	if got := srv.Registry().Counter("stage/panics").Load(); got == 0 {
+		t.Fatal("stage/panics not counted")
+	}
+	// The HTTP-layer panic counter stays untouched: containment
+	// happened below it.
+	if got := srv.Registry().Counter("serve/panics").Load(); got != 0 {
+		t.Fatalf("serve/panics = %d, want 0 (stage panics are contained in the store)", got)
+	}
+
+	srv.Cache().WrapExec(nil)
+	if rec := post(srv.Handler(), "/v1/design", `{"topology": "square", "qubits": 4}`); rec.Code != 200 {
+		t.Fatalf("post-panic request = %d", rec.Code)
+	}
+}
+
+// TestChaosFailureIs422: an injected stage failure maps onto the 422
+// design-failure contract, with the chaos error visible to the client.
+func TestChaosFailureIs422(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	srv.Cache().WrapExec((&faults.Chaos{Seed: 9, FailRate: 1}).Wrapper())
+
+	rec := post(srv.Handler(), "/v1/design", `{"topology": "square", "qubits": 4}`)
+	if rec.Code != 422 {
+		t.Fatalf("status = %d, want 422 (body %s)", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "chaos-injected") {
+		t.Fatalf("body hides the failure cause: %s", rec.Body.String())
+	}
+	if got := srv.Registry().Counter("serve/failed").Load(); got != 1 {
+		t.Fatalf("serve/failed = %d", got)
+	}
+}
+
+// TestChaosSlowBoundedByDeadline: with every stage slowed far past the
+// request deadline, the response is still a prompt 504 — degradation
+// under slowness is bounded by the deadline, not by the injected delay.
+func TestChaosSlowBoundedByDeadline(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	srv.Cache().WrapExec((&faults.Chaos{Seed: 3, SlowRate: 1, Delay: time.Hour}).Wrapper())
+
+	start := time.Now()
+	rec := post(srv.Handler(), "/v1/design", `{"topology": "square", "qubits": 4, "timeoutMs": 100}`)
+	elapsed := time.Since(start)
+	if rec.Code != 504 {
+		t.Fatalf("status = %d, want 504 (body %s)", rec.Code, rec.Body.String())
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("slowed request held for %v past its 100ms deadline", elapsed)
+	}
+}
+
+// TestChaosCoalescedIdentical: identical concurrent requests under
+// slow-stage chaos still coalesce onto one execution per stage and
+// return byte-identical designs and stripped manifests.
+func TestChaosCoalescedIdentical(t *testing.T) {
+	const n = 4
+	srv := newTestServer(t, Config{MaxInFlight: 2, MaxQueue: n, QueueWait: time.Minute})
+	srv.Cache().WrapExec((&faults.Chaos{Seed: 4, SlowRate: 1, Delay: 30 * time.Millisecond}).Wrapper())
+	h := srv.Handler()
+
+	recs := make([]*httptest.ResponseRecorder, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			recs[i] = post(h, "/v1/design", `{"topology": "square", "qubits": 9, "seed": 7}`)
+		}(i)
+	}
+	wg.Wait()
+
+	var design0, manifest0 []byte
+	for i, rec := range recs {
+		if rec.Code != 200 {
+			t.Fatalf("request %d: status %d (body %s)", i, rec.Code, rec.Body.String())
+		}
+		resp := decodeResponse(t, rec)
+		d, err := json.Marshal(resp.Design)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := resp.Manifest.StripTimings().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			design0, manifest0 = d, m
+			continue
+		}
+		if !bytes.Equal(design0, d) || !bytes.Equal(manifest0, m) {
+			t.Fatalf("request %d diverged from request 0 under chaos", i)
+		}
+	}
+	for _, st := range srv.Cache().StageReport().Stages {
+		if st.Misses != 1 {
+			t.Fatalf("stage %s executed %d times for %d identical requests", st.Name, st.Misses, n)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package stage
+
+import "testing"
+
+type sizeNode struct {
+	Vals []float64
+	Name string
+	Next *sizeNode
+}
+
+func TestEstimateSizeScalesWithPayload(t *testing.T) {
+	small := EstimateSize(make([]float64, 100))
+	large := EstimateSize(make([]float64, 100_000))
+	ratio := float64(large) / float64(small)
+	if ratio < 500 || ratio > 2000 {
+		t.Fatalf("1000x payload estimated at %.0fx (small %d, large %d)", ratio, small, large)
+	}
+}
+
+func TestEstimateSizeCountsSharedOnce(t *testing.T) {
+	shared := make([]float64, 10_000)
+	type pair struct{ A, B []float64 }
+	one := EstimateSize(pair{A: shared})
+	both := EstimateSize(pair{A: shared, B: shared})
+	// The second reference adds a slice header, not another 80KB.
+	if both-one > 64 {
+		t.Fatalf("shared slice double-counted: one=%d both=%d", one, both)
+	}
+}
+
+func TestEstimateSizeCycleSafe(t *testing.T) {
+	a := &sizeNode{Vals: make([]float64, 64), Name: "a"}
+	b := &sizeNode{Vals: make([]float64, 64), Name: "b", Next: a}
+	a.Next = b // cycle
+	got := EstimateSize(a)
+	if got <= 0 {
+		t.Fatalf("cyclic estimate = %d", got)
+	}
+	// Both nodes' payloads counted once each: roughly 2 * 64 floats.
+	if got < 1024 || got > 4096 {
+		t.Fatalf("cyclic estimate %d outside the two-node envelope", got)
+	}
+}
+
+func TestEstimateSizeMapAndString(t *testing.T) {
+	m := map[string][]float64{
+		"alpha": make([]float64, 1000),
+		"beta":  make([]float64, 1000),
+	}
+	got := EstimateSize(m)
+	if got < 16000 {
+		t.Fatalf("map with 16KB of payload estimated at %d", got)
+	}
+	if EstimateSize(nil) <= 0 {
+		t.Fatal("nil estimate not positive")
+	}
+	if EstimateSize("hello") < 5 {
+		t.Fatal("string estimate below its length")
+	}
+}
+
+func TestEstimateSizeArtifactShapes(t *testing.T) {
+	// Shapes representative of pipeline artifacts: nested structs,
+	// int slices of slices, interior pointers.
+	type region struct{ Qubits []int }
+	type art struct {
+		Regions []region
+		ByName  map[string]*region
+	}
+	a := art{
+		Regions: []region{{Qubits: make([]int, 500)}, {Qubits: make([]int, 500)}},
+		ByName:  map[string]*region{},
+	}
+	a.ByName["r0"] = &a.Regions[0]
+	got := EstimateSize(a)
+	if got < 8000 { // 1000 ints = 8KB minimum
+		t.Fatalf("artifact estimate %d below its flat payload", got)
+	}
+}

@@ -3,6 +3,7 @@ package stage
 import (
 	"context"
 	"fmt"
+	"hash/maphash"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,63 +28,203 @@ type Stats struct {
 	Workers int `json:"workers"`
 }
 
+// PanicError is the error the Store hands every waiter when a stage
+// function panics. The panic is contained at the execution site so the
+// single-flight entry always resolves — without this, one panicking
+// executor would leave every concurrent waiter blocked on a ready
+// channel that never closes and the artifact permanently "in flight".
+// The panicking execution is treated exactly like a failed one: nothing
+// is cached and a later Do with the same key retries.
+type PanicError struct {
+	// Stage is the name of the stage whose function panicked.
+	Stage string
+	// Value is the recovered panic value.
+	Value any
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("stage: %s panicked: %v", e.Stage, e.Value)
+}
+
+// ExecWrapper intercepts stage executions: the Store passes it the
+// stage name, artifact key and the function about to run, and executes
+// whatever it returns instead. It exists for fault injection — a chaos
+// harness wraps executions to make them slow, failing or panicking —
+// and must be deterministic in (name, key) if the surrounding test
+// wants reproducible failures. A nil wrapper (the default) is a no-op.
+type ExecWrapper func(name string, key Key, fn func(context.Context) (any, error)) func(context.Context) (any, error)
+
+// Config bounds a Store. The zero value reproduces the historical
+// unbounded behavior.
+type Config struct {
+	// MaxBytes caps the estimated memory footprint of cached artifacts.
+	// When an insertion pushes a shard over its share of the budget the
+	// least-recently-used completed artifacts are evicted until it fits
+	// (an artifact larger than the budget is evicted immediately after
+	// being handed to its waiters). 0 disables eviction.
+	MaxBytes int64
+	// Shards spreads keys over independently locked cache shards so
+	// concurrent requests do not serialize on one mutex. Each shard
+	// owns MaxBytes/Shards of the budget. 0 selects a default of 8;
+	// sharding never affects artifact values, only lock granularity.
+	Shards int
+	// SizeOf estimates an artifact's memory footprint for accounting.
+	// Nil selects EstimateSize.
+	SizeOf func(any) int64
+}
+
 // entry is one memoized artifact. ready is closed once val/err are
 // final, so concurrent requests for the same key wait for the first
-// executor instead of duplicating work (single-flight).
+// executor instead of duplicating work (single-flight). Completed
+// entries are linked into their shard's LRU list; in-flight entries are
+// not and therefore can never be evicted.
 type entry struct {
+	key   Key
 	ready chan struct{}
 	val   any
 	err   error
+
+	size       int64
+	prev, next *entry // shard LRU links, valid only while cached
+	cached     bool
+}
+
+// shard is one lock domain of the store: a key-partitioned slice of the
+// entry map plus its LRU list (head = most recently used) and byte
+// accounting.
+type shard struct {
+	mu      sync.Mutex
+	entries map[Key]*entry
+	head    *entry
+	tail    *entry
+	bytes   int64
 }
 
 // Store memoizes stage artifacts by Key and accumulates per-stage
 // Stats. It is safe for concurrent use; concurrent Do calls with the
-// same key execute the stage once. Failed executions are not cached —
-// a later Do with the same key retries.
+// same key execute the stage once. Failed (or panicking) executions are
+// not cached — a later Do with the same key retries.
+//
+// A Store built by NewStoreWith with a positive MaxBytes is bounded:
+// artifacts are accounted by estimated size and evicted LRU-first, so
+// a long-running process (the youtiao-serve server in particular) can
+// share one store across every request without growing without bound.
+// Eviction only forgets an artifact — values already handed out remain
+// valid, and a later Do re-executes the stage.
 //
 // Artifacts handed out by the store are shared across every pipeline
 // assembled from it, so the pipeline-side contract is that stage
 // outputs are immutable once returned (downstream stages build new
 // values instead of editing their inputs).
 type Store struct {
-	mu      sync.Mutex
-	entries map[Key]*entry
+	shards      []*shard
+	seed        maphash.Seed
+	maxPerShard int64
+	sizeOf      func(any) int64
+
+	statsMu sync.Mutex
 	stats   map[string]*Stats
 	order   []string // stage names in first-seen order, for reporting
+
+	totalBytes   atomic.Int64
+	totalEntries atomic.Int64
+	evictions    atomic.Int64
 
 	// obsv is the optional observability registry. Swapped atomically
 	// so Observe is safe concurrently with in-flight Do calls; a nil
 	// registry (the default) disables emission at zero cost.
 	obsv atomic.Pointer[obs.Registry]
+
+	// wrap is the optional ExecWrapper (chaos injection).
+	wrap atomic.Pointer[ExecWrapper]
 }
 
-// NewStore returns an empty artifact store.
+// NewStore returns an empty, unbounded artifact store.
 func NewStore() *Store {
-	return &Store{
-		entries: make(map[Key]*entry),
-		stats:   make(map[string]*Stats),
+	return NewStoreWith(Config{})
+}
+
+// NewStoreWith returns an empty store under cfg's bounds.
+func NewStoreWith(cfg Config) *Store {
+	nshards := cfg.Shards
+	if nshards <= 0 {
+		nshards = 8
 	}
+	s := &Store{
+		shards: make([]*shard, nshards),
+		seed:   maphash.MakeSeed(),
+		sizeOf: cfg.SizeOf,
+		stats:  make(map[string]*Stats),
+	}
+	if cfg.MaxBytes > 0 {
+		s.maxPerShard = cfg.MaxBytes / int64(nshards)
+		if s.maxPerShard == 0 {
+			s.maxPerShard = 1
+		}
+	}
+	if s.sizeOf == nil {
+		s.sizeOf = EstimateSize
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard{entries: make(map[Key]*entry)}
+	}
+	return s
+}
+
+// shardFor maps a key onto its lock domain.
+func (s *Store) shardFor(key Key) *shard {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	h := maphash.String(s.seed, string(key))
+	return s.shards[h%uint64(len(s.shards))]
+}
+
+// Wrap installs (or, with nil, removes) the store's execution wrapper.
+// Safe concurrently with in-flight Do calls; executions that already
+// started keep the wrapper they resolved.
+func (s *Store) Wrap(w ExecWrapper) {
+	if w == nil {
+		s.wrap.Store(nil)
+		return
+	}
+	s.wrap.Store(&w)
 }
 
 // Observe routes the store's cache instrumentation into r: the
-// "stage/hits", "stage/misses", "stage/errors" and
-// "stage/singleflight_waits" counters and a per-stage execution-latency
-// histogram ("stage/<name>"). Pass nil to disable. Counters except
-// singleflight_waits are deterministic for sequential pipelines;
-// singleflight_waits counts scheduling-dependent concurrent-duplicate
-// suppression and is only non-zero under concurrent same-key Do calls.
+// "stage/hits", "stage/misses", "stage/errors", "stage/panics",
+// "stage/evictions" and "stage/singleflight_waits" counters, the
+// "stage/cache_bytes" and "stage/cache_entries" gauges and a per-stage
+// execution-latency histogram ("stage/<name>"). Pass nil to disable.
+// Counters except singleflight_waits and evictions are deterministic
+// for sequential pipelines; singleflight_waits counts
+// scheduling-dependent concurrent-duplicate suppression, and evictions
+// depend on artifact arrival order under concurrency.
 func (s *Store) Observe(r *obs.Registry) {
 	// Pre-register the counters so every snapshot carries the full
 	// set at 0 — the schema does not depend on which events occurred.
 	r.Counter("stage/hits")
 	r.Counter("stage/misses")
 	r.Counter("stage/errors")
+	r.Counter("stage/panics")
+	r.Counter("stage/evictions")
 	r.Counter("stage/singleflight_waits")
 	s.obsv.Store(r)
+	s.publishGauges(r)
+}
+
+// publishGauges refreshes the store's occupancy gauges.
+func (s *Store) publishGauges(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.Gauge("stage/cache_bytes").Set(s.totalBytes.Load())
+	r.Gauge("stage/cache_entries").Set(s.totalEntries.Load())
 }
 
 // statLocked returns (creating if needed) the stats row of a stage.
-// Callers hold s.mu.
+// Callers hold s.statsMu.
 func (s *Store) statLocked(name string) *Stats {
 	st, ok := s.stats[name]
 	if !ok {
@@ -94,18 +235,83 @@ func (s *Store) statLocked(name string) *Stats {
 	return st
 }
 
+// pushFront links a completed entry at the MRU end. Callers hold sh.mu.
+func (sh *shard) pushFront(e *entry) {
+	e.prev = nil
+	e.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+// unlink removes an entry from the LRU list. Callers hold sh.mu.
+func (sh *shard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// touch moves a cached entry to the MRU end. Callers hold sh.mu.
+func (sh *shard) touch(e *entry) {
+	if !e.cached || sh.head == e {
+		return
+	}
+	sh.unlink(e)
+	sh.pushFront(e)
+}
+
+// evictLocked drops LRU entries until the shard fits its budget,
+// returning how many were evicted. Only completed (cached) entries are
+// in the list, so an in-flight execution can never be evicted. Callers
+// hold sh.mu.
+func (s *Store) evictLocked(sh *shard) int {
+	if s.maxPerShard <= 0 {
+		return 0
+	}
+	n := 0
+	for sh.bytes > s.maxPerShard && sh.tail != nil {
+		victim := sh.tail
+		sh.unlink(victim)
+		victim.cached = false
+		delete(sh.entries, victim.key)
+		sh.bytes -= victim.size
+		s.totalBytes.Add(-victim.size)
+		s.totalEntries.Add(-1)
+		s.evictions.Add(1)
+		n++
+	}
+	return n
+}
+
 // Do returns the artifact for key, executing fn to produce it on a
 // cache miss. The boolean reports whether the artifact came from the
 // cache. workers is recorded as the stage's worker budget (purely
 // instrumentation — it never affects the artifact). Errors are
-// returned to every concurrent waiter but never cached.
+// returned to every concurrent waiter but never cached; a panicking fn
+// is recovered into a *PanicError with the same contract.
 func (s *Store) Do(ctx context.Context, name string, key Key, workers int, fn func(context.Context) (any, error)) (any, bool, error) {
 	r := s.obsv.Load()
-	s.mu.Lock()
-	st := s.statLocked(name)
-	st.Runs++
-	if e, ok := s.entries[key]; ok {
-		s.mu.Unlock()
+	s.statsMu.Lock()
+	s.statLocked(name).Runs++
+	s.statsMu.Unlock()
+
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	if e, ok := sh.entries[key]; ok {
+		sh.touch(e)
+		sh.mu.Unlock()
 		if r != nil {
 			select {
 			case <-e.ready:
@@ -119,45 +325,83 @@ func (s *Store) Do(ctx context.Context, name string, key Key, workers int, fn fu
 			// its error without charging this waiter a hit or a miss.
 			return nil, false, e.err
 		}
-		s.mu.Lock()
-		st.Hits++
-		s.mu.Unlock()
+		s.statsMu.Lock()
+		s.statLocked(name).Hits++
+		s.statsMu.Unlock()
 		r.Counter("stage/hits").Inc()
 		return e.val, true, nil
 	}
-	e := &entry{ready: make(chan struct{})}
-	s.entries[key] = e
-	s.mu.Unlock()
+	e := &entry{key: key, ready: make(chan struct{})}
+	sh.entries[key] = e
+	sh.mu.Unlock()
 
+	if wp := s.wrap.Load(); wp != nil {
+		fn = (*wp)(name, key, fn)
+	}
 	start := time.Now()
-	v, err := fn(ctx)
+	v, err := runProtected(ctx, name, fn)
 	dur := time.Since(start)
 	e.val, e.err = v, err
 	close(e.ready)
 
-	s.mu.Lock()
 	if err != nil {
-		delete(s.entries, key) // never cache failures
-	} else {
-		st.Misses++
-		st.Wall += dur
-		st.Workers = workers
-	}
-	s.mu.Unlock()
-	if err != nil {
+		sh.mu.Lock()
+		delete(sh.entries, key) // never cache failures
+		sh.mu.Unlock()
 		r.Counter("stage/errors").Inc()
+		if _, ok := err.(*PanicError); ok {
+			r.Counter("stage/panics").Inc()
+		}
 		return nil, false, err
 	}
+
+	e.size = s.sizeOf(v)
+	var evicted int
+	sh.mu.Lock()
+	e.cached = true
+	sh.pushFront(e)
+	sh.bytes += e.size
+	s.totalBytes.Add(e.size)
+	s.totalEntries.Add(1)
+	evicted = s.evictLocked(sh)
+	sh.mu.Unlock()
+
+	s.statsMu.Lock()
+	st := s.statLocked(name)
+	st.Misses++
+	st.Wall += dur
+	st.Workers = workers
+	s.statsMu.Unlock()
+
 	r.Counter("stage/misses").Inc()
+	if evicted > 0 {
+		r.Counter("stage/evictions").Add(int64(evicted))
+	}
+	s.publishGauges(r)
 	r.Histogram("stage/" + name).Observe(dur)
 	return v, false, nil
 }
 
+// runProtected executes fn, converting a panic into a *PanicError so
+// the caller's single-flight entry always resolves.
+func runProtected(ctx context.Context, name string, fn func(context.Context) (any, error)) (v any, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			v, err = nil, &PanicError{Stage: name, Value: rec}
+		}
+	}()
+	return fn(ctx)
+}
+
 // Get returns a cached artifact without executing anything.
 func (s *Store) Get(key Key) (any, bool) {
-	s.mu.Lock()
-	e, ok := s.entries[key]
-	s.mu.Unlock()
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	e, ok := sh.entries[key]
+	if ok {
+		sh.touch(e)
+	}
+	sh.mu.Unlock()
 	if !ok {
 		return nil, false
 	}
@@ -168,18 +412,36 @@ func (s *Store) Get(key Key) (any, bool) {
 	return e.val, true
 }
 
-// Len returns the number of cached artifacts.
+// Len returns the number of cached artifacts (completed or in flight).
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.entries)
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Bytes returns the estimated memory footprint of the cached artifacts.
+func (s *Store) Bytes() int64 { return s.totalBytes.Load() }
+
+// Evictions returns how many artifacts the budget has evicted.
+func (s *Store) Evictions() int64 { return s.evictions.Load() }
+
+// MaxBytes returns the configured budget (0 = unbounded).
+func (s *Store) MaxBytes() int64 {
+	if s.maxPerShard <= 0 {
+		return 0
+	}
+	return s.maxPerShard * int64(len(s.shards))
 }
 
 // Stats returns a copy of the per-stage instrumentation, in first-seen
 // stage order.
 func (s *Store) Stats() []Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
 	out := make([]Stats, 0, len(s.order))
 	for _, name := range s.order {
 		out = append(out, *s.stats[name])
@@ -189,8 +451,8 @@ func (s *Store) Stats() []Stats {
 
 // StatsFor returns the instrumentation row of one stage.
 func (s *Store) StatsFor(name string) (Stats, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
 	st, ok := s.stats[name]
 	if !ok {
 		return Stats{}, false

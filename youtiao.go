@@ -292,6 +292,84 @@ func (d *Designer) StageReport() StageReport {
 	return d.d.Report()
 }
 
+// StageExecWrapper intercepts stage executions of a SharedCache (see
+// stage.ExecWrapper). It exists for chaos testing: the serve harness
+// wraps executions to inject slowness, failures and panics
+// deterministically.
+type StageExecWrapper = stage.ExecWrapper
+
+// CacheConfig bounds a SharedCache.
+type CacheConfig struct {
+	// MaxBytes caps the estimated memory of cached stage artifacts;
+	// least-recently-used artifacts are evicted past it. 0 disables
+	// the bound (the historical grow-without-bound behavior).
+	MaxBytes int64
+	// Shards spreads the cache over independently locked shards (0
+	// selects a default). Purely a concurrency knob — artifact values
+	// are identical at any shard count.
+	Shards int
+}
+
+// CacheStats is a point-in-time occupancy summary of a SharedCache.
+type CacheStats struct {
+	// Entries counts cached artifacts (completed or in flight).
+	Entries int `json:"entries"`
+	// Bytes is the estimated footprint of cached artifacts.
+	Bytes int64 `json:"bytes"`
+	// MaxBytes is the configured budget (0 = unbounded).
+	MaxBytes int64 `json:"maxBytes"`
+	// Evictions counts artifacts forgotten under memory pressure.
+	Evictions int64 `json:"evictions"`
+}
+
+// SharedCache shares one bounded artifact store across the Designers of
+// many chips: the backbone of youtiao-serve, where concurrent requests
+// for structurally identical chips coalesce onto single-flight stage
+// executions and the artifact set stays within a fixed memory budget
+// instead of growing without bound. Safe for concurrent use.
+type SharedCache struct {
+	dc *experiments.DesignCache
+}
+
+// NewSharedCache returns an empty cache under cfg's bounds.
+func NewSharedCache(cfg CacheConfig) *SharedCache {
+	store := stage.NewStoreWith(stage.Config{MaxBytes: cfg.MaxBytes, Shards: cfg.Shards})
+	return &SharedCache{dc: experiments.NewDesignCacheWithStore(store)}
+}
+
+// Designer returns the cache's Designer for a chip, creating it on
+// first use. Chips are keyed structurally, so two calls with distinct
+// but identical Chip values return the same Designer and share every
+// artifact.
+func (c *SharedCache) Designer(ch *Chip) *Designer {
+	return &Designer{d: c.dc.Designer(ch)}
+}
+
+// StageReport snapshots the per-stage instrumentation of the shared
+// store across every designer and request.
+func (c *SharedCache) StageReport() StageReport { return c.dc.Report() }
+
+// Observe routes the shared store's cache instrumentation (hit, miss,
+// eviction and panic counters, occupancy gauges, per-stage latency
+// histograms) into r. Pass the same registry as Options.Obs on requests
+// so per-build and store-wide instrumentation land in one place.
+func (c *SharedCache) Observe(r *ObsRegistry) { c.dc.Store().Observe(r) }
+
+// Stats reports the shared store's occupancy.
+func (c *SharedCache) Stats() CacheStats {
+	s := c.dc.Store()
+	return CacheStats{
+		Entries:   s.Len(),
+		Bytes:     s.Bytes(),
+		MaxBytes:  s.MaxBytes(),
+		Evictions: s.Evictions(),
+	}
+}
+
+// WrapExec installs (nil removes) an execution interceptor on the
+// shared store — the chaos-injection seam of the serve tests.
+func (c *SharedCache) WrapExec(w StageExecWrapper) { c.dc.Store().Wrap(w) }
+
 func fromPipeline(p *experiments.Pipeline) (*DesignResult, error) {
 	res := &DesignResult{Chip: p.Chip, pipeline: p}
 	res.CrosstalkWeights.WPhy = p.ModelXY.Weights.WPhy
