@@ -2,6 +2,11 @@ GO ?= go
 BENCHTIME ?= 0.3s
 BENCHCOUNT ?= 3
 MAXREGRESS ?= 0.20
+# Memory gates: B/op and allocs/op regressions fail independently of
+# the time gate. Allocation counts are deterministic, so these can stay
+# tight even on noisy shared runners.
+MAXBYTESREGRESS ?= $(MAXREGRESS)
+MAXALLOCSREGRESS ?= $(MAXREGRESS)
 FUZZTIME ?= 30s
 OUT ?= out
 BENCH_STAMP := $(shell date +%Y%m%d-%H%M%S)
@@ -10,10 +15,11 @@ BENCH_STAMP := $(shell date +%Y%m%d-%H%M%S)
 # package:percent pairs. The stage engine decides what work an
 # incremental redesign may skip; obs and faults feed the manifests and
 # degradation accounting; hypo decides experiment verdicts; serve is
-# the overload/degradation surface exposed to clients.
-COVER_FLOORS ?= internal/stage:90 internal/obs:85 internal/faults:85 internal/hypo:85 internal/serve:85
+# the overload/degradation surface exposed to clients; route owns the
+# arena-pooled A* hot path whose scratch reuse must stay invisible.
+COVER_FLOORS ?= internal/stage:90 internal/obs:85 internal/faults:85 internal/hypo:85 internal/serve:85 internal/route:80
 
-.PHONY: build vet fmt-check lint test race race-faults fuzz bench bench-smoke faults cover verify serve-smoke experiments experiments-smoke experiments-full
+.PHONY: build vet fmt-check lint test race race-faults fuzz bench bench-smoke bench-profile faults cover verify serve-smoke experiments experiments-smoke experiments-full
 
 # Generated run products (bench logs, coverage profiles, manifests) all
 # land under $(OUT), which is ignored wholesale; the committed
@@ -60,22 +66,32 @@ fuzz:
 
 # The benchmark-regression trajectory: run the full suite with
 # allocation reporting, snapshot it as $(OUT)/BENCH_<stamp>.json, and
-# gate on the committed baseline (>20% time or allocs/op regression
-# fails). Each benchmark runs $(BENCHCOUNT) times and the snapshot
-# keeps the per-benchmark minimum — every scheduling disturbance
-# inflates a sample, so the minimum is the noise-robust estimate the
-# gate compares. Refresh the baseline deliberately with
+# gate on the committed baseline — time (ns/op), memory (B/op) and
+# allocation count (allocs/op) each against their own tolerance, and a
+# baseline benchmark missing from the run fails outright. Each
+# benchmark runs $(BENCHCOUNT) times and the snapshot keeps the
+# per-benchmark minimum — every scheduling disturbance inflates a
+# sample, so the minimum is the noise-robust estimate the gate
+# compares. Refresh the baseline deliberately with
 #   cp $(OUT)/BENCH_<stamp>.json BENCH_baseline.json
 # after a reviewed perf change, never automatically.
 bench: | $(OUT)
 	$(GO) test -run NONE -bench . -benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) . | tee $(OUT)/bench.out
 	$(GO) run ./tools/benchdiff -parse -in $(OUT)/bench.out -out $(OUT)/BENCH_$(BENCH_STAMP).json
-	$(GO) run ./tools/benchdiff -baseline BENCH_baseline.json -current $(OUT)/BENCH_$(BENCH_STAMP).json -max-regress $(MAXREGRESS)
+	$(GO) run ./tools/benchdiff -baseline BENCH_baseline.json -current $(OUT)/BENCH_$(BENCH_STAMP).json \
+		-max-regress $(MAXREGRESS) -max-bytes-regress $(MAXBYTESREGRESS) -max-allocs-regress $(MAXALLOCSREGRESS)
 
 # One-iteration sanity pass over every benchmark — wired into verify so
 # a broken bench never reaches the trajectory.
 bench-smoke:
 	$(GO) test -run NONE -bench . -benchtime 1x -benchmem . > /dev/null
+
+# CPU + heap profiles of the routing/anneal/1M-sweep hot paths, written
+# under $(OUT) (CI uploads them as artifacts). Samples attribute to
+# pipeline stages via the runtime/pprof labels the stage store applies.
+bench-profile: | $(OUT)
+	$(GO) test -run NONE -bench 'AStarRouting|AnnealedAllocation|ScaleSweep1M|DesignPipeline36Q' -benchtime 1x -benchmem \
+		-cpuprofile $(OUT)/bench.cpu.pprof -memprofile $(OUT)/bench.mem.pprof . > /dev/null
 
 # Coverage over the whole module, plus enforced per-package floors (see
 # COVER_FLOORS above): any listed package dropping below its floor

@@ -32,6 +32,7 @@ import (
 	"repro/internal/mlfit"
 	"repro/internal/quantum"
 	"repro/internal/route"
+	"repro/internal/scalesim"
 	"repro/internal/schedule"
 	"repro/internal/surface"
 	"repro/internal/tdm"
@@ -401,6 +402,27 @@ func BenchmarkAStarRouting(b *testing.B) {
 		if _, err := r.RouteAll(nets); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkScaleSweep1M extends the Figure 17 extrapolation axis to
+// one million qubits: a full geometric ladder from 100 to 1e6 qubits,
+// both architectures evaluated at every rung. The fan-out constant is
+// a representative calibrated value (Fig17 measures ≈9 on the square
+// topology); the sweep's cost profile — what this bench gates — is
+// invariant in it.
+func BenchmarkScaleSweep1M(b *testing.B) {
+	counts := scalesim.Ladder(100, 1_000_000, 8)
+	const zFanout = 9.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts := scalesim.SweepWorkers(counts, zFanout, 4)
+		last := pts[len(pts)-1]
+		if last.Qubits != 1_000_000 {
+			b.Fatalf("sweep ended at %d qubits, want 1M", last.Qubits)
+		}
+		b.ReportMetric(last.Reduction(), "reduction-1M")
 	}
 }
 

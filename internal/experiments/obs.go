@@ -3,16 +3,19 @@ package experiments
 import (
 	"repro/internal/crosstalk"
 	"repro/internal/faults"
+	"repro/internal/fdm"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/quantum"
+	"repro/internal/route"
 	"repro/internal/stage"
 )
 
 // Observe installs r as the process-global observer of every
 // instrumented package the pipeline drives: the worker pool, the
-// calibration fault accounting, the crosstalk fit and the quantum
-// simulators. Pass nil to uninstall. Per-build instrumentation (stage
+// calibration fault accounting, the crosstalk fit, the quantum
+// simulators, the routing arena and the anneal's sparse neighbor
+// structure. Pass nil to uninstall. Per-build instrumentation (stage
 // cache counters, stage latency histograms and the design span tree)
 // is wired separately through Options.Obs, which follows the build
 // rather than the process.
@@ -21,6 +24,8 @@ func Observe(r *obs.Registry) {
 	faults.Observe(r)
 	crosstalk.Observe(r)
 	quantum.Observe(r)
+	route.Observe(r)
+	fdm.Observe(r)
 }
 
 // Digest returns a stable hex digest of every normalized option that

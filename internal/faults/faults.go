@@ -379,12 +379,13 @@ func Measure(ctx context.Context, dev *xmon.Device, kind xmon.CrosstalkKind, noi
 	}
 	results := make([]outcome, len(tasks))
 	spec := plan.Spec
-	err := parallel.ForEachCtx(ctx, workers, len(tasks), func(ti int) error {
+	rands := parallel.NewRands(parallel.Resolve(workers, len(tasks)))
+	err := parallel.ForEachCtxWorker(ctx, workers, len(tasks), func(worker, ti int) error {
 		task := tasks[ti]
 		pairSeed := parallel.TaskSeed(seed, task.p)
 		res := &results[ti]
 		for attempt := 0; attempt <= retryBudget; attempt++ {
-			rng := parallel.TaskRand(pairSeed, uint64(attempt))
+			rng := rands.Task(worker, pairSeed, uint64(attempt))
 			if spec.DropoutRate > 0 && rng.Float64() < spec.DropoutRate {
 				res.dropouts++
 				continue

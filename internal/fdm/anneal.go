@@ -16,6 +16,14 @@ type AnnealOptions struct {
 	StartTemp, EndTemp float64
 	// Seed drives the proposal sequence.
 	Seed int64
+	// FullScan forces the historical O(n) full-pair delta scan. The
+	// default (false) restricts each qubit's objective scan to its
+	// sparse neighbor list — the qubits whose crosstalk coefficient is
+	// nonzero — which is bit-identical (a zero-coefficient pair
+	// contributes exactly +0.0 to every sum) and O(deg) per delta.
+	// FullScan exists as the reference path for equivalence checks
+	// (hypothesis H7); production callers leave it false.
+	FullScan bool
 }
 
 // DefaultAnnealOptions is a short refinement suitable after the greedy
@@ -60,15 +68,52 @@ func Anneal(plan *FrequencyPlan, g *Grouping, xt CrosstalkFunc, opts AnnealOptio
 	before := cur.TotalCrosstalkCost(xt)
 	cost := before
 
+	// Sparse neighbor lists: for each qubit, the other qubits (in ids
+	// order) whose crosstalk coefficient toward it is nonzero. A pair
+	// with xt(q,o) == 0 contributes pairCost = 0·leakage = exactly
+	// +0.0 to the objective sum, and x + 0.0 == x for every finite x
+	// reachable here, so skipping those terms leaves each delta — and
+	// therefore every accept decision and RNG draw — bit-identical to
+	// the full scan. The lists share one flat arena.
+	var nbrOf map[int][]int
+	if !opts.FullScan {
+		nbrOf = make(map[int][]int, len(ids))
+		total := 0
+		for _, q := range ids {
+			for _, o := range ids {
+				if o != q && xt(q, o) != 0 {
+					total++
+				}
+			}
+		}
+		arena := make([]int, 0, total)
+		for _, q := range ids {
+			start := len(arena)
+			for _, o := range ids {
+				if o != q && xt(q, o) != 0 {
+					arena = append(arena, o)
+				}
+			}
+			nbrOf[q] = arena[start:len(arena):len(arena)]
+		}
+		annealNeighborStats(len(ids), total)
+	}
+
 	// qubitCost isolates the objective terms touching one qubit so
-	// move deltas are O(n) instead of O(n²).
+	// move deltas are O(deg) — O(n) under FullScan — instead of O(n²).
 	qubitCost := func(p *FrequencyPlan, q int) float64 {
 		var c float64
 		fq := p.Freq[q]
-		for _, o := range ids {
-			if o == q {
-				continue
+		if opts.FullScan {
+			for _, o := range ids {
+				if o == q {
+					continue
+				}
+				c += pairCost(xt, fq, p.Freq[o], q, o)
 			}
+			return c
+		}
+		for _, o := range nbrOf[q] {
 			c += pairCost(xt, fq, p.Freq[o], q, o)
 		}
 		return c

@@ -1,0 +1,48 @@
+package fdm
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// annealObs caches the resolved sparse-anneal instrumentation.
+//
+// Gauges, not counters: how sparse the neighbor structure turned out
+// to be is an execution/capacity property (it varies with cache hits
+// and rebuild granularity), so it stays out of the canonical stripped
+// snapshot like every other gauge.
+type annealObs struct {
+	// qubits accumulates annealed qubits; neighborPairs accumulates
+	// the directed nonzero-crosstalk pairs actually scanned. The dense
+	// scan would touch qubits·(qubits-1) pairs, so
+	// neighborPairs / (qubits·(qubits-1)) is the realized density.
+	qubits        *obs.Gauge
+	neighborPairs *obs.Gauge
+}
+
+var observer atomic.Pointer[annealObs]
+
+// Observe routes the anneal's sparsity instrumentation into r; nil
+// disables it again. Process-global, like parallel.Observe.
+func Observe(r *obs.Registry) {
+	if r == nil {
+		observer.Store(nil)
+		return
+	}
+	observer.Store(&annealObs{
+		qubits:        r.Gauge("fdm/anneal_qubits"),
+		neighborPairs: r.Gauge("fdm/anneal_neighbor_pairs"),
+	})
+}
+
+// annealNeighborStats records one sparse-anneal neighbor build: n
+// qubits with total directed nonzero pairs.
+func annealNeighborStats(n, pairs int) {
+	o := observer.Load()
+	if o == nil {
+		return
+	}
+	o.qubits.Add(int64(n))
+	o.neighborPairs.Add(int64(pairs))
+}

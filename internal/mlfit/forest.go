@@ -39,9 +39,12 @@ func FitForest(X [][]float64, y []float64, cfg ForestConfig) (*Forest, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	f := &Forest{trees: make([]*Tree, 0, cfg.NumTrees)}
 	n := len(X)
+	// One bootstrap buffer serves every tree: FitTree reads the rows
+	// during growth and retains nothing (trees store only split
+	// constants), so the next tree may overwrite them.
+	bx := make([][]float64, n)
+	by := make([]float64, n)
 	for t := 0; t < cfg.NumTrees; t++ {
-		bx := make([][]float64, n)
-		by := make([]float64, n)
 		for i := 0; i < n; i++ {
 			k := rng.Intn(n)
 			bx[i] = X[k]
@@ -87,9 +90,14 @@ func KFoldMSE(X [][]float64, y []float64, k int, cfg ForestConfig, seed int64) (
 	}
 	perm := rand.New(rand.NewSource(seed)).Perm(n)
 	var total float64
+	// Fold buffers are sized once and resliced per fold; FitForest
+	// retains nothing from its inputs.
+	trX := make([][]float64, 0, n)
+	teX := make([][]float64, 0, (n+k-1)/k)
+	trY := make([]float64, 0, n)
+	teY := make([]float64, 0, cap(teX))
 	for fold := 0; fold < k; fold++ {
-		var trX, teX [][]float64
-		var trY, teY []float64
+		trX, teX, trY, teY = trX[:0], teX[:0], trY[:0], teY[:0]
 		for i, p := range perm {
 			if i%k == fold {
 				teX = append(teX, X[p])

@@ -66,12 +66,23 @@ func FitTree(X [][]float64, y []float64, cfg TreeConfig, rng *rand.Rand) (*Tree,
 		}
 	}
 	cfg = cfg.normalized()
-	idx := make([]int, len(X))
+	n := len(X)
+	c := &growCtx{
+		X: X, y: y, cfg: cfg, rng: rng,
+		features: make([]int, nf),
+		order:    make([]int, n),
+		part:     make([]int, 0, n),
+		// Every leaf holds ≥1 distinct sample (splits require both
+		// sides non-empty), so a tree over n samples has ≤ n leaves
+		// and ≤ 2n-1 nodes: one arena allocation covers the tree.
+		nodes: make([]treeNode, 0, 2*n-1),
+	}
+	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
 	t := &Tree{nFeature: nf}
-	t.root = grow(X, y, idx, cfg, rng, 0)
+	t.root = c.grow(idx, 0)
 	return t, nil
 }
 
@@ -94,19 +105,47 @@ func sse(y []float64, idx []int) float64 {
 	return s
 }
 
-func grow(X [][]float64, y []float64, idx []int, cfg TreeConfig, rng *rand.Rand, depth int) *treeNode {
-	leaf := &treeNode{feature: -1, value: mean(y, idx)}
+// growCtx is the per-tree growth arena: node storage plus the feature,
+// sort-order and partition scratch shared by every node of one FitTree
+// call. A node uses the scratch only before recursing, so one buffer
+// of each kind serves the whole tree; the recursion itself allocates
+// nothing. Split search (sort.Slice over the same comparison) and RNG
+// consumption (Shuffle per candidate node) are unchanged, so grown
+// trees are bit-identical to the historical allocate-per-node code.
+type growCtx struct {
+	X        [][]float64
+	y        []float64
+	cfg      TreeConfig
+	rng      *rand.Rand
+	features []int
+	order    []int
+	part     []int
+	nodes    []treeNode
+}
+
+// newNode appends to the arena and returns a pointer to the element.
+// The tree is held together only by these returned pointers (the slice
+// is never re-indexed), so the structure stays correct even if the
+// arena were ever to grow past its sized capacity.
+func (c *growCtx) newNode(n treeNode) *treeNode {
+	c.nodes = append(c.nodes, n)
+	return &c.nodes[len(c.nodes)-1]
+}
+
+func (c *growCtx) grow(idx []int, depth int) *treeNode {
+	X, y, cfg := c.X, c.y, c.cfg
+	val := mean(y, idx)
 	if depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeafSize {
-		return leaf
+		return c.newNode(treeNode{feature: -1, value: val})
 	}
 
 	nf := len(X[0])
-	features := make([]int, nf)
+	features := c.features[:nf]
 	for i := range features {
 		features[i] = i
 	}
-	if cfg.MaxFeatures > 0 && cfg.MaxFeatures < nf && rng != nil {
-		rng.Shuffle(nf, func(i, j int) { features[i], features[j] = features[j], features[i] })
+	if cfg.MaxFeatures > 0 && cfg.MaxFeatures < nf && c.rng != nil {
+		c.rng.Shuffle(nf, func(i, j int) { features[i], features[j] = features[j], features[i] })
 		features = features[:cfg.MaxFeatures]
 	}
 
@@ -115,8 +154,7 @@ func grow(X [][]float64, y []float64, idx []int, cfg TreeConfig, rng *rand.Rand,
 	bestThreshold := 0.0
 	parentSSE := sse(y, idx)
 
-	// Scratch buffers reused across features.
-	order := make([]int, len(idx))
+	order := c.order[:len(idx)]
 	for _, f := range features {
 		copy(order, idx)
 		sort.Slice(order, func(a, b int) bool { return X[order[a]][f] < X[order[b]][f] })
@@ -154,27 +192,33 @@ func grow(X [][]float64, y []float64, idx []int, cfg TreeConfig, rng *rand.Rand,
 	}
 
 	if bestFeature < 0 || bestGain <= 1e-15 {
-		return leaf
+		return c.newNode(treeNode{feature: -1, value: val})
 	}
 
-	var leftIdx, rightIdx []int
+	// Stable in-place partition of idx: the left block keeps idx order
+	// in place, the right block is staged in the scratch and copied
+	// behind it — the same left++right ordering the historical
+	// append-into-fresh-slices code produced. The parent no longer
+	// reads idx after this point, so the children own the two halves.
+	part := c.part[:0]
+	nl := 0
 	for _, i := range idx {
 		if X[i][bestFeature] <= bestThreshold {
-			leftIdx = append(leftIdx, i)
+			idx[nl] = i
+			nl++
 		} else {
-			rightIdx = append(rightIdx, i)
+			part = append(part, i)
 		}
 	}
-	if len(leftIdx) == 0 || len(rightIdx) == 0 {
-		return leaf
+	copy(idx[nl:], part)
+	c.part = part
+	if nl == 0 || nl == len(idx) {
+		return c.newNode(treeNode{feature: -1, value: val})
 	}
-	return &treeNode{
-		feature:   bestFeature,
-		threshold: bestThreshold,
-		value:     leaf.value,
-		left:      grow(X, y, leftIdx, cfg, rng, depth+1),
-		right:     grow(X, y, rightIdx, cfg, rng, depth+1),
-	}
+	nd := c.newNode(treeNode{feature: bestFeature, threshold: bestThreshold, value: val})
+	nd.left = c.grow(idx[:nl], depth+1)
+	nd.right = c.grow(idx[nl:], depth+1)
+	return nd
 }
 
 // Predict returns the tree's prediction for feature vector x.

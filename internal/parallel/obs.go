@@ -28,6 +28,13 @@ type poolObs struct {
 	// excluded from canonical snapshots.
 	busyNs     *obs.Gauge
 	maxWorkers *obs.Gauge
+	// rngPooled counts generators allocated into Rands pools and
+	// rngReseeds the task reseeds served from them — every reseed is
+	// one ~5 KB TaskRand allocation avoided. Gauges (execution/capacity
+	// detail): both scale with the resolved worker count, which the
+	// deterministic counter section must not see.
+	rngPooled  *obs.Gauge
+	rngReseeds *obs.Gauge
 }
 
 var observer atomic.Pointer[poolObs]
@@ -47,6 +54,8 @@ func Observe(r *obs.Registry) {
 		wall:       r.Histogram("parallel/call_wall"),
 		busyNs:     r.Gauge("parallel/worker_busy_ns"),
 		maxWorkers: r.Gauge("parallel/max_workers"),
+		rngPooled:  r.Gauge("parallel/rng_pooled"),
+		rngReseeds: r.Gauge("parallel/rng_scratch_reuse"),
 	})
 }
 

@@ -252,6 +252,71 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error
 	return nil
 }
 
+// ForEachCtxWorker is ForEachCtx that additionally hands fn the id of
+// the executing worker, a stable integer in [0, Resolve(workers, n)) —
+// the cancellation semantics of ForEachCtx combined with the
+// per-worker-scratch contract of ForEachWorker (reset scratch at task
+// entry; write results only to per-index slots).
+func ForEachCtxWorker(ctx context.Context, workers, n int, fn func(worker, i int) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if n <= 0 {
+		return nil
+	}
+	w := Resolve(workers, n)
+	o, start := obsBegin(n, w)
+	errs := make([]error, n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				o.end(start)
+				return err
+			}
+			errs[i] = fn(0, i)
+		}
+		o.busy(start)
+		o.end(start)
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(w)
+		done := ctx.Done()
+		for g := 0; g < w; g++ {
+			go func(worker int) {
+				defer wg.Done()
+				if o != nil {
+					ws := time.Now()
+					defer o.busy(ws)
+				}
+				for {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					errs[i] = fn(worker, i)
+				}
+			}(g)
+		}
+		wg.Wait()
+		o.end(start)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // golden is the 64-bit golden-ratio increment of the SplitMix64
 // generator.
 const golden = 0x9E3779B97F4A7C15

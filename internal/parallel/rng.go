@@ -1,0 +1,58 @@
+package parallel
+
+import "math/rand"
+
+// Rands is a pool of per-worker reseedable RNGs for ForEachWorker-style
+// loops. TaskRand allocates a fresh generator (~5 KB of rngSource
+// state) per task; a Rands pool allocates one generator per worker once
+// and reseeds it at task entry, which produces the exact same stream —
+// rand.NewSource(seed) is itself "allocate then Seed(seed)", so
+// Source.Seed on the pooled source reproduces a fresh TaskRand
+// bit-for-bit.
+//
+// Constraints, both consequences of reuse:
+//
+//   - slot w must only be used by worker w of a single ForEachWorker
+//     family call at a time (workers run their tasks sequentially, so
+//     this is race-free by construction);
+//   - tasks must not call Rand.Read: Read keeps carry-over state in
+//     the *rand.Rand wrapper that reseeding the source does not clear.
+//     Every other method (Intn, Float64, NormFloat64, Perm, Shuffle,
+//     ...) is a pure function of the source stream.
+type Rands struct {
+	srcs  []rand.Source
+	rands []*rand.Rand
+}
+
+// NewRands builds a pool of w generators, one per worker id in [0, w).
+// Size it with Resolve(workers, n) so every id that can appear is
+// covered.
+func NewRands(w int) *Rands {
+	rs := &Rands{srcs: make([]rand.Source, w), rands: make([]*rand.Rand, w)}
+	for i := 0; i < w; i++ {
+		rs.srcs[i] = rand.NewSource(0)
+		rs.rands[i] = rand.New(rs.srcs[i])
+	}
+	if o := observer.Load(); o != nil {
+		o.rngPooled.Add(int64(w))
+	}
+	return rs
+}
+
+// Task reseeds worker's generator onto the (master, task) stream of
+// TaskSeed and returns it: the same values TaskRand(master, task)
+// would produce, without the per-task allocation. The generator is
+// only valid until the worker's next Task call.
+func (rs *Rands) Task(worker int, master int64, task uint64) *rand.Rand {
+	return rs.Seeded(worker, TaskSeed(master, task))
+}
+
+// Seeded reseeds worker's generator to exactly seed (no TaskSeed
+// split) and returns it, for callers that pre-split their streams.
+func (rs *Rands) Seeded(worker int, seed int64) *rand.Rand {
+	rs.srcs[worker].Seed(seed)
+	if o := observer.Load(); o != nil {
+		o.rngReseeds.Add(1)
+	}
+	return rs.rands[worker]
+}

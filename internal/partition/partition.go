@@ -183,8 +183,12 @@ func Generate(c *chip.Chip, dist DistanceFunc, cfg Config, rng *rand.Rand) (*Par
 
 	// Stage 2: border swaps. A border qubit moves to an adjacent region
 	// whose seed is strictly closer, provided the move keeps its old
-	// region connected.
+	// region connected. The connectivity BFS runs on one stamped
+	// scratch reused across every candidate of every round — the check
+	// is the stage's inner loop and historically dominated its
+	// allocations.
 	p := &Partition{Seeds: seeds}
+	var scr connScratch
 	for round := 0; round < cfg.MaxSwapRounds; round++ {
 		swapped := false
 		for q := 0; q < n; q++ {
@@ -202,7 +206,7 @@ func Generate(c *chip.Chip, dist DistanceFunc, cfg Config, rng *rand.Rand) (*Par
 					bestR, bestD = ri, d
 				}
 			}
-			if bestR != cur && sizes[cur] > 1 && regionConnectedWithout(c, assign, cur, q) {
+			if bestR != cur && sizes[cur] > 1 && scr.regionConnectedWithout(c, assign, cur, q) {
 				assign[q] = bestR
 				sizes[cur]--
 				sizes[bestR]++
@@ -231,35 +235,74 @@ func Generate(c *chip.Chip, dist DistanceFunc, cfg Config, rng *rand.Rand) (*Par
 	return p, nil
 }
 
-// regionConnectedWithout reports whether region ri stays connected when
-// qubit skip is removed.
+// connScratch is the reusable arena of the region-connectivity BFS.
+// Membership and visitation are generation-stamped slices, so each
+// check invalidates the previous one in O(1) and the whole swap stage
+// performs no per-check allocation. The zero value is ready to use.
+type connScratch struct {
+	member []uint32
+	seen   []uint32
+	gen    uint32
+	stack  []int
+}
+
+func (s *connScratch) ensure(n int) {
+	if len(s.member) < n {
+		s.member = make([]uint32, n)
+		s.seen = make([]uint32, n)
+		s.gen = 0
+	}
+	s.gen++
+	if s.gen == 0 {
+		for i := range s.member {
+			s.member[i] = 0
+			s.seen[i] = 0
+		}
+		s.gen = 1
+	}
+}
+
+// regionConnectedWithout is the scratch-free convenience form for
+// one-shot checks; repeated callers hold a connScratch instead.
 func regionConnectedWithout(c *chip.Chip, assign []int, ri, skip int) bool {
-	var members []int
+	var s connScratch
+	return s.regionConnectedWithout(c, assign, ri, skip)
+}
+
+// regionConnectedWithout reports whether region ri stays connected when
+// qubit skip is removed (skip -1 checks the region as-is).
+func (s *connScratch) regionConnectedWithout(c *chip.Chip, assign []int, ri, skip int) bool {
+	s.ensure(len(assign))
+	count, first := 0, -1
 	for q, r := range assign {
 		if r == ri && q != skip {
-			members = append(members, q)
+			s.member[q] = s.gen
+			if first < 0 {
+				first = q
+			}
+			count++
 		}
 	}
-	if len(members) <= 1 {
+	if count <= 1 {
 		return true
 	}
-	inRegion := make(map[int]bool, len(members))
-	for _, q := range members {
-		inRegion[q] = true
-	}
-	seen := map[int]bool{members[0]: true}
-	stack := []int{members[0]}
+	g := c.Graph()
+	s.seen[first] = s.gen
+	seenCount := 1
+	stack := append(s.stack[:0], first)
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, v := range c.Graph().Neighbors(u) {
-			if inRegion[v] && !seen[v] {
-				seen[v] = true
+		for _, v := range g.Neighbors(u) {
+			if s.member[v] == s.gen && s.seen[v] != s.gen {
+				s.seen[v] = s.gen
+				seenCount++
 				stack = append(stack, v)
 			}
 		}
 	}
-	return len(seen) == len(members)
+	s.stack = stack
+	return seenCount == count
 }
 
 // Validate checks the partition design rules: the regions cover every
@@ -310,8 +353,9 @@ func (p *Partition) ValidateExcluding(c *chip.Chip, exclude func(q int) bool) er
 		return nil
 	}
 	assign := seen
+	var scr connScratch
 	for ri := range p.Regions {
-		if !regionConnectedWithout(c, assign, ri, -1) {
+		if !scr.regionConnectedWithout(c, assign, ri, -1) {
 			return fmt.Errorf("region %d is disconnected", ri)
 		}
 	}
@@ -335,19 +379,23 @@ func aliveConnected(c *chip.Chip, excluded func(q int) bool) bool {
 	if alive == 0 {
 		return true
 	}
-	seen := map[int]bool{start: true}
+	g := c.Graph()
+	seen := make([]bool, n)
+	seen[start] = true
+	seenCount := 1
 	stack := []int{start}
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, v := range c.Graph().Neighbors(u) {
+		for _, v := range g.Neighbors(u) {
 			if !excluded(v) && !seen[v] {
 				seen[v] = true
+				seenCount++
 				stack = append(stack, v)
 			}
 		}
 	}
-	return len(seen) == alive
+	return seenCount == alive
 }
 
 // CouplerRegion assigns every coupler to a region for TDM grouping: the

@@ -7,7 +7,6 @@
 package route
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -39,7 +38,9 @@ const (
 type cell struct{ X, Y int }
 
 // Grid is the routing canvas: a blocked-cell bitmap plus component
-// keep-out discs.
+// keep-out discs. All A* working state lives in a per-Grid scratch
+// arena (see gridScratch) that is reused across segments, so routing a
+// net allocates only its returned polyline.
 type Grid struct {
 	w, h    int
 	origin  geom.Point
@@ -49,6 +50,36 @@ type Grid struct {
 	// or -1. Discs are assumed non-overlapping (device keep-outs are
 	// smaller than half the qubit pitch).
 	discOf []int16
+
+	scr gridScratch
+}
+
+// gridScratch is the per-Grid search arena. The visited/cost arrays
+// are generation-stamped: bumping gen invalidates every entry in O(1),
+// so consecutive astar calls share the arrays without a clearing pass.
+// The open list is a concrete-typed binary heap that replicates
+// container/heap's sift order exactly, keeping tie-breaking — and
+// therefore the produced paths — bit-identical to the historical
+// interface-based heap.
+type gridScratch struct {
+	prev   []int32
+	cost   []float64
+	gen    []uint32
+	genCur uint32
+
+	// Source-zone membership stamps (see markSrcZone) plus its BFS queue.
+	zoneGen []uint32
+	zoneCur uint32
+
+	open   []pqItem
+	queue  []cell
+	cells  []cell
+	exempt []int16
+
+	// searches counts astar invocations on this arena; reuses counts
+	// invocations that found the arrays already sized (scratch hits).
+	searches int64
+	reuses   int64
 }
 
 type disc struct {
@@ -72,6 +103,22 @@ func NewGrid(bounds geom.Rect) *Grid {
 // Width and Height return the grid dimensions in cells.
 func (g *Grid) Width() int  { return g.w }
 func (g *Grid) Height() int { return g.h }
+
+// ClearWires removes every committed wire from the grid, restoring the
+// canvas to its post-construction state. Keep-out discs are geometry,
+// not wiring, and survive. The scratch arena is kept (that is the
+// point of clearing instead of rebuilding).
+func (g *Grid) ClearWires() {
+	for i := range g.blocked {
+		g.blocked[i] = false
+	}
+}
+
+// ScratchStats reports (searches, reuses): total astar invocations on
+// this grid and how many of them ran entirely on the pre-sized arena.
+func (g *Grid) ScratchStats() (searches, reuses int64) {
+	return g.scr.searches, g.scr.reuses
+}
 
 // AddKeepOut registers a circular component keep-out.
 func (g *Grid) AddKeepOut(center geom.Point, radius float64) {
@@ -110,15 +157,67 @@ func (g *Grid) inBounds(c cell) bool {
 
 func (g *Grid) idx(c cell) int { return c.Y*g.w + c.X }
 
-// exemptDiscs returns the indices of keep-out discs containing either
-// segment endpoint: a wire may traverse the discs it starts or ends in.
+// ensureScratch sizes the arena to the grid. Called at most once per
+// segment; after the first call every array keeps its capacity.
+func (g *Grid) ensureScratch() {
+	s := &g.scr
+	if len(s.gen) == g.w*g.h {
+		s.reuses++
+		if o := observer.Load(); o != nil {
+			o.scratchReuse.Add(1)
+		}
+		return
+	}
+	n := g.w * g.h
+	s.prev = make([]int32, n)
+	s.cost = make([]float64, n)
+	s.gen = make([]uint32, n)
+	s.zoneGen = make([]uint32, n)
+	s.genCur = 0
+	s.zoneCur = 0
+	if o := observer.Load(); o != nil {
+		o.scratchAllocs.Add(1)
+	}
+}
+
+// nextGen invalidates the visited/cost arrays in O(1). On the (rare)
+// uint32 wraparound the stamps are cleared so stale entries from 2^32
+// searches ago cannot alias the fresh generation.
+func (s *gridScratch) nextGen() {
+	s.genCur++
+	if s.genCur == 0 {
+		for i := range s.gen {
+			s.gen[i] = 0
+		}
+		s.genCur = 1
+	}
+}
+
+func (s *gridScratch) nextZoneGen() {
+	s.zoneCur++
+	if s.zoneCur == 0 {
+		for i := range s.zoneGen {
+			s.zoneGen[i] = 0
+		}
+		s.zoneCur = 1
+	}
+}
+
+// inZone reports whether cell index i was stamped by the latest
+// markSrcZone pass.
+func (s *gridScratch) inZone(i int) bool { return s.zoneGen[i] == s.zoneCur }
+
+// exemptDiscs collects (into the reused scratch buffer) the indices of
+// keep-out discs containing either segment endpoint: a wire may
+// traverse the discs it starts or ends in.
 func (g *Grid) exemptDiscs(a, b geom.Point) []int16 {
-	var out []int16
+	out := g.scr.exempt[:0]
 	for i, d := range g.discs {
 		if a.Dist(d.center) < d.radius || b.Dist(d.center) < d.radius {
 			out = append(out, int16(i))
 		}
 	}
+	g.scr.exempt = out
 	return out
 }
 
@@ -158,17 +257,49 @@ type pqItem struct {
 	f, gc float64
 }
 
-type pathPQ []pqItem
+// pushOpen appends it and sifts up, replicating container/heap.Push
+// (append then up(n-1)) on a concrete element type.
+func (s *gridScratch) pushOpen(it pqItem) {
+	q := append(s.open, it)
+	j := len(q) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(q[j].f < q[i].f) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		j = i
+	}
+	s.open = q
+}
 
-func (q pathPQ) Len() int            { return len(q) }
-func (q pathPQ) Less(i, j int) bool  { return q[i].f < q[j].f }
-func (q pathPQ) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pathPQ) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pathPQ) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
+// popOpen removes and returns the minimum, replicating
+// container/heap.Pop exactly: Swap(0, n-1), sift down over [0, n-1),
+// return the displaced root. Matching the sift order matters — equal-f
+// frontier cells pop in the same order as the historical
+// container/heap implementation, keeping routed paths bit-identical.
+func (s *gridScratch) popOpen() pqItem {
+	q := s.open
+	n := len(q) - 1
+	q[0], q[n] = q[n], q[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && q[j2].f < q[j1].f {
+			j = j2
+		}
+		if !(q[j].f < q[i].f) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		i = j
+	}
+	it := q[n]
+	s.open = q[:n]
 	return it
 }
 
@@ -177,41 +308,48 @@ func (q *pathPQ) Pop() interface{} {
 // crossover.
 const crossPenalty = 60
 
-// astar finds the cheapest 4-connected path from src to dst avoiding
-// blocked cells and foreign keep-outs. When allowCross is set, blocked
-// cells are passable at crossPenalty (airbridge crossovers); keep-outs
-// stay hard. It returns nil when no path exists.
-// srcZone returns the contiguous region of committed-wire cells around
-// src (capped), which the new segment may traverse freely: a branch
-// departing from its own hub or chain end necessarily starts inside the
-// halo of the wiring already committed there.
-func (g *Grid) srcZone(src cell) map[int]bool {
-	const cap = 600
+// markSrcZone stamps the contiguous region of committed-wire cells
+// around src (capped), which a new segment may traverse freely: a
+// branch departing from its own hub or chain end necessarily starts
+// inside the halo of the wiring already committed there. The stamps
+// are queried through gridScratch.inZone until the next call.
+func (g *Grid) markSrcZone(src cell) {
+	const zoneCap = 600
+	s := &g.scr
+	s.nextZoneGen()
 	si := g.idx(src)
 	if !g.blocked[si] {
-		return nil
+		return
 	}
-	zone := map[int]bool{si: true}
-	queue := []cell{src}
-	for len(queue) > 0 && len(zone) < cap {
-		c := queue[0]
-		queue = queue[1:]
+	s.zoneGen[si] = s.zoneCur
+	count := 1
+	queue := append(s.queue[:0], src)
+	for qi := 0; qi < len(queue) && count < zoneCap; qi++ {
+		c := queue[qi]
 		for _, d := range [4]cell{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
 			n := cell{c.X + d.X, c.Y + d.Y}
 			if !g.inBounds(n) {
 				continue
 			}
 			ni := g.idx(n)
-			if g.blocked[ni] && !zone[ni] {
-				zone[ni] = true
+			if g.blocked[ni] && s.zoneGen[ni] != s.zoneCur {
+				s.zoneGen[ni] = s.zoneCur
+				count++
 				queue = append(queue, n)
 			}
 		}
 	}
-	return zone
+	s.queue = queue
 }
 
-func (g *Grid) astar(src, dst cell, exempt []int16, srcZone map[int]bool, allowCross bool) []cell {
+// astar finds the cheapest 4-connected path from src to dst avoiding
+// blocked cells and foreign keep-outs. When allowCross is set, blocked
+// cells are passable at crossPenalty (airbridge crossovers); keep-outs
+// stay hard. It returns nil when no path exists. The returned cells
+// alias the scratch arena and are valid until the next astar call.
+// Cells stamped by the latest markSrcZone pass are traversable for
+// free (the segment starts inside its own committed wiring).
+func (g *Grid) astar(src, dst cell, exempt []int16, allowCross bool) []cell {
 	if !g.inBounds(src) || !g.inBounds(dst) {
 		return nil
 	}
@@ -224,27 +362,28 @@ func (g *Grid) astar(src, dst cell, exempt []int16, srcZone map[int]bool, allowC
 		budget = 400*(manhattan+1) + 20000
 	}
 	expanded := 0
-	const unvisited = -1
-	prev := make([]int32, g.w*g.h)
-	cost := make([]float64, g.w*g.h)
-	for i := range prev {
-		prev[i] = unvisited
-		cost[i] = math.Inf(1)
+	s := &g.scr
+	s.searches++
+	if o := observer.Load(); o != nil {
+		o.searches.Add(1)
 	}
+	s.nextGen()
 	h := func(c cell) float64 {
 		return float64(abs(c.X-dst.X) + abs(c.Y-dst.Y))
 	}
-	pq := &pathPQ{{c: src, f: h(src)}}
-	cost[g.idx(src)] = 0
-	prev[g.idx(src)] = int32(g.idx(src))
+	s.open = append(s.open[:0], pqItem{c: src, f: h(src)})
+	si := g.idx(src)
+	s.gen[si] = s.genCur
+	s.cost[si] = 0
+	s.prev[si] = int32(si)
 	dirs := [4]cell{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(pqItem)
+	for len(s.open) > 0 {
+		it := s.popOpen()
 		if it.c == dst {
-			return g.reconstruct(prev, src, dst)
+			return g.reconstruct(src, dst)
 		}
 		ci := g.idx(it.c)
-		if it.gc > cost[ci] {
+		if it.gc > s.cost[ci] {
 			continue
 		}
 		if expanded++; expanded > budget {
@@ -261,25 +400,29 @@ func (g *Grid) astar(src, dst cell, exempt []int16, srcZone map[int]bool, allowC
 				if g.inKeepOut(ni, exempt) {
 					continue
 				}
-				if g.blocked[ni] && !srcZone[ni] {
+				if g.blocked[ni] && !s.inZone(ni) {
 					if !allowCross {
 						continue
 					}
 					step += crossPenalty
 				}
 			}
-			if nc := it.gc + step; nc < cost[ni] {
-				cost[ni] = nc
-				prev[ni] = int32(ci)
-				heap.Push(pq, pqItem{c: n, f: nc + h(n), gc: nc})
+			if nc := it.gc + step; s.gen[ni] != s.genCur || nc < s.cost[ni] {
+				s.gen[ni] = s.genCur
+				s.cost[ni] = nc
+				s.prev[ni] = int32(ci)
+				s.pushOpen(pqItem{c: n, f: nc + h(n), gc: nc})
 			}
 		}
 	}
 	return nil
 }
 
-func (g *Grid) reconstruct(prev []int32, src, dst cell) []cell {
-	var path []cell
+// reconstruct walks the prev stamps from dst back to src into the
+// scratch cell buffer and reverses it in place.
+func (g *Grid) reconstruct(src, dst cell) []cell {
+	s := &g.scr
+	path := s.cells[:0]
 	cur := g.idx(dst)
 	srcIdx := g.idx(src)
 	for {
@@ -287,12 +430,13 @@ func (g *Grid) reconstruct(prev []int32, src, dst cell) []cell {
 		if cur == srcIdx {
 			break
 		}
-		cur = int(prev[cur])
+		cur = int(s.prev[cur])
 	}
 	// Reverse in place.
 	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
 		path[i], path[j] = path[j], path[i]
 	}
+	s.cells = path
 	return path
 }
 
@@ -309,34 +453,44 @@ func abs(x int) int {
 // exists, a second pass allows airbridge crossovers at a penalty;
 // crossings reports how many committed wires the result hops over.
 func (g *Grid) RouteSegment(a, b geom.Point) (path []geom.Point, crossings int, err error) {
-	src, dst := g.toCell(a), g.toCell(b)
-	if !g.inBounds(src) || !g.inBounds(dst) {
-		return nil, 0, fmt.Errorf("route: segment %v -> %v outside grid", a, b)
+	return g.routeSegmentInto(a, b, nil)
+}
+
+// routeSegmentInto is RouteSegment appending the polyline to dst
+// (which may be nil), so a multi-segment net accumulates its path in
+// one amortized allocation instead of one slice per segment.
+func (g *Grid) routeSegmentInto(a, b geom.Point, dst []geom.Point) (path []geom.Point, crossings int, err error) {
+	src, dc := g.toCell(a), g.toCell(b)
+	if !g.inBounds(src) || !g.inBounds(dc) {
+		return dst, 0, fmt.Errorf("route: segment %v -> %v outside grid", a, b)
 	}
+	g.ensureScratch()
 	exempt := g.exemptDiscs(a, b)
-	zone := g.srcZone(src)
-	cells := g.astar(src, dst, exempt, zone, false)
+	g.markSrcZone(src)
+	cells := g.astar(src, dc, exempt, false)
 	if cells == nil {
-		cells = g.astar(src, dst, exempt, zone, true)
+		cells = g.astar(src, dc, exempt, true)
 		if cells == nil {
-			return nil, 0, fmt.Errorf("route: no path %v -> %v even with crossovers", a, b)
+			return dst, 0, fmt.Errorf("route: no path %v -> %v even with crossovers", a, b)
 		}
 		// Count crossover events: each transition into a committed-wire
 		// region is one airbridge.
 		inWire := false
 		for _, c := range cells[1:] {
 			ci := g.idx(c)
-			b := g.blocked[ci] && !zone[ci]
+			b := g.blocked[ci] && !g.scr.inZone(ci)
 			if b && !inWire {
 				crossings++
 			}
 			inWire = b
 		}
 	}
-	pts := make([]geom.Point, len(cells))
-	for i, c := range cells {
-		pts[i] = g.toPoint(c)
+	if dst == nil {
+		dst = make([]geom.Point, 0, len(cells))
+	}
+	for _, c := range cells {
+		dst = append(dst, g.toPoint(c))
 	}
 	g.blockPath(cells)
-	return pts, crossings, nil
+	return dst, crossings, nil
 }

@@ -1,0 +1,41 @@
+package route
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// routeObs caches the resolved arena instrumentation.
+//
+// All three are gauges, not counters: they describe how the scratch
+// arena executed (allocation pressure and reuse rate), which is an
+// execution property in the same class as timings — excluded from the
+// canonical stripped snapshot so cache hits, retries and partial
+// rebuilds can vary the values without breaking the worker-invariance
+// contract.
+type routeObs struct {
+	// searches counts astar invocations; scratchAllocs counts arena
+	// (re)allocations; scratchReuse counts segments that ran entirely
+	// on the pre-sized arena. reuse/(allocs+reuse) is the arena hit
+	// rate — near 1 on any multi-net routing.
+	searches      *obs.Gauge
+	scratchAllocs *obs.Gauge
+	scratchReuse  *obs.Gauge
+}
+
+var observer atomic.Pointer[routeObs]
+
+// Observe routes the router's arena instrumentation into r; nil
+// disables it again. Process-global, like parallel.Observe.
+func Observe(r *obs.Registry) {
+	if r == nil {
+		observer.Store(nil)
+		return
+	}
+	observer.Store(&routeObs{
+		searches:      r.Gauge("route/astar_searches"),
+		scratchAllocs: r.Gauge("route/scratch_allocs"),
+		scratchReuse:  r.Gauge("route/scratch_reuse"),
+	})
+}

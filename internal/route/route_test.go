@@ -1,7 +1,10 @@
 package route
 
 import (
+	"fmt"
 	"math"
+	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/chip"
@@ -248,5 +251,130 @@ func TestNetKindString(t *testing.T) {
 		if k.String() != want {
 			t.Errorf("%d: got %s want %s", int(k), k.String(), want)
 		}
+	}
+}
+
+// TestClaimInterfaceExhaustion: once every perimeter pad is claimed the
+// router must fail loudly, and RouteAll must reject a net list larger
+// than the sized pad ring up front rather than midway through routing.
+func TestClaimInterfaceExhaustion(t *testing.T) {
+	r := NewRouter(chip.Square(2, 2))
+	r.interfaces = []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)}
+	for i := 0; i < 2; i++ {
+		if _, err := r.claimInterface(geom.Pt(0.5, 0.5)); err != nil {
+			t.Fatalf("claim %d failed with pads free: %v", i, err)
+		}
+	}
+	if _, err := r.claimInterface(geom.Pt(0.5, 0.5)); err == nil {
+		t.Fatal("third claim on a 2-pad ring succeeded")
+	} else if !strings.Contains(err.Error(), "out of perimeter interfaces") {
+		t.Errorf("exhaustion error %q does not name the cause", err)
+	}
+
+	// Reset releases every claim: the same ring serves again.
+	r.Reset()
+	if _, err := r.claimInterface(geom.Pt(0.5, 0.5)); err != nil {
+		t.Fatalf("claim after Reset failed: %v", err)
+	}
+
+	// RouteAll with more nets than pads: rejected before any routing.
+	r2 := NewRouter(chip.Square(2, 2))
+	r2.interfaces = []geom.Point{geom.Pt(0, 0)}
+	nets := []Net{
+		{Kind: NetXY, Label: "a", Targets: []geom.Point{geom.Pt(0, 0)}},
+		{Kind: NetXY, Label: "b", Targets: []geom.Point{geom.Pt(1, 1)}},
+	}
+	if _, err := r2.RouteAll(nets); err == nil {
+		t.Fatal("RouteAll accepted more nets than perimeter capacity")
+	} else if !strings.Contains(err.Error(), "exceed perimeter capacity") {
+		t.Errorf("capacity error %q does not name the cause", err)
+	}
+}
+
+// TestRouteDegenerateSinglePoint: zero-length segments and single-point
+// nets are legal — a chain may revisit a device and a star may consist
+// of its hub alone. They must route to a one-point path, not an error
+// or a phantom crossing.
+func TestRouteDegenerateSinglePoint(t *testing.T) {
+	g := NewGrid(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(2, 2)})
+	p := geom.Pt(1, 1)
+	path, crossings, err := g.RouteSegment(p, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 1 || crossings != 0 {
+		t.Fatalf("degenerate segment: %d points, %d crossings, want 1 and 0", len(path), crossings)
+	}
+	if geom.PathLength(path) != 0 {
+		t.Errorf("degenerate segment has length %v", geom.PathLength(path))
+	}
+	// Re-routing the same degenerate segment lands on the now-committed
+	// cell; the source-zone exemption must keep it passable.
+	if _, _, err := g.RouteSegment(p, p); err != nil {
+		t.Fatalf("degenerate segment on committed cell: %v", err)
+	}
+
+	c := chip.Square(2, 2)
+	nets := []Net{
+		// A star of just its hub.
+		{Kind: NetZ, Label: "hub-only", Star: true, Targets: []geom.Point{c.Qubits[0].Pos}},
+		// A chain that revisits the same device.
+		{Kind: NetXY, Label: "revisit", Targets: []geom.Point{c.Qubits[1].Pos, c.Qubits[1].Pos}},
+	}
+	res, err := NewRouter(c).RouteAll(nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rn := range res.Nets {
+		if len(rn.Path) == 0 || rn.Length <= 0 {
+			t.Errorf("net %d (%s): path %d points, length %v", i, rn.Label, len(rn.Path), rn.Length)
+		}
+	}
+}
+
+// TestRouteAllDeterministicAfterReset: the scratch arena must be
+// invisible — repeated RouteAll calls on one Router (with Reset in
+// between) and a fresh Router must produce bit-identical Results.
+func TestRouteAllDeterministicAfterReset(t *testing.T) {
+	c := chip.Square(3, 3)
+	var nets []Net
+	for i, q := range c.Qubits {
+		nets = append(nets, Net{Kind: NetXY, Label: fmt.Sprintf("xy%d", i), Targets: []geom.Point{q.Pos}})
+	}
+	hub := Centroid([]geom.Point{c.Qubits[0].Pos, c.Qubits[4].Pos, c.Qubits[8].Pos})
+	nets = append(nets,
+		Net{Kind: NetZ, Label: "star", Star: true, Targets: []geom.Point{hub, c.Qubits[0].Pos, c.Qubits[4].Pos, c.Qubits[8].Pos}},
+		Net{Kind: NetReadout, Label: "chain", Targets: []geom.Point{c.Qubits[2].Pos, c.Qubits[5].Pos, c.Qubits[8].Pos}},
+	)
+
+	r := NewRouter(c)
+	first, err := r.RouteAll(nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 3; run++ {
+		r.Reset()
+		again, err := r.RouteAll(nets)
+		if err != nil {
+			t.Fatalf("run %d after Reset: %v", run, err)
+		}
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("run %d after Reset diverged from the first routing", run)
+		}
+	}
+	fresh, err := NewRouter(c).RouteAll(nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, fresh) {
+		t.Fatal("reused Router diverged from a fresh Router on identical nets")
+	}
+
+	searches, reuses := r.ScratchStats()
+	if searches == 0 || reuses == 0 {
+		t.Errorf("scratch stats searches=%d reuses=%d: arena not exercised", searches, reuses)
+	}
+	if reuses >= searches {
+		t.Errorf("reuses %d >= searches %d: first segment cannot be a reuse", reuses, searches)
 	}
 }

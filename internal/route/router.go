@@ -72,12 +72,20 @@ type Result struct {
 	Crossings int
 }
 
-// Router routes a set of nets on one chip.
+// Router routes a set of nets on one chip. The underlying grid owns a
+// scratch arena reused across segments; Reset returns the Router to
+// its pre-routing state (wires and interface claims cleared, pad ring
+// and scratch kept) so one Router can route many net sets without
+// re-rasterizing keep-outs.
 type Router struct {
 	grid       *Grid
 	bounds     geom.Rect
 	interfaces []geom.Point
 	used       []bool
+
+	// order/est are RouteAll's net-ordering scratch, reused per call.
+	order []int
+	est   []float64
 }
 
 // NewRouter prepares the routing canvas for a chip: grid, qubit
@@ -122,6 +130,24 @@ func perimeterInterfaces(bounds geom.Rect, minCount int) []geom.Point {
 // first RouteAll sizes the pad ring).
 func (r *Router) NumAvailableInterfaces() int { return len(r.interfaces) }
 
+// Reset clears every committed wire and interface claim, keeping the
+// grid geometry (keep-outs), the sized pad ring and the scratch arena.
+// After Reset, an identical RouteAll call produces a bit-identical
+// Result: routing state is fully captured by the blocked bitmap and
+// the claim set, both of which Reset restores.
+func (r *Router) Reset() {
+	r.grid.ClearWires()
+	for i := range r.used {
+		r.used[i] = false
+	}
+}
+
+// ScratchStats exposes the grid arena counters (astar searches and
+// arena reuses) for observability.
+func (r *Router) ScratchStats() (searches, reuses int64) {
+	return r.grid.ScratchStats()
+}
+
 // claimInterface picks the nearest free interface to p.
 func (r *Router) claimInterface(p geom.Point) (geom.Point, error) {
 	if r.used == nil {
@@ -148,11 +174,14 @@ func (r *Router) claimInterface(p geom.Point) (geom.Point, error) {
 // innermost-first — the escape-routing discipline that keeps the
 // result near planar. The input order breaks ties deterministically.
 func (r *Router) RouteAll(nets []Net) (*Result, error) {
-	order := make([]int, len(nets))
+	if cap(r.order) < len(nets) {
+		r.order = make([]int, len(nets))
+		r.est = make([]float64, len(nets))
+	}
+	order, est := r.order[:len(nets)], r.est[:len(nets)]
 	for i := range order {
 		order[i] = i
 	}
-	est := make([]float64, len(nets))
 	for i, n := range nets {
 		if len(n.Targets) == 0 {
 			return nil, fmt.Errorf("route: net %d (%s) has no targets", i, n.Label)
@@ -215,12 +244,13 @@ func (r *Router) routeNet(n Net) (RoutedNet, error) {
 	rn := RoutedNet{Net: n, Interface: ifc}
 
 	appendSeg := func(a, b geom.Point) error {
-		path, crossings, err := r.grid.RouteSegment(a, b)
+		start := len(rn.Path)
+		path, crossings, err := r.grid.routeSegmentInto(a, b, rn.Path)
 		if err != nil {
 			return err
 		}
-		rn.Path = append(rn.Path, path...)
-		rn.Length += geom.PathLength(path)
+		rn.Path = path
+		rn.Length += geom.PathLength(rn.Path[start:])
 		rn.Crossings += crossings
 		return nil
 	}

@@ -101,6 +101,35 @@ func SweepWorkers(qubitCounts []int, zFanout float64, workers int) []Point {
 	return pts
 }
 
+// Ladder returns a geometric ladder of qubit counts from `from` to
+// `to` inclusive with perDecade points per decade (duplicates from
+// rounding are collapsed; both endpoints always appear). It is the
+// canonical sweep axis for scaling studies past the Figure 17 range —
+// Ladder(100, 1_000_000, 8) is the 1M-qubit sweep the bench gate runs.
+func Ladder(from, to, perDecade int) []int {
+	if from < 1 {
+		from = 1
+	}
+	if to < from {
+		to = from
+	}
+	if perDecade < 1 {
+		perDecade = 1
+	}
+	step := math.Pow(10, 1/float64(perDecade))
+	out := []int{from}
+	for x := float64(from) * step; x < float64(to); x *= step {
+		n := int(math.Round(x))
+		if n > out[len(out)-1] {
+			out = append(out, n)
+		}
+	}
+	if to > out[len(out)-1] {
+		out = append(out, to)
+	}
+	return out
+}
+
 // Savings returns the coax-cable dollar savings of YOUTIAO over Google
 // at one system size, using the given price model.
 func Savings(p Point, m cost.Model) float64 {

@@ -124,3 +124,44 @@ func TestChipletReductionStableAcrossScale(t *testing.T) {
 		t.Errorf("reduction drifts from %.2f to %.2f across scale", r1, r25)
 	}
 }
+
+func TestLadder(t *testing.T) {
+	l := Ladder(100, 1_000_000, 8)
+	if l[0] != 100 || l[len(l)-1] != 1_000_000 {
+		t.Fatalf("ladder endpoints %d..%d, want 100..1000000", l[0], l[len(l)-1])
+	}
+	// 4 decades at 8 points/decade: ~33 rungs, strictly increasing.
+	if len(l) < 30 || len(l) > 36 {
+		t.Errorf("ladder has %d rungs, want ≈33: %v", len(l), l)
+	}
+	for i := 1; i < len(l); i++ {
+		if l[i] <= l[i-1] {
+			t.Fatalf("ladder not strictly increasing at %d: %v", i, l)
+		}
+	}
+	// Degenerate inputs are clamped, never panic or loop.
+	if got := Ladder(0, 0, 0); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Ladder(0,0,0) = %v, want [1]", got)
+	}
+	if got := Ladder(50, 10, 4); got[len(got)-1] != 50 {
+		t.Errorf("inverted range: %v, want to clamp to [50..50]", got)
+	}
+}
+
+func TestLadderSweepTo1M(t *testing.T) {
+	pts := SweepWorkers(Ladder(100, 1_000_000, 8), 9, 4)
+	last := pts[len(pts)-1]
+	if last.Qubits != 1_000_000 {
+		t.Fatalf("sweep ends at %d qubits", last.Qubits)
+	}
+	if r := last.Reduction(); r < 3 || r > 12 {
+		t.Errorf("1M-qubit reduction %.2f outside the plausible range", r)
+	}
+	// Worker-count invariance holds over the full ladder.
+	seq := SweepWorkers(Ladder(100, 1_000_000, 8), 9, 1)
+	for i := range pts {
+		if pts[i] != seq[i] {
+			t.Fatalf("point %d differs across worker counts: %+v vs %+v", i, pts[i], seq[i])
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"testing"
@@ -274,5 +275,48 @@ func TestStoreConcurrentDistinctKeys(t *testing.T) {
 	wg.Wait()
 	if s.Len() != 16 {
 		t.Fatalf("store holds %d artifacts", s.Len())
+	}
+}
+
+// TestDoAttachesPprofLabels: stage execution must run under pprof
+// labels carrying the stage name and an artifact-key prefix so CPU and
+// heap profiles attribute samples to pipeline stages. The labels must
+// be gone again after Do returns.
+func TestDoAttachesPprofLabels(t *testing.T) {
+	s := NewStore()
+	ctx := context.Background()
+	key := NewKey("labelled").Int(7).Done()
+
+	var gotStage, gotArtifact string
+	var okStage, okArtifact bool
+	_, _, err := s.Do(ctx, "labelled", key, 1, func(ctx context.Context) (any, error) {
+		gotStage, okStage = pprof.Label(ctx, "stage")
+		gotArtifact, okArtifact = pprof.Label(ctx, "artifact")
+		return 1, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !okStage || gotStage != "labelled" {
+		t.Errorf("stage label = %q (present=%v), want \"labelled\"", gotStage, okStage)
+	}
+	wantPrefix := keyPrefix(key)
+	if !okArtifact || gotArtifact != wantPrefix {
+		t.Errorf("artifact label = %q (present=%v), want %q", gotArtifact, okArtifact, wantPrefix)
+	}
+	if len(wantPrefix) != 12 {
+		t.Errorf("key prefix %q not shortened to 12 chars", wantPrefix)
+	}
+	if _, leaked := pprof.Label(ctx, "stage"); leaked {
+		t.Error("stage label leaked past Do on the caller's context")
+	}
+
+	// A panicking fn still resolves to a *PanicError with labels popped.
+	_, _, err = s.Do(ctx, "boom", NewKey("boom").Done(), 1, func(context.Context) (any, error) {
+		panic("kaboom")
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Stage != "boom" {
+		t.Fatalf("panic under labels not converted: %v", err)
 	}
 }

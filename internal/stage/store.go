@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"hash/maphash"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -339,7 +340,7 @@ func (s *Store) Do(ctx context.Context, name string, key Key, workers int, fn fu
 		fn = (*wp)(name, key, fn)
 	}
 	start := time.Now()
-	v, err := runProtected(ctx, name, fn)
+	v, err := runProtected(ctx, name, key, fn)
 	dur := time.Since(start)
 	e.val, e.err = v, err
 	close(e.ready)
@@ -383,14 +384,32 @@ func (s *Store) Do(ctx context.Context, name string, key Key, workers int, fn fu
 }
 
 // runProtected executes fn, converting a panic into a *PanicError so
-// the caller's single-flight entry always resolves.
-func runProtected(ctx context.Context, name string, fn func(context.Context) (any, error)) (v any, err error) {
+// the caller's single-flight entry always resolves. The stage name and
+// a short artifact-key prefix are attached as pprof labels for the
+// duration of fn, so CPU and heap profiles taken with
+// `cmd/youtiao -cpuprofile` attribute samples to pipeline stages —
+// including goroutines fn spawns from the labelled context.
+func runProtected(ctx context.Context, name string, key Key, fn func(context.Context) (any, error)) (v any, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			v, err = nil, &PanicError{Stage: name, Value: rec}
 		}
 	}()
-	return fn(ctx)
+	pprof.Do(ctx, pprof.Labels("stage", name, "artifact", keyPrefix(key)), func(ctx context.Context) {
+		v, err = fn(ctx)
+	})
+	return v, err
+}
+
+// keyPrefix shortens an artifact key (a hex SHA-256) to a label-sized
+// prefix: long enough to be unique within a run, short enough to keep
+// profiles readable.
+func keyPrefix(k Key) string {
+	const n = 12
+	if len(k) > n {
+		return string(k[:n])
+	}
+	return string(k)
 }
 
 // Get returns a cached artifact without executing anything.

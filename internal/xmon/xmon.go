@@ -242,9 +242,10 @@ func (d *Device) MeasureSeeded(kind CrosstalkKind, noiseRel float64, seed int64,
 			p++
 		}
 	}
-	parallel.ForEach(workers, len(samples), func(p int) {
+	rands := parallel.NewRands(parallel.Resolve(workers, len(samples)))
+	parallel.ForEachWorker(workers, len(samples), func(worker, p int) {
 		s := &samples[p]
-		rng := parallel.TaskRand(seed, uint64(p))
+		rng := rands.Task(worker, seed, uint64(p))
 		v := d.Crosstalk(kind, s.I, s.J)
 		v *= 1 + rng.NormFloat64()*noiseRel
 		if v < 0 {

@@ -105,7 +105,7 @@ func TestCompareZeroAllocBaselines(t *testing.T) {
 		Bench{Name: "LostAllocs", NsPerOp: 100, AllocsPerOp: 0},
 		Bench{Name: "Steady", NsPerOp: 100, AllocsPerOp: 3},
 	)
-	ok, report, err := runCompare(base, cur, 0.20)
+	ok, report, err := runCompare(base, cur, gates{ns: 0.20, bytes: 0.20, allocs: 0.20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,10 +120,10 @@ func TestCompareZeroAllocBaselines(t *testing.T) {
 	}
 }
 
-// TestCompareMismatchedSetsReportOnly: benchmarks present in only one
-// snapshot are reported as new/gone and never fail the gate, even
-// alongside a genuine regression check.
-func TestCompareMismatchedSetsReportOnly(t *testing.T) {
+// TestCompareMismatchedSets: a new benchmark is reported and passes; a
+// baseline benchmark missing from the current run fails loudly, naming
+// the retired benchmark.
+func TestCompareMismatchedSets(t *testing.T) {
 	dir := t.TempDir()
 	base := writeBenches(t, dir, "base.json",
 		Bench{Name: "Shared", NsPerOp: 100, AllocsPerOp: 1},
@@ -133,14 +133,14 @@ func TestCompareMismatchedSetsReportOnly(t *testing.T) {
 		Bench{Name: "Shared", NsPerOp: 105, AllocsPerOp: 1},
 		Bench{Name: "Added", NsPerOp: 9999999, AllocsPerOp: 9999},
 	)
-	ok, report, err := runCompare(base, cur, 0.20)
+	ok, report, err := runCompare(base, cur, gates{ns: 0.20, bytes: 0.20, allocs: 0.20})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !ok {
-		t.Errorf("mismatched sets failed the gate:\n%s", report)
+	if ok {
+		t.Errorf("missing baseline benchmark Retired did not fail the gate:\n%s", report)
 	}
-	for _, want := range []string{"new", "gone", "Retired", "Added"} {
+	for _, want := range []string{"new", "MISSING", "Retired", "Added"} {
 		if !strings.Contains(report, want) {
 			t.Errorf("report missing %q:\n%s", want, report)
 		}

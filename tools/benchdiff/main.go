@@ -7,10 +7,13 @@
 //
 //	benchdiff -baseline BENCH_baseline.json -current BENCH_xxx.json
 //	    Compare a snapshot against the committed baseline and exit
-//	    non-zero when any benchmark regressed by more than the threshold
-//	    (default 20%) in ns/op or allocs/op. Benchmarks present in only
-//	    one file are reported but never fail the gate, so adding or
-//	    retiring a benchmark does not break CI.
+//	    non-zero when any benchmark regressed by more than its
+//	    threshold in ns/op (-max-regress), B/op (-max-bytes-regress)
+//	    or allocs/op (-max-allocs-regress). A benchmark present only in
+//	    the current run is reported as new and never fails the gate; a
+//	    baseline benchmark MISSING from the current run fails it —
+//	    retiring a benchmark is a deliberate act that must come with a
+//	    refreshed baseline, never a silent skip.
 //
 // The JSON snapshot is deliberately tiny and diff-friendly: one entry
 // per benchmark with ns/op, B/op, allocs/op and any custom
@@ -50,8 +53,18 @@ func main() {
 	out := flag.String("out", "", "output file (default stdout for -parse)")
 	baseline := flag.String("baseline", "", "baseline snapshot JSON for comparison")
 	current := flag.String("current", "", "current snapshot JSON for comparison")
-	maxRegress := flag.Float64("max-regress", 0.20, "fractional ns/op or allocs/op regression that fails the gate")
+	maxRegress := flag.Float64("max-regress", 0.20, "fractional ns/op regression that fails the gate")
+	maxBytes := flag.Float64("max-bytes-regress", -1, "fractional B/op regression that fails the gate (default: -max-regress)")
+	maxAllocs := flag.Float64("max-allocs-regress", -1, "fractional allocs/op regression that fails the gate (default: -max-regress)")
 	flag.Parse()
+
+	g := gates{ns: *maxRegress, bytes: *maxBytes, allocs: *maxAllocs}
+	if g.bytes < 0 {
+		g.bytes = g.ns
+	}
+	if g.allocs < 0 {
+		g.allocs = g.ns
+	}
 
 	switch {
 	case *parse:
@@ -59,7 +72,7 @@ func main() {
 			fatal(err)
 		}
 	case *baseline != "" && *current != "":
-		ok, report, err := runCompare(*baseline, *current, *maxRegress)
+		ok, report, err := runCompare(*baseline, *current, g)
 		if err != nil {
 			fatal(err)
 		}
@@ -68,9 +81,14 @@ func main() {
 			os.Exit(1)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "usage: benchdiff -parse [-in f] [-out f] | benchdiff -baseline a.json -current b.json [-max-regress 0.2]")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -parse [-in f] [-out f] | benchdiff -baseline a.json -current b.json [-max-regress 0.2] [-max-bytes-regress 0.2] [-max-allocs-regress 0.2]")
 		os.Exit(2)
 	}
+}
+
+// gates holds the per-dimension regression tolerances.
+type gates struct {
+	ns, bytes, allocs float64
 }
 
 func fatal(err error) {
@@ -234,8 +252,10 @@ func readSnapshot(path string) (map[string]Bench, error) {
 }
 
 // runCompare diffs current against baseline. It returns ok=false when
-// any shared benchmark regressed beyond maxRegress in time or allocs.
-func runCompare(baselinePath, currentPath string, maxRegress float64) (bool, string, error) {
+// any shared benchmark regressed beyond its gate in time, bytes or
+// allocs, or when a baseline benchmark is missing from the current run
+// (a silent disappearance would otherwise retire its regression gate).
+func runCompare(baselinePath, currentPath string, g gates) (bool, string, error) {
 	base, err := readSnapshot(baselinePath)
 	if err != nil {
 		return false, "", err
@@ -252,31 +272,40 @@ func runCompare(baselinePath, currentPath string, maxRegress float64) (bool, str
 
 	var sb strings.Builder
 	ok := true
-	fmt.Fprintf(&sb, "%-40s %14s %14s %9s %9s\n", "benchmark", "base ns/op", "cur ns/op", "time", "allocs")
+	fmt.Fprintf(&sb, "%-40s %14s %14s %9s %9s %9s\n", "benchmark", "base ns/op", "cur ns/op", "time", "bytes", "allocs")
 	for _, name := range names {
 		c := cur[name]
 		b, shared := base[name]
 		if !shared {
-			fmt.Fprintf(&sb, "%-40s %14s %14.0f %9s %9s\n", name, "-", c.NsPerOp, "new", "new")
+			fmt.Fprintf(&sb, "%-40s %14s %14.0f %9s %9s %9s\n", name, "-", c.NsPerOp, "new", "new", "new")
 			continue
 		}
-		tr := ratio(c.NsPerOp, b.NsPerOp)
-		ar := ratio(c.AllocsPerOp, b.AllocsPerOp)
-		tFlag, aFlag := verdict(tr, maxRegress), verdict(ar, maxRegress)
-		if tFlag == "REGRESS" || aFlag == "REGRESS" {
+		tFlag := verdict(ratio(c.NsPerOp, b.NsPerOp), g.ns)
+		bFlag := verdict(ratio(c.BytesPerOp, b.BytesPerOp), g.bytes)
+		aFlag := verdict(ratio(c.AllocsPerOp, b.AllocsPerOp), g.allocs)
+		if tFlag == "REGRESS" || bFlag == "REGRESS" || aFlag == "REGRESS" {
 			ok = false
 		}
-		fmt.Fprintf(&sb, "%-40s %14.0f %14.0f %9s %9s\n", name, b.NsPerOp, c.NsPerOp, tFlag, aFlag)
+		fmt.Fprintf(&sb, "%-40s %14.0f %14.0f %9s %9s %9s\n", name, b.NsPerOp, c.NsPerOp, tFlag, bFlag, aFlag)
 	}
+	missing := make([]string, 0)
 	for name := range base {
 		if _, shared := cur[name]; !shared {
-			fmt.Fprintf(&sb, "%-40s %14.0f %14s %9s %9s\n", name, base[name].NsPerOp, "-", "gone", "gone")
+			missing = append(missing, name)
 		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		ok = false
+		fmt.Fprintf(&sb, "%-40s %14.0f %14s %9s %9s %9s\n", name, base[name].NsPerOp, "-", "MISSING", "MISSING", "MISSING")
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(&sb, "benchdiff: %d baseline benchmark(s) missing from the current run — retire them by refreshing the baseline, not by skipping\n", len(missing))
 	}
 	if ok {
 		sb.WriteString("benchdiff: OK, no regression beyond threshold\n")
 	} else {
-		fmt.Fprintf(&sb, "benchdiff: FAIL, regression beyond %.0f%%\n", maxRegress*100)
+		fmt.Fprintf(&sb, "benchdiff: FAIL (gates: time %.0f%%, bytes %.0f%%, allocs %.0f%%)\n", g.ns*100, g.bytes*100, g.allocs*100)
 	}
 	return ok, sb.String(), nil
 }

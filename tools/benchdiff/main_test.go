@@ -71,7 +71,7 @@ func TestCompareRegressionAndImprovement(t *testing.T) {
 		{"name":"C","iterations":10,"ns_per_op":1000,"allocs_per_op":200},
 		{"name":"D","iterations":10,"ns_per_op":9999,"allocs_per_op":1}]}`)
 
-	ok, report, err := runCompare(base, cur, 0.20)
+	ok, report, err := runCompare(base, cur, uniformGates(0.20))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func TestCompareRegressionAndImprovement(t *testing.T) {
 	}
 
 	// Within threshold: passes.
-	ok2, _, err := runCompare(base, base, 0.20)
+	ok2, _, err := runCompare(base, base, uniformGates(0.20))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,21 +94,81 @@ func TestCompareRegressionAndImprovement(t *testing.T) {
 	}
 }
 
-func TestCompareNewAndGoneBenchmarksNeverFail(t *testing.T) {
+// A benchmark only in the current run is reported as new and passes; a
+// baseline benchmark missing from the current run fails the gate —
+// silently losing a benchmark would retire its regression gate with it.
+func TestCompareNewPassesMissingFails(t *testing.T) {
 	dir := t.TempDir()
 	base := writeSnap(t, dir, "base.json", `{"benchmarks":[{"name":"Old","iterations":1,"ns_per_op":10}]}`)
 	cur := writeSnap(t, dir, "cur.json", `{"benchmarks":[{"name":"New","iterations":1,"ns_per_op":10}]}`)
-	ok, report, err := runCompare(base, cur, 0.20)
+	ok, report, err := runCompare(base, cur, uniformGates(0.20))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !ok {
-		t.Errorf("disjoint benchmark sets should not fail the gate:\n%s", report)
+	if ok {
+		t.Errorf("missing baseline benchmark must fail the gate:\n%s", report)
 	}
-	if !strings.Contains(report, "gone") || !strings.Contains(report, "new") {
-		t.Errorf("report should mention new/gone benchmarks:\n%s", report)
+	if !strings.Contains(report, "MISSING") || !strings.Contains(report, "new") {
+		t.Errorf("report should mark the missing and new benchmarks:\n%s", report)
+	}
+
+	// A current run that still covers the whole baseline passes even
+	// with extra new benchmarks.
+	cur2 := writeSnap(t, dir, "cur2.json", `{"benchmarks":[
+		{"name":"Old","iterations":1,"ns_per_op":10},
+		{"name":"New","iterations":1,"ns_per_op":10}]}`)
+	ok2, report2, err := runCompare(base, cur2, uniformGates(0.20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok2 {
+		t.Errorf("superset current run should pass:\n%s", report2)
 	}
 }
+
+// The bytes and allocs gates run on their own tolerances: a B/op or
+// allocs/op regression fails even when ns/op is flat, and each
+// dimension honours its own threshold.
+func TestCompareBytesAndAllocsGating(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSnap(t, dir, "base.json", `{"benchmarks":[
+		{"name":"Mem","iterations":10,"ns_per_op":1000,"bytes_per_op":1000,"allocs_per_op":100},
+		{"name":"Alloc","iterations":10,"ns_per_op":1000,"bytes_per_op":1000,"allocs_per_op":100}]}`)
+	// Mem regresses 50% in bytes only; Alloc regresses 50% in allocs only.
+	cur := writeSnap(t, dir, "cur.json", `{"benchmarks":[
+		{"name":"Mem","iterations":10,"ns_per_op":1000,"bytes_per_op":1500,"allocs_per_op":100},
+		{"name":"Alloc","iterations":10,"ns_per_op":1000,"bytes_per_op":1000,"allocs_per_op":150}]}`)
+
+	ok, report, err := runCompare(base, cur, uniformGates(0.20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("bytes/allocs regressions not flagged:\n%s", report)
+	}
+
+	// Loose memory gates, tight time gate: the same run passes.
+	ok2, report2, err := runCompare(base, cur, gates{ns: 0.20, bytes: 0.60, allocs: 0.60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok2 {
+		t.Errorf("per-dimension tolerances not honoured:\n%s", report2)
+	}
+
+	// Tight bytes gate alone flags only the bytes regression.
+	ok3, report3, err := runCompare(base, cur, gates{ns: 0.20, bytes: 0.20, allocs: 0.60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok3 {
+		t.Errorf("tight bytes gate did not flag the bytes regression:\n%s", report3)
+	}
+}
+
+// uniformGates sets every dimension to the same tolerance, mirroring
+// what main() does when only -max-regress is given.
+func uniformGates(r float64) gates { return gates{ns: r, bytes: r, allocs: r} }
 
 // -count=N output repeats each benchmark; the snapshot must keep the
 // per-field minimum so one noisy sample cannot trip the gate.
