@@ -16,10 +16,12 @@ BENCH_STAMP := $(shell date +%Y%m%d-%H%M%S)
 # incremental redesign may skip; obs and faults feed the manifests and
 # degradation accounting; hypo decides experiment verdicts; serve is
 # the overload/degradation surface exposed to clients; route owns the
-# arena-pooled A* hot path whose scratch reuse must stay invisible.
-COVER_FLOORS ?= internal/stage:90 internal/obs:85 internal/faults:85 internal/hypo:85 internal/serve:85 internal/route:80
+# arena-pooled A* hot path whose scratch reuse must stay invisible;
+# stage/cas is the persistence layer whose corruption handling must
+# never regress to an error path.
+COVER_FLOORS ?= internal/stage:90 internal/stage/cas:85 internal/obs:85 internal/faults:85 internal/hypo:85 internal/serve:85 internal/route:80
 
-.PHONY: build vet fmt-check lint test race race-faults fuzz bench bench-smoke bench-profile faults cover verify serve-smoke experiments experiments-smoke experiments-full
+.PHONY: build vet fmt-check lint test race race-faults fuzz bench bench-smoke bench-profile faults cover verify serve-smoke experiments experiments-smoke experiments-full clean
 
 # Generated run products (bench logs, coverage profiles, manifests) all
 # land under $(OUT), which is ignored wholesale; the committed
@@ -62,6 +64,7 @@ fuzz:
 	$(GO) test ./internal/fdm -run NONE -fuzz FuzzGroupAllocate -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/faults -run NONE -fuzz FuzzPlanExclusion -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/stage -run NONE -fuzz FuzzArtifactKey -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/stage/cas -run NONE -fuzz FuzzCASHeader -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/hypo -run NONE -fuzz FuzzExperimentSpec -fuzztime $(FUZZTIME)
 
 # The benchmark-regression trajectory: run the full suite with
@@ -139,3 +142,11 @@ experiments-full:
 	$(GO) run ./cmd/hypo -run statistical -seeds 1,2,3,4,5 -out hypotheses
 
 verify: build vet test bench-smoke
+
+# Remove every generated local product: run output, profiles, built
+# binaries and local persistent cache directories (the default
+# .youtiao-cache plus any smoke-test leftovers). Committed artifacts
+# (BENCH_baseline.json, hypotheses/README.md) are untouched.
+clean:
+	rm -rf $(OUT) .youtiao-cache
+	rm -f youtiao youtiao-serve *.pprof

@@ -19,6 +19,8 @@ package youtiao
 // the micro-benches cover the hot primitives.
 
 import (
+	"bytes"
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -34,6 +36,8 @@ import (
 	"repro/internal/route"
 	"repro/internal/scalesim"
 	"repro/internal/schedule"
+	"repro/internal/stage"
+	"repro/internal/stage/cas"
 	"repro/internal/surface"
 	"repro/internal/tdm"
 	"repro/internal/xmon"
@@ -633,5 +637,49 @@ func BenchmarkYield(b *testing.B) {
 		}
 		b.ReportMetric(res.Yield, "yield")
 		b.ReportMetric(res.MedianError*1e4, "median-err-1e-4")
+	}
+}
+
+// BenchmarkDiskStoreHit times one warm-tier recall: a store whose
+// memory budget evicts everything immediately, so every Do falls
+// through to the on-disk CAS (header validation, CRC check, decode,
+// recency touch). This is the per-stage cost a restarted process pays
+// instead of re-executing the stage.
+func BenchmarkDiskStoreHit(b *testing.B) {
+	back, err := cas.Open(b.TempDir(), cas.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0x59}, 4096)
+	st := stage.NewStoreWith(stage.Config{
+		// A 1-byte budget evicts each decoded artifact as soon as its
+		// waiters have it, forcing the next Do back to the disk tier.
+		MaxBytes: 1,
+		Backend:  back,
+		Codecs: map[string]stage.Codec{"bench": {
+			Encode: func(v any) ([]byte, error) { return v.([]byte), nil },
+			Decode: func(data []byte) (any, error) { return data, nil },
+		}},
+	})
+	ctx := context.Background()
+	key := stage.NewKey("bench-disk").Int(1).Done()
+	exec := func(context.Context) (any, error) { return payload, nil }
+	if _, _, err := st.Do(ctx, "bench", key, 1, exec); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, cached, err := st.Do(ctx, "bench", key, 1, exec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !cached || len(v.([]byte)) != len(payload) {
+			b.Fatalf("iteration %d not served from cache", i)
+		}
+	}
+	b.StopTimer()
+	if r := st.Report(); r.DiskHits < b.N {
+		b.Fatalf("only %d of %d iterations hit the disk tier", r.DiskHits, b.N)
 	}
 }

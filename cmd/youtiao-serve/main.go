@@ -5,7 +5,8 @@
 //
 //	youtiao-serve [-addr :8080] [-max-inflight 2] [-max-queue 4] \
 //	    [-queue-wait 10s] [-request-timeout 120s] [-max-qubits 512] \
-//	    [-cache-mb 256] [-cache-shards 8]
+//	    [-cache-mb 256] [-cache-shards 8] [-cache-dir /var/cache/youtiao] \
+//	    [-cache-disk-mb 2048]
 //
 // Endpoints:
 //
@@ -52,6 +53,8 @@ func parseFlags(args []string) (*settings, error) {
 	maxQubits := fs.Int("max-qubits", 512, "largest chip accepted")
 	cacheMB := fs.Int64("cache-mb", 256, "artifact cache budget in MiB (-1 = unbounded)")
 	cacheShards := fs.Int("cache-shards", 0, "cache lock shards (0 = default)")
+	cacheDir := fs.String("cache-dir", "", "persistent artifact cache directory (empty = memory only); replicas may share one")
+	cacheDiskMB := fs.Int64("cache-disk-mb", 0, "disk cache budget in MiB (0 = unbounded); needs -cache-dir")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "longest to wait for in-flight designs on shutdown")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -71,6 +74,8 @@ func parseFlags(args []string) (*settings, error) {
 			MaxQubits:      *maxQubits,
 			CacheBytes:     cacheBytes,
 			CacheShards:    *cacheShards,
+			CacheDir:       *cacheDir,
+			CacheDiskBytes: *cacheDiskMB << 20,
 		},
 	}, nil
 }
@@ -88,7 +93,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv := serve.New(st.cfg)
+	srv, err := serve.New(st.cfg)
+	if err != nil {
+		return err
+	}
 	httpServer := &http.Server{
 		Addr:              st.addr,
 		Handler:           srv.Handler(),

@@ -6,6 +6,7 @@
 //	youtiao [-topology square] [-qubits 36] [-seed 1] [-theta 4] [-fdm 5] [-workers 0] [-verbose]
 //	youtiao -defect-rate 0.02 -retry-budget 3 -timeout 30s
 //	youtiao -sweep-defects 0,0.01,0.02,0.05
+//	youtiao -cache-dir .youtiao-cache   # warm restarts: re-runs recall stages from disk
 //	youtiao -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -26,6 +27,7 @@ import (
 
 	"repro"
 	"repro/internal/experiments"
+	"repro/internal/stage"
 )
 
 func main() {
@@ -57,6 +59,8 @@ func run(args []string, stdout io.Writer) (retErr error) {
 	sweep := fs.String("sweep-defects", "", "comma-separated defect rates: run the degradation sweep instead of a single design")
 	stageTimings := fs.Bool("stage-timings", false, "print the per-stage instrumentation report (runs, cache hits/misses, wall time); with -json, embedded as \"stageReport\"")
 	manifestPath := fs.String("manifest", "", "write a run manifest (options digest, seed, git revision, env, stage report, metrics snapshot) as JSON to this file")
+	cacheDir := fs.String("cache-dir", "", "persistent artifact cache directory: stages warm from prior runs are recalled from disk instead of re-executed (empty = memory only)")
+	cacheDiskMB := fs.Int64("cache-disk-mb", 0, "disk cache budget in MiB (0 = unbounded); needs -cache-dir")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 	memProfile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	if err := fs.Parse(args); err != nil {
@@ -123,7 +127,7 @@ func run(args []string, stdout io.Writer) (retErr error) {
 		if *manifestPath != "" {
 			return fmt.Errorf("-manifest records a single design; it cannot be combined with -sweep-defects")
 		}
-		if err := runSweep(ctx, stdout, ch, *sweep, opts); err != nil {
+		if err := runSweep(ctx, stdout, ch, *sweep, opts, *cacheDir, *cacheDiskMB<<20); err != nil {
 			return err
 		}
 		return retErr
@@ -141,15 +145,28 @@ func run(args []string, stdout io.Writer) (retErr error) {
 
 	// A Designer (rather than one-shot DesignCtx) carries the per-stage
 	// instrumentation the -stage-timings report renders; a single design
-	// through it is bit-identical to DesignCtx.
-	designer := youtiao.NewDesigner(ch)
+	// through it is bit-identical to DesignCtx. With -cache-dir it runs
+	// over a persistent cache, so a repeated invocation recalls every
+	// stage from the warm disk tier instead of re-executing it.
+	var designer *youtiao.Designer
+	var mcache *youtiao.ManifestCache
+	if *cacheDir != "" {
+		sc, err := youtiao.OpenSharedCache(youtiao.CacheConfig{Dir: *cacheDir, DiskBytes: *cacheDiskMB << 20})
+		if err != nil {
+			return fmt.Errorf("-cache-dir: %w", err)
+		}
+		designer = sc.Designer(ch)
+		mcache = &youtiao.ManifestCache{Dir: *cacheDir, DiskBytes: *cacheDiskMB << 20}
+	} else {
+		designer = youtiao.NewDesigner(ch)
+	}
 	design, err := designer.RedesignCtx(ctx, opts)
 	if err != nil {
 		return err
 	}
 
 	if *manifestPath != "" {
-		if err := writeManifest(*manifestPath, design, opts, reg, designer.StageReport()); err != nil {
+		if err := writeManifest(*manifestPath, design, opts, reg, designer.StageReport(), mcache); err != nil {
 			return fmt.Errorf("-manifest: %w", err)
 		}
 	}
@@ -209,10 +226,11 @@ func indentBlock(s string) string {
 
 // writeManifest assembles and writes the run manifest, creating the
 // target directory if needed.
-func writeManifest(path string, design *youtiao.DesignResult, opts youtiao.Options, reg *youtiao.ObsRegistry, report youtiao.StageReport) error {
+func writeManifest(path string, design *youtiao.DesignResult, opts youtiao.Options, reg *youtiao.ObsRegistry, report youtiao.StageReport, cache *youtiao.ManifestCache) error {
 	m := youtiao.NewManifest(design, opts)
 	m.CreatedAt = time.Now().UTC().Format(time.RFC3339Nano)
 	m.Git = gitDescribe()
+	m.Cache = cache
 	m.Stages = &report
 	snap := reg.Snapshot()
 	m.Obs = &snap
@@ -238,8 +256,10 @@ func gitDescribe() string {
 	return strings.TrimSpace(string(out))
 }
 
-// runSweep parses the rate list and prints the degradation table.
-func runSweep(ctx context.Context, stdout io.Writer, ch *youtiao.Chip, list string, opts youtiao.Options) error {
+// runSweep parses the rate list and prints the degradation table. A
+// non-empty cacheDir runs the sweep through a persistent design cache,
+// so a repeated sweep recalls every point from the warm disk tier.
+func runSweep(ctx context.Context, stdout io.Writer, ch *youtiao.Chip, list string, opts youtiao.Options, cacheDir string, cacheDiskBytes int64) error {
 	var rates []float64
 	for _, part := range strings.Split(list, ",") {
 		r, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
@@ -249,7 +269,17 @@ func runSweep(ctx context.Context, stdout io.Writer, ch *youtiao.Chip, list stri
 		rates = append(rates, r)
 	}
 	start := time.Now()
-	points, err := experiments.DefectSweep(ctx, ch, rates, opts)
+	var points []experiments.DefectPoint
+	var err error
+	if cacheDir != "" {
+		dc, openErr := experiments.OpenDesignCache(cacheDir, stage.Config{}, cacheDiskBytes)
+		if openErr != nil {
+			return fmt.Errorf("-cache-dir: %w", openErr)
+		}
+		points, err = experiments.DefectSweepWith(ctx, dc.Designer(ch), rates, opts)
+	} else {
+		points, err = experiments.DefectSweep(ctx, ch, rates, opts)
+	}
 	if err != nil {
 		return err
 	}

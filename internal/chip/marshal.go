@@ -1,0 +1,69 @@
+package chip
+
+import (
+	"fmt"
+
+	"repro/internal/binpack"
+)
+
+// AppendBinary encodes the chip's full structural description: name,
+// topology, every qubit field (including the fabricated BaseFreq) and
+// the coupler endpoint pairs. Coupler IDs and positions are derived
+// deterministically by New, so they are not stored.
+func (c *Chip) AppendBinary(e *binpack.Enc) {
+	e.Str(c.Name)
+	e.Str(c.Topology)
+	e.U32(uint32(len(c.Qubits)))
+	for _, q := range c.Qubits {
+		e.Int(q.ID)
+		e.F64(q.Pos.X)
+		e.F64(q.Pos.Y)
+		e.F64(q.BaseFreq)
+		e.F64(q.T1)
+	}
+	e.U32(uint32(len(c.Couplers)))
+	for _, cp := range c.Couplers {
+		e.Int(cp.A)
+		e.Int(cp.B)
+	}
+}
+
+// DecodeBinary rebuilds a chip through New, which reconstructs the
+// connectivity graph, coupler IDs and midpoints exactly as original
+// construction did — the decoded chip is value-identical to the
+// encoded one.
+func DecodeBinary(d *binpack.Dec) (*Chip, error) {
+	name := d.Str()
+	topology := d.Str()
+	nq := int(d.U32())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if nq < 0 || nq > d.Remaining() {
+		return nil, fmt.Errorf("chip: implausible qubit count %d", nq)
+	}
+	qubits := make([]Qubit, nq)
+	for i := range qubits {
+		qubits[i].ID = d.Int()
+		qubits[i].Pos.X = d.F64()
+		qubits[i].Pos.Y = d.F64()
+		qubits[i].BaseFreq = d.F64()
+		qubits[i].T1 = d.F64()
+	}
+	nc := int(d.U32())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if nc < 0 || nc > d.Remaining() {
+		return nil, fmt.Errorf("chip: implausible coupler count %d", nc)
+	}
+	pairs := make([][2]int, nc)
+	for i := range pairs {
+		pairs[i][0] = d.Int()
+		pairs[i][1] = d.Int()
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return New(name, topology, qubits, pairs)
+}

@@ -54,11 +54,18 @@ type DefectPoint struct {
 // rate) are recalled from the artifact store instead of re-executed;
 // each point logs its hit/miss counts.
 func DefectSweep(ctx context.Context, c *chip.Chip, rates []float64, opts Options) ([]DefectPoint, error) {
+	return DefectSweepWith(ctx, NewDesigner(c), rates, opts)
+}
+
+// DefectSweepWith is DefectSweep over a caller-provided Designer —
+// typically one handed out by a persistent DesignCache, so a re-run
+// sweep recalls every point's stages from the warm disk tier instead
+// of re-executing them.
+func DefectSweepWith(ctx context.Context, designer *Designer, rates []float64, opts Options) ([]DefectPoint, error) {
 	if len(rates) == 0 {
 		return nil, fmt.Errorf("experiments: defect sweep needs at least one rate")
 	}
 	model := cost.DefaultModel()
-	designer := NewDesigner(c)
 	points := make([]DefectPoint, 0, len(rates))
 	for _, rate := range rates {
 		o := opts
@@ -87,7 +94,7 @@ func DefectSweep(ctx context.Context, c *chip.Chip, rates []float64, opts Option
 			WiringCost:   model.WiringCost(plan),
 			GateFidelity: perGate(total, Fig12Layers*len(alive)),
 			Calib:        p.Calib,
-			CacheHits:    delta.Hits,
+			CacheHits:    delta.Hits + delta.DiskHits,
 			CacheMisses:  delta.Misses,
 		}
 		if p.Faults != nil {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/stage"
+	"repro/internal/stage/cas"
 	"repro/internal/xmon"
 )
 
@@ -333,6 +334,23 @@ func NewDesignCacheWithStore(store *stage.Store) *DesignCache {
 		store:     store,
 		designers: make(map[stage.Key]*Designer),
 	}
+}
+
+// OpenDesignCache returns a cache whose store persists every pipeline
+// artifact under dir through the on-disk CAS backend (bounded by
+// diskBytes; 0 = unbounded): a restarted process, or a replica pointed
+// at the same directory, recalls warm artifacts instead of
+// re-characterizing. memCfg bounds the memory tier exactly as in
+// NewDesignCacheWithStore; its Backend and Codecs fields are
+// overwritten.
+func OpenDesignCache(dir string, memCfg stage.Config, diskBytes int64) (*DesignCache, error) {
+	backend, err := cas.Open(dir, cas.Config{MaxBytes: diskBytes})
+	if err != nil {
+		return nil, err
+	}
+	memCfg.Backend = backend
+	memCfg.Codecs = StageCodecs()
+	return NewDesignCacheWithStore(stage.NewStoreWith(memCfg)), nil
 }
 
 // Designer returns the cached Designer for a chip, creating it on first

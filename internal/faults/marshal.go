@@ -1,0 +1,43 @@
+package faults
+
+import (
+	"repro/internal/binpack"
+)
+
+// AppendBinary encodes a drawn fault plan: the spec, the seed and the
+// four per-device fault vectors. The vectors are stored rather than
+// redrawn so a decoded plan is valid even if the drawing procedure
+// ever changes.
+func (p *Plan) AppendBinary(e *binpack.Enc) {
+	e.F64(p.Spec.DeadQubitRate)
+	e.F64(p.Spec.BrokenCouplerRate)
+	e.F64(p.Spec.StuckLossyRate)
+	e.F64(p.Spec.DropoutRate)
+	e.F64(p.Spec.OutlierRate)
+	e.F64(p.Spec.OutlierScale)
+	e.I64(p.Seed)
+	e.Bools(p.deadQubit)
+	e.Bools(p.brokenCoupler)
+	e.Bools(p.stuckQubit)
+	e.Bools(p.stuckCoupler)
+}
+
+// DecodeBinary rebuilds a plan encoded by AppendBinary.
+func DecodeBinary(d *binpack.Dec) (*Plan, error) {
+	p := &Plan{}
+	p.Spec.DeadQubitRate = d.F64()
+	p.Spec.BrokenCouplerRate = d.F64()
+	p.Spec.StuckLossyRate = d.F64()
+	p.Spec.DropoutRate = d.F64()
+	p.Spec.OutlierRate = d.F64()
+	p.Spec.OutlierScale = d.F64()
+	p.Seed = d.I64()
+	p.deadQubit = d.Bools()
+	p.brokenCoupler = d.Bools()
+	p.stuckQubit = d.Bools()
+	p.stuckCoupler = d.Bools()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -8,6 +8,7 @@ import (
 	"math"
 	"math/rand"
 	"net/http/httptest"
+	"os"
 	"reflect"
 	"strings"
 	"sync"
@@ -114,6 +115,12 @@ func Builtin() *Registry {
 		Claim: fmt.Sprintf("The sparse neighbor-list anneal returns plans and objectives bit-identical to the FullScan reference across %d anneal seeds on a distance-cutoff crosstalk model.", h7AnnealSeeds),
 		Class: Deterministic,
 		Run:   runSparseAnnealEquiv,
+	})
+	r.MustRegister(&Experiment{
+		ID:    "H8-disk-warm-restart",
+		Claim: "A cold process over a warm disk cache reproduces the in-memory design and stripped manifest byte-identically, recalling every stage from disk with zero re-executions.",
+		Class: Deterministic,
+		Run:   runDiskWarmRestart,
 	})
 	return r
 }
@@ -423,12 +430,15 @@ const h6Requests = 6
 // designs and stripped manifests.
 func runServeCoalescing(ctx context.Context, seed int64) (Measurement, error) {
 	var m Measurement
-	srv := serve.New(serve.Config{
+	srv, err := serve.New(serve.Config{
 		MaxInFlight: 2,
 		MaxQueue:    h6Requests,
 		QueueWait:   time.Minute,
 		Logf:        func(string, ...any) {},
 	})
+	if err != nil {
+		return m, err
+	}
 	h := srv.Handler()
 	body := fmt.Sprintf(`{"topology": "square", "qubits": %d, "seed": %d}`,
 		builtinChipSide*builtinChipSide, seed)
@@ -601,6 +611,122 @@ func runSparseAnnealEquiv(ctx context.Context, seed int64) (Measurement, error) 
 	if m.Note == "" {
 		m.Note = fmt.Sprintf("bit-identical across %d seeds; sparse scan skips %.0f%% of pair terms",
 			h7AnnealSeeds, m.Effect*100)
+	}
+	return m, nil
+}
+
+// h8Opts exercises the rich artifact variants — injected faults, a
+// real partition, annealed allocation — so every stage codec is on the
+// identity-critical path.
+func h8Opts(seed int64) youtiao.Options {
+	return youtiao.Options{
+		Seed:                seed,
+		Workers:             1,
+		Faults:              youtiao.UniformFaults(0.02),
+		AnnealSteps:         25,
+		PartitionTargetSize: 9,
+	}
+}
+
+// h8Artifacts renders one run's identity evidence: the exported design
+// JSON and the stripped manifest (with the designer's stage report
+// embedded, whose cache-provenance counters StripTimings erases).
+func h8Artifacts(res *youtiao.DesignResult, opts youtiao.Options, report youtiao.StageReport) (design, manifest []byte, err error) {
+	design, err = res.ExportJSON()
+	if err != nil {
+		return nil, nil, err
+	}
+	man := youtiao.NewManifest(res, opts)
+	man.CreatedAt = time.Now().UTC().Format(time.RFC3339Nano)
+	man.Stages = &report
+	manifest, err = man.StripTimings().JSON()
+	return design, manifest, err
+}
+
+// runDiskWarmRestart measures H8: designing through a persistent cache
+// directory, restarting the process (a fresh SharedCache over the same
+// directory, memory tier empty) and designing again must serve every
+// stage from the disk tier, execute nothing, and reproduce the purely
+// in-memory design and stripped manifest byte for byte.
+func runDiskWarmRestart(ctx context.Context, seed int64) (Measurement, error) {
+	var m Measurement
+	opts := h8Opts(seed)
+
+	// Reference: the purely in-memory run.
+	memD := youtiao.NewDesigner(builtinChip())
+	memRes, err := memD.RedesignCtx(ctx, opts)
+	if err != nil {
+		return m, fmt.Errorf("in-memory run: %w", err)
+	}
+	memDesign, memManifest, err := h8Artifacts(memRes, opts, memD.StageReport())
+	if err != nil {
+		return m, err
+	}
+
+	dir, err := os.MkdirTemp("", "youtiao-h8-")
+	if err != nil {
+		return m, err
+	}
+	defer os.RemoveAll(dir)
+	cacheCfg := youtiao.CacheConfig{Dir: dir}
+
+	// First process: executes everything, writes the warm tier.
+	warm, err := youtiao.OpenSharedCache(cacheCfg)
+	if err != nil {
+		return m, err
+	}
+	if _, err := warm.Designer(builtinChip()).RedesignCtx(ctx, opts); err != nil {
+		return m, fmt.Errorf("warm-write run: %w", err)
+	}
+
+	// "Restart": a fresh cache over the same directory. Its memory
+	// tier is empty, so every recall must come from disk.
+	cold, err := youtiao.OpenSharedCache(cacheCfg)
+	if err != nil {
+		return m, err
+	}
+	coldD := cold.Designer(builtinChip())
+	coldRes, err := coldD.RedesignCtx(ctx, opts)
+	if err != nil {
+		return m, fmt.Errorf("disk-warm run: %w", err)
+	}
+	coldDesign, coldManifest, err := h8Artifacts(coldRes, opts, coldD.StageReport())
+	if err != nil {
+		return m, err
+	}
+
+	stages := len(experiments.PipelineStageGraph.Stages())
+	rep := cold.StageReport()
+	stats := cold.Stats()
+	designIdentical := bytes.Equal(memDesign, coldDesign)
+	manifestIdentical := bytes.Equal(memManifest, coldManifest)
+
+	m.Holds = designIdentical && manifestIdentical &&
+		rep.Misses == 0 && rep.DiskHits == stages && stats.DiskHits > 0
+	m.Effect = 1
+	m.Values = map[string]float64{
+		"stages":             float64(stages),
+		"disk_hits":          float64(rep.DiskHits),
+		"reexecutions":       float64(rep.Misses),
+		"disk_entries":       float64(stats.DiskEntries),
+		"decode_errors":      float64(stats.DecodeErrors),
+		"design_bytes":       float64(len(coldDesign)),
+		"manifest_bytes":     float64(len(coldManifest)),
+		"design_identical":   b2f(designIdentical),
+		"manifest_identical": b2f(manifestIdentical),
+	}
+	switch {
+	case !designIdentical:
+		m.Note = "disk-warm design differs from the in-memory design"
+	case !manifestIdentical:
+		m.Note = "disk-warm stripped manifest differs from the in-memory one"
+	case rep.Misses != 0:
+		m.Note = fmt.Sprintf("disk-warm run re-executed %d stages", rep.Misses)
+	case rep.DiskHits != stages:
+		m.Note = fmt.Sprintf("disk-warm run took %d disk hits, want %d", rep.DiskHits, stages)
+	default:
+		m.Note = fmt.Sprintf("byte-identical design (%d bytes) and manifest; %d/%d stages recalled from disk, 0 re-executed",
+			len(coldDesign), rep.DiskHits, stages)
 	}
 	return m, nil
 }

@@ -1,0 +1,69 @@
+package mlfit
+
+import (
+	"fmt"
+
+	"repro/internal/binpack"
+)
+
+// AppendBinary encodes a trained forest: tree count, then each tree's
+// feature arity and its nodes in preorder. A node is (feature,
+// threshold, value); children exist exactly when feature >= 0, so the
+// preorder stream needs no explicit pointers.
+func (f *Forest) AppendBinary(e *binpack.Enc) {
+	e.U32(uint32(len(f.trees)))
+	for _, t := range f.trees {
+		e.Int(t.nFeature)
+		appendNode(e, t.root)
+	}
+}
+
+func appendNode(e *binpack.Enc, n *treeNode) {
+	if n == nil {
+		e.Bool(false)
+		return
+	}
+	e.Bool(true)
+	e.Int(n.feature)
+	e.F64(n.threshold)
+	e.F64(n.value)
+	if n.feature >= 0 {
+		appendNode(e, n.left)
+		appendNode(e, n.right)
+	}
+}
+
+// DecodeBinary rebuilds a forest encoded by AppendBinary. The decoded
+// forest predicts bit-identically: node structure, split thresholds
+// and leaf values round-trip exactly.
+func DecodeBinary(d *binpack.Dec) (*Forest, error) {
+	n := int(d.U32())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 || n > d.Remaining() {
+		return nil, fmt.Errorf("mlfit: implausible tree count %d", n)
+	}
+	f := &Forest{trees: make([]*Tree, n)}
+	for i := range f.trees {
+		t := &Tree{nFeature: d.Int()}
+		t.root = decodeNode(d)
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		f.trees[i] = t
+	}
+	return f, nil
+}
+
+func decodeNode(d *binpack.Dec) *treeNode {
+	if d.Err() != nil || !d.Bool() {
+		return nil
+	}
+	n := &treeNode{feature: d.Int(), threshold: d.F64(), value: d.F64()}
+	if n.feature >= 0 {
+		n.left = decodeNode(d)
+		n.right = decodeNode(d)
+	}
+	return n
+}

@@ -73,6 +73,14 @@ type Config struct {
 	// CacheShards spreads the cache over independently locked shards
 	// (0 = default). Ignored when Cache is set.
 	CacheShards int
+	// CacheDir, when non-empty, adds a persistent warm tier under this
+	// directory: artifacts survive restarts and replicas pointed at the
+	// same directory share their work. Ignored when Cache is set.
+	CacheDir string
+	// CacheDiskBytes bounds the warm tier (0 = unbounded); the
+	// least-recently-used artifacts are garbage-collected past the
+	// budget. Ignored when CacheDir is empty or Cache is set.
+	CacheDiskBytes int64
 	// Cache substitutes a caller-built cache — the chaos tests inject
 	// one with a fault wrapper installed.
 	Cache *youtiao.SharedCache
@@ -180,8 +188,9 @@ type Server struct {
 	now func() time.Time
 }
 
-// New returns a Server over cfg.
-func New(cfg Config) *Server {
+// New returns a Server over cfg. It errors only when cfg.CacheDir is
+// set and the persistent cache directory cannot be opened.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	reg := cfg.Obs
 	if reg == nil {
@@ -189,7 +198,16 @@ func New(cfg Config) *Server {
 	}
 	cache := cfg.Cache
 	if cache == nil {
-		cache = youtiao.NewSharedCache(youtiao.CacheConfig{MaxBytes: cfg.CacheBytes, Shards: cfg.CacheShards})
+		var err error
+		cache, err = youtiao.OpenSharedCache(youtiao.CacheConfig{
+			MaxBytes:  cfg.CacheBytes,
+			Shards:    cfg.CacheShards,
+			Dir:       cfg.CacheDir,
+			DiskBytes: cfg.CacheDiskBytes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: open cache: %w", err)
+		}
 	}
 	// One registry observes everything: the shared store's cache
 	// instrumentation and (via Options.Obs on every request) per-build
@@ -214,7 +232,7 @@ func New(cfg Config) *Server {
 	s.mux.Handle("/healthz", http.HandlerFunc(s.handleHealthz))
 	s.mux.Handle("/readyz", http.HandlerFunc(s.handleReadyz))
 	s.mux.Handle("/metrics", reg.Handler())
-	return s
+	return s, nil
 }
 
 // Handler returns the server's root handler: the route mux wrapped in

@@ -7,11 +7,14 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	youtiao "repro"
 	"repro/internal/stage"
 )
 
@@ -26,7 +29,11 @@ func newTestServer(t *testing.T, cfg Config) *Server {
 	if cfg.RequestTimeout == 0 {
 		cfg.RequestTimeout = 60 * time.Second
 	}
-	return New(cfg)
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return srv
 }
 
 // post fires one request at the handler and returns the recorder.
@@ -349,5 +356,88 @@ func TestPanicMiddleware(t *testing.T) {
 	rec = post(h, "/v1/design", `{"topology": "square", "qubits": 4}`)
 	if rec.Code != 200 {
 		t.Fatalf("post-panic status = %d — server did not recover", rec.Code)
+	}
+}
+
+// TestWarmRestartServesFromDisk: a server restarted against the cache
+// directory of a previous one serves the repeated request entirely from
+// the disk tier — zero stage executions, byte-identical stripped
+// manifest — and /readyz surfaces the disk-tier stats.
+func TestWarmRestartServesFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{CacheDir: dir}
+	body := `{"topology": "square", "qubits": 9, "seed": 7}`
+
+	first := newTestServer(t, cfg)
+	rec := post(first.Handler(), "/v1/design", body)
+	if rec.Code != 200 {
+		t.Fatalf("first server status = %d: %s", rec.Code, rec.Body.String())
+	}
+	firstResp := decodeResponse(t, rec)
+
+	// The "restart": a fresh server over the same directory, with an
+	// empty memory tier.
+	second := newTestServer(t, cfg)
+	rec = post(second.Handler(), "/v1/design", body)
+	if rec.Code != 200 {
+		t.Fatalf("restarted server status = %d: %s", rec.Code, rec.Body.String())
+	}
+	secondResp := decodeResponse(t, rec)
+
+	st := second.Cache().StageReport()
+	if st.Misses != 0 {
+		t.Fatalf("restarted server re-executed %d stages", st.Misses)
+	}
+	if st.DiskHits == 0 {
+		t.Fatal("restarted server took no disk hits")
+	}
+	stats := second.Cache().Stats()
+	if stats.DiskHits == 0 || stats.DiskEntries == 0 || stats.DecodeErrors != 0 {
+		t.Fatalf("cache stats after warm restart: %+v", stats)
+	}
+
+	// The recalled design is byte-identical to the computed one.
+	a, err := firstResp.Manifest.StripTimings().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := secondResp.Manifest.StripTimings().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("stripped manifests differ across restart:\n%s\n----\n%s", a, b)
+	}
+	aj, _ := json.Marshal(firstResp.Design)
+	bj, _ := json.Marshal(secondResp.Design)
+	if !bytes.Equal(aj, bj) {
+		t.Error("designs differ across restart")
+	}
+
+	// /readyz exposes the disk tier.
+	rec = get(second.Handler(), "/readyz")
+	if rec.Code != 200 {
+		t.Fatalf("readyz = %d", rec.Code)
+	}
+	var ready struct {
+		Cache youtiao.CacheStats `json:"cache"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &ready); err != nil {
+		t.Fatal(err)
+	}
+	if ready.Cache.DiskHits == 0 || ready.Cache.DiskEntries == 0 {
+		t.Fatalf("readyz cache stats missing disk tier: %+v", ready.Cache)
+	}
+}
+
+// A cache directory that cannot be created surfaces as a constructor
+// error, not a panic or a silently memory-only server.
+func TestBadCacheDirFailsConstruction(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{CacheDir: file, Logf: quiet}); err == nil {
+		t.Fatal("New accepted a cache dir path occupied by a file")
 	}
 }

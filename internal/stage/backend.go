@@ -1,0 +1,90 @@
+package stage
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Backend is the warm tier under a Store: a byte-addressed artifact
+// store keyed by (stage name, artifact key), typically on disk
+// (internal/stage/cas). The Store probes it on a memory miss and
+// writes every successfully executed artifact through to it, so a new
+// process — or a replica sharing the same directory — recalls
+// artifacts instead of re-executing stages.
+//
+// The contract mirrors the determinism contract of the keys: an
+// artifact is a pure function of its key, so Get never needs
+// versioning beyond the key itself, and a backend may drop any entry
+// at any time (GC, corruption, crash) — the only observable effect is
+// a re-execution. Get must return data only if it is exactly what a
+// previous Put stored; anything doubtful (truncation, bad checksum,
+// wrong key) must be reported as a miss, never an error. All methods
+// must be safe for concurrent use.
+type Backend interface {
+	// Get returns the stored encoding of (name, key), or ok=false.
+	Get(name string, key Key) (data []byte, ok bool)
+	// Put stores the encoding of (name, key). Best-effort: errors are
+	// swallowed (and surfaced in Stats) because a failed write only
+	// costs a future re-execution.
+	Put(name string, key Key, data []byte)
+	// Stats reports the backend's occupancy and health counters.
+	Stats() BackendStats
+}
+
+// BackendStats is a point-in-time summary of a Backend.
+type BackendStats struct {
+	// Entries counts stored artifacts.
+	Entries int `json:"entries"`
+	// Bytes is the stored payload footprint.
+	Bytes int64 `json:"bytes"`
+	// MaxBytes is the configured budget (0 = unbounded).
+	MaxBytes int64 `json:"maxBytes"`
+	// GCEvictions counts artifacts removed by the size budget.
+	GCEvictions int64 `json:"gcEvictions"`
+	// CorruptDropped counts artifacts dropped because validation
+	// failed (truncation, checksum, schema or key mismatch).
+	CorruptDropped int64 `json:"corruptDropped"`
+	// WriteErrors counts failed Put attempts.
+	WriteErrors int64 `json:"writeErrors"`
+}
+
+// Codec encodes one stage's artifact type to the deterministic byte
+// form a Backend stores and back. Both directions must be total on the
+// values the stage can produce (including typed-nil artifacts like a
+// disabled fault plan), and Encode must be deterministic — the
+// round-trip law enforced by RoundTrip is
+//
+//	Encode(Decode(Encode(v))) == Encode(v)
+//
+// which is what makes a disk-recalled artifact design-equivalent to
+// the freshly executed one: every downstream stage reads the artifact
+// only through values the encoding preserves. Stages without a codec
+// simply stay memory-only.
+type Codec struct {
+	Encode func(v any) ([]byte, error)
+	Decode func(data []byte) (any, error)
+}
+
+// RoundTrip is the property-test harness of the codec law: it encodes
+// v, decodes the bytes and re-encodes the decoded value, failing
+// unless the two encodings are byte-identical. It returns the decoded
+// value so tests can additionally compare semantics (predictions,
+// group structure) against the original.
+func (c Codec) RoundTrip(v any) (any, error) {
+	first, err := c.Encode(v)
+	if err != nil {
+		return nil, fmt.Errorf("encode: %w", err)
+	}
+	decoded, err := c.Decode(first)
+	if err != nil {
+		return nil, fmt.Errorf("decode: %w", err)
+	}
+	second, err := c.Encode(decoded)
+	if err != nil {
+		return nil, fmt.Errorf("re-encode: %w", err)
+	}
+	if !bytes.Equal(first, second) {
+		return decoded, fmt.Errorf("codec is lossy: re-encoding the decoded value changed %d bytes -> %d bytes", len(first), len(second))
+	}
+	return decoded, nil
+}

@@ -12,10 +12,12 @@ import (
 // cmd/youtiao's -stage-timings flag renders and what the sweep
 // experiments diff to log per-point cache-hit counts.
 type Report struct {
-	Stages []Stats       `json:"stages"`
-	Hits   int           `json:"hits"`
-	Misses int           `json:"misses"`
-	Wall   time.Duration `json:"wall_ns"`
+	Stages []Stats `json:"stages"`
+	Hits   int     `json:"hits"`
+	Misses int     `json:"misses"`
+	// DiskHits totals invocations served by the warm (disk) tier.
+	DiskHits int           `json:"disk_hits"`
+	Wall     time.Duration `json:"wall_ns"`
 }
 
 // Report snapshots the store's instrumentation.
@@ -24,6 +26,7 @@ func (s *Store) Report() Report {
 	for _, st := range r.Stages {
 		r.Hits += st.Hits
 		r.Misses += st.Misses
+		r.DiskHits += st.DiskHits
 		r.Wall += st.Wall
 	}
 	return r
@@ -38,15 +41,17 @@ func (r Report) Sub(earlier Report) Report {
 		prev[st.Name] = st
 	}
 	out := Report{
-		Hits:   r.Hits - earlier.Hits,
-		Misses: r.Misses - earlier.Misses,
-		Wall:   r.Wall - earlier.Wall,
+		Hits:     r.Hits - earlier.Hits,
+		Misses:   r.Misses - earlier.Misses,
+		DiskHits: r.DiskHits - earlier.DiskHits,
+		Wall:     r.Wall - earlier.Wall,
 	}
 	for _, st := range r.Stages {
 		p := prev[st.Name]
 		st.Runs -= p.Runs
 		st.Hits -= p.Hits
 		st.Misses -= p.Misses
+		st.DiskHits -= p.DiskHits
 		st.Wall -= p.Wall
 		out.Stages = append(out.Stages, st)
 	}
@@ -56,13 +61,13 @@ func (r Report) Sub(earlier Report) Report {
 // Text renders the report as an aligned table.
 func (r Report) Text() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-16s %5s %5s %6s %8s %12s\n", "stage", "runs", "hits", "misses", "workers", "wall")
+	fmt.Fprintf(&b, "%-16s %5s %5s %6s %5s %8s %12s\n", "stage", "runs", "hits", "misses", "disk", "workers", "wall")
 	for _, st := range r.Stages {
-		fmt.Fprintf(&b, "%-16s %5d %5d %6d %8d %12s\n",
-			st.Name, st.Runs, st.Hits, st.Misses, st.Workers, st.Wall.Round(time.Microsecond))
+		fmt.Fprintf(&b, "%-16s %5d %5d %6d %5d %8d %12s\n",
+			st.Name, st.Runs, st.Hits, st.Misses, st.DiskHits, st.Workers, st.Wall.Round(time.Microsecond))
 	}
-	fmt.Fprintf(&b, "total: %d hits, %d misses, %s executing\n",
-		r.Hits, r.Misses, r.Wall.Round(time.Microsecond))
+	fmt.Fprintf(&b, "total: %d hits, %d misses, %d disk hits, %s executing\n",
+		r.Hits, r.Misses, r.DiskHits, r.Wall.Round(time.Microsecond))
 	return b.String()
 }
 

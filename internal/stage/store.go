@@ -17,12 +17,16 @@ import (
 type Stats struct {
 	// Name is the stage name.
 	Name string `json:"name"`
-	// Runs counts Do invocations (hits + misses + waited duplicates).
+	// Runs counts Do invocations (hits + disk hits + misses + waited
+	// duplicates).
 	Runs int `json:"runs"`
 	// Hits counts invocations served from the artifact cache.
 	Hits int `json:"hits"`
 	// Misses counts invocations that executed the stage.
 	Misses int `json:"misses"`
+	// DiskHits counts invocations served by decoding a warm-tier
+	// (Backend) artifact instead of executing the stage.
+	DiskHits int `json:"disk_hits"`
 	// Wall is the cumulative wall time of executed (missed) runs.
 	Wall time.Duration `json:"wall_ns"`
 	// Workers is the worker budget of the most recent executed run.
@@ -73,6 +77,15 @@ type Config struct {
 	// SizeOf estimates an artifact's memory footprint for accounting.
 	// Nil selects EstimateSize.
 	SizeOf func(any) int64
+	// Backend is the optional warm tier (typically internal/stage/cas):
+	// memory misses probe it before executing, and successful
+	// executions of codec-equipped stages write through to it. Nil
+	// keeps the store memory-only (the historical behavior).
+	Backend Backend
+	// Codecs maps stage names to their artifact codecs. Only stages
+	// with a codec participate in the warm tier; others are memory-only
+	// regardless of Backend. Ignored when Backend is nil.
+	Codecs map[string]Codec
 }
 
 // entry is one memoized artifact. ready is closed once val/err are
@@ -132,6 +145,15 @@ type Store struct {
 	totalEntries atomic.Int64
 	evictions    atomic.Int64
 
+	// backend is the optional warm tier; codecs maps stage names onto
+	// their artifact encodings. Both are fixed at construction.
+	backend Backend
+	codecs  map[string]Codec
+
+	diskHits     atomic.Int64
+	diskMisses   atomic.Int64
+	decodeErrors atomic.Int64
+
 	// obsv is the optional observability registry. Swapped atomically
 	// so Observe is safe concurrently with in-flight Do calls; a nil
 	// registry (the default) disables emission at zero cost.
@@ -153,10 +175,12 @@ func NewStoreWith(cfg Config) *Store {
 		nshards = 8
 	}
 	s := &Store{
-		shards: make([]*shard, nshards),
-		seed:   maphash.MakeSeed(),
-		sizeOf: cfg.SizeOf,
-		stats:  make(map[string]*Stats),
+		shards:  make([]*shard, nshards),
+		seed:    maphash.MakeSeed(),
+		sizeOf:  cfg.SizeOf,
+		stats:   make(map[string]*Stats),
+		backend: cfg.Backend,
+		codecs:  cfg.Codecs,
 	}
 	if cfg.MaxBytes > 0 {
 		s.maxPerShard = cfg.MaxBytes / int64(nshards)
@@ -211,6 +235,13 @@ func (s *Store) Observe(r *obs.Registry) {
 	r.Counter("stage/panics")
 	r.Counter("stage/evictions")
 	r.Counter("stage/singleflight_waits")
+	// Warm-tier (Backend) counters. Pre-registered even for a
+	// memory-only store so the snapshot schema never depends on the
+	// persistence configuration — a stripped manifest of a disk-backed
+	// run stays byte-comparable to the in-memory run.
+	r.Counter("stage/disk_hits")
+	r.Counter("stage/disk_misses")
+	r.Counter("stage/decode_errors")
 	s.obsv.Store(r)
 	s.publishGauges(r)
 }
@@ -222,6 +253,13 @@ func (s *Store) publishGauges(r *obs.Registry) {
 	}
 	r.Gauge("stage/cache_bytes").Set(s.totalBytes.Load())
 	r.Gauge("stage/cache_entries").Set(s.totalEntries.Load())
+	var bs BackendStats
+	if s.backend != nil {
+		bs = s.backend.Stats()
+	}
+	r.Gauge("stage/disk_bytes").Set(bs.Bytes)
+	r.Gauge("stage/disk_entries").Set(int64(bs.Entries))
+	r.Gauge("stage/gc_evictions").Set(bs.GCEvictions)
 }
 
 // statLocked returns (creating if needed) the stats row of a stage.
@@ -336,6 +374,35 @@ func (s *Store) Do(ctx context.Context, name string, key Key, workers int, fn fu
 	sh.entries[key] = e
 	sh.mu.Unlock()
 
+	// Memory miss: probe the warm tier before executing. The probe
+	// happens under the single-flight entry, so concurrent callers for
+	// the same key coalesce onto one disk read exactly as they coalesce
+	// onto one execution, and a decoded artifact is installed in the
+	// memory tier like an executed one (it may be evicted and recalled
+	// again later).
+	if v, ok := s.diskLoad(r, name, key); ok {
+		e.val = v
+		close(e.ready)
+		e.size = s.sizeOf(v)
+		sh.mu.Lock()
+		e.cached = true
+		sh.pushFront(e)
+		sh.bytes += e.size
+		s.totalBytes.Add(e.size)
+		s.totalEntries.Add(1)
+		evicted := s.evictLocked(sh)
+		sh.mu.Unlock()
+
+		s.statsMu.Lock()
+		s.statLocked(name).DiskHits++
+		s.statsMu.Unlock()
+		if evicted > 0 {
+			r.Counter("stage/evictions").Add(int64(evicted))
+		}
+		s.publishGauges(r)
+		return v, true, nil
+	}
+
 	if wp := s.wrap.Load(); wp != nil {
 		fn = (*wp)(name, key, fn)
 	}
@@ -378,9 +445,66 @@ func (s *Store) Do(ctx context.Context, name string, key Key, workers int, fn fu
 	if evicted > 0 {
 		r.Counter("stage/evictions").Add(int64(evicted))
 	}
+	s.diskStore(r, name, key, v)
 	s.publishGauges(r)
 	r.Histogram("stage/" + name).Observe(dur)
 	return v, false, nil
+}
+
+// diskLoad probes the warm tier for (name, key), decoding on success.
+// Anything short of a valid artifact — no backend, no codec for the
+// stage, a backend miss or a decode failure — is a miss; decode
+// failures additionally count as decode_errors (the backend already
+// dropped the corrupt file, so the next write repairs it).
+func (s *Store) diskLoad(r *obs.Registry, name string, key Key) (any, bool) {
+	if s.backend == nil {
+		return nil, false
+	}
+	codec, ok := s.codecs[name]
+	if !ok || codec.Decode == nil {
+		return nil, false
+	}
+	start := time.Now()
+	data, ok := s.backend.Get(name, key)
+	if !ok {
+		s.diskMisses.Add(1)
+		r.Counter("stage/disk_misses").Inc()
+		return nil, false
+	}
+	v, err := codec.Decode(data)
+	if err != nil {
+		s.decodeErrors.Add(1)
+		s.diskMisses.Add(1)
+		r.Counter("stage/decode_errors").Inc()
+		r.Counter("stage/disk_misses").Inc()
+		return nil, false
+	}
+	s.diskHits.Add(1)
+	r.Counter("stage/disk_hits").Inc()
+	r.Histogram("stage/disk_read").Observe(time.Since(start))
+	return v, true
+}
+
+// diskStore writes an executed artifact through to the warm tier.
+// Best-effort: an encode failure only costs the persistence of this
+// one artifact (it stays memory-cached), never the build.
+func (s *Store) diskStore(r *obs.Registry, name string, key Key, v any) {
+	if s.backend == nil {
+		return
+	}
+	codec, ok := s.codecs[name]
+	if !ok || codec.Encode == nil {
+		return
+	}
+	start := time.Now()
+	data, err := codec.Encode(v)
+	if err != nil {
+		s.decodeErrors.Add(1)
+		r.Counter("stage/decode_errors").Inc()
+		return
+	}
+	s.backend.Put(name, key, data)
+	r.Histogram("stage/disk_write").Observe(time.Since(start))
 }
 
 // runProtected executes fn, converting a panic into a *PanicError so
@@ -447,6 +571,29 @@ func (s *Store) Bytes() int64 { return s.totalBytes.Load() }
 
 // Evictions returns how many artifacts the budget has evicted.
 func (s *Store) Evictions() int64 { return s.evictions.Load() }
+
+// DiskHits returns how many invocations the warm tier served.
+func (s *Store) DiskHits() int64 { return s.diskHits.Load() }
+
+// DiskMisses returns how many warm-tier probes missed (including
+// decode failures).
+func (s *Store) DiskMisses() int64 { return s.diskMisses.Load() }
+
+// DecodeErrors returns how many artifacts failed to decode or encode;
+// each one was treated as a miss (or skipped write), never an error.
+func (s *Store) DecodeErrors() int64 { return s.decodeErrors.Load() }
+
+// Backend returns the warm tier, nil for a memory-only store.
+func (s *Store) Backend() Backend { return s.backend }
+
+// BackendStats reports the warm tier's occupancy; the zero value for a
+// memory-only store.
+func (s *Store) BackendStats() BackendStats {
+	if s.backend == nil {
+		return BackendStats{}
+	}
+	return s.backend.Stats()
+}
 
 // MaxBytes returns the configured budget (0 = unbounded).
 func (s *Store) MaxBytes() int64 {

@@ -67,6 +67,10 @@ type Devices struct {
 // NewDevices wraps a chip with the device index space.
 func NewDevices(c *chip.Chip) Devices { return Devices{chip: c} }
 
+// Chip returns the wrapped chip (artifact codecs rebuild the index
+// space from it).
+func (d Devices) Chip() *chip.Chip { return d.chip }
+
 // Count returns the total number of devices (qubits + couplers).
 func (d Devices) Count() int { return d.chip.NumQubits() + d.chip.NumCouplers() }
 

@@ -34,6 +34,16 @@ type ManifestChip struct {
 	Couplers int    `json:"couplers"`
 }
 
+// ManifestCache records how a run's artifact cache was persisted.
+type ManifestCache struct {
+	// Dir is the warm-tier cache directory.
+	Dir string `json:"dir"`
+	// MemBytes is the memory-tier budget (0 = unbounded).
+	MemBytes int64 `json:"mem_bytes"`
+	// DiskBytes is the disk-tier budget (0 = unbounded).
+	DiskBytes int64 `json:"disk_bytes"`
+}
+
 // Manifest is the reproducibility record of one design run: what was
 // designed (options digest, seed, chip), where (environment, git
 // revision), and how it went (stage report, observability snapshot).
@@ -56,6 +66,13 @@ type Manifest struct {
 	Seed          int64        `json:"seed"`
 	Chip          ManifestChip `json:"chip"`
 	Env           ManifestEnv  `json:"env"`
+	// Cache records the artifact-cache persistence configuration of
+	// the run (nil for a memory-only designer). It is environmental —
+	// a warm cache changes where artifacts come from, never what they
+	// are — so StripTimings removes it along with the other
+	// machine-local fields, keeping disk-warm and in-memory runs
+	// byte-comparable.
+	Cache *ManifestCache `json:"cache,omitempty"`
 	// Stages is the designer's per-stage cache report (runs, hits,
 	// misses and wall time per stage).
 	Stages *StageReport `json:"stages,omitempty"`
@@ -94,21 +111,32 @@ func (m *Manifest) JSON() ([]byte, error) {
 	return json.MarshalIndent(m, "", "  ")
 }
 
-// StripTimings returns a copy with every timing field removed:
-// CreatedAt cleared, stage wall times zeroed and the observability
-// snapshot reduced to its deterministic subset. What remains is a
-// pure function of (chip, options, seed) on a fixed toolchain, so two
-// runs at identical inputs strip to byte-identical JSON — the
-// reproducibility check `cmd/youtiao -manifest` enables.
+// StripTimings returns a copy with every timing and cache-provenance
+// field removed: CreatedAt and Cache cleared, stage wall times,
+// worker budgets and per-tier miss/disk-hit counters zeroed, and the
+// observability snapshot reduced to its deterministic subset. What
+// remains is a pure function of (chip, options, seed) on a fixed
+// toolchain: a cold in-memory run and a cold process over a warm disk
+// cache strip to byte-identical JSON — the reproducibility check
+// `cmd/youtiao -manifest` enables. Runs and Hits survive stripping
+// (they count invocations and memory-tier recalls, identical however
+// the artifacts were obtained); Misses and DiskHits only say which
+// tier supplied an artifact, so they are environmental.
 func (m *Manifest) StripTimings() *Manifest {
 	out := *m
 	out.CreatedAt = ""
+	out.Cache = nil
 	if m.Stages != nil {
 		st := *m.Stages
 		st.Wall = 0
+		st.Misses = 0
+		st.DiskHits = 0
 		st.Stages = append([]StageStats(nil), m.Stages.Stages...)
 		for i := range st.Stages {
 			st.Stages[i].Wall = 0
+			st.Stages[i].Misses = 0
+			st.Stages[i].DiskHits = 0
+			st.Stages[i].Workers = 0
 		}
 		out.Stages = &st
 	}

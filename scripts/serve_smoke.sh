@@ -32,11 +32,15 @@ PORT=$(python3 -c 'import socket; s=socket.socket(); s.bind(("127.0.0.1",0)); pr
 BASE="http://127.0.0.1:$PORT"
 
 # Tight admission limits so a small burst reliably overflows:
-# 1 executing + 1 queued, everything else shed.
+# 1 executing + 1 queued, everything else shed. The persistent cache
+# dir is shared with the restarted server below, which must warm-start
+# from it.
+CACHE_DIR="$TMP/cache"
 "$TMP/youtiao-serve" \
     -addr "127.0.0.1:$PORT" \
     -max-inflight 1 -max-queue 1 -queue-wait 30s \
-    -request-timeout 60s -cache-mb 64 -drain-timeout 60s \
+    -request-timeout 60s -cache-mb 64 -cache-dir "$CACHE_DIR" \
+    -drain-timeout 60s \
     > "$TMP/serve.log" 2>&1 &
 PID=$!
 
@@ -115,5 +119,40 @@ wait "$PID" || status=$?
 PID=""
 [ "$status" -eq 0 ] || fail "server exited $status after SIGTERM"
 grep -q 'drained cleanly' "$TMP/serve.log" || fail "server log missing 'drained cleanly'"
+
+echo "serve-smoke: warm restart against the persisted cache dir"
+# A freshly started server pointed at the same cache dir must serve
+# the repeated design from the disk tier: /readyz's diskHits climbs
+# above zero and the design request re-executes no stages.
+"$TMP/youtiao-serve" \
+    -addr "127.0.0.1:$PORT" \
+    -max-inflight 1 -max-queue 1 -queue-wait 30s \
+    -request-timeout 60s -cache-mb 64 -cache-dir "$CACHE_DIR" \
+    -drain-timeout 60s \
+    > "$TMP/serve2.log" 2>&1 &
+PID=$!
+for i in $(seq 1 100); do
+    if curl -sf "$BASE/readyz" > /dev/null 2>&1; then break; fi
+    kill -0 "$PID" 2>/dev/null || fail "restarted server exited during startup"
+    [ "$i" -eq 100 ] && fail "restarted server never became ready"
+    sleep 0.1
+done
+code=$(curl -s -o "$TMP/design2.json" -w '%{http_code}' \
+    -d '{"topology":"square","qubits":16,"seed":1,"timeoutMs":50000}' \
+    "$BASE/v1/design")
+[ "$code" = 200 ] || fail "warm-restart design returned $code: $(cat "$TMP/design2.json")"
+curl -s "$BASE/readyz" > "$TMP/ready2.json"
+python3 - "$TMP/ready2.json" <<'EOF'
+import json, sys
+cache = json.load(open(sys.argv[1]))["cache"]
+assert cache["diskHits"] > 0, f"warm restart took no disk hits: {cache}"
+assert cache["diskEntries"] > 0, f"warm restart sees no disk entries: {cache}"
+assert cache["decodeErrors"] == 0, f"warm restart hit decode errors: {cache}"
+EOF
+kill -TERM "$PID"
+status=0
+wait "$PID" || status=$?
+PID=""
+[ "$status" -eq 0 ] || fail "restarted server exited $status after SIGTERM"
 
 echo "serve-smoke: PASS"

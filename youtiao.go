@@ -308,9 +308,23 @@ type CacheConfig struct {
 	// selects a default). Purely a concurrency knob — artifact values
 	// are identical at any shard count.
 	Shards int
+	// Dir, when non-empty, adds a persistent warm tier under this
+	// directory: every stage artifact is written through to disk, and
+	// memory misses (including those of a freshly started process, or
+	// of a replica sharing the directory) are served by decoding the
+	// stored artifact instead of re-executing the stage. Artifacts are
+	// keyed by the same deterministic stage keys as the memory tier,
+	// so warm recalls are bit-identical to cold executions. Empty
+	// keeps the cache memory-only.
+	Dir string
+	// DiskBytes caps the on-disk footprint of Dir;
+	// least-recently-used artifact files are garbage collected past
+	// it. 0 disables the bound. Ignored without Dir.
+	DiskBytes int64
 }
 
 // CacheStats is a point-in-time occupancy summary of a SharedCache.
+// The Disk* fields stay zero for a memory-only cache.
 type CacheStats struct {
 	// Entries counts cached artifacts (completed or in flight).
 	Entries int `json:"entries"`
@@ -320,6 +334,18 @@ type CacheStats struct {
 	MaxBytes int64 `json:"maxBytes"`
 	// Evictions counts artifacts forgotten under memory pressure.
 	Evictions int64 `json:"evictions"`
+	// DiskEntries counts artifacts stored in the warm disk tier.
+	DiskEntries int `json:"diskEntries"`
+	// DiskBytes is the on-disk footprint of the warm tier.
+	DiskBytes int64 `json:"diskBytes"`
+	// DiskHits counts stage invocations served by decoding a disk
+	// artifact instead of executing the stage.
+	DiskHits int64 `json:"diskHits"`
+	// GCEvictions counts artifact files the disk budget collected.
+	GCEvictions int64 `json:"gcEvictions"`
+	// DecodeErrors counts disk artifacts that failed to decode; each
+	// was dropped and treated as a miss.
+	DecodeErrors int64 `json:"decodeErrors"`
 }
 
 // SharedCache shares one bounded artifact store across the Designers of
@@ -331,10 +357,34 @@ type SharedCache struct {
 	dc *experiments.DesignCache
 }
 
-// NewSharedCache returns an empty cache under cfg's bounds.
+// NewSharedCache returns an empty cache under cfg's bounds. With
+// CacheConfig.Dir set it panics if the directory cannot be opened —
+// use OpenSharedCache to handle that error.
 func NewSharedCache(cfg CacheConfig) *SharedCache {
-	store := stage.NewStoreWith(stage.Config{MaxBytes: cfg.MaxBytes, Shards: cfg.Shards})
-	return &SharedCache{dc: experiments.NewDesignCacheWithStore(store)}
+	c, err := OpenSharedCache(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("youtiao: NewSharedCache: %v", err))
+	}
+	return c
+}
+
+// OpenSharedCache returns an empty cache under cfg's bounds, with a
+// persistent warm tier under CacheConfig.Dir when set: a restarted
+// process (or a replica pointed at the same directory) recalls warm
+// stage artifacts from disk instead of re-executing them, and the
+// recalled designs are byte-identical to freshly computed ones. The
+// only error source is opening the directory; a memory-only
+// configuration never fails.
+func OpenSharedCache(cfg CacheConfig) (*SharedCache, error) {
+	memCfg := stage.Config{MaxBytes: cfg.MaxBytes, Shards: cfg.Shards}
+	if cfg.Dir == "" {
+		return &SharedCache{dc: experiments.NewDesignCacheWithStore(stage.NewStoreWith(memCfg))}, nil
+	}
+	dc, err := experiments.OpenDesignCache(cfg.Dir, memCfg, cfg.DiskBytes)
+	if err != nil {
+		return nil, fmt.Errorf("youtiao: open cache dir: %w", err)
+	}
+	return &SharedCache{dc: dc}, nil
 }
 
 // Designer returns the cache's Designer for a chip, creating it on
@@ -355,14 +405,20 @@ func (c *SharedCache) StageReport() StageReport { return c.dc.Report() }
 // so per-build and store-wide instrumentation land in one place.
 func (c *SharedCache) Observe(r *ObsRegistry) { c.dc.Store().Observe(r) }
 
-// Stats reports the shared store's occupancy.
+// Stats reports the shared store's occupancy, both tiers.
 func (c *SharedCache) Stats() CacheStats {
 	s := c.dc.Store()
+	bs := s.BackendStats()
 	return CacheStats{
-		Entries:   s.Len(),
-		Bytes:     s.Bytes(),
-		MaxBytes:  s.MaxBytes(),
-		Evictions: s.Evictions(),
+		Entries:      s.Len(),
+		Bytes:        s.Bytes(),
+		MaxBytes:     s.MaxBytes(),
+		Evictions:    s.Evictions(),
+		DiskEntries:  bs.Entries,
+		DiskBytes:    bs.Bytes,
+		DiskHits:     s.DiskHits(),
+		GCEvictions:  bs.GCEvictions,
+		DecodeErrors: s.DecodeErrors(),
 	}
 }
 
