@@ -19,9 +19,14 @@ BENCH_STAMP := $(shell date +%Y%m%d-%H%M%S)
 # arena-pooled A* hot path whose scratch reuse must stay invisible;
 # stage/cas is the persistence layer whose corruption handling must
 # never regress to an error path.
-COVER_FLOORS ?= internal/stage:90 internal/stage/cas:85 internal/obs:85 internal/faults:85 internal/hypo:85 internal/serve:85 internal/route:80
+COVER_FLOORS ?= internal/stage:90 internal/stage/cas:85 internal/obs:85 internal/faults:85 internal/hypo:85 internal/serve:85 internal/route:80 internal/sim:85
 
-.PHONY: build vet fmt-check lint test race race-faults fuzz bench bench-smoke bench-profile faults cover verify serve-smoke experiments experiments-smoke experiments-full clean
+# sim-full knobs: the nightly long-form run replays the defect-storm
+# workload scaled into overload for SIMDURATION of virtual time.
+SIMSCALE ?= 4
+SIMDURATION ?= 300s
+
+.PHONY: build vet fmt-check lint test race race-faults fuzz bench bench-smoke bench-profile faults cover verify serve-smoke workload-smoke sim-full experiments experiments-smoke experiments-full clean
 
 # Generated run products (bench logs, coverage profiles, manifests) all
 # land under $(OUT), which is ignored wholesale; the committed
@@ -66,6 +71,7 @@ fuzz:
 	$(GO) test ./internal/stage -run NONE -fuzz FuzzArtifactKey -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/stage/cas -run NONE -fuzz FuzzCASHeader -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/hypo -run NONE -fuzz FuzzExperimentSpec -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sim -run NONE -fuzz FuzzTraceDecode -fuzztime $(FUZZTIME)
 
 # The benchmark-regression trajectory: run the full suite with
 # allocation reporting, snapshot it as $(OUT)/BENCH_<stamp>.json, and
@@ -123,6 +129,24 @@ faults:
 # must exit cleanly. See DESIGN.md, "The serving contract".
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# The CI replay-regression gate: replay the committed golden traces
+# against the library driver (deterministic summary must match the
+# committed fixtures at workers 1 and 4), against a persistent warm
+# cache tier, and against a live race-enabled youtiao-serve. See
+# DESIGN.md, "The workload contract".
+workload-smoke:
+	./scripts/workload_smoke.sh
+
+# Nightly long-form load run: the defect-storm workload scaled into
+# overload over $(SIMDURATION) of virtual time, replayed through the
+# library driver. Not a gate — the JSON report under $(OUT) is the
+# artifact, for trend-watching throughput, fairness and hit rates.
+sim-full: | $(OUT)
+	$(GO) run ./cmd/youtiao-load -workload defect-storm \
+		-scale $(SIMSCALE) -duration $(SIMDURATION) -workers 8 \
+		-report json -out $(OUT)/sim-full.json
+	@cat $(OUT)/sim-full.json
 
 # The hypothesis-experiment harness (cmd/hypo): each registered
 # experiment states a claim, runs it under the verdict rules of

@@ -1,0 +1,298 @@
+// Command youtiao-load is the replayable workload harness: it expands a
+// deterministic workload spec into a trace of virtually-timestamped
+// design requests, replays traces against the in-process library or a
+// live youtiao-serve endpoint, and reports throughput, latency
+// quantiles, cache traffic and per-tenant fairness.
+//
+// Usage:
+//
+//	youtiao-load [-workload steady-state | -workload-spec spec.json] \
+//	    [-seed 1] [-duration 0] [-scale 1] \
+//	    [-record trace.jsonl | -replay trace.jsonl] \
+//	    [-target library|http://host:port] [-workers 4] \
+//	    [-design-workers 1] [-pace 0] [-cache-dir DIR] \
+//	    [-timeout 60s] [-report text|json] [-out PATH] \
+//	    [-write-summary PATH] [-check PATH] [-allow ok,shed]
+//
+// Modes:
+//
+//	-record writes the generated trace as versioned JSONL and exits —
+//	the committed golden traces under traces/ are made this way.
+//	-replay runs a previously recorded trace instead of generating one.
+//	With neither flag the harness generates and runs in one step.
+//
+// The summary splits into a deterministic section (event/outcome
+// counts, per-tenant completions, fairness, cache hits) that is
+// bit-identical at any -workers value, and a timing section that is
+// wall-clock truth about this run. -check compares the deterministic
+// section against a committed fixture (exit 3 on drift); -allow fails
+// the run if any outcome class outside the list occurred (exit 2).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	youtiao "repro"
+	"repro/internal/sim"
+)
+
+// settings is the parsed flag set of one invocation.
+type settings struct {
+	workload     string
+	workloadSpec string
+	seed         int64
+	duration     time.Duration
+	scale        float64
+
+	record string
+	replay string
+
+	target        string
+	workers       int
+	designWorkers int
+	pace          float64
+	cacheDir      string
+	timeout       time.Duration
+
+	report       string
+	out          string
+	writeSummary string
+	check        string
+	allow        string
+}
+
+func parseFlags(args []string, stderr io.Writer) (*settings, error) {
+	fs := flag.NewFlagSet("youtiao-load", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	s := &settings{}
+	fs.StringVar(&s.workload, "workload", "steady-state",
+		fmt.Sprintf("builtin workload spec (%s)", strings.Join(sim.BuiltinNames(), ", ")))
+	fs.StringVar(&s.workloadSpec, "workload-spec", "", "JSON workload spec file (overrides -workload)")
+	fs.Int64Var(&s.seed, "seed", 1, "master seed for trace generation")
+	fs.DurationVar(&s.duration, "duration", 0, "override the spec's virtual duration (0 = spec value)")
+	fs.Float64Var(&s.scale, "scale", 1, "multiply every arrival and drift rate")
+	fs.StringVar(&s.record, "record", "", "write the generated trace to this JSONL file and exit")
+	fs.StringVar(&s.replay, "replay", "", "replay this JSONL trace instead of generating one")
+	fs.StringVar(&s.target, "target", "library", `"library" or a youtiao-serve base URL`)
+	fs.IntVar(&s.workers, "workers", 4, "dispatch concurrency")
+	fs.IntVar(&s.designWorkers, "design-workers", 1, "per-design worker pool (library target; 0 = default)")
+	fs.Float64Var(&s.pace, "pace", 0, "virtual-to-wall time speedup; 0 dispatches as fast as the target accepts")
+	fs.StringVar(&s.cacheDir, "cache-dir", "", "persistent warm cache tier (library target)")
+	fs.DurationVar(&s.timeout, "timeout", 60*time.Second, "per-request deadline (server target)")
+	fs.StringVar(&s.report, "report", "text", `report format: "text" or "json"`)
+	fs.StringVar(&s.out, "out", "", "write the report here instead of stdout")
+	fs.StringVar(&s.writeSummary, "write-summary", "", "write the deterministic summary (fixture format) to this file")
+	fs.StringVar(&s.check, "check", "", "compare the deterministic summary against this fixture; exit 3 on drift")
+	fs.StringVar(&s.allow, "allow", "", "comma-separated outcome classes allowed; any other class occurring exits 2")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if s.record != "" && s.replay != "" {
+		return nil, fmt.Errorf("-record and -replay are mutually exclusive")
+	}
+	if s.report != "text" && s.report != "json" {
+		return nil, fmt.Errorf("-report %q must be text or json", s.report)
+	}
+	return s, nil
+}
+
+// loadSpec resolves the workload spec from flags: a JSON file, or a
+// builtin by name, with -duration and -scale applied on top.
+func loadSpec(s *settings) (sim.Spec, error) {
+	var spec sim.Spec
+	if s.workloadSpec != "" {
+		data, err := os.ReadFile(s.workloadSpec)
+		if err != nil {
+			return spec, err
+		}
+		dec := json.NewDecoder(strings.NewReader(string(data)))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			return spec, fmt.Errorf("parse %s: %w", s.workloadSpec, err)
+		}
+	} else {
+		var err error
+		spec, err = sim.BuiltinSpec(s.workload)
+		if err != nil {
+			return spec, err
+		}
+	}
+	if s.duration > 0 {
+		spec.DurationSec = s.duration.Seconds()
+	}
+	if s.scale != 1 {
+		if !(s.scale > 0) {
+			return spec, fmt.Errorf("-scale %g must be > 0", s.scale)
+		}
+		spec = spec.Scale(s.scale)
+	}
+	return spec, spec.Validate()
+}
+
+// loadTrace resolves the trace to run: replayed from a file, or
+// generated from the spec.
+func loadTrace(s *settings) (*sim.Trace, error) {
+	if s.replay != "" {
+		return sim.ReplayFile(s.replay)
+	}
+	spec, err := loadSpec(s)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Generate(spec, s.seed)
+}
+
+// driver builds the dispatch target.
+func driver(s *settings) (sim.Driver, error) {
+	if s.target == "library" {
+		cache, err := youtiao.OpenSharedCache(youtiao.CacheConfig{Dir: s.cacheDir})
+		if err != nil {
+			return nil, err
+		}
+		return sim.NewLibraryDriver(cache, s.designWorkers), nil
+	}
+	if !strings.HasPrefix(s.target, "http://") && !strings.HasPrefix(s.target, "https://") {
+		return nil, fmt.Errorf("-target %q must be \"library\" or an http(s) URL", s.target)
+	}
+	return sim.NewServerDriver(strings.TrimRight(s.target, "/"), s.timeout), nil
+}
+
+// checkAllowed verifies every occurring outcome class is on the allow
+// list.
+func checkAllowed(sum *sim.Summary, allow string) error {
+	if allow == "" {
+		return nil
+	}
+	ok := make(map[string]bool)
+	for _, c := range strings.Split(allow, ",") {
+		ok[strings.TrimSpace(c)] = true
+	}
+	var bad []string
+	for class, n := range sum.Outcomes {
+		if !ok[class] && n > 0 {
+			bad = append(bad, fmt.Sprintf("%s=%d", class, n))
+		}
+	}
+	if len(bad) > 0 {
+		sort.Strings(bad)
+		return fmt.Errorf("disallowed outcome classes: %s (allowed: %s)", strings.Join(bad, " "), allow)
+	}
+	return nil
+}
+
+// checkFixture compares the deterministic summary against a committed
+// fixture file, byte for byte.
+func checkFixture(sum *sim.Summary, path string) error {
+	want, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	got, err := sum.StripTimings().JSON()
+	if err != nil {
+		return err
+	}
+	if string(got) != string(want) {
+		return fmt.Errorf("deterministic summary drifted from fixture %s\n--- fixture\n%s--- got\n%s", path, want, got)
+	}
+	return nil
+}
+
+func writeOut(path string, data []byte, stdout io.Writer) error {
+	if path == "" {
+		_, err := stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// run is main minus os.Exit, for tests. Exit codes: 0 success, 1
+// usage/IO/run error, 2 disallowed outcome class, 3 fixture drift.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	s, err := parseFlags(args, stderr)
+	if err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		fmt.Fprintf(stderr, "youtiao-load: %v\n", err)
+		return 1
+	}
+
+	trace, err := loadTrace(s)
+	if err != nil {
+		fmt.Fprintf(stderr, "youtiao-load: %v\n", err)
+		return 1
+	}
+
+	if s.record != "" {
+		if err := trace.RecordFile(s.record); err != nil {
+			fmt.Fprintf(stderr, "youtiao-load: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "recorded %s: %d events (%d requests, %d defects) over %s virtual\n",
+			s.record, len(trace.Events), trace.Requests(), trace.Defects(),
+			time.Duration(trace.Header.DurationNs))
+		return 0
+	}
+
+	d, err := driver(s)
+	if err != nil {
+		fmt.Fprintf(stderr, "youtiao-load: %v\n", err)
+		return 1
+	}
+	sum, err := sim.Run(ctx, trace, d, sim.RunConfig{Workers: s.workers, Pace: s.pace})
+	if err != nil {
+		fmt.Fprintf(stderr, "youtiao-load: %v\n", err)
+		return 1
+	}
+
+	var report []byte
+	if s.report == "json" {
+		report, err = sum.JSON()
+		if err != nil {
+			fmt.Fprintf(stderr, "youtiao-load: %v\n", err)
+			return 1
+		}
+	} else {
+		report = []byte(sum.Text())
+	}
+	if err := writeOut(s.out, report, stdout); err != nil {
+		fmt.Fprintf(stderr, "youtiao-load: %v\n", err)
+		return 1
+	}
+	if s.writeSummary != "" {
+		fixture, err := sum.StripTimings().JSON()
+		if err == nil {
+			err = os.WriteFile(s.writeSummary, fixture, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "youtiao-load: %v\n", err)
+			return 1
+		}
+	}
+	if err := checkAllowed(sum, s.allow); err != nil {
+		fmt.Fprintf(stderr, "youtiao-load: %v\n", err)
+		return 2
+	}
+	if s.check != "" {
+		if err := checkFixture(sum, s.check); err != nil {
+			fmt.Fprintf(stderr, "youtiao-load: %v\n", err)
+			return 3
+		}
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(context.Background(), os.Args[1:], os.Stdout, os.Stderr))
+}

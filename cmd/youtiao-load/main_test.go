@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI invokes run with captured output.
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestRecordReplayCheckRoundTrip: record a small trace, replay it with
+// a written summary fixture, then re-replay under -check and a
+// different worker count — the full CI gate in one test.
+func TestRecordReplayCheckRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+	fixture := filepath.Join(dir, "summary.json")
+
+	code, out, errOut := runCLI(t, "-workload", "steady-state", "-seed", "5",
+		"-duration", "10s", "-record", trace)
+	if code != 0 {
+		t.Fatalf("record exited %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "recorded") {
+		t.Fatalf("record output: %q", out)
+	}
+
+	code, _, errOut = runCLI(t, "-replay", trace, "-workers", "1",
+		"-out", filepath.Join(dir, "report.txt"), "-write-summary", fixture, "-allow", "ok")
+	if code != 0 {
+		t.Fatalf("replay exited %d: %s", code, errOut)
+	}
+
+	code, _, errOut = runCLI(t, "-replay", trace, "-workers", "4",
+		"-out", os.DevNull, "-check", fixture, "-allow", "ok")
+	if code != 0 {
+		t.Fatalf("checked replay exited %d: %s", code, errOut)
+	}
+
+	// A JSON report parses and repeats the fixture's deterministic core.
+	code, out, errOut = runCLI(t, "-replay", trace, "-report", "json")
+	if code != 0 {
+		t.Fatalf("json replay exited %d: %s", code, errOut)
+	}
+	var sum struct {
+		Workload string         `json:"workload"`
+		Outcomes map[string]int `json:"outcomes"`
+		Timing   map[string]any `json:"timing"`
+	}
+	if err := json.Unmarshal([]byte(out), &sum); err != nil {
+		t.Fatalf("json report does not parse: %v\n%s", err, out)
+	}
+	if sum.Workload != "steady-state" || sum.Outcomes["ok"] == 0 || sum.Timing == nil {
+		t.Fatalf("json report = %+v", sum)
+	}
+}
+
+// TestExitCodes: the distinct failure modes are distinguishable for
+// scripts: 1 usage, 2 disallowed outcome, 3 fixture drift.
+func TestExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+	if code, _, errOut := runCLI(t, "-workload", "steady-state", "-duration", "10s", "-record", trace); code != 0 {
+		t.Fatalf("record failed: %s", errOut)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"unknown workload", []string{"-workload", "nope"}, 1},
+		{"record and replay", []string{"-record", "a", "-replay", "b"}, 1},
+		{"bad report format", []string{"-report", "xml"}, 1},
+		{"bad target", []string{"-replay", trace, "-target", "gopher://x"}, 1},
+		{"missing trace", []string{"-replay", filepath.Join(dir, "nope.jsonl")}, 1},
+		{"disallowed outcome", []string{"-replay", trace, "-out", os.DevNull, "-allow", "shed"}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, errOut := runCLI(t, tc.args...)
+			if code != tc.want {
+				t.Fatalf("exit %d, want %d (stderr: %s)", code, tc.want, errOut)
+			}
+			if errOut == "" {
+				t.Fatal("failure produced no stderr")
+			}
+		})
+	}
+
+	// Fixture drift: check a defect-storm replay against a fixture from
+	// steady-state.
+	fixture := filepath.Join(dir, "summary.json")
+	if code, _, errOut := runCLI(t, "-replay", trace, "-out", os.DevNull, "-write-summary", fixture); code != 0 {
+		t.Fatalf("fixture write failed: %s", errOut)
+	}
+	other := filepath.Join(dir, "other.jsonl")
+	if code, _, errOut := runCLI(t, "-workload", "defect-storm", "-duration", "10s", "-record", other); code != 0 {
+		t.Fatalf("second record failed: %s", errOut)
+	}
+	code, _, errOut := runCLI(t, "-replay", other, "-out", os.DevNull, "-check", fixture)
+	if code != 3 {
+		t.Fatalf("fixture drift exited %d, want 3 (stderr: %s)", code, errOut)
+	}
+	if !strings.Contains(errOut, "drifted") {
+		t.Fatalf("drift stderr: %q", errOut)
+	}
+}
+
+// TestWorkloadSpecFile: a JSON spec file drives generation, and unknown
+// fields in it are rejected rather than silently dropped.
+func TestWorkloadSpecFile(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "spec.json")
+	body := `{
+  "name": "custom",
+  "durationSec": 10,
+  "chips": [{"name": "c1", "topology": "square", "qubits": 4, "seed": 1}],
+  "clients": [{"id": "solo", "arrival": {"process": "poisson", "ratePerSec": 0.5},
+               "mix": [{"weight": 1, "chip": "c1"}]}]
+}`
+	if err := os.WriteFile(spec, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := runCLI(t, "-workload-spec", spec, "-seed", "2", "-workers", "2")
+	if code != 0 {
+		t.Fatalf("custom spec run exited %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "custom") || !strings.Contains(out, "solo") {
+		t.Fatalf("report does not reflect the custom spec:\n%s", out)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"name": "x", "durationSec": 1, "bogus": true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := runCLI(t, "-workload-spec", bad); code != 1 {
+		t.Fatalf("unknown spec field exited %d, want 1", code)
+	}
+}

@@ -83,6 +83,16 @@ func (s Spec) Enabled() bool {
 		s.DropoutRate > 0 || s.OutlierRate > 0
 }
 
+// ValidRate reports whether r is usable as a uniform defect rate — a
+// probability strictly below 1, the constraint UniformSpec's DropoutRate
+// inherits (at rate 1 no retry budget could ever rescue a campaign).
+// The workload simulator validates its per-chip drift rates against
+// this, so a trace can never materialize a request the fault layer
+// would reject.
+func ValidRate(r float64) bool {
+	return !math.IsNaN(r) && r >= 0 && r < 1
+}
+
 // Validate checks every rate is a probability. DropoutRate must stay
 // strictly below 1 or no retry budget could ever rescue a campaign.
 func (s Spec) Validate() error {

@@ -24,6 +24,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/scalesim"
 	"repro/internal/serve"
+	"repro/internal/sim"
 	"repro/internal/xmon"
 )
 
@@ -49,6 +50,10 @@ const (
 	// defect sweep (repeated rates re-use whole builds; distinct rates
 	// share fabrication).
 	h4HitRateFloor = 0.30
+	// h9FairnessCap bounds the max/min per-tenant completion ratio of
+	// the steady-state workload: sharing one cache must not starve any
+	// tenant past 2x.
+	h9FairnessCap = 2.0
 )
 
 func builtinChip() *chip.Chip { return chip.Square(builtinChipSide, builtinChipSide) }
@@ -121,6 +126,13 @@ func Builtin() *Registry {
 		Claim: "A cold process over a warm disk cache reproduces the in-memory design and stripped manifest byte-identically, recalling every stage from disk with zero re-executions.",
 		Class: Deterministic,
 		Run:   runDiskWarmRestart,
+	})
+	r.MustRegister(&Experiment{
+		ID: "H9-workload-fairness",
+		Claim: fmt.Sprintf("Replaying the steady-state multi-tenant workload through one shared cache yields a stage-cache hit rate >= %.0f%% while per-tenant completions stay within %.0fx of each other, identically at any dispatch worker count.",
+			h4HitRateFloor*100, h9FairnessCap),
+		Class: Deterministic,
+		Run:   runWorkloadFairness,
 	})
 	return r
 }
@@ -727,6 +739,77 @@ func runDiskWarmRestart(ctx context.Context, seed int64) (Measurement, error) {
 	default:
 		m.Note = fmt.Sprintf("byte-identical design (%d bytes) and manifest; %d/%d stages recalled from disk, 0 re-executed",
 			len(coldDesign), rep.DiskHits, stages)
+	}
+	return m, nil
+}
+
+// runWorkloadFairness measures H9: the steady-state traffic-simulator
+// workload — three Poisson tenants with heavily repeated request shapes
+// over two chips — replayed through the library driver against one
+// shared cache. The tenants' repeated specs must make the cache earn
+// its keep (hit rate at least the H4 floor) without the shared store
+// skewing service: per-tenant completed requests stay within
+// h9FairnessCap of each other. Both facts must be dispatch-invariant,
+// so the run repeats at workers 1 and 4 and the deterministic summary
+// sections must be byte-identical.
+func runWorkloadFairness(ctx context.Context, seed int64) (Measurement, error) {
+	var m Measurement
+	spec, err := sim.BuiltinSpec("steady-state")
+	if err != nil {
+		return m, err
+	}
+	trace, err := sim.Generate(spec, seed)
+	if err != nil {
+		return m, err
+	}
+
+	summaries := make([][]byte, 0, 2)
+	var sum *sim.Summary
+	for _, workers := range []int{1, 4} {
+		d := sim.NewLibraryDriver(youtiao.NewSharedCache(youtiao.CacheConfig{}), 1)
+		s, err := sim.Run(ctx, trace, d, sim.RunConfig{Workers: workers})
+		if err != nil {
+			return m, fmt.Errorf("workers=%d: %w", workers, err)
+		}
+		det, err := s.StripTimings().JSON()
+		if err != nil {
+			return m, err
+		}
+		summaries = append(summaries, det)
+		sum = s
+	}
+
+	invariant := bytes.Equal(summaries[0], summaries[1])
+	allOK := sum.Outcomes[sim.OutcomeOK] == sum.Requests
+	hitRate := 0.0
+	if sum.Cache != nil {
+		hitRate = sum.Cache.HitRate
+	}
+	fairnessHolds := sum.Fairness > 0 && sum.Fairness <= h9FairnessCap
+
+	m.Holds = invariant && allOK && hitRate >= h4HitRateFloor && fairnessHolds
+	m.Effect = (hitRate - h4HitRateFloor) / h4HitRateFloor
+	m.Values = map[string]float64{
+		"requests":         float64(sum.Requests),
+		"ok":               float64(sum.Outcomes[sim.OutcomeOK]),
+		"tenants":          float64(len(sum.Clients)),
+		"hit_rate":         hitRate,
+		"fairness":         sum.Fairness,
+		"worker_invariant": b2f(invariant),
+		"all_completed":    b2f(allOK),
+	}
+	switch {
+	case !invariant:
+		m.Note = "deterministic summary differs between workers 1 and 4"
+	case !allOK:
+		m.Note = fmt.Sprintf("outcomes %v: not every request completed", sum.Outcomes)
+	case hitRate < h4HitRateFloor:
+		m.Note = fmt.Sprintf("hit rate %.2f below the %.2f floor", hitRate, h4HitRateFloor)
+	case !fairnessHolds:
+		m.Note = fmt.Sprintf("fairness %.2fx outside (0, %.0fx]", sum.Fairness, h9FairnessCap)
+	default:
+		m.Note = fmt.Sprintf("%d requests from %d tenants all completed: hit rate %.2f (floor %.2f), fairness %.2fx (cap %.0fx), worker-invariant",
+			sum.Requests, len(sum.Clients), hitRate, h4HitRateFloor, sum.Fairness, h9FairnessCap)
 	}
 	return m, nil
 }

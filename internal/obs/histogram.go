@@ -101,6 +101,25 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return 0
 }
 
+// Snapshot summarizes the histogram's current state: observation count,
+// cumulative duration and interpolated p50/p95/p99. It is the export
+// helper load harnesses and reports use to render latency columns off a
+// live histogram without walking buckets themselves; Registry.Snapshot
+// builds its histogram section from the same call. A nil receiver
+// snapshots to the zero HistogramSnapshot.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	return HistogramSnapshot{
+		Count: h.Count(),
+		SumNs: int64(h.Sum()),
+		P50Ns: int64(h.Quantile(0.50)),
+		P95Ns: int64(h.Quantile(0.95)),
+		P99Ns: int64(h.Quantile(0.99)),
+	}
+}
+
 // bucketBounds returns the inclusive value range of bucket i.
 func bucketBounds(i int) (lo, hi int64) {
 	if i == 0 {

@@ -63,13 +63,7 @@ func (r *Registry) Snapshot() Snapshot {
 	if len(r.hists) > 0 {
 		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
 		for name, h := range r.hists {
-			s.Histograms[name] = HistogramSnapshot{
-				Count: h.Count(),
-				SumNs: int64(h.Sum()),
-				P50Ns: int64(h.Quantile(0.50)),
-				P95Ns: int64(h.Quantile(0.95)),
-				P99Ns: int64(h.Quantile(0.99)),
-			}
+			s.Histograms[name] = h.Snapshot()
 		}
 	}
 	for path, st := range r.spans {
@@ -100,6 +94,14 @@ func (s Snapshot) StripTimings() Snapshot {
 		out.Spans = append(out.Spans, SpanSnapshot{Path: sp.Path, Count: sp.Count})
 	}
 	return out
+}
+
+// Histogram returns the named histogram's summary from the snapshot,
+// reporting whether it was present — the lookup helper for reports that
+// want one latency row without iterating the map.
+func (s Snapshot) Histogram(name string) (HistogramSnapshot, bool) {
+	h, ok := s.Histograms[name]
+	return h, ok
 }
 
 // JSON renders the snapshot as indented, key-sorted JSON.

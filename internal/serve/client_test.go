@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestSanitizeClientID(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{"tenant-alpha", "tenant-alpha"},
+		{"  spaced id  ", "spacedid"},
+		{"evil\nheader\r", "evilheader"},
+		{"~other", "other"},
+		{"ünïcode", "ncode"},
+		{strings.Repeat("x", 100), strings.Repeat("x", 64)},
+	}
+	for _, tc := range cases {
+		if got := sanitizeClientID(tc.in); got != tc.want {
+			t.Errorf("sanitizeClientID(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestClientStatsTally: per-tenant rows partition requests into
+// ok/shed/errors, anonymous requests are not tracked, and the readyz
+// body surfaces the rows.
+func TestClientStatsTally(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	h := srv.Handler()
+
+	send := func(id, body string) int {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/v1/design", strings.NewReader(body))
+		if id != "" {
+			req.Header.Set(ClientIDHeader, id)
+		}
+		h.ServeHTTP(rec, req)
+		return rec.Code
+	}
+
+	good := `{"topology": "square", "qubits": 4, "seed": 1}`
+	bad := `{"topology": "dodecahedron", "qubits": 4}`
+	if code := send("tenant-a", good); code != 200 {
+		t.Fatalf("good design = %d", code)
+	}
+	if code := send("tenant-a", good); code != 200 {
+		t.Fatalf("warm design = %d", code)
+	}
+	if code := send("tenant-b", bad); code != 400 {
+		t.Fatalf("bad design = %d", code)
+	}
+	if code := send("", good); code != 200 {
+		t.Fatalf("anonymous design = %d", code)
+	}
+
+	stats := srv.ClientStats()
+	if len(stats) != 2 {
+		t.Fatalf("stats = %+v, want rows for tenant-a and tenant-b only", stats)
+	}
+	a := stats["tenant-a"]
+	if a.Requests != 2 || a.OK != 2 || a.Shed != 0 || a.Errors != 0 {
+		t.Errorf("tenant-a = %+v", a)
+	}
+	b := stats["tenant-b"]
+	if b.Requests != 1 || b.Errors != 1 {
+		t.Errorf("tenant-b = %+v", b)
+	}
+
+	rec := get(h, "/readyz")
+	if rec.Code != 200 {
+		t.Fatalf("readyz = %d", rec.Code)
+	}
+	var ready struct {
+		Clients map[string]ClientTally `json:"clients"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &ready); err != nil {
+		t.Fatalf("decode readyz: %v", err)
+	}
+	if ready.Clients["tenant-a"].OK != 2 {
+		t.Errorf("readyz clients = %+v", ready.Clients)
+	}
+}
+
+// TestClientStatsOverflow: past maxTrackedClients distinct ids, new
+// tenants fold into the "~other" row instead of growing the map, and a
+// '~'-prefixed header can never collide with the overflow row.
+func TestClientStatsOverflow(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	h := srv.Handler()
+
+	bad := `{"topology": "dodecahedron", "qubits": 4}`
+	for i := 0; i < maxTrackedClients+10; i++ {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/v1/design", strings.NewReader(bad))
+		req.Header.Set(ClientIDHeader, fmt.Sprintf("tenant-%03d", i))
+		h.ServeHTTP(rec, req)
+	}
+
+	stats := srv.ClientStats()
+	if len(stats) != maxTrackedClients+1 {
+		t.Fatalf("tracking %d rows, want %d + overflow", len(stats), maxTrackedClients)
+	}
+	over, ok := stats[clientOverflow]
+	if !ok || over.Requests != 10 {
+		t.Fatalf("overflow row = %+v (present %v), want 10 requests", over, ok)
+	}
+	total := int64(0)
+	for _, tally := range stats {
+		total += tally.Requests
+	}
+	if want := int64(maxTrackedClients + 10); total != want {
+		t.Fatalf("total tallied requests = %d, want %d", total, want)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"net/http"
 	"runtime/debug"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,6 +47,37 @@ const (
 	gInFlight   = "serve/inflight"
 	gQueued     = "serve/queued"
 )
+
+// ClientIDHeader names the request header carrying the caller's tenant
+// id. Load harnesses (cmd/youtiao-load) set it so per-tenant fairness —
+// who got served, who got shed — is observable server-side.
+const ClientIDHeader = "X-Client-ID"
+
+// maxTrackedClients bounds the per-client accounting map; ids past the
+// bound are folded into the "~other" row so a client-id cardinality
+// attack cannot grow server memory.
+const maxTrackedClients = 64
+
+// clientOverflow is the fold-in row of per-client accounting once
+// maxTrackedClients distinct ids have been seen. The leading '~' cannot
+// appear in a sanitized id, so it never collides with a real client.
+const clientOverflow = "~other"
+
+// ClientTally is one tenant's request accounting: how many designs it
+// asked for and how each ended. Requests = OK + Shed + Errors once the
+// request finished (in-flight requests are counted in Requests only).
+type ClientTally struct {
+	// Requests counts design requests carrying this client id.
+	Requests int64 `json:"requests"`
+	// OK counts designs served with 200.
+	OK int64 `json:"ok"`
+	// Shed counts requests dropped by admission control (429) or
+	// refused while draining (503).
+	Shed int64 `json:"shed"`
+	// Errors counts everything else: bad requests, design failures,
+	// timeouts and contained panics.
+	Errors int64 `json:"errors"`
+}
 
 // Config tunes a Server. The zero value is completed by defaults sized
 // for a small interactive deployment.
@@ -184,6 +216,11 @@ type Server struct {
 	draining bool
 	idle     chan struct{}
 
+	// clientsMu guards the per-tenant fairness accounting keyed by the
+	// X-Client-ID header (anonymous requests are not tracked).
+	clientsMu sync.Mutex
+	clients   map[string]*ClientTally
+
 	// now is injectable for tests; defaults to time.Now.
 	now func() time.Time
 }
@@ -221,11 +258,12 @@ func New(cfg Config) (*Server, error) {
 	reg.Gauge(gQueued).Set(0)
 
 	s := &Server{
-		cfg:   cfg,
-		reg:   reg,
-		cache: cache,
-		sem:   make(chan struct{}, cfg.MaxInFlight),
-		now:   time.Now,
+		cfg:     cfg,
+		reg:     reg,
+		cache:   cache,
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		now:     time.Now,
+		clients: make(map[string]*ClientTally),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.Handle("/v1/design", http.HandlerFunc(s.handleDesign))
@@ -347,6 +385,58 @@ func (s *Server) admit(ctx context.Context) (release func(), ok bool) {
 	}
 }
 
+// sanitizeClientID normalizes the X-Client-ID header value: printable
+// ASCII only (anything else is dropped), at most 64 bytes, and never
+// starting with '~' (reserved for the overflow row). Empty in, empty
+// out — anonymous requests are not tracked.
+func sanitizeClientID(raw string) string {
+	var b strings.Builder
+	for i := 0; i < len(raw) && b.Len() < 64; i++ {
+		c := raw[i]
+		if c > 0x20 && c < 0x7f && c != '~' {
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// tallyClient applies f to the client's fairness row, folding new ids
+// past maxTrackedClients into the overflow row. No-op for an empty id.
+func (s *Server) tallyClient(id string, f func(*ClientTally)) {
+	if id == "" {
+		return
+	}
+	s.clientsMu.Lock()
+	defer s.clientsMu.Unlock()
+	t, ok := s.clients[id]
+	if !ok {
+		if len(s.clients) >= maxTrackedClients {
+			id = clientOverflow
+			if t = s.clients[id]; t == nil {
+				t = &ClientTally{}
+				s.clients[id] = t
+			}
+		} else {
+			t = &ClientTally{}
+			s.clients[id] = t
+		}
+	}
+	f(t)
+}
+
+// ClientStats snapshots the per-tenant fairness accounting: one row per
+// client id seen on the X-Client-ID header (plus the "~other" overflow
+// row once the tracked-id bound is hit).
+func (s *Server) ClientStats() map[string]ClientTally {
+	s.clientsMu.Lock()
+	defer s.clientsMu.Unlock()
+	out := make(map[string]ClientTally, len(s.clients))
+	for id, t := range s.clients {
+		out[id] = *t
+	}
+	return out
+}
+
 func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", "POST")
@@ -354,15 +444,19 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.reg.Counter(cRequests).Add(1)
+	client := sanitizeClientID(r.Header.Get(ClientIDHeader))
+	s.tallyClient(client, func(t *ClientTally) { t.Requests++ })
 
 	req, err := decodeDesignRequest(w, r)
 	if err != nil {
 		s.reg.Counter(cBadRequest).Add(1)
+		s.tallyClient(client, func(t *ClientTally) { t.Errors++ })
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
 	if req.Qubits < 2 || req.Qubits > s.cfg.MaxQubits {
 		s.reg.Counter(cBadRequest).Add(1)
+		s.tallyClient(client, func(t *ClientTally) { t.Errors++ })
 		writeJSON(w, http.StatusBadRequest,
 			errorBody{Error: fmt.Sprintf("qubits must be in [2, %d], got %d", s.cfg.MaxQubits, req.Qubits)})
 		return
@@ -370,6 +464,7 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 	ch, err := youtiao.NewChip(req.Topology, req.Qubits)
 	if err != nil {
 		s.reg.Counter(cBadRequest).Add(1)
+		s.tallyClient(client, func(t *ClientTally) { t.Errors++ })
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
@@ -379,6 +474,7 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 	release, ok := s.admit(r.Context())
 	if !ok {
 		s.reg.Counter(cShed).Add(1)
+		s.tallyClient(client, func(t *ClientTally) { t.Shed++ })
 		w.Header().Set("Retry-After", retryAfter(s.cfg.QueueWait))
 		writeJSON(w, http.StatusTooManyRequests,
 			errorBody{Error: "overloaded: execution slots and queue are full"})
@@ -386,6 +482,7 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	if !s.enter() {
+		s.tallyClient(client, func(t *ClientTally) { t.Shed++ })
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "server is draining"})
 		return
 	}
@@ -418,9 +515,11 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 	res, err := s.cache.Designer(ch).RedesignCtx(ctx, opts)
 	elapsed := time.Since(start)
 	if err != nil {
+		s.tallyClient(client, func(t *ClientTally) { t.Errors++ })
 		s.designError(w, err)
 		return
 	}
+	s.tallyClient(client, func(t *ClientTally) { t.OK++ })
 
 	manifest := youtiao.NewManifest(res, opts)
 	manifest.CreatedAt = s.now().UTC().Format(time.RFC3339)
@@ -467,6 +566,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		InFlight int                `json:"inflight"`
 		Queued   int64              `json:"queued"`
 		Cache    youtiao.CacheStats `json:"cache"`
+		// Clients is the per-tenant fairness accounting (requests, ok,
+		// shed, errors per X-Client-ID). Map keys marshal sorted, so
+		// the rendering is deterministic.
+		Clients map[string]ClientTally `json:"clients,omitempty"`
 	}
 	s.mu.Lock()
 	draining := s.draining
@@ -476,6 +579,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		InFlight: len(s.sem),
 		Queued:   s.queued.Load(),
 		Cache:    s.cache.Stats(),
+		Clients:  s.ClientStats(),
 	}
 	code := http.StatusOK
 	if draining {

@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzTraceDecode holds the strict parser to its fixed-point contract
+// on arbitrary input: whatever Replay accepts, Record must re-serialize
+// to bytes that Replay parses back to the same trace — and re-recording
+// that trace reproduces the bytes exactly. A decoder that silently
+// drops, reorders or reinterprets anything breaks the loop and the
+// committed golden traces stop being trustworthy fixtures.
+func FuzzTraceDecode(f *testing.F) {
+	for _, name := range BuiltinNames() {
+		spec, err := BuiltinSpec(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		tr, err := Generate(spec, 1)
+		if err != nil {
+			f.Fatal(err)
+		}
+		data, err := tr.RecordBytes()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"schema":1,"workload":"w","seed":1,"durationNs":1000,"events":1}` + "\n" +
+		`{"seq":0,"atNs":3,"kind":"defect","chip":"a","topology":"square","qubits":4,"defectRate":0.5}` + "\n"))
+	f.Add([]byte(`{"schema":1}`))
+	f.Add([]byte("{}\n{}\n"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		t1, err := Replay(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; crashing or accepting junk is not
+		}
+		b1, err := t1.RecordBytes()
+		if err != nil {
+			t.Fatalf("accepted trace does not record: %v", err)
+		}
+		t2, err := Replay(bytes.NewReader(b1))
+		if err != nil {
+			t.Fatalf("recorded trace does not replay: %v\n%s", err, b1)
+		}
+		if !reflect.DeepEqual(t1, t2) {
+			t.Fatalf("Replay∘Record changed the trace:\n%+v\n%+v", t1, t2)
+		}
+		b2, err := t2.RecordBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("Record is not a fixed point:\n%s\n%s", b1, b2)
+		}
+	})
+}

@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/parallel"
+)
+
+// Seed-stream namespaces. Every stochastic source of a workload owns a
+// private SplitMix64 stream split off the master seed, so sources are
+// statistically independent and the whole trace is a pure function of
+// (Spec, seed) — adding a chip or client never perturbs the streams of
+// the others.
+const (
+	// streamClientBase + 4*i (+streamArrival / +streamMix) are client
+	// i's streams.
+	streamClientBase = 0x10000
+	// streamChipBase + 4*j (+streamDriftTime / +streamDriftRate) are
+	// chip j's drift streams.
+	streamChipBase = 0x20000
+
+	streamArrival   = 0
+	streamMix       = 1
+	streamDriftTime = 0
+	streamDriftRate = 1
+)
+
+// Generate expands a workload spec under a master seed into a trace:
+// the totally ordered, virtually timestamped event sequence of the
+// whole fleet. The result is bit-deterministic — same (spec, seed),
+// same trace, on any machine — because every source draws from its own
+// parallel.TaskSeed stream and the merged timeline breaks timestamp
+// ties on a fixed (kind, source, sequence) order.
+//
+// Request events are materialized: each carries the concrete design
+// options and the target chip's defect rate *as of its virtual time*,
+// so replay needs no simulation state — drivers can dispatch events
+// independently (any worker count) and still issue identical requests.
+// Defect events remain in the trace as churn markers; they carry the
+// chip's re-drawn rate and are counted, not dispatched.
+func Generate(spec Spec, seed int64) (*Trace, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	horizon := int64(spec.DurationSec * 1e9)
+	var events []Event
+
+	// Chip drift streams first: source index j for chip j. Each chip's
+	// defect events are generated in time order, so the per-chip rate
+	// timeline below can binary-search them.
+	type rateChange struct {
+		atNs int64
+		rate float64
+	}
+	timelines := make(map[string][]rateChange, len(spec.Chips))
+	baseRate := make(map[string]float64, len(spec.Chips))
+	chipByName := make(map[string]ChipSpec, len(spec.Chips))
+	for j, c := range spec.Chips {
+		chipByName[c.Name] = c
+		baseRate[c.Name] = c.DefectRate
+		if !c.Drift.Enabled() {
+			continue
+		}
+		times := parallel.TaskRand(seed, uint64(streamChipBase+4*j+streamDriftTime))
+		rates := parallel.TaskRand(seed, uint64(streamChipBase+4*j+streamDriftRate))
+		t := 0.0
+		for {
+			t += expInterArrival(times, c.Drift.RatePerSec)
+			atNs := int64(t * 1e9)
+			if atNs > horizon {
+				break
+			}
+			rate := c.Drift.MinRate + rates.Float64()*(c.Drift.MaxRate-c.Drift.MinRate)
+			timelines[c.Name] = append(timelines[c.Name], rateChange{atNs: atNs, rate: rate})
+			events = append(events, Event{
+				AtNs:       atNs,
+				Kind:       KindDefect,
+				Chip:       c.Name,
+				Topology:   c.Topology,
+				Qubits:     c.Qubits,
+				DefectRate: rate,
+
+				srcIdx: j,
+			})
+		}
+	}
+
+	// Client request streams: source index len(chips)+i for client i.
+	for i, cl := range spec.Clients {
+		arrivals := parallel.TaskRand(seed, uint64(streamClientBase+4*i+streamArrival))
+		mix := parallel.TaskRand(seed, uint64(streamClientBase+4*i+streamMix))
+		weightSum := 0.0
+		for _, m := range cl.Mix {
+			weightSum += m.Weight
+		}
+		t := 0.0
+		for {
+			t += interArrival(arrivals, cl.Arrival)
+			atNs := int64(t * 1e9)
+			if atNs > horizon {
+				break
+			}
+			m := pickMix(mix, cl.Mix, weightSum)
+			chip := chipByName[m.Chip]
+			designSeed := chip.Seed
+			if m.Seeds > 1 {
+				designSeed += int64(mix.Intn(m.Seeds))
+			}
+			events = append(events, Event{
+				AtNs:        atNs,
+				Kind:        KindRequest,
+				Client:      cl.ID,
+				Chip:        chip.Name,
+				Topology:    chip.Topology,
+				Qubits:      chip.Qubits,
+				Seed:        designSeed,
+				Theta:       m.Theta,
+				FDMCapacity: m.FDMCapacity,
+				AnnealSteps: m.AnnealSteps,
+
+				srcIdx: len(spec.Chips) + i,
+			})
+		}
+	}
+
+	// Merge into one timeline. Per-source events are already in time
+	// order with strictly increasing generation order, so (AtNs, kind,
+	// srcIdx) is a total order: at equal timestamps a defect event
+	// precedes a request (the rate change is visible to a simultaneous
+	// request) and distinct sources break ties on declaration order.
+	sort.SliceStable(events, func(a, b int) bool {
+		ea, eb := &events[a], &events[b]
+		if ea.AtNs != eb.AtNs {
+			return ea.AtNs < eb.AtNs
+		}
+		if ea.Kind != eb.Kind {
+			return ea.Kind == KindDefect
+		}
+		return ea.srcIdx < eb.srcIdx
+	})
+
+	// Materialize each request's defect rate as of its timestamp: the
+	// latest rate change at or before it, else the chip's base rate.
+	for idx := range events {
+		ev := &events[idx]
+		ev.Seq = int64(idx)
+		if ev.Kind != KindRequest {
+			continue
+		}
+		ev.DefectRate = baseRate[ev.Chip]
+		tl := timelines[ev.Chip]
+		lo := sort.Search(len(tl), func(k int) bool { return tl[k].atNs > ev.AtNs })
+		if lo > 0 {
+			ev.DefectRate = tl[lo-1].rate
+		}
+	}
+
+	return &Trace{
+		Header: Header{
+			Schema:     SchemaVersion,
+			Workload:   spec.Name,
+			Seed:       seed,
+			DurationNs: horizon,
+			Events:     len(events),
+		},
+		Events: events,
+	}, nil
+}
+
+// expInterArrival draws one exponential inter-arrival time (seconds)
+// at the given rate: the Poisson process increment.
+func expInterArrival(rng *rand.Rand, ratePerSec float64) float64 {
+	// 1-U is in (0,1], so the log argument never hits zero.
+	return -math.Log(1-rng.Float64()) / ratePerSec
+}
+
+// interArrival draws one inter-arrival time (seconds) for an arrival
+// spec. Gamma inter-arrivals keep the spec's mean rate (scale =
+// 1/(shape*rate)); shape < 1 clusters arrivals into bursts separated by
+// long gaps, shape > 1 regularizes them.
+func interArrival(rng *rand.Rand, a ArrivalSpec) float64 {
+	switch a.Process {
+	case ArrivalGamma:
+		return gammaSample(rng, a.Shape) / (a.Shape * a.RatePerSec)
+	default: // ArrivalPoisson (Validate guarantees the process name)
+		return expInterArrival(rng, a.RatePerSec)
+	}
+}
+
+// gammaSample draws Gamma(shape, 1) by Marsaglia–Tsang squeeze
+// rejection; shapes below 1 use the boost Gamma(k) =
+// Gamma(k+1)·U^(1/k). Draw order per sample is deterministic given the
+// RNG stream, which is all trace determinism needs.
+func gammaSample(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		u := rng.Float64()
+		return gammaSample(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// pickMix selects one mix entry by weight using a single uniform draw.
+func pickMix(rng *rand.Rand, mix []MixEntry, weightSum float64) MixEntry {
+	u := rng.Float64() * weightSum
+	for _, m := range mix {
+		u -= m.Weight
+		if u < 0 {
+			return m
+		}
+	}
+	return mix[len(mix)-1]
+}

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// TestDefectRateMaterialization: every request carries exactly the
+// defect rate its chip had as of the request's virtual time — i.e. the
+// initial spec rate until the chip's first defect event, then the rate
+// of the latest preceding defect event. This is what lets replay
+// drivers dispatch at any concurrency with no simulation state.
+func TestDefectRateMaterialization(t *testing.T) {
+	spec, err := BuiltinSpec("defect-storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Generate(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	current := make(map[string]float64, len(spec.Chips))
+	for _, c := range spec.Chips {
+		current[c.Name] = c.DefectRate
+	}
+	defects := 0
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		switch ev.Kind {
+		case KindDefect:
+			if !faults.ValidRate(ev.DefectRate) {
+				t.Fatalf("defect event %d re-drew invalid rate %g", i, ev.DefectRate)
+			}
+			current[ev.Chip] = ev.DefectRate
+			defects++
+		case KindRequest:
+			if ev.DefectRate != current[ev.Chip] {
+				t.Fatalf("request %d on %s carries rate %g, chip was at %g", i, ev.Chip, ev.DefectRate, current[ev.Chip])
+			}
+		}
+	}
+	if defects == 0 {
+		t.Fatal("defect-storm generated no defect events")
+	}
+}
+
+// TestScaleMovesArrivals: scaling the spec up generates more requests
+// from the same seed, and the scaled spec still validates.
+func TestScaleMovesArrivals(t *testing.T) {
+	spec, err := BuiltinSpec("steady-state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := spec.Scale(4)
+	if err := scaled.Validate(); err != nil {
+		t.Fatalf("scaled spec invalid: %v", err)
+	}
+	base, err := Generate(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Generate(scaled, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Requests() <= base.Requests() {
+		t.Fatalf("scale 4 generated %d requests, base %d", big.Requests(), base.Requests())
+	}
+	// Scale must not mutate the receiver.
+	again, err := Generate(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Requests() != base.Requests() {
+		t.Fatal("Scale mutated the original spec")
+	}
+}
+
+// TestSpecValidateRejects: representative invalid specs.
+func TestSpecValidateRejects(t *testing.T) {
+	base := func() Spec {
+		s, err := BuiltinSpec("steady-state")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"no duration", func(s *Spec) { s.DurationSec = 0 }},
+		{"no chips", func(s *Spec) { s.Chips = nil }},
+		{"duplicate chip", func(s *Spec) { s.Chips = append(s.Chips, s.Chips[0]) }},
+		{"defect rate 1", func(s *Spec) { s.Chips[0].DefectRate = 1 }},
+		{"drift min over max", func(s *Spec) {
+			s.Chips[0].Drift = DriftSpec{RatePerSec: 1, MinRate: 0.5, MaxRate: 0.1}
+		}},
+		{"unknown arrival", func(s *Spec) { s.Clients[0].Arrival.Process = "weibull" }},
+		{"gamma without shape", func(s *Spec) { s.Clients[0].Arrival = ArrivalSpec{Process: ArrivalGamma, RatePerSec: 1} }},
+		{"zero rate", func(s *Spec) { s.Clients[0].Arrival.RatePerSec = 0 }},
+		{"dangling chip ref", func(s *Spec) { s.Clients[0].Mix[0].Chip = "ghost" }},
+		{"zero weight", func(s *Spec) { s.Clients[0].Mix[0].Weight = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base()
+			// Deep-copy the slices the mutators touch.
+			s.Chips = append([]ChipSpec(nil), s.Chips...)
+			s.Clients = append([]ClientSpec(nil), s.Clients...)
+			for i := range s.Clients {
+				s.Clients[i].Mix = append([]MixEntry(nil), s.Clients[i].Mix...)
+			}
+			tc.mutate(&s)
+			if err := s.Validate(); err == nil {
+				t.Fatal("Validate accepted a bad spec")
+			}
+		})
+	}
+}
+
+// TestBuiltinSpecsValid: every embedded workload validates and names
+// itself consistently.
+func TestBuiltinSpecsValid(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		spec, err := BuiltinSpec(name)
+		if err != nil {
+			t.Fatalf("BuiltinSpec(%q): %v", name, err)
+		}
+		if spec.Name != name {
+			t.Errorf("spec %q names itself %q", name, spec.Name)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("builtin %q invalid: %v", name, err)
+		}
+	}
+	if _, err := BuiltinSpec("nope"); err == nil {
+		t.Error("BuiltinSpec accepted an unknown name")
+	}
+}

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Driver executes one materialized request event against a target and
+// classifies the result. Implementations must be safe for concurrent
+// calls; Run dispatches from RunConfig.Workers goroutines.
+type Driver interface {
+	Design(ctx context.Context, ev Event) Outcome
+}
+
+// CacheSummarizer is implemented by drivers that can report the
+// artifact-cache traffic of the run (the library driver). Run attaches
+// the report to Summary.Cache when available.
+type CacheSummarizer interface {
+	CacheSummary() *CacheSummary
+}
+
+// RunConfig tunes a Run.
+type RunConfig struct {
+	// Workers is the dispatch concurrency (default 1). The summary's
+	// deterministic section is identical at any value; only Timing
+	// changes.
+	Workers int
+	// Pace maps virtual time onto wall time when positive: requests are
+	// dispatched no earlier than AtNs/Pace after the run started, so
+	// Pace=1 replays in real time and Pace=10 replays 10x faster.
+	// Zero (the default) dispatches as fast as the target accepts —
+	// the virtual clock keeps the trace deterministic either way, so
+	// pacing is purely a load-shaping knob for live targets.
+	Pace float64
+}
+
+// Run dispatches a trace's request events against a driver and folds
+// the outcomes into a Summary. Requests are dispatched in trace order
+// from a bounded worker pool; each outcome is recorded at its event's
+// sequence slot, so the summary's deterministic section is a pure
+// function of (trace, driver) — the dispatch interleaving only moves
+// wall-clock numbers. Defect events are counted, never dispatched:
+// requests already carry their materialized defect rate.
+//
+// A context cancellation or deadline aborts the run with the context's
+// error once in-flight requests finish.
+func Run(ctx context.Context, t *Trace, d Driver, cfg RunConfig) (*Summary, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if d == nil {
+		return nil, fmt.Errorf("sim: nil driver")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if cfg.Pace < 0 {
+		return nil, fmt.Errorf("sim: pace %g must be >= 0", cfg.Pace)
+	}
+
+	outcomes := make([]Outcome, len(t.Events))
+	hist := obs.New().Histogram("sim/request_latency")
+	start := time.Now()
+
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				t0 := time.Now()
+				outcomes[i] = d.Design(ctx, t.Events[i])
+				hist.Observe(time.Since(t0))
+			}
+		}()
+	}
+
+	var runErr error
+dispatch:
+	for i := range t.Events {
+		ev := &t.Events[i]
+		if ev.Kind != KindRequest {
+			continue
+		}
+		if cfg.Pace > 0 {
+			due := start.Add(time.Duration(float64(ev.AtNs) / cfg.Pace))
+			if wait := time.Until(due); wait > 0 {
+				timer := time.NewTimer(wait)
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+					timer.Stop()
+					runErr = ctx.Err()
+					break dispatch
+				}
+			}
+		}
+		select {
+		case idxCh <- i:
+		case <-ctx.Done():
+			runErr = ctx.Err()
+			break dispatch
+		}
+	}
+	close(idxCh)
+	wg.Wait()
+	if runErr != nil {
+		return nil, fmt.Errorf("sim: run aborted: %w", runErr)
+	}
+
+	s := summarize(t, outcomes, time.Since(start), hist)
+	if cs, ok := d.(CacheSummarizer); ok {
+		s.Cache = cs.CacheSummary()
+	}
+	return s, nil
+}

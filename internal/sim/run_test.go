@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	youtiao "repro"
+)
+
+// scriptDriver classifies each request by a pure function of the event,
+// so any dispatch interleaving must fold to the same summary.
+type scriptDriver struct{}
+
+func (scriptDriver) Design(_ context.Context, ev Event) Outcome {
+	switch {
+	case ev.Seq%7 == 3:
+		return Outcome{Class: OutcomeShed, Detail: "scripted"}
+	case ev.Seq%11 == 5:
+		return Outcome{Class: OutcomeFailed, Detail: "scripted"}
+	default:
+		return Outcome{Class: OutcomeOK}
+	}
+}
+
+// TestRunWorkerInvariance: the deterministic section of the summary is
+// identical at any worker count — the property the golden fixtures and
+// the CI gate rely on.
+func TestRunWorkerInvariance(t *testing.T) {
+	tr := mustGenerate(t, "defect-storm", 9)
+	var base Summary
+	for i, workers := range []int{1, 2, 4, 8} {
+		sum, err := Run(context.Background(), tr, scriptDriver{}, RunConfig{Workers: workers})
+		if err != nil {
+			t.Fatalf("Run(workers=%d): %v", workers, err)
+		}
+		if sum.Timing == nil {
+			t.Fatalf("Run(workers=%d): missing timing section", workers)
+		}
+		det := sum.StripTimings()
+		if i == 0 {
+			base = det
+			continue
+		}
+		if !reflect.DeepEqual(det, base) {
+			t.Fatalf("workers=%d deterministic summary differs:\n%+v\n%+v", workers, det, base)
+		}
+	}
+	if base.Requests+base.Defects != base.Events {
+		t.Fatalf("event accounting broken: %+v", base)
+	}
+	if base.Outcomes[OutcomeShed] == 0 || base.Outcomes[OutcomeFailed] == 0 {
+		t.Fatalf("script outcomes missing: %+v", base.Outcomes)
+	}
+}
+
+// TestRunLibraryGoldenFixtures is the acceptance gate in miniature:
+// replay each committed golden trace through the library driver at
+// workers 1 and 4 and require the deterministic summary to match the
+// committed fixture byte for byte.
+func TestRunLibraryGoldenFixtures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full golden replay in -short mode")
+	}
+	for _, name := range BuiltinNames() {
+		t.Run(name, func(t *testing.T) {
+			tr, err := ReplayFile(filepath.Join("..", "..", "traces", name+".jsonl"))
+			if err != nil {
+				t.Fatalf("replay golden trace: %v", err)
+			}
+			want, err := os.ReadFile(filepath.Join("..", "..", "traces", name+".summary.json"))
+			if err != nil {
+				t.Fatalf("read summary fixture: %v", err)
+			}
+			for _, workers := range []int{1, 4} {
+				d := NewLibraryDriver(youtiao.NewSharedCache(youtiao.CacheConfig{}), 1)
+				sum, err := Run(context.Background(), tr, d, RunConfig{Workers: workers})
+				if err != nil {
+					t.Fatalf("Run(workers=%d): %v", workers, err)
+				}
+				got, err := sum.StripTimings().JSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("workers=%d summary drifted from fixture:\n--- fixture\n%s--- got\n%s", workers, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestRunPaceRespectsVirtualTime: with pacing on, a request timestamped
+// deep into virtual time is not dispatched before its wall due time.
+func TestRunPaceRespectsVirtualTime(t *testing.T) {
+	tr := &Trace{
+		Header: Header{Schema: SchemaVersion, Workload: "pace", Seed: 1, DurationNs: 2e9, Events: 2},
+		Events: []Event{
+			{Seq: 0, AtNs: 0, Kind: KindRequest, Client: "c", Chip: "a", Topology: "square", Qubits: 4},
+			{Seq: 1, AtNs: 1e9, Kind: KindRequest, Client: "c", Chip: "a", Topology: "square", Qubits: 4},
+		},
+	}
+	// Pace 100x: the 1s-virtual event is due at 10ms wall.
+	sum, err := Run(context.Background(), tr, scriptDriver{}, RunConfig{Workers: 2, Pace: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Timing.WallMs < 10 {
+		t.Fatalf("paced run finished in %.1fms, before the last event's 10ms due time", sum.Timing.WallMs)
+	}
+}
+
+// TestRunCancellation: a canceled context aborts the run with an error
+// rather than returning a partial summary.
+func TestRunCancellation(t *testing.T) {
+	tr := mustGenerate(t, "steady-state", 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, tr, scriptDriver{}, RunConfig{Workers: 2, Pace: 0.001}); err == nil {
+		t.Fatal("Run returned a summary under a canceled context")
+	}
+}
+
+// TestRunRejectsBadInput: nil driver, invalid trace, negative pace.
+func TestRunRejectsBadInput(t *testing.T) {
+	tr := mustGenerate(t, "steady-state", 1)
+	if _, err := Run(context.Background(), tr, nil, RunConfig{}); err == nil {
+		t.Fatal("nil driver accepted")
+	}
+	if _, err := Run(context.Background(), tr, scriptDriver{}, RunConfig{Pace: -1}); err == nil {
+		t.Fatal("negative pace accepted")
+	}
+	bad := &Trace{Header: Header{Schema: 99}}
+	if _, err := Run(context.Background(), bad, scriptDriver{}, RunConfig{}); err == nil {
+		t.Fatal("invalid trace accepted")
+	}
+}
+
+// TestFairness: the max/min completion ratio, with 0 for the undefined
+// starved case.
+func TestFairness(t *testing.T) {
+	cases := []struct {
+		clients map[string]ClientSummary
+		want    float64
+	}{
+		{map[string]ClientSummary{}, 0},
+		{map[string]ClientSummary{"a": {OK: 4}}, 1},
+		{map[string]ClientSummary{"a": {OK: 4}, "b": {OK: 2}}, 2},
+		{map[string]ClientSummary{"a": {OK: 4}, "b": {OK: 0}}, 0},
+	}
+	for i, tc := range cases {
+		if got := fairness(tc.clients); got != tc.want {
+			t.Errorf("case %d: fairness = %g, want %g", i, got, tc.want)
+		}
+	}
+}
+
+// TestSummaryTextRendersAllSections: the human report mentions every
+// populated section (smoke, not golden — the text format may evolve).
+func TestSummaryTextRendersAllSections(t *testing.T) {
+	sum, err := Run(context.Background(), mustGenerate(t, "defect-storm", 9), scriptDriver{}, RunConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum.Cache = &CacheSummary{Hits: 3, Misses: 1, HitRate: 0.75}
+	text := sum.Text()
+	for _, want := range []string{"defect-storm", "outcomes:", "client", "fairness", "cache:", "timing:"} {
+		if !bytes.Contains([]byte(text), []byte(want)) {
+			t.Fatalf("Text() missing %q:\n%s", want, text)
+		}
+	}
+	if testing.Verbose() {
+		fmt.Print(text)
+	}
+}

@@ -1,0 +1,335 @@
+// Package sim is the deterministic traffic simulator of the YOUTIAO
+// system: a discrete-event load generator that models a fleet of chips
+// and a population of tenants over simulated time, so the serving and
+// caching layers can be driven with realistic, *reproducible* churn
+// instead of hand-rolled bursts.
+//
+// A workload Spec declares the fleet (chips with optional defect-drift
+// streams) and the clients (arrival process + weighted request mix).
+// Generate expands the spec under a master seed into a Trace: a totally
+// ordered sequence of virtually-timestamped events — design requests
+// with fully materialized options, and defect events marking the churn
+// points where a chip's fault state moved. Everything is a pure
+// function of (Spec, seed): arrival times come from per-client
+// SplitMix64 streams (parallel.TaskSeed), defect drift from per-chip
+// streams, and ties in the merged timeline break on a fixed source
+// order — two Generate calls are byte-identical, forever.
+//
+// Traces are first-class artifacts: Record serializes one to versioned
+// JSONL and Replay parses it back, with Record∘Replay byte-identity as
+// the schema contract (fuzz_test.go holds the decoder to it). Committed
+// "golden" traces under traces/ are the CI regression fixtures: the
+// workload-smoke job replays them against both the library driver and a
+// live youtiao-serve binary and asserts the deterministic summary.
+//
+// The virtual clock is what keeps runs both reproducible and fast:
+// event timestamps are simulated nanoseconds, and Run dispatches
+// requests in timestamp order without sleeping (RunConfig.Pace can
+// optionally map virtual time onto wall time when driving a live
+// server at a realistic rate). The Summary splits, like the rest of
+// the repo's observability, into a Deterministic section — event and
+// outcome counts, per-tenant completions, fairness, cache hit counts —
+// that is bit-identical for any worker count, and a Timing section
+// (throughput, latency percentiles) that is not. See DESIGN.md, "The
+// workload contract".
+package sim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// Spec declares one workload: a chip fleet and a client population over
+// a virtual duration.
+type Spec struct {
+	// Name labels the workload (it lands in the trace header).
+	Name string `json:"name"`
+	// DurationSec is the virtual length of the workload in seconds.
+	DurationSec float64 `json:"durationSec"`
+	// Chips is the fleet: every request references one by name.
+	Chips []ChipSpec `json:"chips"`
+	// Clients are the tenants generating requests.
+	Clients []ClientSpec `json:"clients"`
+}
+
+// ChipSpec is one chip of the fleet, with an optional defect-drift
+// stream that models calibration churn: defects arriving as a Poisson
+// process, each event re-drawing the chip's uniform defect rate.
+type ChipSpec struct {
+	// Name is the chip's id inside the workload ("fab-a").
+	Name string `json:"name"`
+	// Topology names the chip family ("square", "hexagon", ...).
+	Topology string `json:"topology"`
+	// Qubits is the approximate chip size (>= 2).
+	Qubits int `json:"qubits"`
+	// Seed is the chip's fabrication/design seed base. Requests against
+	// this chip use design seeds derived from it (see MixEntry.Seeds).
+	Seed int64 `json:"seed,omitempty"`
+	// DefectRate is the chip's initial uniform defect rate.
+	DefectRate float64 `json:"defectRate,omitempty"`
+	// Drift is the chip's defect-event stream; the zero value means a
+	// stable chip (no churn).
+	Drift DriftSpec `json:"drift,omitempty"`
+}
+
+// DriftSpec is a chip's defect/calibration-drift process: defect events
+// arrive Poisson at RatePerSec, and each event re-draws the chip's
+// uniform defect rate from [MinRate, MaxRate].
+type DriftSpec struct {
+	// RatePerSec is the Poisson arrival rate of defect events; 0
+	// disables drift.
+	RatePerSec float64 `json:"ratePerSec,omitempty"`
+	// MinRate and MaxRate bound the re-drawn defect rate.
+	MinRate float64 `json:"minRate,omitempty"`
+	MaxRate float64 `json:"maxRate,omitempty"`
+}
+
+// Enabled reports whether the drift stream emits any events.
+func (d DriftSpec) Enabled() bool { return d.RatePerSec > 0 }
+
+// ClientSpec is one tenant: an arrival process and a weighted mix of
+// request shapes.
+type ClientSpec struct {
+	// ID is the tenant id; it rides on every generated request (and,
+	// against a live server, on the X-Client-ID header).
+	ID string `json:"id"`
+	// Arrival is the tenant's request arrival process.
+	Arrival ArrivalSpec `json:"arrival"`
+	// Mix is the tenant's weighted request mix; each arrival picks one
+	// entry with probability Weight / sum(Weights).
+	Mix []MixEntry `json:"mix"`
+}
+
+// Arrival process names.
+const (
+	// ArrivalPoisson is a memoryless arrival stream: exponential
+	// inter-arrival times at RatePerSec.
+	ArrivalPoisson = "poisson"
+	// ArrivalGamma draws Gamma(Shape) inter-arrivals scaled to the same
+	// mean rate: Shape < 1 is burstier than Poisson (clustered
+	// arrivals with long gaps), Shape > 1 is smoother.
+	ArrivalGamma = "gamma"
+)
+
+// ArrivalSpec configures one client's arrival process.
+type ArrivalSpec struct {
+	// Process selects the inter-arrival law: ArrivalPoisson or
+	// ArrivalGamma.
+	Process string `json:"process"`
+	// RatePerSec is the mean arrival rate (> 0).
+	RatePerSec float64 `json:"ratePerSec"`
+	// Shape is the Gamma shape parameter (> 0); ignored for Poisson.
+	Shape float64 `json:"shape,omitempty"`
+}
+
+// MixEntry is one request shape of a client's mix.
+type MixEntry struct {
+	// Weight is the entry's relative pick probability (> 0).
+	Weight float64 `json:"weight"`
+	// Chip names the target ChipSpec.
+	Chip string `json:"chip"`
+	// Seeds is how many distinct design seeds this entry rotates
+	// through (default 1: every pick issues the identical request, the
+	// cache-friendliest shape). Seeds are chip.Seed .. chip.Seed+Seeds-1.
+	Seeds int `json:"seeds,omitempty"`
+	// Theta overrides the TDM parallelism threshold (nil = default;
+	// explicit 0 is honored, mirroring the serve API).
+	Theta *float64 `json:"theta,omitempty"`
+	// FDMCapacity overrides the qubits-per-XY-line limit.
+	FDMCapacity int `json:"fdmCapacity,omitempty"`
+	// AnnealSteps refines frequency allocation when positive.
+	AnnealSteps int `json:"annealSteps,omitempty"`
+}
+
+// Validate checks the spec is generatable: positive duration and rates,
+// resolvable chip references, sane sizes.
+func (s *Spec) Validate() error {
+	if s == nil {
+		return fmt.Errorf("sim: nil spec")
+	}
+	if s.Name == "" {
+		return fmt.Errorf("sim: spec has no name")
+	}
+	if !(s.DurationSec > 0) || math.IsInf(s.DurationSec, 0) {
+		return fmt.Errorf("sim: spec %q duration %g must be a positive finite second count", s.Name, s.DurationSec)
+	}
+	if len(s.Chips) == 0 {
+		return fmt.Errorf("sim: spec %q has no chips", s.Name)
+	}
+	if len(s.Clients) == 0 {
+		return fmt.Errorf("sim: spec %q has no clients", s.Name)
+	}
+	chips := make(map[string]bool, len(s.Chips))
+	for i, c := range s.Chips {
+		if c.Name == "" {
+			return fmt.Errorf("sim: chip %d has no name", i)
+		}
+		if chips[c.Name] {
+			return fmt.Errorf("sim: duplicate chip name %q", c.Name)
+		}
+		chips[c.Name] = true
+		if c.Topology == "" {
+			return fmt.Errorf("sim: chip %q has no topology", c.Name)
+		}
+		if c.Qubits < 2 {
+			return fmt.Errorf("sim: chip %q qubits %d must be >= 2", c.Name, c.Qubits)
+		}
+		if !faults.ValidRate(c.DefectRate) {
+			return fmt.Errorf("sim: chip %q defect rate %g outside [0,1)", c.Name, c.DefectRate)
+		}
+		if c.Drift.Enabled() {
+			if !faults.ValidRate(c.Drift.MinRate) || !faults.ValidRate(c.Drift.MaxRate) || c.Drift.MinRate > c.Drift.MaxRate {
+				return fmt.Errorf("sim: chip %q drift rates [%g,%g] must satisfy 0 <= min <= max < 1",
+					c.Name, c.Drift.MinRate, c.Drift.MaxRate)
+			}
+		}
+	}
+	ids := make(map[string]bool, len(s.Clients))
+	for i, cl := range s.Clients {
+		if cl.ID == "" {
+			return fmt.Errorf("sim: client %d has no id", i)
+		}
+		if ids[cl.ID] {
+			return fmt.Errorf("sim: duplicate client id %q", cl.ID)
+		}
+		ids[cl.ID] = true
+		switch cl.Arrival.Process {
+		case ArrivalPoisson:
+		case ArrivalGamma:
+			if !(cl.Arrival.Shape > 0) {
+				return fmt.Errorf("sim: client %q gamma shape %g must be > 0", cl.ID, cl.Arrival.Shape)
+			}
+		default:
+			return fmt.Errorf("sim: client %q has unknown arrival process %q", cl.ID, cl.Arrival.Process)
+		}
+		if !(cl.Arrival.RatePerSec > 0) {
+			return fmt.Errorf("sim: client %q arrival rate %g must be > 0", cl.ID, cl.Arrival.RatePerSec)
+		}
+		if len(cl.Mix) == 0 {
+			return fmt.Errorf("sim: client %q has an empty mix", cl.ID)
+		}
+		for j, m := range cl.Mix {
+			if !(m.Weight > 0) {
+				return fmt.Errorf("sim: client %q mix %d weight %g must be > 0", cl.ID, j, m.Weight)
+			}
+			if !chips[m.Chip] {
+				return fmt.Errorf("sim: client %q mix %d references unknown chip %q", cl.ID, j, m.Chip)
+			}
+			if m.Seeds < 0 {
+				return fmt.Errorf("sim: client %q mix %d seeds %d must be >= 0", cl.ID, j, m.Seeds)
+			}
+		}
+	}
+	return nil
+}
+
+// Scale returns a copy of the spec with every arrival and drift rate
+// multiplied by f — the knob the nightly long-form run turns to push
+// the same workload shape into overload.
+func (s Spec) Scale(f float64) Spec {
+	out := s
+	out.Chips = append([]ChipSpec(nil), s.Chips...)
+	for i := range out.Chips {
+		out.Chips[i].Drift.RatePerSec *= f
+	}
+	out.Clients = append([]ClientSpec(nil), s.Clients...)
+	for i := range out.Clients {
+		out.Clients[i].Arrival.RatePerSec *= f
+	}
+	return out
+}
+
+// Duration returns the spec's virtual duration.
+func (s Spec) Duration() time.Duration {
+	return time.Duration(s.DurationSec * float64(time.Second))
+}
+
+// BuiltinNames lists the embedded workload specs, in a fixed order.
+func BuiltinNames() []string { return []string{"steady-state", "defect-storm"} }
+
+// BuiltinSpec returns one of the embedded workload specs by name:
+//
+//   - "steady-state": three Poisson tenants over two stable chips with
+//     heavily repeated request shapes — the shared-cache / fairness
+//     baseline (golden trace traces/steady-state.jsonl).
+//   - "defect-storm": bursty Gamma tenants over drifting chips whose
+//     defect rates are re-drawn by Poisson defect events — the churn
+//     stress (golden trace traces/defect-storm.jsonl).
+func BuiltinSpec(name string) (Spec, error) {
+	switch name {
+	case "steady-state":
+		theta := 3.0
+		return Spec{
+			Name:        "steady-state",
+			DurationSec: 30,
+			Chips: []ChipSpec{
+				{Name: "fab-a", Topology: "square", Qubits: 16, Seed: 1},
+				{Name: "fab-b", Topology: "hexagon", Qubits: 12, Seed: 2},
+			},
+			Clients: []ClientSpec{
+				{
+					ID:      "tenant-alpha",
+					Arrival: ArrivalSpec{Process: ArrivalPoisson, RatePerSec: 0.5},
+					Mix: []MixEntry{
+						{Weight: 3, Chip: "fab-a"},
+						{Weight: 1, Chip: "fab-a", Theta: &theta},
+					},
+				},
+				{
+					ID:      "tenant-beta",
+					Arrival: ArrivalSpec{Process: ArrivalPoisson, RatePerSec: 0.4},
+					Mix: []MixEntry{
+						{Weight: 2, Chip: "fab-b"},
+						{Weight: 1, Chip: "fab-a", AnnealSteps: 50},
+					},
+				},
+				{
+					ID:      "tenant-gamma",
+					Arrival: ArrivalSpec{Process: ArrivalPoisson, RatePerSec: 0.3},
+					Mix: []MixEntry{
+						{Weight: 1, Chip: "fab-b", Seeds: 2},
+					},
+				},
+			},
+		}, nil
+	case "defect-storm":
+		return Spec{
+			Name:        "defect-storm",
+			DurationSec: 30,
+			Chips: []ChipSpec{
+				{
+					Name: "storm-a", Topology: "square", Qubits: 16, Seed: 3,
+					DefectRate: 0.01,
+					Drift:      DriftSpec{RatePerSec: 0.1, MinRate: 0.01, MaxRate: 0.05},
+				},
+				{
+					Name: "storm-b", Topology: "heavy-square", Qubits: 12, Seed: 4,
+					DefectRate: 0.02,
+					Drift:      DriftSpec{RatePerSec: 0.05, MinRate: 0.0, MaxRate: 0.04},
+				},
+			},
+			Clients: []ClientSpec{
+				{
+					ID:      "ops-recal",
+					Arrival: ArrivalSpec{Process: ArrivalGamma, RatePerSec: 0.8, Shape: 0.5},
+					Mix: []MixEntry{
+						{Weight: 2, Chip: "storm-a"},
+						{Weight: 1, Chip: "storm-b"},
+					},
+				},
+				{
+					ID:      "ops-batch",
+					Arrival: ArrivalSpec{Process: ArrivalGamma, RatePerSec: 0.4, Shape: 2},
+					Mix: []MixEntry{
+						{Weight: 1, Chip: "storm-b", Seeds: 2},
+					},
+				},
+			},
+		}, nil
+	default:
+		return Spec{}, fmt.Errorf("sim: unknown builtin workload %q (have %v)", name, BuiltinNames())
+	}
+}

@@ -1,0 +1,248 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Outcome classes. Every dispatched request ends in exactly one class;
+// the summary's Outcomes map counts them. The library and server
+// drivers map onto the same classes (an HTTP 429 and an admission shed
+// are both OutcomeShed), so summaries from the two targets are
+// comparable row for row.
+const (
+	// OutcomeOK is a completed design.
+	OutcomeOK = "ok"
+	// OutcomeShed is a request dropped by admission control (HTTP 429)
+	// or refused by a draining server (503).
+	OutcomeShed = "shed"
+	// OutcomeBadRequest is a request the target rejected as malformed
+	// (HTTP 400): in a generated trace this indicates a schema drift
+	// between simulator and server, never expected load behavior.
+	OutcomeBadRequest = "bad_request"
+	// OutcomeTimeout is a design that exceeded its deadline (HTTP 504).
+	OutcomeTimeout = "timeout"
+	// OutcomeFailed is a design the pipeline could not complete (HTTP
+	// 422/500): e.g. too many defects to group.
+	OutcomeFailed = "failed"
+	// OutcomeTransport is a request that never got an HTTP response
+	// (connection refused, reset). Server driver only.
+	OutcomeTransport = "transport"
+)
+
+// Outcome is one dispatched request's result.
+type Outcome struct {
+	// Class is one of the Outcome* constants.
+	Class string `json:"class"`
+	// Detail carries the error text of a non-OK outcome. Purely
+	// diagnostic: it never enters the summary, which must stay
+	// identical across targets whose error renderings differ.
+	Detail string `json:"detail,omitempty"`
+}
+
+// ClientSummary is one tenant's completion accounting in a summary.
+type ClientSummary struct {
+	// Requests counts the tenant's dispatched requests.
+	Requests int `json:"requests"`
+	// OK, Shed and Errors partition Requests by outcome (Errors folds
+	// every class other than ok and shed).
+	OK     int `json:"ok"`
+	Shed   int `json:"shed"`
+	Errors int `json:"errors"`
+}
+
+// CacheSummary is the artifact-cache traffic a run induced, from the
+// shared store's per-stage counters. For an unbounded memory-tier
+// cache these counts are deterministic at any dispatch worker count:
+// per artifact key the first Do executes (one miss) and every other
+// caller — concurrent single-flight waiters included — counts a hit.
+// Failed executions are never cached, so a workload whose designs fail
+// forfeits this invariance (see DESIGN.md, "The workload contract").
+type CacheSummary struct {
+	Hits     int `json:"hits"`
+	Misses   int `json:"misses"`
+	DiskHits int `json:"diskHits,omitempty"`
+	// HitRate is (Hits+DiskHits) / (Hits+DiskHits+Misses).
+	HitRate float64 `json:"hitRate"`
+}
+
+// Timing is the wall-clock section of a summary: real throughput and
+// latency quantiles off the run's obs histogram. Never deterministic —
+// StripTimings removes it, and nothing in CI gates on it.
+type Timing struct {
+	// WallMs is the run's total wall time.
+	WallMs float64 `json:"wallMs"`
+	// ThroughputRPS is completed (ok) requests per wall second.
+	ThroughputRPS float64 `json:"throughputRps"`
+	// Latency quantiles of the per-request dispatch latency.
+	LatencyP50Ms float64 `json:"latencyP50Ms"`
+	LatencyP95Ms float64 `json:"latencyP95Ms"`
+	LatencyP99Ms float64 `json:"latencyP99Ms"`
+}
+
+// Summary is a run's report. Everything outside Timing is the
+// deterministic section: a pure function of (trace, driver semantics),
+// bit-identical at any dispatch worker count, which is what the golden
+// summary fixtures and the CI workload-smoke gate compare. Timing is
+// wall-clock truth about this particular run.
+type Summary struct {
+	// Workload, Seed and Schema identify the trace that was run.
+	Workload string `json:"workload"`
+	Seed     int64  `json:"seed"`
+	Schema   int    `json:"schema"`
+	// Events/Requests/Defects count the trace's timeline.
+	Events   int `json:"events"`
+	Requests int `json:"requests"`
+	Defects  int `json:"defects"`
+	// Outcomes counts dispatched requests by outcome class; only
+	// classes that occurred appear (keys marshal sorted).
+	Outcomes map[string]int `json:"outcomes"`
+	// Clients is the per-tenant completion accounting.
+	Clients map[string]ClientSummary `json:"clients"`
+	// Fairness is the max/min ratio of per-tenant completed (ok)
+	// requests — 1.0 is perfectly fair, 2.0 means the best-served
+	// tenant completed twice the worst-served one's requests. 0 when
+	// undefined (some tenant completed nothing).
+	Fairness float64 `json:"fairness"`
+	// Cache is the artifact-cache traffic (library driver only; a
+	// remote server's cache is shared state the run cannot attribute).
+	Cache *CacheSummary `json:"cache,omitempty"`
+	// Timing is the wall-clock section; nil after StripTimings.
+	Timing *Timing `json:"timing,omitempty"`
+}
+
+// StripTimings returns the summary reduced to its deterministic
+// section — the repo-wide convention (obs snapshots, manifests) for
+// splitting reproducible facts from wall-clock ones.
+func (s Summary) StripTimings() Summary {
+	s.Timing = nil
+	return s
+}
+
+// JSON renders the summary as indented, key-sorted JSON with a
+// trailing newline — the committed fixture format.
+func (s Summary) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Text renders a human-readable report.
+func (s Summary) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload %s (seed %d, schema v%d): %d events = %d requests + %d defects\n",
+		s.Workload, s.Seed, s.Schema, s.Events, s.Requests, s.Defects)
+	classes := make([]string, 0, len(s.Outcomes))
+	for c := range s.Outcomes {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	b.WriteString("outcomes:")
+	for _, c := range classes {
+		fmt.Fprintf(&b, " %s=%d", c, s.Outcomes[c])
+	}
+	b.WriteByte('\n')
+	ids := make([]string, 0, len(s.Clients))
+	for id := range s.Clients {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		cs := s.Clients[id]
+		fmt.Fprintf(&b, "  client %-16s requests=%-4d ok=%-4d shed=%-4d errors=%d\n",
+			id, cs.Requests, cs.OK, cs.Shed, cs.Errors)
+	}
+	if s.Fairness > 0 {
+		fmt.Fprintf(&b, "fairness (max/min completed): %.2fx\n", s.Fairness)
+	} else {
+		b.WriteString("fairness: undefined (a tenant completed no requests)\n")
+	}
+	if s.Cache != nil {
+		fmt.Fprintf(&b, "cache: %d hits, %d misses", s.Cache.Hits, s.Cache.Misses)
+		if s.Cache.DiskHits > 0 {
+			fmt.Fprintf(&b, ", %d disk hits", s.Cache.DiskHits)
+		}
+		fmt.Fprintf(&b, " (hit rate %.2f)\n", s.Cache.HitRate)
+	}
+	if s.Timing != nil {
+		fmt.Fprintf(&b, "timing: wall %.0fms, %.2f req/s, latency p50=%.1fms p95=%.1fms p99=%.1fms\n",
+			s.Timing.WallMs, s.Timing.ThroughputRPS,
+			s.Timing.LatencyP50Ms, s.Timing.LatencyP95Ms, s.Timing.LatencyP99Ms)
+	}
+	return b.String()
+}
+
+// summarize folds a run's outcome vector into a Summary. outcomes is
+// indexed by event Seq (defect events hold the zero Outcome); order of
+// aggregation is the trace order, so the result is independent of the
+// dispatch interleaving that produced the vector.
+func summarize(t *Trace, outcomes []Outcome, wall time.Duration, hist *obs.Histogram) *Summary {
+	s := &Summary{
+		Workload: t.Header.Workload,
+		Seed:     t.Header.Seed,
+		Schema:   t.Header.Schema,
+		Events:   len(t.Events),
+		Outcomes: make(map[string]int),
+		Clients:  make(map[string]ClientSummary),
+	}
+	for i := range t.Events {
+		ev := &t.Events[i]
+		if ev.Kind == KindDefect {
+			s.Defects++
+			continue
+		}
+		s.Requests++
+		o := outcomes[i]
+		s.Outcomes[o.Class]++
+		cs := s.Clients[ev.Client]
+		cs.Requests++
+		switch o.Class {
+		case OutcomeOK:
+			cs.OK++
+		case OutcomeShed:
+			cs.Shed++
+		default:
+			cs.Errors++
+		}
+		s.Clients[ev.Client] = cs
+	}
+	s.Fairness = fairness(s.Clients)
+
+	hs := hist.Snapshot()
+	tm := &Timing{WallMs: float64(wall.Microseconds()) / 1000}
+	if wall > 0 {
+		tm.ThroughputRPS = float64(s.Outcomes[OutcomeOK]) / wall.Seconds()
+	}
+	tm.LatencyP50Ms = float64(hs.P50Ns) / 1e6
+	tm.LatencyP95Ms = float64(hs.P95Ns) / 1e6
+	tm.LatencyP99Ms = float64(hs.P99Ns) / 1e6
+	s.Timing = tm
+	return s
+}
+
+// fairness returns the max/min ratio of per-tenant completions, 0 when
+// undefined (no tenants, or a tenant with zero completions — an
+// infinite ratio has no JSON rendering, and "someone got nothing" is a
+// louder signal than any finite number).
+func fairness(clients map[string]ClientSummary) float64 {
+	minOK, maxOK := -1, 0
+	for _, cs := range clients {
+		if cs.OK > maxOK {
+			maxOK = cs.OK
+		}
+		if minOK < 0 || cs.OK < minOK {
+			minOK = cs.OK
+		}
+	}
+	if minOK <= 0 {
+		return 0
+	}
+	return float64(maxOK) / float64(minOK)
+}

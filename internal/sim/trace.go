@@ -1,0 +1,289 @@
+package sim
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/faults"
+)
+
+// SchemaVersion is the trace format version. Replay rejects any other
+// version outright: a trace is a regression fixture, and silently
+// reinterpreting an old fixture under new semantics would turn the CI
+// gate into noise. Bump it when the Event schema or its ordering
+// contract changes, and regenerate the committed golden traces in the
+// same commit.
+const SchemaVersion = 1
+
+// Event kinds.
+const (
+	// KindRequest is one tenant's design request, fully materialized:
+	// the target chip, the concrete design options and the chip's
+	// defect rate as of the event's virtual time.
+	KindRequest = "request"
+	// KindDefect marks a churn point: the named chip's defect rate was
+	// re-drawn by its drift process. Defect events are counted, not
+	// dispatched — requests already carry the materialized rate — but
+	// they stay in the trace so replay tooling can see *why* the
+	// workload went cold at a timestamp.
+	KindDefect = "defect"
+)
+
+// Event is one entry of a trace's totally ordered timeline. The JSON
+// field order is the canonical line layout of the trace format;
+// Record emits exactly this order, and Record∘Replay is byte-identity.
+type Event struct {
+	// Seq is the event's position in the trace (0-based, dense).
+	Seq int64 `json:"seq"`
+	// AtNs is the event's virtual timestamp in nanoseconds from the
+	// start of the workload. Non-decreasing across the trace.
+	AtNs int64 `json:"atNs"`
+	// Kind is KindRequest or KindDefect.
+	Kind string `json:"kind"`
+	// Client is the issuing tenant's id (requests only).
+	Client string `json:"client,omitempty"`
+	// Chip names the target chip of the fleet.
+	Chip string `json:"chip"`
+	// Topology and Qubits describe the chip (denormalized onto every
+	// event so a driver needs no side table).
+	Topology string `json:"topology"`
+	Qubits   int    `json:"qubits"`
+	// Seed is the design seed of a request.
+	Seed int64 `json:"seed,omitempty"`
+	// Theta, FDMCapacity and AnnealSteps are the request's design
+	// options (requests only; nil/zero = pipeline default).
+	Theta       *float64 `json:"theta,omitempty"`
+	FDMCapacity int      `json:"fdmCapacity,omitempty"`
+	AnnealSteps int      `json:"annealSteps,omitempty"`
+	// DefectRate is, on a request, the chip's uniform defect rate as of
+	// AtNs; on a defect event, the re-drawn rate the chip moved to.
+	DefectRate float64 `json:"defectRate,omitempty"`
+
+	// srcIdx orders simultaneous events from distinct sources during
+	// generation; it is not part of the trace format.
+	srcIdx int
+}
+
+// Header is the first line of a trace: schema version, provenance and
+// the event count Replay verifies against the body.
+type Header struct {
+	Schema     int    `json:"schema"`
+	Workload   string `json:"workload"`
+	Seed       int64  `json:"seed"`
+	DurationNs int64  `json:"durationNs"`
+	Events     int    `json:"events"`
+}
+
+// Trace is one recorded workload: a header and its totally ordered
+// event sequence.
+type Trace struct {
+	Header Header
+	Events []Event
+}
+
+// Requests counts the trace's request events.
+func (t *Trace) Requests() int { return t.countKind(KindRequest) }
+
+// Defects counts the trace's defect events.
+func (t *Trace) Defects() int { return t.countKind(KindDefect) }
+
+func (t *Trace) countKind(kind string) int {
+	n := 0
+	for i := range t.Events {
+		if t.Events[i].Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks the trace's structural invariants — the same rules
+// Replay enforces on a parsed file, shared so a generated trace and a
+// decoded one are held to one contract.
+func (t *Trace) Validate() error {
+	if t == nil {
+		return fmt.Errorf("sim: nil trace")
+	}
+	h := t.Header
+	if h.Schema != SchemaVersion {
+		return fmt.Errorf("sim: trace schema %d, this build reads %d", h.Schema, SchemaVersion)
+	}
+	if h.Workload == "" {
+		return fmt.Errorf("sim: trace header has no workload name")
+	}
+	if h.DurationNs <= 0 {
+		return fmt.Errorf("sim: trace duration %d must be positive", h.DurationNs)
+	}
+	if h.Events != len(t.Events) {
+		return fmt.Errorf("sim: header declares %d events, trace has %d", h.Events, len(t.Events))
+	}
+	prev := int64(0)
+	for i := range t.Events {
+		ev := &t.Events[i]
+		if ev.Seq != int64(i) {
+			return fmt.Errorf("sim: event %d has seq %d", i, ev.Seq)
+		}
+		if ev.AtNs < prev {
+			return fmt.Errorf("sim: event %d at %dns precedes event %d at %dns", i, ev.AtNs, i-1, prev)
+		}
+		prev = ev.AtNs
+		if ev.Chip == "" {
+			return fmt.Errorf("sim: event %d has no chip", i)
+		}
+		if ev.Topology == "" {
+			return fmt.Errorf("sim: event %d has no topology", i)
+		}
+		if ev.Qubits < 2 {
+			return fmt.Errorf("sim: event %d qubits %d must be >= 2", i, ev.Qubits)
+		}
+		if !faults.ValidRate(ev.DefectRate) {
+			return fmt.Errorf("sim: event %d defect rate %g outside [0,1)", i, ev.DefectRate)
+		}
+		switch ev.Kind {
+		case KindRequest:
+			if ev.Client == "" {
+				return fmt.Errorf("sim: request event %d has no client", i)
+			}
+			if ev.Theta != nil && (math.IsNaN(*ev.Theta) || math.IsInf(*ev.Theta, 0)) {
+				return fmt.Errorf("sim: request event %d has non-finite theta", i)
+			}
+			if ev.FDMCapacity < 0 {
+				return fmt.Errorf("sim: request event %d fdm capacity %d must be >= 0", i, ev.FDMCapacity)
+			}
+			if ev.AnnealSteps < 0 {
+				return fmt.Errorf("sim: request event %d anneal steps %d must be >= 0", i, ev.AnnealSteps)
+			}
+		case KindDefect:
+			if ev.Client != "" {
+				return fmt.Errorf("sim: defect event %d carries client %q", i, ev.Client)
+			}
+		default:
+			return fmt.Errorf("sim: event %d has unknown kind %q", i, ev.Kind)
+		}
+	}
+	return nil
+}
+
+// Record serializes the trace as versioned JSONL: the header line
+// followed by one compact JSON object per event. The encoding is
+// canonical — field order is the Event struct order, zero-valued
+// optional fields are omitted — so Record(Replay(Record(t))) is
+// byte-identical to Record(t), which is the schema contract the fuzz
+// target and the golden-trace tests hold the parser to.
+func Record(w io.Writer, t *Trace) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(t.Header); err != nil {
+		return fmt.Errorf("sim: record header: %w", err)
+	}
+	for i := range t.Events {
+		if err := enc.Encode(&t.Events[i]); err != nil {
+			return fmt.Errorf("sim: record event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// RecordBytes renders Record into memory.
+func (t *Trace) RecordBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Record(&buf, t); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RecordFile writes the trace to path (0644, truncating).
+func (t *Trace) RecordFile(path string) error {
+	data, err := t.RecordBytes()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// maxTraceLine bounds one JSONL line; a trace line is a small flat
+// object, so anything near this is hostile input, not a trace.
+const maxTraceLine = 1 << 20
+
+// Replay parses a versioned JSONL trace and validates it against the
+// schema contract: correct version, dense sequence numbers,
+// non-decreasing timestamps, resolvable kinds, sane request options.
+// A replayed trace drives Run exactly as the freshly generated one
+// did — byte-identical event sequences, forever.
+func Replay(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxTraceLine)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("sim: replay: %w", err)
+		}
+		return nil, fmt.Errorf("sim: replay: empty trace")
+	}
+	t := &Trace{}
+	if err := decodeStrict(sc.Bytes(), &t.Header); err != nil {
+		return nil, fmt.Errorf("sim: replay header: %w", err)
+	}
+	if t.Header.Schema != SchemaVersion {
+		return nil, fmt.Errorf("sim: trace schema %d, this build reads %d", t.Header.Schema, SchemaVersion)
+	}
+	if t.Header.Events < 0 || t.Header.Events > 1<<26 {
+		return nil, fmt.Errorf("sim: header declares %d events", t.Header.Events)
+	}
+	t.Events = make([]Event, 0, t.Header.Events)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			return nil, fmt.Errorf("sim: replay: blank line after event %d", len(t.Events))
+		}
+		var ev Event
+		if err := decodeStrict(line, &ev); err != nil {
+			return nil, fmt.Errorf("sim: replay event %d: %w", len(t.Events), err)
+		}
+		t.Events = append(t.Events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sim: replay: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ReplayFile parses the trace at path.
+func ReplayFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	defer f.Close()
+	t, err := Replay(f)
+	if err != nil {
+		return nil, fmt.Errorf("%w (trace %s)", err, path)
+	}
+	return t, nil
+}
+
+// decodeStrict unmarshals one trace line, rejecting unknown fields and
+// trailing data — a typoed field silently dropped on re-record would
+// break the Record∘Replay fixed point.
+func decodeStrict(line []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON object")
+	}
+	return nil
+}

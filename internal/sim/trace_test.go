@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// mustGenerate expands a builtin spec under the golden seed.
+func mustGenerate(t *testing.T, workload string, seed int64) *Trace {
+	t.Helper()
+	spec, err := BuiltinSpec(workload)
+	if err != nil {
+		t.Fatalf("BuiltinSpec(%q): %v", workload, err)
+	}
+	tr, err := Generate(spec, seed)
+	if err != nil {
+		t.Fatalf("Generate(%q, %d): %v", workload, seed, err)
+	}
+	return tr
+}
+
+// TestRecordReplayByteIdentity: Record∘Replay is a fixed point — the
+// schema contract. Replaying a recorded trace and re-recording it must
+// reproduce the file byte for byte, for every builtin workload.
+func TestRecordReplayByteIdentity(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		t.Run(name, func(t *testing.T) {
+			tr := mustGenerate(t, name, 7)
+			first, err := tr.RecordBytes()
+			if err != nil {
+				t.Fatalf("RecordBytes: %v", err)
+			}
+			replayed, err := Replay(bytes.NewReader(first))
+			if err != nil {
+				t.Fatalf("Replay: %v", err)
+			}
+			second, err := replayed.RecordBytes()
+			if err != nil {
+				t.Fatalf("re-RecordBytes: %v", err)
+			}
+			if !bytes.Equal(first, second) {
+				t.Fatalf("Record∘Replay is not a fixed point:\n--- first\n%s--- second\n%s", first, second)
+			}
+			if replayed.Header != tr.Header {
+				t.Fatalf("header drifted: %+v != %+v", replayed.Header, tr.Header)
+			}
+		})
+	}
+}
+
+// TestGenerateDeterministic: two Generate calls with the same (spec,
+// seed) are byte-identical, and a different seed is not.
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := mustGenerate(t, "defect-storm", 42).RecordBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mustGenerate(t, "defect-storm", 42).RecordBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same (spec, seed) generated different traces")
+	}
+	c, err := mustGenerate(t, "defect-storm", 43).RecordBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds generated identical traces")
+	}
+}
+
+// TestGoldenTracesUpToDate: the committed golden traces are exactly
+// what this build generates from the builtin specs at seed 1. If this
+// fails, the generator or a builtin spec changed: regenerate with
+//
+//	go run ./cmd/youtiao-load -workload NAME -seed 1 -record traces/NAME.jsonl
+//
+// and refresh the matching .summary.json fixture in the same commit.
+func TestGoldenTracesUpToDate(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		t.Run(name, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("..", "..", "traces", name+".jsonl"))
+			if err != nil {
+				t.Fatalf("read golden trace: %v", err)
+			}
+			got, err := mustGenerate(t, name, 1).RecordBytes()
+			if err != nil {
+				t.Fatalf("RecordBytes: %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("golden trace %s.jsonl is stale: regenerate it (and its summary fixture)", name)
+			}
+		})
+	}
+}
+
+// TestReplayRejects: the strict parser refuses schema drift, count
+// mismatches, unknown fields and disorder.
+func TestReplayRejects(t *testing.T) {
+	valid, err := mustGenerate(t, "steady-state", 1).RecordBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimSuffix(string(valid), "\n"), "\n")
+
+	cases := []struct {
+		name  string
+		input string
+		want  string
+	}{
+		{"empty", "", "empty trace"},
+		{"bad schema", `{"schema":99,"workload":"x","seed":1,"durationNs":1,"events":0}` + "\n", "schema 99"},
+		{"unknown header field", `{"schema":1,"workload":"x","seed":1,"durationNs":1,"events":0,"extra":1}` + "\n", "unknown field"},
+		{"count mismatch", lines[0], "declares"},
+		{"unknown event field", lines[0] + `{"seq":0,"atNs":1,"kind":"request","client":"c","chip":"a","topology":"square","qubits":4,"bogus":1}` + "\n" + strings.Join(lines[2:], ""), "unknown field"},
+		{"out of order", lines[0] + lines[2] + lines[1] + strings.Join(lines[3:], ""), "seq"},
+		{"blank line", lines[0] + "\n" + strings.Join(lines[1:], ""), "blank line"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Replay(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatal("Replay accepted a malformed trace")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestValidateRejectsBadEvents: structural invariants on the in-memory
+// form, independent of the parser.
+func TestValidateRejectsBadEvents(t *testing.T) {
+	base := func() *Trace {
+		return &Trace{
+			Header: Header{Schema: SchemaVersion, Workload: "w", Seed: 1, DurationNs: 1e9, Events: 1},
+			Events: []Event{{Seq: 0, AtNs: 5, Kind: KindRequest, Client: "c", Chip: "a", Topology: "square", Qubits: 4}},
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Trace)
+	}{
+		{"request without client", func(t *Trace) { t.Events[0].Client = "" }},
+		{"defect with client", func(t *Trace) { t.Events[0].Kind = KindDefect }},
+		{"unknown kind", func(t *Trace) { t.Events[0].Kind = "explosion" }},
+		{"qubits too small", func(t *Trace) { t.Events[0].Qubits = 1 }},
+		{"defect rate out of range", func(t *Trace) { t.Events[0].DefectRate = 1 }},
+		{"negative anneal", func(t *Trace) { t.Events[0].AnnealSteps = -1 }},
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("base trace invalid: %v", err)
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := base()
+			tc.mutate(tr)
+			if err := tr.Validate(); err == nil {
+				t.Fatal("Validate accepted a bad trace")
+			}
+		})
+	}
+}

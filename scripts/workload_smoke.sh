@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# workload_smoke.sh — the CI replay-regression gate. Replays the
+# committed golden traces three ways:
+#
+#   A. library driver, memory-only cache, workers 1 and 4: the
+#      deterministic summary must match the committed
+#      traces/<name>.summary.json fixture byte for byte;
+#   B. library driver against a persistent cache dir (CI restores it
+#      via actions/cache keyed on the trace hashes): the second pass
+#      must take disk hits — no fixture compare here, a warm tier
+#      legitimately converts misses into diskHits;
+#   C. a live race-enabled youtiao-serve: every request must land in
+#      an expected outcome class, the server's per-tenant accounting
+#      must see the trace's clients, and a SIGTERM drain must exit 0.
+#
+# JSON reports land under $WORKLOAD_OUT (default out/workload) for CI
+# artifact upload. See DESIGN.md, "The workload contract".
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT_DIR="${WORKLOAD_OUT:-out/workload}"
+CACHE_DIR="${WORKLOAD_CACHE_DIR:-out/workload-cache}"
+mkdir -p "$OUT_DIR"
+
+TMP=$(mktemp -d)
+PID=""
+cleanup() {
+    if [ -n "$PID" ] && kill -0 "$PID" 2>/dev/null; then
+        kill -KILL "$PID" 2>/dev/null || true
+    fi
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "workload-smoke: FAIL: $*" >&2
+    if [ -f "$TMP/serve.log" ]; then
+        echo "--- server log ---" >&2
+        cat "$TMP/serve.log" >&2 || true
+    fi
+    exit 1
+}
+
+echo "workload-smoke: building harness and race-enabled server"
+go build -o "$TMP/youtiao-load" ./cmd/youtiao-load
+go build -race -o "$TMP/youtiao-serve" ./cmd/youtiao-serve
+
+echo "workload-smoke: A. deterministic fixture gate (library, memory-only)"
+for name in steady-state defect-storm; do
+    for workers in 1 4; do
+        "$TMP/youtiao-load" \
+            -replay "traces/$name.jsonl" -workers "$workers" \
+            -check "traces/$name.summary.json" -allow ok \
+            -report json -out "$OUT_DIR/$name.w$workers.json" \
+            || fail "library replay of $name (workers=$workers) failed the fixture gate"
+    done
+done
+
+echo "workload-smoke: B. warm-tier replay against $CACHE_DIR"
+# Two passes over the same persistent dir: the first may be cold (or
+# pre-warmed by a restored CI cache), the second must take disk hits.
+"$TMP/youtiao-load" -replay traces/steady-state.jsonl -workers 4 \
+    -cache-dir "$CACHE_DIR" -allow ok -out /dev/null \
+    || fail "warm-tier pass 1 failed"
+"$TMP/youtiao-load" -replay traces/steady-state.jsonl -workers 4 \
+    -cache-dir "$CACHE_DIR" -allow ok \
+    -report json -out "$OUT_DIR/steady-state.warm.json" \
+    || fail "warm-tier pass 2 failed"
+python3 - "$OUT_DIR/steady-state.warm.json" <<'EOF'
+import json, sys
+cache = json.load(open(sys.argv[1]))["cache"]
+assert cache["diskHits"] > 0, f"second warm-tier pass took no disk hits: {cache}"
+EOF
+
+echo "workload-smoke: C. live-server replay (race-enabled)"
+PORT=$(python3 -c 'import socket; s=socket.socket(); s.bind(("127.0.0.1",0)); print(s.getsockname()[1]); s.close()')
+BASE="http://127.0.0.1:$PORT"
+"$TMP/youtiao-serve" \
+    -addr "127.0.0.1:$PORT" \
+    -max-inflight 4 -max-queue 8 -queue-wait 30s \
+    -request-timeout 60s -cache-mb 64 \
+    -drain-timeout 60s \
+    > "$TMP/serve.log" 2>&1 &
+PID=$!
+for i in $(seq 1 100); do
+    if curl -sf "$BASE/readyz" > /dev/null 2>&1; then break; fi
+    kill -0 "$PID" 2>/dev/null || fail "server exited during startup"
+    [ "$i" -eq 100 ] && fail "server never became ready"
+    sleep 0.1
+done
+
+# Sheds are legal under the race detector's slowdown; anything else
+# (bad_request = schema drift, failed/transport = broken server) fails.
+"$TMP/youtiao-load" -replay traces/steady-state.jsonl -workers 4 \
+    -target "$BASE" -timeout 60s -allow ok,shed \
+    -report json -out "$OUT_DIR/steady-state.server.json" \
+    || fail "live-server replay produced unexpected outcome classes"
+
+curl -s "$BASE/readyz" > "$TMP/ready.json" || fail "readyz scrape failed"
+python3 - "$OUT_DIR/steady-state.server.json" "$TMP/ready.json" <<'EOF'
+import json, sys
+sum_, ready = json.load(open(sys.argv[1])), json.load(open(sys.argv[2]))
+assert sum_["outcomes"].get("ok", 0) > 0, sum_["outcomes"]
+tenants = {"tenant-alpha", "tenant-beta", "tenant-gamma"}
+assert set(sum_["clients"]) == tenants, sum_["clients"]
+seen = ready.get("clients") or {}
+assert tenants <= set(seen), f"server fairness rows missing tenants: {sorted(seen)}"
+for t in tenants:
+    assert seen[t]["requests"] == sum_["clients"][t]["requests"], (t, seen[t], sum_["clients"][t])
+EOF
+
+echo "workload-smoke: SIGTERM drain"
+kill -TERM "$PID"
+status=0
+wait "$PID" || status=$?
+PID=""
+[ "$status" -eq 0 ] || fail "server exited $status after SIGTERM"
+
+echo "workload-smoke: PASS"
